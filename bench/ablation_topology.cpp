@@ -1,0 +1,70 @@
+// Ablation (paper, Section 4.2): the ring needs O(N) time to detect that
+// all processes executed their phase and to release the next one, while the
+// two-ring and tree refinements need O(h). This bench runs the REAL RB
+// program under maximal parallel semantics on each topology and reports
+// steps per successful phase (one step = one communication round = c time).
+//
+// Usage: ablation_topology [--csv]
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "core/rb.hpp"
+#include "core/spec.hpp"
+#include "sim/step_engine.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace ftbar;
+
+double steps_per_phase(const core::RbOptions& opt, std::uint64_t seed) {
+  core::SpecMonitor monitor(opt.topo->size(), opt.num_phases);
+  sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                    core::make_rb_actions(opt, &monitor),
+                                    util::Rng(seed), sim::Semantics::kMaxParallel);
+  constexpr std::size_t kPhases = 24;
+  eng.run_until(
+      [&](const core::RbState&) { return monitor.successful_phases() >= kPhases; },
+      5'000'000);
+  return static_cast<double>(eng.steps_taken()) / kPhases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  using topology::Topology;
+
+  util::Table table({"N", "topology", "height h", "steps/phase",
+                     "barrier time at c=0.01"});
+  table.set_precision(2);
+  for (const int n : {4, 8, 16, 32, 64, 128}) {
+    struct Config {
+      const char* name;
+      Topology topo;
+    };
+    std::vector<Config> configs;
+    configs.push_back({"ring (2a)", Topology::ring(n)});
+    if (n >= 3) configs.push_back({"two-ring (2b)", Topology::two_ring(n)});
+    configs.push_back({"binary tree (2c)", Topology::kary_tree(n, 2)});
+    configs.push_back({"4-ary tree (2c)", Topology::kary_tree(n, 4)});
+    for (auto& config : configs) {
+      const int h = config.topo.height();
+      const core::RbOptions opt{
+          std::make_shared<const Topology>(std::move(config.topo)), 2, 0};
+      const double steps = steps_per_phase(opt, 0xab1a7e + static_cast<unsigned>(n));
+      table.add_row({static_cast<long long>(n), std::string(config.name),
+                     static_cast<long long>(h), steps, steps * 0.01});
+    }
+  }
+
+  std::cout << "Ablation: topology of Figure 2 vs barrier cost\n"
+            << "(paper: ring O(N), trees O(h) = O(log N))\n\n";
+  if (csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

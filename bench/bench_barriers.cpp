@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks: end-to-end cost of the fault-tolerant
+// barrier vs the fault-intolerant baselines on real threads (the Section 6
+// "overhead of fault-tolerance" claim, measured on this machine instead of
+// the simulator). Each iteration constructs the barrier, spawns the
+// workers, runs a fixed number of phases, and joins; items processed =
+// phases, so compare items/sec across barrier types.
+#include <benchmark/benchmark.h>
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "baseline/central_barrier.hpp"
+#include "baseline/dissemination_barrier.hpp"
+#include "baseline/tree_barrier.hpp"
+#include "core/ft_barrier.hpp"
+
+namespace {
+
+constexpr int kPhasesPerIteration = 32;
+
+using namespace ftbar;
+
+template <class Run>
+void run_threads(int num_threads, Run&& run) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] { run(tid); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_StdBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::barrier bar(n);
+    run_threads(n, [&](int) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_CentralBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    baseline::CentralBarrier bar(n);
+    run_threads(n, [&](int) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_TreeBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    baseline::TreeBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_DisseminationBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    baseline::DisseminationBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_FaultTolerantBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::FaultTolerantBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      for (int done = 0; done < kPhasesPerIteration;) {
+        if (!bar.arrive_and_wait(tid).repeated) ++done;
+      }
+      bar.finalize(tid, std::chrono::milliseconds(500));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_FaultTolerantBarrierLossyLinks(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::BarrierOptions opt;
+  opt.link_faults.drop = 0.05;
+  for (auto _ : state) {
+    core::FaultTolerantBarrier bar(n, opt);
+    run_threads(n, [&](int tid) {
+      for (int done = 0; done < kPhasesPerIteration;) {
+        if (!bar.arrive_and_wait(tid).repeated) ++done;
+      }
+      bar.finalize(tid, std::chrono::milliseconds(500));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+void BM_FaultTolerantBarrierWithProcessFaults(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::FaultTolerantBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      int arrives = 0;
+      for (int done = 0; done < kPhasesPerIteration;) {
+        // Thread 1 loses its state every 8th phase: ~12% fault rate.
+        const bool ok = !(tid == 1 && arrives % 8 == 3);
+        ++arrives;
+        if (!bar.arrive_and_wait(tid, ok).repeated) ++done;
+      }
+      bar.finalize(tid, std::chrono::milliseconds(500));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StdBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CentralBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DisseminationBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultTolerantBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultTolerantBarrierLossyLinks)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultTolerantBarrierWithProcessFaults)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// guarded-command step rates for the three refinements under both
+// semantics, and timed-model phase throughput. These gate how large the
+// figure sweeps can be and catch engine regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/cb.hpp"
+#include "core/mb.hpp"
+#include "core/rb.hpp"
+#include "core/timed_model.hpp"
+#include "sim/step_engine.hpp"
+
+namespace {
+
+using namespace ftbar;
+
+void BM_CbInterleavingSteps(benchmark::State& state) {
+  const core::CbOptions opt{static_cast<int>(state.range(0)), 4};
+  sim::StepEngine<core::CbProc> eng(core::cb_start_state(opt),
+                                    core::make_cb_actions(opt), util::Rng(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RbMaxParallelSteps(benchmark::State& state) {
+  const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
+  sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                    core::make_rb_actions(opt), util::Rng(2),
+                                    sim::Semantics::kMaxParallel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MbInterleavingSteps(benchmark::State& state) {
+  const core::MbOptions opt{static_cast<int>(state.range(0)), 2, 0};
+  sim::StepEngine<core::MbProc> eng(core::mb_start_state(opt),
+                                    core::make_mb_actions(opt), util::Rng(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TimedModelPhases(benchmark::State& state) {
+  core::TimedRbModel model({5, 0.01, 0.02}, util::Rng(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run_phase().instances);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RecoveryMeasurement(benchmark::State& state) {
+  util::Rng rng(5);
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_recovery(h, 0.01, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CbInterleavingSteps)->Arg(8)->Arg(32);
+BENCHMARK(BM_RbMaxParallelSteps)->Arg(15)->Arg(63);
+BENCHMARK(BM_MbInterleavingSteps)->Arg(8)->Arg(32);
+BENCHMARK(BM_TimedModelPhases);
+BENCHMARK(BM_RecoveryMeasurement)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Figure 4 (paper, Section 6.1): ANALYTICAL overhead of fault-tolerance —
+// the ratio of RB's expected time per successful phase to the
+// fault-intolerant tree barrier's 1 + 2hc, minus one — versus the
+// communication latency, for f in {0, 0.01, 0.05} and 32 processes.
+//
+// Paper reference points at c = 0.01: 4.5% (f=0), 5.7% (f=0.01),
+// 10.8% (f=0.05).
+//
+// Usage: fig4_overhead_analytical [--csv]
+#include <cstring>
+#include <iostream>
+
+#include "analysis/model.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  constexpr int kHeight = 5;
+
+  ftbar::util::Table table(
+      {"c", "overhead% f=0", "overhead% f=0.01", "overhead% f=0.05"});
+  table.set_precision(2);
+  for (int ci = 0; ci <= 10; ++ci) {
+    const double c = ci * 0.005;
+    std::vector<ftbar::util::Cell> row{c};
+    for (const double f : {0.0, 0.01, 0.05}) {
+      row.push_back(100.0 * ftbar::analysis::overhead({kHeight, c, f}));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "Figure 4: analytical overhead of fault-tolerance vs latency\n"
+            << "(32 processes, h = 5; paper: 4.5% / 5.7% / 10.8% at c = 0.01)\n\n";
+  if (csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

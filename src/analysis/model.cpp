@@ -1,0 +1,47 @@
+#include "analysis/model.hpp"
+
+#include <cmath>
+
+namespace ftbar::analysis {
+
+double phase_time(const Params& p) noexcept { return 1.0 + 3.0 * p.h * p.c; }
+
+double no_fault_probability(const Params& p) noexcept {
+  if (p.f <= 0.0) return 1.0;
+  if (p.f >= 1.0) return 0.0;
+  return std::pow(1.0 - p.f, phase_time(p));
+}
+
+double expected_instances(const Params& p) noexcept {
+  return 1.0 / no_fault_probability(p);
+}
+
+double expected_phase_time(const Params& p) noexcept {
+  return phase_time(p) * expected_instances(p);
+}
+
+double intolerant_phase_time(const Params& p) noexcept {
+  return 1.0 + 2.0 * p.h * p.c;
+}
+
+double overhead(const Params& p) noexcept {
+  return expected_phase_time(p) / intolerant_phase_time(p) - 1.0;
+}
+
+double recovery_bound(const Params& p) noexcept { return 5.0 * p.h * p.c; }
+
+int tree_height(int num_procs, int arity) noexcept {
+  if (num_procs <= 1 || arity < 1) return 0;
+  if (arity == 1) return num_procs - 1;
+  int h = 0;
+  long long capacity = 1;  // nodes in a complete tree of height h
+  long long level = 1;
+  while (capacity < num_procs) {
+    level *= arity;
+    capacity += level;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace ftbar::analysis

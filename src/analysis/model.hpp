@@ -1,0 +1,52 @@
+// Closed-form analytical model of Section 6.1.
+//
+// Time is normalized to the phase execution time (1.0). On a tree of
+// height h with communication latency c and fault frequency f (probability
+// that a fault occurs per unit time, so no fault occurs in an interval of
+// length T with probability (1-f)^T):
+//
+//   phase time, no faults (RB)   : 1 + 3hc        (three cp changes, hc each)
+//   P(no fault during a phase)   : (1-f)^(1+3hc)
+//   E[instances per phase]       : (1-f)^-(1+3hc)           (geometric mean)
+//   E[time per successful phase] : (1+3hc) * (1-f)^-(1+3hc)
+//   fault-intolerant phase time  : 1 + 2hc        (detect + release waves)
+//   overhead of fault-tolerance  : ratio of the two minus 1
+//   recovery bound (undetectable): 5hc            (sn repair + <= 4 waves)
+#pragma once
+
+namespace ftbar::analysis {
+
+/// Model parameters; all times are in units of the phase execution time.
+struct Params {
+  int h = 5;        ///< tree height (32 processes in the paper's Figure 3)
+  double c = 0.01;  ///< communication latency
+  double f = 0.0;   ///< fault frequency per unit time
+};
+
+/// Time to execute one instance of a phase with no faults: 1 + 3hc.
+[[nodiscard]] double phase_time(const Params& p) noexcept;
+
+/// Probability that no fault occurs during one instance: (1-f)^(1+3hc).
+[[nodiscard]] double no_fault_probability(const Params& p) noexcept;
+
+/// Expected number of instances executed per successful phase.
+[[nodiscard]] double expected_instances(const Params& p) noexcept;
+
+/// Expected time to execute a phase successfully under detectable faults.
+[[nodiscard]] double expected_phase_time(const Params& p) noexcept;
+
+/// Phase time of the fault-intolerant tree barrier: 1 + 2hc.
+[[nodiscard]] double intolerant_phase_time(const Params& p) noexcept;
+
+/// Overhead of fault-tolerance: expected_phase_time / intolerant - 1.
+[[nodiscard]] double overhead(const Params& p) noexcept;
+
+/// Worst-case time to recover from an arbitrary state: 5hc
+/// (<= hc to repair the sequence numbers, <= 4hc to re-align cp/ph).
+[[nodiscard]] double recovery_bound(const Params& p) noexcept;
+
+/// Height of the balanced `arity`-ary tree over num_procs processes
+/// (e.g. 32 processes, arity 2 -> h = 5 as in the paper).
+[[nodiscard]] int tree_height(int num_procs, int arity = 2) noexcept;
+
+}  // namespace ftbar::analysis

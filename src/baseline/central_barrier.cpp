@@ -1,0 +1,24 @@
+#include "baseline/central_barrier.hpp"
+
+#include <thread>
+
+namespace ftbar::baseline {
+
+void CentralBarrier::arrive_and_wait() {
+  const bool my_sense = !sense_.load(std::memory_order_relaxed);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last arrival: reset the counter and flip the sense to release.
+    remaining_.store(num_threads_, std::memory_order_relaxed);
+    sense_.store(my_sense, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (sense_.load(std::memory_order_acquire) != my_sense) {
+    if (++spins > 1024) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace ftbar::baseline

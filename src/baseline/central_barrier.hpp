@@ -1,0 +1,31 @@
+// Sense-reversing central counter barrier — the classic fault-INTOLERANT
+// baseline. One atomic counter, one global sense flag; O(N) contention on
+// the counter, O(1) state. If any participant dies or loses its state, the
+// rest block forever: there is no recovery channel, which is precisely the
+// gap the paper's program fills.
+#pragma once
+
+#include <atomic>
+
+namespace ftbar::baseline {
+
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(int num_threads)
+      : num_threads_(num_threads), remaining_(num_threads) {}
+
+  CentralBarrier(const CentralBarrier&) = delete;
+  CentralBarrier& operator=(const CentralBarrier&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// Blocks until all participants arrive. Spin-then-yield waiting.
+  void arrive_and_wait();
+
+ private:
+  int num_threads_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace ftbar::baseline

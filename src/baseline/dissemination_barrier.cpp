@@ -1,0 +1,36 @@
+#include "baseline/dissemination_barrier.hpp"
+
+#include <thread>
+
+namespace ftbar::baseline {
+
+DisseminationBarrier::DisseminationBarrier(int num_threads)
+    : num_threads_(num_threads),
+      episode_(static_cast<std::size_t>(num_threads), 0) {
+  rounds_ = 0;
+  for (int span = 1; span < num_threads; span *= 2) ++rounds_;
+  slots_.reserve(static_cast<std::size_t>(rounds_) *
+                 static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < rounds_ * num_threads; ++i) {
+    slots_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void DisseminationBarrier::arrive_and_wait(int tid) {
+  const auto ut = static_cast<std::size_t>(tid);
+  const std::uint64_t episode = ++episode_[ut];
+  int distance = 1;
+  for (int round = 0; round < rounds_; ++round, distance *= 2) {
+    const int partner = (tid + distance) % num_threads_;
+    slot(round, partner).fetch_add(1, std::memory_order_acq_rel);
+    int spins = 0;
+    while (slot(round, tid).load(std::memory_order_acquire) < episode) {
+      if (++spins > 1024) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+}  // namespace ftbar::baseline

@@ -1,0 +1,41 @@
+// Dissemination barrier — ceil(log2 N) rounds; in round k, thread i signals
+// thread (i + 2^k) mod N and waits on (i - 2^k) mod N. No single hot
+// location and no release wave, at the cost of N log N total signals.
+// Fault-intolerant, like the other baselines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ftbar::baseline {
+
+class DisseminationBarrier {
+ public:
+  explicit DisseminationBarrier(int num_threads);
+
+  DisseminationBarrier(const DisseminationBarrier&) = delete;
+  DisseminationBarrier& operator=(const DisseminationBarrier&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+  [[nodiscard]] int rounds() const noexcept { return rounds_; }
+
+  void arrive_and_wait(int tid);
+
+ private:
+  [[nodiscard]] std::atomic<std::uint64_t>& slot(int round, int tid) {
+    return *slots_[static_cast<std::size_t>(round) *
+                       static_cast<std::size_t>(num_threads_) +
+                   static_cast<std::size_t>(tid)];
+  }
+
+  int num_threads_;
+  int rounds_;
+  /// Monotone episode counters: signalling increments, waiting compares
+  /// against the thread's episode number — no sense reversal needed.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> slots_;
+  std::vector<std::uint64_t> episode_;
+};
+
+}  // namespace ftbar::baseline

@@ -1,0 +1,61 @@
+#include "baseline/tree_barrier.hpp"
+
+#include <thread>
+
+namespace ftbar::baseline {
+
+namespace {
+void spin_yield(int& spins) {
+  if (++spins > 1024) {
+    std::this_thread::yield();
+    spins = 0;
+  }
+}
+}  // namespace
+
+TreeBarrier::TreeBarrier(int num_threads)
+    : num_threads_(num_threads),
+      nodes_(static_cast<std::size_t>(num_threads)),
+      local_sense_(static_cast<std::size_t>(num_threads), 0) {
+  release_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    release_.push_back(std::make_unique<std::atomic<bool>>(false));
+    int fanin = 0;
+    if (2 * t + 1 < num_threads) ++fanin;
+    if (2 * t + 2 < num_threads) ++fanin;
+    nodes_[static_cast<std::size_t>(t)].fanin = fanin;
+  }
+  height_ = 0;
+  for (int span = 1; span < num_threads; span = 2 * span + 1) ++height_;
+}
+
+void TreeBarrier::arrive_and_wait(int tid) {
+  const auto ut = static_cast<std::size_t>(tid);
+  const bool my_sense = local_sense_[ut] == 0;
+  local_sense_[ut] = my_sense ? 1 : 0;
+
+  // Detection wave: wait for both children's subtrees, then tell the parent.
+  auto& node = nodes_[ut];
+  int spins = 0;
+  while (node.pending.load(std::memory_order_acquire) < node.fanin) {
+    spin_yield(spins);
+  }
+  node.pending.store(0, std::memory_order_relaxed);
+  if (tid != 0) {
+    nodes_[static_cast<std::size_t>((tid - 1) / 2)].pending.fetch_add(
+        1, std::memory_order_acq_rel);
+    // Release wave: wait for the parent to flip our sense.
+    spins = 0;
+    while (release_[ut]->load(std::memory_order_acquire) != my_sense) {
+      spin_yield(spins);
+    }
+  }
+  for (int child : {2 * tid + 1, 2 * tid + 2}) {
+    if (child < num_threads_) {
+      release_[static_cast<std::size_t>(child)]->store(my_sense,
+                                                       std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace ftbar::baseline

@@ -1,0 +1,40 @@
+// Combining-tree barrier — the paper's 1 + 2hc comparison point: arrivals
+// combine up a static binary tree (the detection wave) and the release
+// propagates back down (the dissemination wave). Fault-intolerant.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace ftbar::baseline {
+
+class TreeBarrier {
+ public:
+  explicit TreeBarrier(int num_threads);
+
+  TreeBarrier(const TreeBarrier&) = delete;
+  TreeBarrier& operator=(const TreeBarrier&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+  /// Height of the arrival tree (the h of the analytical model).
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  /// Blocks thread `tid` until every participant arrives.
+  void arrive_and_wait(int tid);
+
+ private:
+  struct Node {
+    std::atomic<int> pending{0};
+    int fanin = 0;
+  };
+
+  int num_threads_;
+  int height_;
+  std::vector<Node> nodes_;  ///< binary heap layout over thread ids
+  // Per-thread release sense; heap-allocated to dodge vector<atomic> moves.
+  std::vector<std::unique_ptr<std::atomic<bool>>> release_;
+  std::vector<char> local_sense_;  ///< char, not bool: vector<bool> bit-packs
+};
+
+}  // namespace ftbar::baseline

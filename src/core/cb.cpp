@@ -1,0 +1,187 @@
+#include "core/cb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+
+namespace ftbar::core {
+
+namespace {
+
+bool all_cp(const CbState& s, Cp cp) {
+  return std::all_of(s.begin(), s.end(), [cp](const CbProc& p) { return p.cp == cp; });
+}
+
+bool any_cp(const CbState& s, Cp cp) {
+  return std::any_of(s.begin(), s.end(), [cp](const CbProc& p) { return p.cp == cp; });
+}
+
+bool none_cp(const CbState& s, Cp cp) { return !any_cp(s, cp); }
+
+/// Lowest-index process in control position `cp`, or -1.
+int first_with(const CbState& s, Cp cp) {
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[k].cp == cp) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CbState cb_start_state(const CbOptions& opt, int phase) {
+  assert(opt.num_phases >= 2);
+  return CbState(static_cast<std::size_t>(opt.num_procs), CbProc{Cp::kReady, phase});
+}
+
+std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt, SpecMonitor* monitor) {
+  assert(opt.num_procs >= 1 && opt.num_phases >= 2);
+  std::vector<sim::Action<CbProc>> actions;
+  actions.reserve(static_cast<std::size_t>(opt.num_procs) * 4);
+  const PhaseRing ring(opt.num_phases);
+
+  for (int j = 0; j < opt.num_procs; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+
+    // CB1: ready -> execute once everyone is ready, or following a starter.
+    actions.push_back(sim::make_action<CbProc>(
+        "CB1@" + std::to_string(j), j,
+        [uj](const CbState& s) {
+          return s[uj].cp == Cp::kReady &&
+                 (all_cp(s, Cp::kReady) || any_cp(s, Cp::kExecute));
+        },
+        [uj, j, monitor](CbState& s) {
+          if (monitor != nullptr) {
+            // The all-ready disjunct is the instance-opening transition.
+            monitor->on_start(j, s[uj].ph, /*new_instance=*/all_cp(s, Cp::kReady));
+          }
+          s[uj].cp = Cp::kExecute;
+        }));
+
+    // CB2: execute -> success only after every process left ready (so a
+    // reset process cannot be stranded mid-instance), or following a
+    // process already in success.
+    actions.push_back(sim::make_action<CbProc>(
+        "CB2@" + std::to_string(j), j,
+        [uj](const CbState& s) {
+          return s[uj].cp == Cp::kExecute &&
+                 (none_cp(s, Cp::kReady) || any_cp(s, Cp::kSuccess));
+        },
+        [uj, j, monitor](CbState& s) {
+          if (monitor != nullptr) monitor->on_complete(j, s[uj].ph);
+          s[uj].cp = Cp::kSuccess;
+        }));
+
+    // CB3: success -> ready when nobody is executing; picks the next phase.
+    actions.push_back(sim::make_action<CbProc>(
+        "CB3@" + std::to_string(j), j,
+        [uj](const CbState& s) {
+          return s[uj].cp == Cp::kSuccess && none_cp(s, Cp::kExecute);
+        },
+        [uj, ring](CbState& s) {
+          if (const int r = first_with(s, Cp::kReady); r >= 0) {
+            s[uj].ph = s[static_cast<std::size_t>(r)].ph;
+          } else if (all_cp(s, Cp::kSuccess)) {
+            s[uj].ph = ring.next(s[uj].ph);
+          }
+          // else: some process is in error -> keep the phase, forcing a new
+          // instance of the current phase.
+          s[uj].cp = Cp::kReady;
+        }));
+
+    // CB4: error -> ready when nobody is executing; re-learns the phase.
+    actions.push_back(sim::make_action<CbProc>(
+        "CB4@" + std::to_string(j), j,
+        [uj](const CbState& s) {
+          return s[uj].cp == Cp::kError && none_cp(s, Cp::kExecute);
+        },
+        [uj](CbState& s) {
+          if (const int r = first_with(s, Cp::kReady); r >= 0) {
+            s[uj].ph = s[static_cast<std::size_t>(r)].ph;
+          } else if (const int c = first_with(s, Cp::kSuccess); c >= 0) {
+            s[uj].ph = s[static_cast<std::size_t>(c)].ph;
+          } else {
+            s[uj].ph = 0;  // "an arbitrary number in {0..n-1}"
+          }
+          s[uj].cp = Cp::kReady;
+        }));
+  }
+  return actions;
+}
+
+sim::FaultEnv<CbProc>::Perturb cb_detectable_fault(const CbOptions& opt,
+                                                   SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  return [n, monitor](std::size_t j, CbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_abort(static_cast<int>(j));
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    p.cp = Cp::kError;
+  };
+}
+
+sim::FaultEnv<CbProc>::Perturb cb_undetectable_fault(const CbOptions& opt,
+                                                     SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  return [n, monitor](std::size_t, CbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_undetectable_fault();
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    // CB's cp domain: ready, execute, success, error (no repeat).
+    p.cp = static_cast<Cp>(rng.uniform(4));
+  };
+}
+
+bool cb_is_start_state(const CbState& s) {
+  if (s.empty() || !all_cp(s, Cp::kReady)) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [&](const CbProc& p) { return p.ph == s.front().ph; });
+}
+
+bool cb_legitimate(const CbState& s, int num_phases) {
+  if (s.empty()) return false;
+  const PhaseRing ring(num_phases);
+
+  // Case A/B: all in the same phase with cp drawn from {ready, execute} or
+  // from {execute, success}.
+  const int ph0 = s.front().ph;
+  const bool same_phase =
+      std::all_of(s.begin(), s.end(), [&](const CbProc& p) { return p.ph == ph0; });
+  if (same_phase) {
+    const bool re = std::all_of(s.begin(), s.end(), [](const CbProc& p) {
+      return p.cp == Cp::kReady || p.cp == Cp::kExecute;
+    });
+    const bool es = std::all_of(s.begin(), s.end(), [](const CbProc& p) {
+      return p.cp == Cp::kExecute || p.cp == Cp::kSuccess;
+    });
+    if (re || es) return true;
+  }
+
+  // Case C: the phase-advance front — success in phase i, ready in phase
+  // i+1, both present.
+  int ph_succ = -1;
+  for (const auto& p : s) {
+    if (p.cp == Cp::kSuccess) {
+      ph_succ = p.ph;
+      break;
+    }
+  }
+  if (ph_succ < 0) return false;
+  const int ph_next = ring.next(ph_succ);
+  bool any_ready = false;
+  for (const auto& p : s) {
+    if (p.cp == Cp::kSuccess && p.ph == ph_succ) continue;
+    if (p.cp == Cp::kReady && p.ph == ph_next) {
+      any_ready = true;
+      continue;
+    }
+    return false;
+  }
+  return any_ready;
+}
+
+int cb_distinct_phases(const CbState& s) {
+  std::set<int> phases;
+  for (const auto& p : s) phases.insert(p.ph);
+  return static_cast<int>(phases.size());
+}
+
+}  // namespace ftbar::core

@@ -1,0 +1,82 @@
+// Program CB — the coarse-grain solution (paper, Section 3).
+//
+// Each process j maintains a control position cp.j and a phase number ph.j,
+// and runs four actions whose guards may read the state of ALL processes
+// atomically:
+//
+//   CB1 :: cp.j=ready   /\ ((forall k :: cp.k=ready) \/ (exists k :: cp.k=execute))
+//            -> cp.j := execute
+//   CB2 :: cp.j=execute /\ ((forall k :: cp.k!=ready) \/ (exists k :: cp.k=success))
+//            -> cp.j := success
+//   CB3 :: cp.j=success /\ (forall k :: cp.k!=execute)
+//            -> if   exists ready k:  ph.j := ph of a ready process
+//               elif all success:     ph.j := ph.j + 1
+//               cp.j := ready
+//   CB4 :: cp.j=error   /\ (forall k :: cp.k!=execute)
+//            -> if   exists ready k:   ph.j := ph of a ready process
+//               elif exists success k: ph.j := ph of a success process
+//               else                   ph.j := arbitrary
+//               cp.j := ready
+//
+// The paper's nondeterministic "(any k : ...)" choice is resolved to the
+// lowest-index qualifying process, and the "arbitrary" fallback to phase 0;
+// both choices keep the state space finite and the programs deterministic
+// per action, which the exhaustive checker in the tests relies on. Any
+// concrete resolution refines the paper's nondeterminism, so the lemmas
+// proved for CB continue to apply.
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/spec.hpp"
+#include "sim/action.hpp"
+#include "sim/fault_env.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::core {
+
+/// Per-process state of CB.
+struct CbProc {
+  Cp cp = Cp::kReady;
+  int ph = 0;
+  friend auto operator<=>(const CbProc&, const CbProc&) = default;
+};
+
+using CbState = std::vector<CbProc>;
+
+struct CbOptions {
+  int num_procs = 4;
+  int num_phases = 2;  ///< n >= 2 (single-phase handled by replication, §3 remark)
+};
+
+/// A start state: all processes ready in the given phase.
+[[nodiscard]] CbState cb_start_state(const CbOptions& opt, int phase = 0);
+
+/// The 4*N guarded-command actions of CB. If `monitor` is non-null, CB1/CB2
+/// report start/complete events to it (CB1 flags instance-opening starts,
+/// i.e. those taken via the all-ready disjunct).
+[[nodiscard]] std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt,
+                                                               SpecMonitor* monitor = nullptr);
+
+// ---- fault actions (paper, end of Section 3) -------------------------------
+/// Detectable fault: ph := arbitrary, cp := error. Reports on_abort.
+[[nodiscard]] sim::FaultEnv<CbProc>::Perturb cb_detectable_fault(const CbOptions& opt,
+                                                                 SpecMonitor* monitor = nullptr);
+/// Undetectable fault: ph, cp := arbitrary values from their domains.
+/// Reports on_undetectable_fault.
+[[nodiscard]] sim::FaultEnv<CbProc>::Perturb cb_undetectable_fault(
+    const CbOptions& opt, SpecMonitor* monitor = nullptr);
+
+// ---- state predicates ------------------------------------------------------
+[[nodiscard]] bool cb_is_start_state(const CbState& s);
+/// Closed-form characterization of the states reachable from a start state
+/// in the absence of faults (the legitimate set used in the stabilization
+/// lemma). Verified against the exhaustively computed reachable set in the
+/// tests.
+[[nodiscard]] bool cb_legitimate(const CbState& s, int num_phases);
+/// Number of distinct phase values present (the paper's m, Lemma 3.4).
+[[nodiscard]] int cb_distinct_phases(const CbState& s);
+
+}  // namespace ftbar::core

@@ -1,0 +1,16 @@
+#include "core/control.hpp"
+
+namespace ftbar::core {
+
+std::string_view to_string(Cp cp) noexcept {
+  switch (cp) {
+    case Cp::kReady: return "ready";
+    case Cp::kExecute: return "execute";
+    case Cp::kSuccess: return "success";
+    case Cp::kError: return "error";
+    case Cp::kRepeat: return "repeat";
+  }
+  return "?";
+}
+
+}  // namespace ftbar::core

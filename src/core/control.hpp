@@ -1,0 +1,43 @@
+// Control positions and phase arithmetic shared by all refinements.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftbar::core {
+
+/// Control position of a process (paper, Sections 3-4).
+///
+/// kRepeat exists only in the distributed refinements (RB/MB): a process
+/// that was detectably corrupted, or that observes the instance has failed,
+/// propagates `repeat` toward the decision process instead of `success`.
+enum class Cp : std::uint8_t {
+  kReady = 0,    ///< ready to execute the current phase
+  kExecute = 1,  ///< executing the current phase
+  kSuccess = 2,  ///< completed the current phase
+  kError = 3,    ///< control state detectably corrupted
+  kRepeat = 4,   ///< (RB/MB only) instance failed; request re-execution
+};
+
+[[nodiscard]] std::string_view to_string(Cp cp) noexcept;
+
+/// Phase arithmetic modulo the cyclic phase count n (paper: ph in 0..n-1).
+class PhaseRing {
+ public:
+  explicit constexpr PhaseRing(int n) noexcept : n_(n) {}
+
+  [[nodiscard]] constexpr int n() const noexcept { return n_; }
+  [[nodiscard]] constexpr int next(int ph) const noexcept { return (ph + 1) % n_; }
+  [[nodiscard]] constexpr int prev(int ph) const noexcept { return (ph + n_ - 1) % n_; }
+  [[nodiscard]] constexpr bool valid(int ph) const noexcept { return 0 <= ph && ph < n_; }
+  /// Clamp an arbitrary (possibly corrupted) value into the domain.
+  [[nodiscard]] constexpr int canon(int ph) const noexcept {
+    const int m = ph % n_;
+    return m < 0 ? m + n_ : m;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace ftbar::core

@@ -1,0 +1,219 @@
+#include "core/des_model.hpp"
+
+#include <cmath>
+
+namespace ftbar::core {
+
+DesRbSimulation::DesRbSimulation(const DesParams& params)
+    : params_(params),
+      topo_(std::make_shared<const topology::Topology>(
+          params.arity <= 1 ? topology::Topology::ring(params.num_procs)
+                            : topology::Topology::kary_tree(params.num_procs,
+                                                            params.arity))),
+      k_(topo_->size() + 1),
+      ring_(params.num_phases),
+      monitor_(params.num_procs, params.num_phases),
+      rng_(params.seed),
+      fault_rate_(params.f > 0.0 ? -std::log(1.0 - params.f) : 0.0),
+      state_(rb_start_state(RbOptions{topo_, params.num_phases, 0})),
+      work_end_(static_cast<std::size_t>(params.num_procs), 0.0) {}
+
+double DesRbSimulation::fault_free_period_bound() const noexcept {
+  return 1.0 + 2.0 * topo_->height() * params_.c + 2.0 * params_.c;
+}
+
+void DesRbSimulation::notify_readers(int j) {
+  // Readers of j's variables: its children (T2), its parent (T4), and —
+  // when j is a leaf — the root via the leaf->root links of Figure 2(c).
+  for (int child : topo_->children(j)) {
+    engine_.schedule(params_.c, [this, child] { activate(child); });
+  }
+  if (j != 0) {
+    const int parent = topo_->parent(j);
+    engine_.schedule(params_.c, [this, parent] { activate(parent); });
+    if (topo_->is_leaf(j)) {
+      engine_.schedule(params_.c, [this] { activate(0); });
+    }
+  }
+}
+
+void DesRbSimulation::activate(int j) {
+  const auto uj = static_cast<std::size_t>(j);
+  bool any_change = false;
+  for (bool fired = true; fired;) {
+    fired = false;
+
+    if (j == 0) {
+      // T1 guard, mirroring core/rb.cpp: normal circulation requires every
+      // leaf to match the root's sn; a corrupted root escapes off any
+      // single valid leaf.
+      const auto& lv = topo_->leaves();
+      bool enabled;
+      if (!sn_valid(state_[0].sn)) {
+        enabled = false;
+        for (int l : lv) {
+          if (sn_valid(state_[static_cast<std::size_t>(l)].sn)) enabled = true;
+        }
+      } else {
+        enabled = true;
+        for (int l : lv) {
+          if (state_[static_cast<std::size_t>(l)].sn != state_[0].sn) enabled = false;
+        }
+      }
+      if (enabled) {
+        // Phase-work gating: the execute -> success transition may not run
+        // before this process's phase work is finished.
+        if (state_[0].cp == Cp::kExecute && engine_.now() < work_end_[0]) {
+          engine_.schedule_at(work_end_[0], [this] { activate(0); });
+        } else {
+          // Reference leaf: the first valid one, rotated to the front of
+          // the views (as in core/rb.cpp).
+          std::size_t ref = 0;
+          for (std::size_t i = 0; i < lv.size(); ++i) {
+            if (sn_valid(state_[static_cast<std::size_t>(lv[i])].sn)) {
+              ref = i;
+              break;
+            }
+          }
+          std::vector<CpPh> leaf_views;
+          leaf_views.reserve(lv.size());
+          for (std::size_t i = 0; i < lv.size(); ++i) {
+            const auto& p =
+                state_[static_cast<std::size_t>(lv[(ref + i) % lv.size()])];
+            leaf_views.push_back(CpPh{p.cp, p.ph});
+          }
+          const int pre_ph = state_[0].ph;
+          const auto upd = rb_root_update(CpPh{state_[0].cp, state_[0].ph},
+                                          leaf_views, ring_);
+          state_[0].sn =
+              (state_[static_cast<std::size_t>(lv[ref])].sn + 1) % k_;
+          state_[0].cp = upd.next.cp;
+          state_[0].ph = upd.next.ph;
+          switch (upd.event) {
+            case RbEvent::kStart:
+              monitor_.on_start(0, upd.next.ph, /*new_instance=*/true);
+              work_end_[0] = engine_.now() + 1.0;
+              break;
+            case RbEvent::kComplete:
+              monitor_.on_complete(0, pre_ph);
+              break;
+            case RbEvent::kAbort:
+              monitor_.on_abort(0);
+              break;
+            case RbEvent::kNone:
+              break;
+          }
+          fired = any_change = true;
+        }
+      }
+      // T5: TOP -> 0.
+      if (state_[0].sn == kSnTop) {
+        state_[0].sn = 0;
+        fired = any_change = true;
+      }
+    } else {
+      // T2 guard: parent valid, own sn differs.
+      const auto up = static_cast<std::size_t>(topo_->parent(j));
+      if (sn_valid(state_[up].sn) && state_[uj].sn != state_[up].sn) {
+        const bool completing =
+            state_[uj].cp == Cp::kExecute && state_[up].cp == Cp::kSuccess;
+        if (completing && engine_.now() < work_end_[uj]) {
+          engine_.schedule_at(work_end_[uj], [this, j] { activate(j); });
+        } else {
+          const int pre_ph = state_[uj].ph;
+          const auto upd = rb_follower_update(CpPh{state_[uj].cp, state_[uj].ph},
+                                              CpPh{state_[up].cp, state_[up].ph},
+                                              ring_);
+          state_[uj].sn = state_[up].sn;
+          state_[uj].cp = upd.next.cp;
+          state_[uj].ph = upd.next.ph;
+          switch (upd.event) {
+            case RbEvent::kStart:
+              monitor_.on_start(j, upd.next.ph, /*new_instance=*/false);
+              work_end_[uj] = engine_.now() + 1.0;
+              break;
+            case RbEvent::kComplete:
+              monitor_.on_complete(j, pre_ph);
+              break;
+            case RbEvent::kAbort:
+              monitor_.on_abort(j);
+              break;
+            case RbEvent::kNone:
+              break;
+          }
+          fired = any_change = true;
+        }
+      }
+      // T3 at leaves: BOT -> TOP.
+      if (topo_->is_leaf(j) && state_[uj].sn == kSnBot) {
+        state_[uj].sn = kSnTop;
+        fired = any_change = true;
+      }
+    }
+
+    // T4 at non-leaves (root included): BOT with all children TOP -> TOP.
+    if (!topo_->is_leaf(j) && state_[uj].sn == kSnBot) {
+      bool all_top = true;
+      for (int child : topo_->children(j)) {
+        if (state_[static_cast<std::size_t>(child)].sn != kSnTop) all_top = false;
+      }
+      if (all_top) {
+        state_[uj].sn = kSnTop;
+        fired = any_change = true;
+      }
+    }
+  }
+  if (any_change) notify_readers(j);
+}
+
+void DesRbSimulation::schedule_next_fault() {
+  if (fault_rate_ <= 0.0) return;
+  fault_chain_started_ = true;
+  engine_.schedule(rng_.exponential(fault_rate_), [this] {
+    // Pick a victim whose corruption keeps at least one process intact
+    // (footnote 2: corrupting everyone detectably is undetectable-class).
+    const auto victim = rng_.uniform(state_.size());
+    int intact = 0;
+    for (std::size_t k = 0; k < state_.size(); ++k) {
+      if (k != victim && sn_valid(state_[k].sn)) ++intact;
+    }
+    if (intact > 0) {
+      monitor_.on_abort(static_cast<int>(victim));
+      state_[victim].sn = kSnBot;
+      state_[victim].cp = Cp::kError;
+      state_[victim].ph =
+          static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(params_.num_phases)));
+      ++faults_injected_;
+      const auto v = static_cast<int>(victim);
+      engine_.schedule(params_.c, [this, v] { activate(v); });
+      notify_readers(v);
+    }
+    schedule_next_fault();
+  });
+}
+
+DesRbSimulation::Result DesRbSimulation::run(std::size_t phases,
+                                             std::size_t max_events) {
+  const double t0 = engine_.now();
+  const auto phases0 = monitor_.successful_phases();
+  const auto instances0 = monitor_.total_instances();
+  const auto faults0 = faults_injected_;
+
+  for (int j = 0; j < params_.num_procs; ++j) {
+    engine_.schedule(0.0, [this, j] { activate(j); });
+  }
+  if (!fault_chain_started_) schedule_next_fault();
+
+  engine_.run_while_pending(
+      [&] { return monitor_.successful_phases() >= phases0 + phases; }, max_events);
+
+  Result result;
+  result.elapsed = engine_.now() - t0;
+  result.phases = monitor_.successful_phases() - phases0;
+  result.instances = monitor_.total_instances() - instances0;
+  result.faults = faults_injected_ - faults0;
+  result.safety_ok = monitor_.safety_ok();
+  return result;
+}
+
+}  // namespace ftbar::core

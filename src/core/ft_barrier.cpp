@@ -1,0 +1,234 @@
+#include "core/ft_barrier.hpp"
+
+#include <cassert>
+
+namespace ftbar::core {
+
+namespace {
+constexpr int kStateTag = 1;
+constexpr int kByeTag = 2;
+constexpr int kSnBotWire = -1;
+constexpr int kSnTopWire = -2;
+
+[[nodiscard]] bool wire_sn_valid(int sn) noexcept { return sn >= 0; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MbEngine
+// ---------------------------------------------------------------------------
+
+MbEngine::MbEngine(int id, int size, int num_phases, int seq_modulus)
+    : id_(id),
+      size_(size),
+      l_(seq_modulus > 0 ? seq_modulus : 2 * size),
+      ring_(num_phases) {
+  assert(size >= 2 && id >= 0 && id < size);
+  assert(l_ > 2 * size - 1);
+}
+
+void MbEngine::on_neighbor_state(int from, const WireState& state) {
+  const int pred = (id_ + size_ - 1) % size_;
+  const int succ = (id_ + 1) % size_;
+  // On a two-process ring the predecessor IS the successor, so a snapshot
+  // may serve both the COPY and the CPYN role — hence two ifs, not else-if.
+  if (from == pred) {
+    // COPY: the copy cell advances with the follower statement.
+    if (wire_sn_valid(state.sn) && c_sn_ != state.sn) {
+      const auto upd = rb_follower_update(
+          CpPh{c_cp_, c_ph_}, CpPh{static_cast<Cp>(state.cp), state.ph}, ring_);
+      c_sn_ = state.sn;
+      c_cp_ = upd.next.cp;
+      c_ph_ = upd.next.ph;
+    }
+  }
+  if (from == succ && !is_last()) {
+    // CPYN: only the successor's TOP is ever recorded.
+    if (state.sn == kSnTopWire) c_next_ = kSnTopWire;
+  }
+}
+
+bool MbEngine::step() {
+  bool changed = false;
+  for (bool fired = true; fired;) {
+    fired = false;
+    if (is_root()) {
+      // MT1.
+      if (wire_sn_valid(c_sn_) && (sn_ == c_sn_ || !wire_sn_valid(sn_))) {
+        const auto upd = rb_root_update(
+            CpPh{cp_, ph_}, std::vector<CpPh>{CpPh{c_cp_, c_ph_}}, ring_);
+        sn_ = (c_sn_ + 1) % l_;
+        cp_ = upd.next.cp;
+        ph_ = upd.next.ph;
+        if (upd.event == RbEvent::kStart) {
+          ticket_ = PhaseTicket{ph_, ph_ == last_released_phase_};
+          last_released_phase_ = ph_;
+        }
+        fired = changed = true;
+      }
+      // MT5.
+      if (sn_ == kSnTopWire) {
+        sn_ = 0;
+        fired = changed = true;
+      }
+    } else {
+      // MT2.
+      if (wire_sn_valid(c_sn_) && sn_ != c_sn_) {
+        const auto upd =
+            rb_follower_update(CpPh{cp_, ph_}, CpPh{c_cp_, c_ph_}, ring_);
+        sn_ = c_sn_;
+        cp_ = upd.next.cp;
+        ph_ = upd.next.ph;
+        if (upd.event == RbEvent::kStart) {
+          ticket_ = PhaseTicket{ph_, ph_ == last_released_phase_};
+          last_released_phase_ = ph_;
+        }
+        fired = changed = true;
+      }
+    }
+    if (is_last()) {
+      // MT3.
+      if (sn_ == kSnBotWire) {
+        sn_ = kSnTopWire;
+        fired = changed = true;
+      }
+    } else {
+      // MT4.
+      if (sn_ == kSnBotWire && c_next_ == kSnTopWire) {
+        sn_ = kSnTopWire;
+        c_next_ = 0;  // consume the observation
+        fired = changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+std::optional<PhaseTicket> MbEngine::take_ticket() {
+  auto t = ticket_;
+  ticket_.reset();
+  return t;
+}
+
+WireState MbEngine::wire_state() const noexcept {
+  return WireState{sn_, static_cast<std::uint8_t>(cp_), ph_};
+}
+
+void MbEngine::inject_detectable_fault() {
+  sn_ = kSnBotWire;
+  cp_ = Cp::kError;
+  c_sn_ = kSnBotWire;
+  c_cp_ = Cp::kError;
+  c_next_ = kSnBotWire;
+  // ph_/c_ph_ keep their (now untrusted) values — a legal instance of the
+  // paper's "ph := ?"; the protocol re-learns the phase from a neighbour.
+}
+
+// ---------------------------------------------------------------------------
+// FaultTolerantBarrier
+// ---------------------------------------------------------------------------
+
+FaultTolerantBarrier::FaultTolerantBarrier(int num_threads, BarrierOptions options)
+    : num_threads_(num_threads),
+      options_(options),
+      net_(std::make_unique<runtime::Network>(num_threads, options.seed,
+                                              /*inbox_capacity=*/4096)),
+      last_seq_from_pred_(static_cast<std::size_t>(num_threads), 0),
+      last_seq_from_succ_(static_cast<std::size_t>(num_threads), 0),
+      bye_mask_(static_cast<std::size_t>(num_threads), 0) {
+  assert(num_threads >= 2 && num_threads <= 64);
+  net_->set_default_faults(options.link_faults);
+  engines_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    engines_.push_back(
+        std::make_unique<MbEngine>(t, num_threads, options.num_phases));
+  }
+}
+
+FaultTolerantBarrier::~FaultTolerantBarrier() { net_->shutdown(); }
+
+void FaultTolerantBarrier::publish(int tid) {
+  const auto ws = engines_[static_cast<std::size_t>(tid)]->wire_state();
+  const int succ = (tid + 1) % num_threads_;
+  const int pred = (tid + num_threads_ - 1) % num_threads_;
+  net_->send_value(tid, succ, kStateTag, ws);  // feeds successor's COPY
+  net_->send_value(tid, pred, kStateTag, ws);  // feeds predecessor's CPYN
+}
+
+void FaultTolerantBarrier::consume(int tid, const runtime::Message& m) {
+  const auto utid = static_cast<std::size_t>(tid);
+  if (m.tag == kByeTag) {
+    if (const auto mask = runtime::Network::decode<std::uint64_t>(m)) {
+      bye_mask_[utid] |= *mask;
+    }
+    return;
+  }
+  if (m.tag != kStateTag) return;
+  const auto ws = runtime::Network::decode<WireState>(m);
+  if (!ws) return;  // detectable corruption == loss
+  // Reorder/duplication masking: discard stale or replayed link sequences.
+  const int pred = (tid + num_threads_ - 1) % num_threads_;
+  auto& last = m.src == pred ? last_seq_from_pred_[utid] : last_seq_from_succ_[utid];
+  if (m.link_seq < last) return;
+  last = m.link_seq + 1;
+  engines_[utid]->on_neighbor_state(m.src, *ws);
+}
+
+PhaseTicket FaultTolerantBarrier::arrive_and_wait(int tid, bool ok) {
+  auto& eng = *engines_[static_cast<std::size_t>(tid)];
+  if (!ok) eng.inject_detectable_fault();
+  eng.step();
+  publish(tid);
+  auto last_publish = std::chrono::steady_clock::now();
+  for (;;) {
+    if (auto ticket = eng.take_ticket()) {
+      publish(tid);  // let the wave continue before starting the phase
+      return *ticket;
+    }
+    if (const auto m = net_->recv(tid, options_.poll)) consume(tid, *m);
+    const bool changed = eng.step();
+    const auto now = std::chrono::steady_clock::now();
+    if (changed || now - last_publish >= options_.retransmit_every) {
+      publish(tid);
+      last_publish = now;
+    }
+  }
+}
+
+void FaultTolerantBarrier::finalize(int tid, std::chrono::milliseconds deadline) {
+  const auto utid = static_cast<std::size_t>(tid);
+  const std::uint64_t full =
+      num_threads_ == 64 ? ~0ULL : ((1ULL << num_threads_) - 1);
+  bye_mask_[utid] |= 1ULL << tid;
+  const auto start = std::chrono::steady_clock::now();
+  auto last_publish = std::chrono::steady_clock::time_point{};
+  while (bye_mask_[utid] != full &&
+         std::chrono::steady_clock::now() - start < deadline) {
+    for (int peer = 0; peer < num_threads_; ++peer) {
+      if (peer != tid) net_->send_value(tid, peer, kByeTag, bye_mask_[utid]);
+    }
+    if (const auto m = net_->recv(tid, options_.poll)) consume(tid, *m);
+    // Keep the token alive for peers still blocked in arrive_and_wait —
+    // INCLUDING periodic republishing: the final wave this thread emitted
+    // before finalize may have been lost, and the engine being quiescent
+    // does not mean the peers saw it.
+    const bool changed = engines_[utid]->step();
+    const auto now = std::chrono::steady_clock::now();
+    if (changed || now - last_publish >= options_.retransmit_every) {
+      publish(tid);
+      last_publish = now;
+    }
+    (void)engines_[utid]->take_ticket();  // releases past finalize are moot
+  }
+  // Parting shots so peers that were still draining see our bye.
+  for (int round = 0; round < 3; ++round) {
+    for (int peer = 0; peer < num_threads_; ++peer) {
+      if (peer != tid) net_->send_value(tid, peer, kByeTag, bye_mask_[utid]);
+    }
+  }
+}
+
+runtime::Network::Stats FaultTolerantBarrier::network_stats() const {
+  return net_->stats();
+}
+
+}  // namespace ftbar::core

@@ -1,0 +1,183 @@
+// The practical fault-tolerant barrier: program MB running over a real
+// asynchronous message-passing substrate.
+//
+// This is the deliverable the paper's "MPI implementation" goal asks for: a
+// barrier primitive that, instead of aborting or returning a bare error
+// code, gives the caller a third alternative — it masks detectable faults
+// by re-executing the affected phase and stabilizes after undetectable
+// ones.
+//
+// Two layers:
+//  * MbEngine — the pure protocol state machine of one participant (process
+//    j of the ring of Section 5). It consumes neighbour state snapshots and
+//    produces its own snapshot to publish plus "tickets" releasing phases.
+//    No I/O, no threads: both the std::thread barrier below and the
+//    mini-MPI binding (mpi/ft_barrier_mpi.hpp) drive the same engine, so
+//    the protocol logic exists exactly once.
+//  * FaultTolerantBarrier — the std::thread front end over runtime::Network,
+//    masking message loss (periodic republish), duplication and reorder
+//    (link sequence filtering), detectable corruption (checksums) and
+//    participant resets (the ok=false path), per the paper's fault classes.
+//
+// Usage:
+//   FaultTolerantBarrier bar(kThreads);
+//   // thread tid:
+//   PhaseTicket t = FaultTolerantBarrier::initial_ticket();
+//   for (int done = 0; done < kPhases;) {
+//     bool ok = do_phase_work(t.phase);   // ok=false: my state was lost
+//     t = bar.arrive_and_wait(tid, ok);
+//     if (!t.repeated) ++done;            // repeat = redo the same phase
+//   }
+//   bar.finalize(tid);
+//
+// Guarantee: every thread COMMITS (receives with repeated=false) the same
+// phases in the same order. Repeat tickets may differ per thread: a thread
+// that never began a doomed instance — the execute wave was cut off before
+// reaching it — has nothing to roll back and is simply released into the
+// re-execution directly, which the paper's specification permits (an
+// instance only requires each process to execute the phase AT MOST once).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/rb_rules.hpp"
+#include "runtime/network.hpp"
+
+namespace ftbar::core {
+
+/// Wire snapshot of a participant's protocol state.
+struct WireState {
+  std::int32_t sn = 0;
+  std::uint8_t cp = 0;  ///< static_cast<Cp>
+  std::int32_t ph = 0;
+};
+
+/// Release of a phase to the caller.
+struct PhaseTicket {
+  int phase = 0;        ///< phase (mod n) the caller must execute next
+  bool repeated = false;  ///< true: re-execution of the phase just attempted
+};
+
+/// Protocol state machine of participant `id` on a ring of `size`.
+class MbEngine {
+ public:
+  MbEngine(int id, int size, int num_phases, int seq_modulus = 0);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+
+  /// Feeds a state snapshot received from the ring predecessor (the COPY
+  /// action) or, when `from` is the successor, the TOP observation (CPYN).
+  void on_neighbor_state(int from, const WireState& state);
+
+  /// Fires enabled actions (MT1..MT5) until quiescent. Returns true when
+  /// the participant's own published state changed (callers must publish).
+  bool step();
+
+  /// Consumes the pending phase release, if any (set when the engine takes
+  /// the ready -> execute transition).
+  [[nodiscard]] std::optional<PhaseTicket> take_ticket();
+
+  /// True when a phase release is pending (without consuming it).
+  [[nodiscard]] bool has_ticket() const noexcept { return ticket_.has_value(); }
+
+  /// Snapshot of the participant's own variables for publishing.
+  [[nodiscard]] WireState wire_state() const noexcept;
+
+  /// The detectable-fault action: the participant's state was lost
+  /// (paper: ph, cp, sn := ?, error, BOT, and the local copies reset).
+  void inject_detectable_fault();
+
+  [[nodiscard]] Cp cp() const noexcept { return cp_; }
+  [[nodiscard]] int phase() const noexcept { return ph_; }
+
+ private:
+  [[nodiscard]] bool is_root() const noexcept { return id_ == 0; }
+  [[nodiscard]] bool is_last() const noexcept { return id_ == size_ - 1; }
+
+  int id_;
+  int size_;
+  int l_;  ///< sequence modulus, > 2N+1
+  PhaseRing ring_;
+
+  // Own variables.
+  int sn_ = 0;
+  Cp cp_ = Cp::kExecute;  ///< phase 0 is implicitly released at construction
+  int ph_ = 0;
+  // Local copies of the predecessor's variables.
+  int c_sn_ = 0;
+  Cp c_cp_ = Cp::kExecute;
+  int c_ph_ = 0;
+  // Local copy of the successor's sequence number (TOP detection).
+  int c_next_ = 0;
+
+  int last_released_phase_ = 0;
+  std::optional<PhaseTicket> ticket_;
+};
+
+/// Options for the threads barrier.
+struct BarrierOptions {
+  int num_phases = 64;  ///< modulus of the phase counter
+  /// Republish period while waiting (masks message loss).
+  std::chrono::milliseconds retransmit_every{2};
+  /// Poll timeout for each inbox wait.
+  std::chrono::milliseconds poll{1};
+  /// Faults injected on every link of the internal network.
+  runtime::LinkFaults link_faults{};
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class FaultTolerantBarrier {
+ public:
+  explicit FaultTolerantBarrier(int num_threads, BarrierOptions options = {});
+  ~FaultTolerantBarrier();
+
+  FaultTolerantBarrier(const FaultTolerantBarrier&) = delete;
+  FaultTolerantBarrier& operator=(const FaultTolerantBarrier&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// The implicit release of phase 0 at construction.
+  [[nodiscard]] static PhaseTicket initial_ticket() noexcept { return {0, false}; }
+
+  /// Called by thread `tid` after executing its phase. `ok=false` reports
+  /// that the thread's state was lost (detectable fault): the barrier then
+  /// guarantees the phase is re-executed by everyone. Blocks until the next
+  /// phase (or the repeat) is released.
+  PhaseTicket arrive_and_wait(int tid, bool ok = true);
+
+  /// Drains the protocol so peers still inside arrive_and_wait can finish;
+  /// returns when all threads have called finalize or after `deadline`.
+  void finalize(int tid, std::chrono::milliseconds deadline =
+                             std::chrono::milliseconds(2000));
+
+  /// Network fault-injection statistics (for tests and examples).
+  [[nodiscard]] runtime::Network::Stats network_stats() const;
+
+  /// Diagnostic snapshot of a participant's protocol state. Only
+  /// meaningful when the owning thread is quiescent (deadlock analysis).
+  [[nodiscard]] WireState debug_state(int tid) const {
+    return engines_[static_cast<std::size_t>(tid)]->wire_state();
+  }
+
+ private:
+  void publish(int tid);
+  void consume(int tid, const runtime::Message& m);
+
+  int num_threads_;
+  BarrierOptions options_;
+  std::unique_ptr<runtime::Network> net_;
+  // Engines are indexed by thread id; each entry is touched only by its
+  // owning thread (communication goes through the network).
+  std::vector<std::unique_ptr<MbEngine>> engines_;
+  std::vector<std::uint64_t> last_seq_from_pred_;
+  std::vector<std::uint64_t> last_seq_from_succ_;
+  std::vector<std::uint64_t> bye_mask_;  ///< per-thread view of finalized peers
+};
+
+}  // namespace ftbar::core

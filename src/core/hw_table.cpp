@@ -1,0 +1,32 @@
+#include "core/hw_table.hpp"
+
+namespace ftbar::core::hw {
+
+namespace {
+int apply_ph(PhOp op, int self_ph, int neighbor_ph, const PhaseRing& ring) {
+  switch (op) {
+    case PhOp::kKeep: return self_ph;
+    case PhOp::kIncrement: return ring.next(self_ph);
+    case PhOp::kCopyNeighbor: return ring.canon(neighbor_ph);
+  }
+  return self_ph;
+}
+}  // namespace
+
+RbUpdate follower_update(CpPh self, CpPh prev, const PhaseRing& ring) {
+  const Entry& e = kFollowerTable[static_cast<std::size_t>(self.cp)]
+                                 [static_cast<std::size_t>(prev.cp)];
+  return RbUpdate{CpPh{e.next_cp, apply_ph(e.ph_op, self.ph, prev.ph, ring)}, e.event};
+}
+
+RbUpdate root_update(CpPh self, bool leaves_ready_aligned,
+                     bool leaves_success_aligned, int first_leaf_ph,
+                     const PhaseRing& ring) {
+  const Entry& e = kRootTable[static_cast<std::size_t>(self.cp)]
+                             [leaves_ready_aligned ? 1 : 0]
+                             [leaves_success_aligned ? 1 : 0];
+  return RbUpdate{CpPh{e.next_cp, apply_ph(e.ph_op, self.ph, first_leaf_ph, ring)},
+                  e.event};
+}
+
+}  // namespace ftbar::core::hw

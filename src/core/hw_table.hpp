@@ -1,0 +1,123 @@
+// Hardware realization of the RB transition logic (paper, Section 8):
+// "our program is concise and can be implemented as a simple table lookup.
+// Therefore, it can be implemented in the hardware."
+//
+// This module compiles the follower and root statements of
+// core/rb_rules.hpp into constexpr lookup tables — pure combinational
+// logic with no branches — plus the O(log N) state-size accounting the
+// paper claims. The test suite proves the tables equivalent to the
+// executable statements over their entire input space, so either form can
+// back an implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/control.hpp"
+#include "core/rb_rules.hpp"
+
+namespace ftbar::core::hw {
+
+/// What the next phase value is computed from.
+enum class PhOp : std::uint8_t {
+  kKeep = 0,      ///< ph' = ph
+  kIncrement,     ///< ph' = ph + 1 (mod n)
+  kCopyNeighbor,  ///< ph' = neighbour's ph
+};
+
+/// One table entry: next control position, phase operation, event strobe.
+struct Entry {
+  Cp next_cp;
+  PhOp ph_op;
+  RbEvent event;
+  friend constexpr bool operator==(const Entry&, const Entry&) = default;
+};
+
+inline constexpr int kCpCount = 5;
+
+/// Follower table, indexed [self_cp][prev_cp]. The follower statement
+/// always copies the predecessor's phase, so ph_op is kCopyNeighbor
+/// throughout; it is materialized anyway so the entry layout is uniform
+/// across both tables (one ROM format in hardware).
+using FollowerTable = std::array<std::array<Entry, kCpCount>, kCpCount>;
+[[nodiscard]] constexpr FollowerTable make_follower_table() {
+  FollowerTable table{};
+  for (int self = 0; self < kCpCount; ++self) {
+    for (int prev = 0; prev < kCpCount; ++prev) {
+      const Cp s = static_cast<Cp>(self);
+      const Cp p = static_cast<Cp>(prev);
+      Entry e{s, PhOp::kCopyNeighbor, RbEvent::kNone};
+      if (s == Cp::kReady && p == Cp::kExecute) {
+        e = {Cp::kExecute, PhOp::kCopyNeighbor, RbEvent::kStart};
+      } else if (s == Cp::kExecute && p == Cp::kSuccess) {
+        e = {Cp::kSuccess, PhOp::kCopyNeighbor, RbEvent::kComplete};
+      } else if (s != Cp::kExecute && p == Cp::kReady) {
+        e = {Cp::kReady, PhOp::kCopyNeighbor, RbEvent::kNone};
+      } else if (s == Cp::kError || p != s) {
+        e = {Cp::kRepeat, PhOp::kCopyNeighbor,
+             s == Cp::kExecute ? RbEvent::kAbort : RbEvent::kNone};
+      }
+      table[static_cast<std::size_t>(self)][static_cast<std::size_t>(prev)] = e;
+    }
+  }
+  return table;
+}
+
+inline constexpr FollowerTable kFollowerTable = make_follower_table();
+
+/// Root table, indexed [self_cp][leaves_ready_aligned][leaves_success_aligned]
+/// where the two booleans are the (pre-reduced) conditions "every leaf is
+/// ready/success in my phase" — the only global information the root's
+/// statement consumes.
+using RootTable = std::array<std::array<std::array<Entry, 2>, 2>, kCpCount>;
+[[nodiscard]] constexpr RootTable make_root_table() {
+  RootTable table{};
+  for (int self = 0; self < kCpCount; ++self) {
+    for (int ready = 0; ready < 2; ++ready) {
+      for (int success = 0; success < 2; ++success) {
+        const Cp s = static_cast<Cp>(self);
+        Entry e{s, PhOp::kKeep, RbEvent::kNone};
+        if (s == Cp::kReady) {
+          if (ready != 0) e = {Cp::kExecute, PhOp::kKeep, RbEvent::kStart};
+        } else if (s == Cp::kExecute) {
+          e = {Cp::kSuccess, PhOp::kKeep, RbEvent::kComplete};
+        } else if (s == Cp::kSuccess || s == Cp::kError) {
+          e = (s == Cp::kSuccess && success != 0)
+                  ? Entry{Cp::kReady, PhOp::kIncrement, RbEvent::kNone}
+                  : Entry{Cp::kReady, PhOp::kCopyNeighbor, RbEvent::kNone};
+        }
+        table[static_cast<std::size_t>(self)][static_cast<std::size_t>(ready)]
+             [static_cast<std::size_t>(success)] = e;
+      }
+    }
+  }
+  return table;
+}
+
+inline constexpr RootTable kRootTable = make_root_table();
+
+/// Table-driven follower update; behaviourally identical to
+/// rb_follower_update (proved exhaustively in the tests).
+[[nodiscard]] RbUpdate follower_update(CpPh self, CpPh prev, const PhaseRing& ring);
+
+/// Table-driven root update over the pre-reduced leaf conditions.
+[[nodiscard]] RbUpdate root_update(CpPh self, bool leaves_ready_aligned,
+                                   bool leaves_success_aligned, int first_leaf_ph,
+                                   const PhaseRing& ring);
+
+/// Bits of state a hardware implementation keeps per process: the sequence
+/// number (ceil log2 of K+2 values, counting BOT/TOP), the control position
+/// (3 bits for 5 values) and the phase (ceil log2 n) — O(log N) total, the
+/// Section 8 claim.
+[[nodiscard]] constexpr int bits_for(int values) {
+  int bits = 0;
+  for (int span = 1; span < values; span *= 2) ++bits;
+  return bits;
+}
+
+[[nodiscard]] constexpr int state_bits(int num_procs, int num_phases) {
+  const int k = num_procs + 1;      // sequence modulus K > N
+  return bits_for(k + 2) + 3 + bits_for(num_phases);
+}
+
+}  // namespace ftbar::core::hw

@@ -1,0 +1,186 @@
+#include "core/mb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ftbar::core {
+
+namespace {
+
+void report(SpecMonitor* monitor, int j, const RbUpdate& upd, int pre_ph, bool root) {
+  if (monitor == nullptr) return;
+  switch (upd.event) {
+    case RbEvent::kStart:
+      monitor->on_start(j, upd.next.ph, /*new_instance=*/root);
+      break;
+    case RbEvent::kComplete:
+      monitor->on_complete(j, pre_ph);
+      break;
+    case RbEvent::kAbort:
+      monitor->on_abort(j);
+      break;
+    case RbEvent::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+MbState mb_start_state(const MbOptions& opt, int phase) {
+  assert(opt.num_procs >= 2 && opt.num_phases >= 2);
+  MbProc p;
+  p.sn = p.c_sn = 0;
+  p.cp = p.c_cp = Cp::kReady;
+  p.ph = p.c_ph = phase;
+  p.c_next = 0;
+  return MbState(static_cast<std::size_t>(opt.num_procs), p);
+}
+
+std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
+                                                 SpecMonitor* monitor) {
+  const int s = opt.num_procs;
+  const int l = opt.l();
+  assert(l > 2 * s - 1);
+  const PhaseRing ring(opt.num_phases);
+  std::vector<sim::Action<MbProc>> actions;
+
+  for (int j = 0; j < s; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    const auto uprev = static_cast<std::size_t>((j + s - 1) % s);
+    const auto unext = static_cast<std::size_t>((j + 1) % s);
+
+    if (j == 0) {
+      // MT1: the root acts on its local copies only.
+      actions.push_back(sim::make_action<MbProc>(
+          "MT1@0", 0,
+          [](const MbState& st) {
+            return mb_sn_valid(st[0].c_sn) &&
+                   (st[0].sn == st[0].c_sn || !mb_sn_valid(st[0].sn));
+          },
+          [l, ring, monitor](MbState& st) {
+            const CpPh leaf{st[0].c_cp, st[0].c_ph};
+            const int pre_ph = st[0].ph;
+            const auto upd =
+                rb_root_update(CpPh{st[0].cp, st[0].ph}, std::vector<CpPh>{leaf}, ring);
+            st[0].sn = (st[0].c_sn + 1) % l;
+            st[0].cp = upd.next.cp;
+            st[0].ph = upd.next.ph;
+            report(monitor, 0, upd, pre_ph, /*root=*/true);
+          }));
+    } else {
+      // MT2: follower acts on its local copies only.
+      actions.push_back(sim::make_action<MbProc>(
+          "MT2@" + std::to_string(j), j,
+          [uj](const MbState& st) {
+            return mb_sn_valid(st[uj].c_sn) && st[uj].sn != st[uj].c_sn;
+          },
+          [uj, j, ring, monitor](MbState& st) {
+            const int pre_ph = st[uj].ph;
+            const auto upd = rb_follower_update(CpPh{st[uj].cp, st[uj].ph},
+                                                CpPh{st[uj].c_cp, st[uj].c_ph}, ring);
+            st[uj].sn = st[uj].c_sn;
+            st[uj].cp = upd.next.cp;
+            st[uj].ph = upd.next.ph;
+            report(monitor, j, upd, pre_ph, /*root=*/false);
+          }));
+    }
+
+    // COPY: refresh the copy cell from the real predecessor variables; the
+    // cell itself evolves with the follower statement, making it the odd
+    // process of the doubled ring.
+    actions.push_back(sim::make_action<MbProc>(
+        "COPY@" + std::to_string(j), j,
+        [uj, uprev](const MbState& st) {
+          return mb_sn_valid(st[uprev].sn) && st[uj].c_sn != st[uprev].sn;
+        },
+        [uj, uprev, ring](MbState& st) {
+          const auto upd = rb_follower_update(CpPh{st[uj].c_cp, st[uj].c_ph},
+                                              CpPh{st[uprev].cp, st[uprev].ph}, ring);
+          st[uj].c_sn = st[uprev].sn;
+          st[uj].c_cp = upd.next.cp;
+          st[uj].c_ph = upd.next.ph;
+        }));
+
+    if (j == s - 1) {
+      // MT3 at the last process.
+      actions.push_back(sim::make_action<MbProc>(
+          "MT3@" + std::to_string(j), j,
+          [uj](const MbState& st) { return st[uj].sn == kMbSnBot; },
+          [uj](MbState& st) { st[uj].sn = kMbSnTop; }));
+    } else {
+      // CPYN: observe a TOP successor.
+      actions.push_back(sim::make_action<MbProc>(
+          "CPYN@" + std::to_string(j), j,
+          [uj, unext](const MbState& st) {
+            return st[unext].sn == kMbSnTop && st[uj].c_next != kMbSnTop;
+          },
+          [uj](MbState& st) { st[uj].c_next = kMbSnTop; }));
+      // MT4: propagate TOP backwards using the local copy.
+      actions.push_back(sim::make_action<MbProc>(
+          "MT4@" + std::to_string(j), j,
+          [uj](const MbState& st) {
+            return st[uj].sn == kMbSnBot && st[uj].c_next == kMbSnTop;
+          },
+          [uj](MbState& st) { st[uj].sn = kMbSnTop; }));
+    }
+  }
+
+  // MT5 at the root.
+  actions.push_back(sim::make_action<MbProc>(
+      "MT5@0", 0, [](const MbState& st) { return st[0].sn == kMbSnTop; },
+      [](MbState& st) { st[0].sn = 0; }));
+
+  return actions;
+}
+
+sim::FaultEnv<MbProc>::Perturb mb_detectable_fault(const MbOptions& opt,
+                                                   SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  return [n, monitor](std::size_t j, MbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_abort(static_cast<int>(j));
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    p.cp = Cp::kError;
+    p.sn = kMbSnBot;
+    p.c_sn = kMbSnBot;
+    p.c_cp = Cp::kError;
+    p.c_ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    p.c_next = kMbSnBot;
+  };
+}
+
+sim::FaultEnv<MbProc>::Perturb mb_undetectable_fault(const MbOptions& opt,
+                                                     SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  const int l = opt.l();
+  return [n, l, monitor](std::size_t j, MbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_undetectable_fault();
+    auto any_sn = [&]() {
+      const auto pick = rng.uniform(static_cast<std::uint64_t>(l) + 2);
+      return pick < static_cast<std::uint64_t>(l) ? static_cast<int>(pick)
+             : pick == static_cast<std::uint64_t>(l) ? kMbSnBot
+                                                     : kMbSnTop;
+    };
+    p.sn = any_sn();
+    p.c_sn = any_sn();
+    p.c_next = any_sn();
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    p.c_ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    // The root's own cp excludes repeat; copy cells are followers and may
+    // hold any of the five values.
+    p.cp = static_cast<Cp>(rng.uniform(j == 0 ? 4 : 5));
+    p.c_cp = static_cast<Cp>(rng.uniform(5));
+  };
+}
+
+bool mb_is_start_state(const MbState& s) {
+  if (s.empty()) return false;
+  const int sn0 = s.front().sn;
+  if (!mb_sn_valid(sn0)) return false;
+  return std::all_of(s.begin(), s.end(), [&](const MbProc& p) {
+    return p.sn == sn0 && p.c_sn == sn0 && p.cp == Cp::kReady &&
+           p.c_cp == Cp::kReady && p.ph == s.front().ph && p.c_ph == s.front().ph;
+  });
+}
+
+}  // namespace ftbar::core

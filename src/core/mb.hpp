@@ -1,0 +1,91 @@
+// Program MB — the message-passing refinement (paper, Section 5).
+//
+// Each action of RB instantaneously accessed a neighbour's state AND
+// updated its own. MB splits this: process j keeps LOCAL COPIES of the
+// variables of its ring predecessor (sn, cp, ph) and of its successor's sn,
+// and every action either refreshes a local copy from the real neighbour
+// variables or updates j's own variables from j's local copies — never
+// both. Such actions are implementable with messages.
+//
+// The copy cell between j-1 and j behaves exactly like a T2 process, so the
+// computations of MB are equivalent to RB on a ring of 2(N+1) processes
+// (the refinement theorem proved in the paper's appendix; the test suite
+// checks the simulation relation transition-by-transition). The sequence
+// number domain grows accordingly: L > 2N+1.
+//
+// Actions at process j (ring of size S = N+1):
+//   MT1  (j=0)   : copy_sn valid /\ (sn.0 = copy_sn \/ sn.0 in {BOT,TOP})
+//                     -> sn.0 := copy_sn + 1 (mod L); root cp/ph statement
+//                        against the copies
+//   MT2  (j!=0)  : copy_sn valid /\ sn.j != copy_sn
+//                     -> sn.j := copy_sn; follower cp/ph statement against
+//                        the copies
+//   COPY (all j) : sn.(j-1) valid /\ copy_sn.j != sn.(j-1)
+//                     -> copy_{sn,cp,ph}.j updated via the follower
+//                        statement reading the REAL (j-1) variables
+//   CPYN (j!=N)  : sn.(j+1) = TOP /\ copy_next.j != TOP -> copy_next.j := TOP
+//   MT3  (j=N)   : sn.N = BOT -> sn.N := TOP
+//   MT4  (j!=N)  : sn.j = BOT /\ copy_next.j = TOP -> sn.j := TOP
+//   MT5  (j=0)   : sn.0 = TOP -> sn.0 := 0
+#pragma once
+
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/rb_rules.hpp"
+#include "core/spec.hpp"
+#include "sim/action.hpp"
+#include "sim/fault_env.hpp"
+
+namespace ftbar::core {
+
+/// Sequence-number special values shared with RB (kSnBot/kSnTop) live in
+/// core/rb.hpp; MB re-declares nothing and uses plain ints the same way.
+inline constexpr int kMbSnBot = -1;
+inline constexpr int kMbSnTop = -2;
+
+[[nodiscard]] constexpr bool mb_sn_valid(int sn) noexcept { return sn >= 0; }
+
+/// Per-process state of MB: own variables plus the local copies.
+struct MbProc {
+  int sn = 0;
+  Cp cp = Cp::kReady;
+  int ph = 0;
+  // Local copies of the predecessor's variables (the "copy cell").
+  int c_sn = 0;
+  Cp c_cp = Cp::kReady;
+  int c_ph = 0;
+  // Local copy of the successor's sequence number (only ever set to TOP).
+  int c_next = 0;
+  friend auto operator<=>(const MbProc&, const MbProc&) = default;
+};
+
+using MbState = std::vector<MbProc>;
+
+struct MbOptions {
+  int num_procs = 4;   ///< ring size S = N+1
+  int num_phases = 2;  ///< n >= 2
+  /// Sequence modulus L; must satisfy L > 2N+1. 0 selects 2*num_procs.
+  int seq_modulus = 0;
+
+  [[nodiscard]] int l() const { return seq_modulus > 0 ? seq_modulus : 2 * num_procs; }
+};
+
+[[nodiscard]] MbState mb_start_state(const MbOptions& opt, int phase = 0);
+
+[[nodiscard]] std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
+                                                               SpecMonitor* monitor = nullptr);
+
+// ---- fault actions (paper, Section 5) ---------------------------------------
+/// Detectable fault: own vars reset as in RB, and additionally the local
+/// copies: c_sn := BOT, c_cp := error, c_ph := ?, c_next := BOT.
+[[nodiscard]] sim::FaultEnv<MbProc>::Perturb mb_detectable_fault(const MbOptions& opt,
+                                                                 SpecMonitor* monitor = nullptr);
+/// Undetectable fault: every variable (copies included) := arbitrary.
+[[nodiscard]] sim::FaultEnv<MbProc>::Perturb mb_undetectable_fault(
+    const MbOptions& opt, SpecMonitor* monitor = nullptr);
+
+// ---- state predicates --------------------------------------------------------
+[[nodiscard]] bool mb_is_start_state(const MbState& s);
+
+}  // namespace ftbar::core

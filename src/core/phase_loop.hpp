@@ -1,0 +1,80 @@
+// Checkpoint/rollback driver for phase computations over the
+// fault-tolerant barrier.
+//
+// Applications using the barrier repeat the same pattern the examples
+// implement by hand: checkpoint the phase's input state, run the phase, and
+// on a `repeated` ticket roll back and run it again. PhaseLoop packages
+// that pattern:
+//
+//   core::FaultTolerantBarrier bar(kWorkers);
+//   // thread tid, with per-thread state of any copyable type:
+//   core::PhaseLoop<Segment> loop(bar, tid, initial_segment);
+//   loop.run(kPhases, [&](Segment& seg, int phase) {
+//     return update(seg, phase);  // PhaseStatus: kOk / kStateLost
+//   });
+//
+// The work function mutates the state in place; on kStateLost (or a peer's
+// loss) the state is restored from the checkpoint taken before the attempt
+// and the phase re-runs. run() returns statistics about attempts and
+// rollbacks.
+#pragma once
+
+#include <cstddef>
+
+#include "core/ft_barrier.hpp"
+
+namespace ftbar::core {
+
+enum class PhaseStatus {
+  kOk,         ///< the phase completed; its writes are valid
+  kStateLost,  ///< a detectable fault destroyed this worker's phase state
+};
+
+struct PhaseLoopStats {
+  std::size_t phases_completed = 0;
+  std::size_t attempts = 0;   ///< total work-function invocations
+  std::size_t rollbacks = 0;  ///< times the checkpoint was restored
+};
+
+template <class State>
+class PhaseLoop {
+ public:
+  /// Binds worker `tid` of `barrier` with its private `state`.
+  PhaseLoop(FaultTolerantBarrier& barrier, int tid, State state)
+      : barrier_(barrier), tid_(tid), state_(std::move(state)) {}
+
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  [[nodiscard]] State& state() noexcept { return state_; }
+
+  /// Runs `phases` phases to completion; `work(state, phase)` returns a
+  /// PhaseStatus. Calls finalize() on the barrier afterwards unless
+  /// `finalize` is false (e.g. when more run() calls follow).
+  template <class Work>
+  PhaseLoopStats run(std::size_t phases, Work&& work, bool finalize = true) {
+    PhaseLoopStats stats;
+    auto ticket = ticket_;
+    while (stats.phases_completed < phases) {
+      const State checkpoint = state_;
+      ++stats.attempts;
+      const PhaseStatus status = work(state_, ticket.phase);
+      ticket = barrier_.arrive_and_wait(tid_, status == PhaseStatus::kOk);
+      if (ticket.repeated) {
+        state_ = checkpoint;
+        ++stats.rollbacks;
+      } else {
+        ++stats.phases_completed;
+      }
+    }
+    ticket_ = ticket;
+    if (finalize) barrier_.finalize(tid_);
+    return stats;
+  }
+
+ private:
+  FaultTolerantBarrier& barrier_;
+  int tid_;
+  State state_;
+  PhaseTicket ticket_ = FaultTolerantBarrier::initial_ticket();
+};
+
+}  // namespace ftbar::core

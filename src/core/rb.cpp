@@ -1,0 +1,214 @@
+#include "core/rb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ftbar::core {
+
+namespace {
+
+/// Dispatches the spec-monitor event for an update at process j.
+void report(SpecMonitor* monitor, int j, const RbUpdate& upd, int pre_ph,
+            bool root) {
+  if (monitor == nullptr) return;
+  switch (upd.event) {
+    case RbEvent::kStart:
+      monitor->on_start(j, upd.next.ph, /*new_instance=*/root);
+      break;
+    case RbEvent::kComplete:
+      monitor->on_complete(j, pre_ph);
+      break;
+    case RbEvent::kAbort:
+      monitor->on_abort(j);
+      break;
+    case RbEvent::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+RbOptions rb_ring_options(int num_procs, int num_phases) {
+  return RbOptions{
+      std::make_shared<const topology::Topology>(topology::Topology::ring(num_procs)),
+      num_phases, 0};
+}
+
+RbOptions rb_tree_options(int num_procs, int arity, int num_phases) {
+  return RbOptions{std::make_shared<const topology::Topology>(
+                       topology::Topology::kary_tree(num_procs, arity)),
+                   num_phases, 0};
+}
+
+RbState rb_start_state(const RbOptions& opt, int phase) {
+  assert(opt.topo != nullptr && opt.num_phases >= 2);
+  return RbState(static_cast<std::size_t>(opt.topo->size()),
+                 RbProc{0, Cp::kReady, phase});
+}
+
+std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
+                                                 SpecMonitor* monitor) {
+  assert(opt.topo != nullptr);
+  const auto topo = opt.topo;
+  const int k = opt.k();
+  assert(k > topo->size());
+  const PhaseRing ring(opt.num_phases);
+  std::vector<sim::Action<RbProc>> actions;
+
+  const auto& leaves = topo->leaves();
+
+  // T1 + superposed root statement.
+  //
+  // Guard: in normal circulation (sn.0 valid) every leaf must hold the
+  // root's sequence number. When the root itself is corrupted (BOT/TOP) it
+  // may escape off ANY single valid leaf — requiring all leaves valid here
+  // would deadlock against T4 (which requires all children TOP) when the
+  // leaves are split between valid and TOP, a state the two-leaf
+  // exhaustive check exhibits. The ring (one leaf) is unaffected.
+  actions.push_back(sim::make_action<RbProc>(
+      "T1@0", 0,
+      [topo](const RbState& s) {
+        const auto& lv = topo->leaves();
+        const int sn0 = s[0].sn;
+        if (sn0 == kSnBot || sn0 == kSnTop) {
+          return std::any_of(lv.begin(), lv.end(), [&](int l) {
+            return sn_valid(s[static_cast<std::size_t>(l)].sn);
+          });
+        }
+        return std::all_of(lv.begin(), lv.end(), [&](int l) {
+          return s[static_cast<std::size_t>(l)].sn == sn0;
+        });
+      },
+      [topo, k, ring, monitor](RbState& s) {
+        const auto& lv = topo->leaves();
+        // Reference leaf: the first valid one (in normal circulation every
+        // leaf is valid and equal, so this is just the first). Its view is
+        // rotated to the front so the statement's "copy the phase of a
+        // leaf" branch reads a trustworthy phase.
+        std::size_t ref = 0;
+        for (std::size_t i = 0; i < lv.size(); ++i) {
+          if (sn_valid(s[static_cast<std::size_t>(lv[i])].sn)) {
+            ref = i;
+            break;
+          }
+        }
+        std::vector<CpPh> leaf_views;
+        leaf_views.reserve(lv.size());
+        for (std::size_t i = 0; i < lv.size(); ++i) {
+          const auto& p = s[static_cast<std::size_t>(lv[(ref + i) % lv.size()])];
+          leaf_views.push_back(CpPh{p.cp, p.ph});
+        }
+        const int pre_ph = s[0].ph;
+        const auto upd = rb_root_update(CpPh{s[0].cp, s[0].ph}, leaf_views, ring);
+        s[0].sn = (s[static_cast<std::size_t>(lv[ref])].sn + 1) % k;
+        s[0].cp = upd.next.cp;
+        s[0].ph = upd.next.ph;
+        report(monitor, 0, upd, pre_ph, /*root=*/true);
+      }));
+
+  // T2 + superposed follower statement, one per non-root process.
+  for (int j = 1; j < topo->size(); ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    const auto up = static_cast<std::size_t>(topo->parent(j));
+    actions.push_back(sim::make_action<RbProc>(
+        "T2@" + std::to_string(j), j,
+        [uj, up](const RbState& s) {
+          return sn_valid(s[up].sn) && s[uj].sn != s[up].sn;
+        },
+        [uj, up, j, ring, monitor](RbState& s) {
+          const int pre_ph = s[uj].ph;
+          const auto upd = rb_follower_update(CpPh{s[uj].cp, s[uj].ph},
+                                              CpPh{s[up].cp, s[up].ph}, ring);
+          s[uj].sn = s[up].sn;
+          s[uj].cp = upd.next.cp;
+          s[uj].ph = upd.next.ph;
+          report(monitor, j, upd, pre_ph, /*root=*/false);
+        }));
+  }
+
+  // T3 at every leaf: BOT -> TOP.
+  for (int l : leaves) {
+    const auto ul = static_cast<std::size_t>(l);
+    actions.push_back(sim::make_action<RbProc>(
+        "T3@" + std::to_string(l), l,
+        [ul](const RbState& s) { return s[ul].sn == kSnBot; },
+        [ul](RbState& s) { s[ul].sn = kSnTop; }));
+  }
+
+  // T4 at every non-leaf (including the root): BOT with all children TOP -> TOP.
+  for (int j = 0; j < topo->size(); ++j) {
+    if (topo->is_leaf(j)) continue;
+    const auto uj = static_cast<std::size_t>(j);
+    const auto kids = topo->children(j);
+    actions.push_back(sim::make_action<RbProc>(
+        "T4@" + std::to_string(j), j,
+        [uj, kids](const RbState& s) {
+          if (s[uj].sn != kSnBot) return false;
+          return std::all_of(kids.begin(), kids.end(), [&](int c) {
+            return s[static_cast<std::size_t>(c)].sn == kSnTop;
+          });
+        },
+        [uj](RbState& s) { s[uj].sn = kSnTop; }));
+  }
+
+  // T5 at the root: TOP -> 0.
+  actions.push_back(sim::make_action<RbProc>(
+      "T5@0", 0, [](const RbState& s) { return s[0].sn == kSnTop; },
+      [](RbState& s) { s[0].sn = 0; }));
+
+  return actions;
+}
+
+sim::FaultEnv<RbProc>::Perturb rb_detectable_fault(const RbOptions& opt,
+                                                   SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  return [n, monitor](std::size_t j, RbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_abort(static_cast<int>(j));
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    p.cp = Cp::kError;
+    p.sn = kSnBot;
+  };
+}
+
+sim::FaultEnv<RbProc>::Perturb rb_undetectable_fault(const RbOptions& opt,
+                                                     SpecMonitor* monitor) {
+  const int n = opt.num_phases;
+  const int k = opt.k();
+  return [n, k, monitor](std::size_t j, RbProc& p, util::Rng& rng) {
+    if (monitor != nullptr) monitor->on_undetectable_fault();
+    p.ph = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    // sn: any of {0..K-1, BOT, TOP}.
+    const auto pick = rng.uniform(static_cast<std::uint64_t>(k) + 2);
+    p.sn = pick < static_cast<std::uint64_t>(k) ? static_cast<int>(pick)
+           : pick == static_cast<std::uint64_t>(k) ? kSnBot
+                                                   : kSnTop;
+    // cp: the root's domain excludes repeat.
+    p.cp = static_cast<Cp>(rng.uniform(j == 0 ? 4 : 5));
+  };
+}
+
+bool rb_is_start_state(const RbState& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [&](const RbProc& p) {
+    return p.cp == Cp::kReady && p.ph == s.front().ph && p.sn == s.front().sn &&
+           sn_valid(p.sn);
+  });
+}
+
+int rb_ring_token_count(const RbState& s, int k) {
+  (void)k;
+  int count = 0;
+  const auto n = s.size();
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    if (sn_valid(s[j].sn) && sn_valid(s[j + 1].sn) && s[j].sn != s[j + 1].sn) ++count;
+  }
+  if (sn_valid(s[n - 1].sn) && sn_valid(s[0].sn) && s[n - 1].sn == s[0].sn) ++count;
+  return count;
+}
+
+bool rb_any_corrupt_sn(const RbState& s) {
+  return std::any_of(s.begin(), s.end(), [](const RbProc& p) { return !sn_valid(p.sn); });
+}
+
+}  // namespace ftbar::core

@@ -1,0 +1,91 @@
+// Program RB — barrier synchronization superposed on a multitolerant token
+// ring (paper, Section 4.1), generalized to every topology of Section 4.2.
+//
+// Each process j maintains a sequence number sn.j in {0..K-1} augmented
+// with two special values: BOT (the sequence number was detectably
+// corrupted) and TOP (used to detect whole-system corruption). The token
+// circulates root -> tree -> leaves; the root reads the leaves directly to
+// detect that a circulation completed (in the ring, the single leaf is
+// process N).
+//
+// Underlying token-program actions (ring formulation in the paper):
+//   T1 :: at the root, all leaves valid /\ (sn.0 = sn.leaves \/ sn.0 in
+//         {BOT,TOP})                    -> sn.0 := sn.leaf + 1 (mod K)
+//   T2 :: at j != 0, sn.parent valid /\ sn.j != sn.parent
+//                                       -> sn.j := sn.parent
+//   T3 :: at a leaf,  sn = BOT          -> sn := TOP
+//   T4 :: at a non-leaf, sn = BOT /\ all children TOP  -> sn := TOP
+//   T5 :: at the root, sn = TOP         -> sn := 0
+//
+// T1 and T2 additionally run the superposed cp/ph statements of
+// core/rb_rules.hpp, which implement the barrier itself.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/rb_rules.hpp"
+#include "core/spec.hpp"
+#include "sim/action.hpp"
+#include "sim/fault_env.hpp"
+#include "topology/topology.hpp"
+
+namespace ftbar::core {
+
+/// Sequence-number special values (stored in the int sn field).
+inline constexpr int kSnBot = -1;  ///< "⊥": detectably corrupted
+inline constexpr int kSnTop = -2;  ///< "⊤": whole-system corruption marker
+
+[[nodiscard]] constexpr bool sn_valid(int sn) noexcept { return sn >= 0; }
+
+/// Per-process state of RB.
+struct RbProc {
+  int sn = 0;
+  Cp cp = Cp::kReady;
+  int ph = 0;
+  friend auto operator<=>(const RbProc&, const RbProc&) = default;
+};
+
+using RbState = std::vector<RbProc>;
+
+struct RbOptions {
+  std::shared_ptr<const topology::Topology> topo;
+  int num_phases = 2;
+  /// Sequence-number modulus K; must exceed the process count for
+  /// stabilization (paper: K > N). 0 selects topo->size() + 1.
+  int seq_modulus = 0;
+
+  [[nodiscard]] int k() const {
+    return seq_modulus > 0 ? seq_modulus : topo->size() + 1;
+  }
+};
+
+[[nodiscard]] RbOptions rb_ring_options(int num_procs, int num_phases = 2);
+[[nodiscard]] RbOptions rb_tree_options(int num_procs, int arity, int num_phases = 2);
+
+/// A start state: all ready, same phase, uniform sequence numbers (so the
+/// token is about to be received by the root).
+[[nodiscard]] RbState rb_start_state(const RbOptions& opt, int phase = 0);
+
+/// All guarded-command actions of RB over the given topology.
+[[nodiscard]] std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
+                                                               SpecMonitor* monitor = nullptr);
+
+// ---- fault actions (paper, Section 4.1) -------------------------------------
+/// Detectable fault: ph := ?, cp := error, sn := BOT.
+[[nodiscard]] sim::FaultEnv<RbProc>::Perturb rb_detectable_fault(const RbOptions& opt,
+                                                                 SpecMonitor* monitor = nullptr);
+/// Undetectable fault: everything := arbitrary domain values. cp.0 stays in
+/// {ready, execute, success, error} (repeat is not in the root's domain).
+[[nodiscard]] sim::FaultEnv<RbProc>::Perturb rb_undetectable_fault(
+    const RbOptions& opt, SpecMonitor* monitor = nullptr);
+
+// ---- state predicates --------------------------------------------------------
+[[nodiscard]] bool rb_is_start_state(const RbState& s);
+/// Number of tokens in a RING topology state (paper's token predicate).
+[[nodiscard]] int rb_ring_token_count(const RbState& s, int k);
+/// True if any process carries a BOT/TOP sequence number.
+[[nodiscard]] bool rb_any_corrupt_sn(const RbState& s);
+
+}  // namespace ftbar::core

@@ -1,0 +1,102 @@
+// The superposed cp/ph update statements of RB (paper, Section 4.1),
+// factored out so the simulator model (rb.cpp), the message-passing
+// refinement (mb.cpp) and the threads runtime (ft_barrier) execute the
+// EXACT same transition logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/control.hpp"
+
+namespace ftbar::core {
+
+/// The (cp, ph) pair a statement reads/writes.
+struct CpPh {
+  Cp cp = Cp::kReady;
+  int ph = 0;
+  friend auto operator<=>(const CpPh&, const CpPh&) = default;
+};
+
+/// What a transition did, for spec-monitor instrumentation.
+enum class RbEvent : std::uint8_t {
+  kNone,
+  kStart,     ///< ready -> execute: the process begins executing its phase
+  kComplete,  ///< execute -> success: the process completed its phase
+  kAbort,     ///< execute -> repeat: a partial execution was discarded
+};
+
+struct RbUpdate {
+  CpPh next;
+  RbEvent event = RbEvent::kNone;
+};
+
+/// Statement executed by process 0 in parallel with T1, generalized from
+/// "compare with process N" (ring) to "compare with every leaf" (the
+/// two-ring and tree refinements of Section 4.2; a ring has one leaf).
+///
+///   if cp.0=ready /\ (forall leaves: cp=ready /\ ph=ph.0)  -> cp.0 := execute
+///   elif cp.0=execute                                      -> cp.0 := success
+///   elif cp.0 in {success, error}:
+///        if cp.0=success /\ (forall leaves: cp=success /\ ph=ph.0)
+///                                          -> ph.0 := ph.0+1; cp.0 := ready
+///        else                              -> ph.0 := ph(first leaf); cp.0 := ready
+///
+/// A start by process 0 always opens a fresh instance.
+inline RbUpdate rb_root_update(CpPh self, std::span<const CpPh> leaves,
+                               const PhaseRing& ring) {
+  RbUpdate r{self, RbEvent::kNone};
+  auto all_leaves = [&](Cp cp) {
+    for (const auto& l : leaves) {
+      if (l.cp != cp || l.ph != self.ph) return false;
+    }
+    return true;
+  };
+  if (self.cp == Cp::kReady) {
+    if (all_leaves(Cp::kReady)) {
+      r.next.cp = Cp::kExecute;
+      r.event = RbEvent::kStart;
+    }
+  } else if (self.cp == Cp::kExecute) {
+    r.next.cp = Cp::kSuccess;
+    r.event = RbEvent::kComplete;
+  } else if (self.cp == Cp::kSuccess || self.cp == Cp::kError) {
+    if (self.cp == Cp::kSuccess && all_leaves(Cp::kSuccess)) {
+      r.next.ph = ring.next(self.ph);
+    } else if (!leaves.empty()) {
+      r.next.ph = ring.canon(leaves[0].ph);
+    }
+    r.next.cp = Cp::kReady;
+  }
+  // cp.0 is never kRepeat in RB; an (undetectably) corrupted value outside
+  // the domain would wedge the chain, so the fault constructors keep cp.0
+  // inside {ready, execute, success, error}.
+  return r;
+}
+
+/// Statement executed by process j != 0 in parallel with T2:
+///
+///   ph.j := ph.(j-1)
+///   if   cp.j=ready   /\ cp.(j-1)=execute  -> cp.j := execute
+///   elif cp.j=execute /\ cp.(j-1)=success  -> cp.j := success
+///   elif cp.j!=execute /\ cp.(j-1)=ready   -> cp.j := ready
+///   elif cp.j=error \/ cp.(j-1)!=cp.j      -> cp.j := repeat
+inline RbUpdate rb_follower_update(CpPh self, CpPh prev, const PhaseRing& ring) {
+  RbUpdate r{self, RbEvent::kNone};
+  r.next.ph = ring.canon(prev.ph);
+  if (self.cp == Cp::kReady && prev.cp == Cp::kExecute) {
+    r.next.cp = Cp::kExecute;
+    r.event = RbEvent::kStart;
+  } else if (self.cp == Cp::kExecute && prev.cp == Cp::kSuccess) {
+    r.next.cp = Cp::kSuccess;
+    r.event = RbEvent::kComplete;
+  } else if (self.cp != Cp::kExecute && prev.cp == Cp::kReady) {
+    r.next.cp = Cp::kReady;
+  } else if (self.cp == Cp::kError || prev.cp != self.cp) {
+    r.next.cp = Cp::kRepeat;
+    if (self.cp == Cp::kExecute) r.event = RbEvent::kAbort;
+  }
+  return r;
+}
+
+}  // namespace ftbar::core

@@ -1,0 +1,55 @@
+// The single-phase case (paper, Section 3, closing remark).
+//
+// The programs assume a cyclic sequence of at least two phases so that
+// "the next phase" and "a new instance of the current phase" are
+// distinguishable states. When the computation really has ONE recurring
+// phase (a plain iterative barrier loop), the paper offers two options:
+// modify the program to drop the ph variable, or "map the single phase
+// case onto the multiple phase case, without loss of generality, by
+// replicating the single phase". This adapter implements the replication:
+// the underlying machinery runs with two phase ids, both of which the
+// caller sees as the same single phase; `repeated` keeps its meaning (the
+// same ITERATION must be redone).
+#pragma once
+
+#include "core/ft_barrier.hpp"
+
+namespace ftbar::core {
+
+/// A barrier for a single recurring phase, built by phase replication.
+class SinglePhaseBarrier {
+ public:
+  explicit SinglePhaseBarrier(int num_threads, BarrierOptions options = {})
+      : barrier_(num_threads, normalize(options)) {}
+
+  [[nodiscard]] int size() const noexcept { return barrier_.size(); }
+
+  struct Outcome {
+    bool repeated = false;  ///< the iteration must be re-executed
+  };
+
+  /// Arrives at the single phase's barrier; `ok=false` reports state loss.
+  Outcome arrive_and_wait(int tid, bool ok = true) {
+    const auto ticket = barrier_.arrive_and_wait(tid, ok);
+    return Outcome{ticket.repeated};
+  }
+
+  void finalize(int tid, std::chrono::milliseconds deadline =
+                             std::chrono::milliseconds(2000)) {
+    barrier_.finalize(tid, deadline);
+  }
+
+  [[nodiscard]] runtime::Network::Stats network_stats() const {
+    return barrier_.network_stats();
+  }
+
+ private:
+  static BarrierOptions normalize(BarrierOptions options) {
+    options.num_phases = 2;  // the replication: one phase, two ids
+    return options;
+  }
+
+  FaultTolerantBarrier barrier_;
+};
+
+}  // namespace ftbar::core

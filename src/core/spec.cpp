@@ -1,0 +1,148 @@
+#include "core/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftbar::core {
+
+SpecMonitor::SpecMonitor(int num_procs, int num_phases)
+    : num_procs_(num_procs),
+      num_phases_(num_phases),
+      started_(static_cast<std::size_t>(num_procs), 0),
+      completed_(static_cast<std::size_t>(num_procs), 0),
+      aborted_(static_cast<std::size_t>(num_procs), 0) {}
+
+void SpecMonitor::violate(std::string what) { violations_.push_back(std::move(what)); }
+
+void SpecMonitor::open_instance(int ph) {
+  instance_open_ = true;
+  instance_phase_ = ph;
+  ++total_instances_;
+  std::fill(started_.begin(), started_.end(), 0);
+  std::fill(completed_.begin(), completed_.end(), 0);
+  std::fill(aborted_.begin(), aborted_.end(), 0);
+}
+
+void SpecMonitor::close_failed() {
+  instance_open_ = false;
+  ++failed_instances_;
+}
+
+bool SpecMonitor::anyone_executing() const noexcept {
+  if (!instance_open_) return false;
+  for (int p = 0; p < num_procs_; ++p) {
+    if (executing(p)) return true;
+  }
+  return false;
+}
+
+std::size_t SpecMonitor::successful_phases() const noexcept {
+  return advanced_ + (last_successful_ ? 1 : 0);
+}
+
+void SpecMonitor::on_start(int proc, int ph, bool new_instance) {
+  if (desynced_) return;
+  const auto p = static_cast<std::size_t>(proc);
+
+  if (instance_open_) {
+    // A fresh instance may legitimately be opened by several processes in
+    // the same maximal-parallel step; as long as the open instance is still
+    // pristine (same phase, no completions/aborts, proc not yet in it),
+    // such a start is indistinguishable from joining and is treated so.
+    const bool pristine_join =
+        ph == instance_phase_ && !started_[p] &&
+        std::none_of(completed_.begin(), completed_.end(), [](char c) { return c; }) &&
+        std::none_of(aborted_.begin(), aborted_.end(), [](char c) { return c; });
+
+    if (new_instance && !pristine_join) {
+      if (anyone_executing()) {
+        violate("new instance of phase " + std::to_string(ph) +
+                " opened while a process is executing in the current instance");
+      }
+      close_failed();  // the open instance did not complete successfully
+      // fall through to the !instance_open_ logic below
+    } else {
+      // Join path.
+      if (ph != instance_phase_) {
+        violate("process " + std::to_string(proc) + " started phase " +
+                std::to_string(ph) + " while the open instance is of phase " +
+                std::to_string(instance_phase_));
+        return;
+      }
+      if (started_[p]) {
+        violate("process " + std::to_string(proc) +
+                " executed twice in one instance of phase " + std::to_string(ph));
+        return;
+      }
+      started_[p] = 1;
+      return;
+    }
+  }
+
+  // Opening a new instance.
+  if (ph == expected_phase_) {
+    // Another attempt at the pending phase (first attempt, or a repeat
+    // after a failed — or even successful — earlier instance).
+    last_successful_ = false;
+  } else if (ph == (expected_phase_ + 1) % num_phases_ && last_successful_) {
+    ++advanced_;
+    expected_phase_ = ph;
+    last_successful_ = false;
+  } else {
+    std::ostringstream os;
+    os << "phase " << ph << " started but phase " << expected_phase_
+       << (last_successful_ ? " (already successful)" : " (not yet successful)")
+       << " is the " << (last_successful_ ? "latest completed" : "pending") << " phase";
+    violate(os.str());
+    return;
+  }
+  open_instance(ph);
+  started_[p] = 1;
+  (void)new_instance;
+}
+
+void SpecMonitor::on_complete(int proc, int ph) {
+  if (desynced_) return;
+  const auto p = static_cast<std::size_t>(proc);
+  if (!instance_open_ || ph != instance_phase_) {
+    violate("process " + std::to_string(proc) + " completed phase " +
+            std::to_string(ph) + " with no matching open instance");
+    return;
+  }
+  if (!started_[p] || aborted_[p]) {
+    violate("process " + std::to_string(proc) + " completed phase " +
+            std::to_string(ph) + " without executing it in this instance");
+    return;
+  }
+  if (completed_[p]) {
+    violate("process " + std::to_string(proc) + " completed phase " +
+            std::to_string(ph) + " twice in one instance");
+    return;
+  }
+  completed_[p] = 1;
+  if (std::all_of(completed_.begin(), completed_.end(), [](char c) { return c != 0; })) {
+    instance_open_ = false;
+    last_successful_ = true;  // the phase now counts as executed successfully
+  }
+}
+
+void SpecMonitor::on_abort(int proc) {
+  if (desynced_ || !instance_open_) return;
+  const auto p = static_cast<std::size_t>(proc);
+  if (started_[p] && !completed_[p]) aborted_[p] = 1;
+}
+
+void SpecMonitor::on_undetectable_fault() {
+  if (instance_open_) close_failed();
+  desynced_ = true;
+}
+
+void SpecMonitor::resync(int current_phase) {
+  desynced_ = false;
+  instance_open_ = false;
+  last_successful_ = false;
+  const int m = current_phase % num_phases_;
+  expected_phase_ = m < 0 ? m + num_phases_ : m;
+}
+
+}  // namespace ftbar::core

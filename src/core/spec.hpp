@@ -1,0 +1,109 @@
+// Executable specification of barrier synchronization (paper, Section 2).
+//
+// The SpecMonitor observes the events of a run — process j starts executing
+// phase i, completes it, or loses its state to a fault — and checks the
+// paper's definitions online:
+//
+//   * An INSTANCE of phase.i is executed iff some process starts executing
+//     phase.i and each process executes phase.i at most once.
+//   * An instance is executed SUCCESSFULLY iff all processes execute the
+//     phase fully in that instance.
+//   * Phase.i is executed successfully iff one or more instances of phase.i
+//     are executed in sequence, the last of which is successful.
+//
+// Safety: execution of phase.(i+1) begins only after phase.i is executed
+// successfully, and a new instance begins only when no process is executing
+// in the current one.
+// Progress: eventually each phase is executed successfully (the caller
+// watches successful_phases()).
+//
+// Instance boundaries are not observable from start/complete events alone
+// (joining an ongoing instance and opening a fresh one look identical), so
+// the program reports `new_instance` on the starts that its own logic knows
+// to be instance-opening (CB1's all-ready disjunct; process 0's transition
+// in RB/MB).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftbar::core {
+
+class SpecMonitor {
+ public:
+  /// @param num_procs   number of processes.
+  /// @param num_phases  cyclic phase count n (phase ids are 0..n-1).
+  SpecMonitor(int num_procs, int num_phases);
+
+  // ---- events -------------------------------------------------------------
+  /// Process `proc` transitions ready -> execute in phase `ph`.
+  /// `new_instance` is true when the program knows this start opens a fresh
+  /// instance rather than joining the ongoing one.
+  void on_start(int proc, int ph, bool new_instance);
+  /// Process `proc` transitions execute -> success in phase `ph`.
+  void on_complete(int proc, int ph);
+  /// Process `proc`'s state is reset (detectable fault); its partial
+  /// execution in the open instance is discarded.
+  void on_abort(int proc);
+  /// An undetectable fault desynchronizes the monitor's view; safety
+  /// checking is suspended until resync() (stabilizing tolerance does not
+  /// promise correct phases in the interim, only that their number is
+  /// bounded — the caller counts those separately).
+  void on_undetectable_fault();
+  /// Re-arms safety checking once the caller knows the system converged to
+  /// a legitimate state in phase `current_phase`.
+  void resync(int current_phase);
+
+  // ---- verdicts -----------------------------------------------------------
+  [[nodiscard]] bool safety_ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+
+  /// Number of phases executed successfully so far (Progress metric).
+  [[nodiscard]] std::size_t successful_phases() const noexcept;
+  /// Total instances ever opened — the "number of instances executed"
+  /// metric of Section 6.
+  [[nodiscard]] std::size_t total_instances() const noexcept { return total_instances_; }
+  /// Instances that closed without every process completing.
+  [[nodiscard]] std::size_t failed_instances() const noexcept { return failed_instances_; }
+  /// Phase whose successful execution is pending (mod n).
+  [[nodiscard]] int expected_phase() const noexcept { return expected_phase_; }
+  /// True when the most recent closed instance of the expected phase was
+  /// successful (i.e. the phase counts as executed successfully).
+  [[nodiscard]] bool last_instance_successful() const noexcept { return last_successful_; }
+  /// True while at least one process is mid-phase in the open instance.
+  [[nodiscard]] bool anyone_executing() const noexcept;
+  [[nodiscard]] bool instance_open() const noexcept { return instance_open_; }
+  [[nodiscard]] bool desynced() const noexcept { return desynced_; }
+
+ private:
+  void violate(std::string what);
+  void open_instance(int ph);
+  void close_failed();
+  [[nodiscard]] bool executing(int proc) const noexcept {
+    return started_[static_cast<std::size_t>(proc)] &&
+           !completed_[static_cast<std::size_t>(proc)] &&
+           !aborted_[static_cast<std::size_t>(proc)];
+  }
+
+  int num_procs_;
+  int num_phases_;
+  int expected_phase_ = 0;
+  bool last_successful_ = false;
+  std::size_t advanced_ = 0;  ///< times expected_phase_ moved forward
+
+  bool instance_open_ = false;
+  int instance_phase_ = -1;
+  std::vector<char> started_;
+  std::vector<char> completed_;
+  std::vector<char> aborted_;
+
+  bool desynced_ = false;
+  std::size_t total_instances_ = 0;
+  std::size_t failed_instances_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace ftbar::core

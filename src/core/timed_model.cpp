@@ -1,0 +1,95 @@
+#include "core/timed_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "core/rb.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+
+TimedRbModel::TimedRbModel(TimedParams params, util::Rng rng)
+    : params_(params),
+      rng_(rng),
+      fault_rate_(params.f > 0.0 ? -std::log(1.0 - params.f) : 0.0),
+      next_fault_(fault_rate_ > 0.0 ? rng_.exponential(fault_rate_)
+                                    : std::numeric_limits<double>::infinity()) {}
+
+double TimedRbModel::instance_time() const noexcept {
+  return 1.0 + 3.0 * params_.h * params_.c;
+}
+
+void TimedRbModel::consume_faults_until(double t) {
+  while (next_fault_ < t) next_fault_ += rng_.exponential(fault_rate_);
+}
+
+PhaseStats TimedRbModel::run_phase() {
+  const double hc = params_.h * params_.c;
+  // Segment end offsets within an instance: ready, execute, work, success.
+  const std::array<double, 4> seg_end = {hc, 2 * hc, 2 * hc + 1.0, 3 * hc + 1.0};
+
+  PhaseStats stats;
+  for (;;) {
+    ++stats.instances;
+    const double start = now_;
+    const double end = start + seg_end.back();
+    if (next_fault_ >= end) {
+      // No fault during this instance: it succeeds.
+      now_ = end;
+      stats.elapsed += now_ - start;
+      return stats;
+    }
+    // A fault lands in some segment; the instance is abandoned at that
+    // segment's boundary (the wave in flight completes, carrying the repeat
+    // indication to the root, which then restarts with a fresh ready wave).
+    const double offset = next_fault_ - start;
+    double abort_at = end;
+    for (double e : seg_end) {
+      if (offset < e) {
+        abort_at = start + e;
+        break;
+      }
+    }
+    now_ = abort_at;
+    stats.elapsed += now_ - start;
+    consume_faults_until(now_);
+  }
+}
+
+PhaseStats TimedRbModel::run_phases(std::size_t phases) {
+  PhaseStats total;
+  for (std::size_t i = 0; i < phases; ++i) {
+    const auto s = run_phase();
+    total.instances += s.instances;
+    total.elapsed += s.elapsed;
+  }
+  return total;
+}
+
+double timed_intolerant_phase_time(const TimedParams& params) noexcept {
+  return 1.0 + 2.0 * params.h * params.c;
+}
+
+double measure_recovery(int h, double c, util::Rng& rng) {
+  const int num_procs = (1 << (h + 1)) - 1;  // full binary tree of height h
+  const auto opt = rb_tree_options(num_procs, 2);
+  SpecMonitor* no_monitor = nullptr;
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, no_monitor),
+                              rng.fork(0x7ec0u), sim::Semantics::kMaxParallel);
+  auto perturb = rb_undetectable_fault(opt);
+  util::Rng fault_rng = rng.fork(0xfa17u);
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+  std::size_t steps = 0;
+  while (!rb_is_start_state(eng.state()) && steps < 1'000'000) {
+    if (eng.step() == 0) break;
+    ++steps;
+  }
+  // Advance the caller's generator so successive calls differ.
+  (void)rng();
+  return static_cast<double>(steps) * c;
+}
+
+}  // namespace ftbar::core

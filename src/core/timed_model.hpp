@@ -1,0 +1,76 @@
+// Timed simulation models for the Section 6.2 experiments.
+//
+// TimedRbModel reproduces the SIEFAST experiment: RB on a tree of height h
+// under maximal parallel semantics with real-time action costs. At wave
+// granularity one instance of a phase is
+//
+//     ready wave (hc) . execute wave (hc) . work (1.0) . success wave (hc)
+//
+// i.e. the three control-position changes of Figure 1 cost hc each, plus
+// the unit phase execution — total 1 + 3hc, the analytical model's phase
+// time. Detectable faults arrive as a Poisson process with rate
+// -ln(1 - f), so that P(no fault in an interval of length T) = (1-f)^T,
+// exactly the analytical model's assumption. A fault aborts the instance at
+// the end of the wave segment in which it lands (the repeat wave completes
+// the circulation), which is why simulated failed instances finish sooner
+// than the analytical worst case — the effect the paper observes when
+// comparing Figures 4 and 6.
+//
+// measure_recovery() runs the REAL RB program (core/rb.hpp) on a binary
+// tree from an undetectably-corrupted state under maximal parallelism and
+// reports steps-to-legitimacy scaled by the per-step communication cost c —
+// the Figure 7 experiment.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace ftbar::core {
+
+struct TimedParams {
+  int h = 5;        ///< tree height
+  double c = 0.01;  ///< communication latency (phase time = 1)
+  double f = 0.0;   ///< fault frequency per unit time
+};
+
+/// Outcome of executing one phase successfully.
+struct PhaseStats {
+  int instances = 0;    ///< attempts, including the final successful one
+  double elapsed = 0.0; ///< total time spent on this phase
+};
+
+class TimedRbModel {
+ public:
+  TimedRbModel(TimedParams params, util::Rng rng);
+
+  /// Simulates until one phase executes successfully.
+  PhaseStats run_phase();
+
+  /// Simulates `phases` successful phases; returns aggregate stats.
+  PhaseStats run_phases(std::size_t phases);
+
+  /// Duration of one fault-free instance: 1 + 3hc.
+  [[nodiscard]] double instance_time() const noexcept;
+
+ private:
+  /// Advances the pending-fault clock past `t`.
+  void consume_faults_until(double t);
+
+  TimedParams params_;
+  util::Rng rng_;
+  double fault_rate_;     ///< -ln(1-f); 0 disables faults
+  double now_ = 0.0;
+  double next_fault_;     ///< absolute time of the next pending fault
+};
+
+/// Phase time of the fault-intolerant tree barrier, 1 + 2hc: one wave to
+/// detect that everyone finished and one to release the next phase.
+[[nodiscard]] double timed_intolerant_phase_time(const TimedParams& params) noexcept;
+
+/// Figure 7 experiment: corrupt every process of RB on a binary tree of
+/// height h undetectably, run under maximal parallelism, and report the
+/// recovery time (steps until a start state is reached, times c).
+[[nodiscard]] double measure_recovery(int h, double c, util::Rng& rng);
+
+}  // namespace ftbar::core

@@ -1,0 +1,96 @@
+#include "core/token_ring.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace ftbar::core {
+
+TrState tr_start_state(const TrOptions& opt) {
+  return TrState(static_cast<std::size_t>(opt.num_procs), TrProc{0});
+}
+
+std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt) {
+  const int s = opt.num_procs;
+  const int k = opt.k();
+  assert(s >= 2);
+  std::vector<sim::Action<TrProc>> actions;
+  const auto last = static_cast<std::size_t>(s - 1);
+
+  actions.push_back(sim::make_action<TrProc>(
+      "T1@0", 0,
+      [last](const TrState& st) {
+        return tr_valid(st[last].sn) && (st[0].sn == st[last].sn || !tr_valid(st[0].sn));
+      },
+      [last, k](TrState& st) { st[0].sn = (st[last].sn + 1) % k; }));
+
+  for (int j = 1; j < s; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    actions.push_back(sim::make_action<TrProc>(
+        "T2@" + std::to_string(j), j,
+        [uj](const TrState& st) {
+          return tr_valid(st[uj - 1].sn) && st[uj].sn != st[uj - 1].sn;
+        },
+        [uj](TrState& st) { st[uj].sn = st[uj - 1].sn; }));
+  }
+
+  actions.push_back(sim::make_action<TrProc>(
+      "T3@" + std::to_string(s - 1), s - 1,
+      [last](const TrState& st) { return st[last].sn == kTrBot; },
+      [last](TrState& st) { st[last].sn = kTrTop; }));
+
+  for (int j = 0; j < s - 1; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    actions.push_back(sim::make_action<TrProc>(
+        "T4@" + std::to_string(j), j,
+        [uj](const TrState& st) {
+          return st[uj].sn == kTrBot && st[uj + 1].sn == kTrTop;
+        },
+        [uj](TrState& st) { st[uj].sn = kTrTop; }));
+  }
+
+  actions.push_back(sim::make_action<TrProc>(
+      "T5@0", 0, [](const TrState& st) { return st[0].sn == kTrTop; },
+      [](TrState& st) { st[0].sn = 0; }));
+
+  return actions;
+}
+
+bool tr_has_token(const TrState& s, int j) {
+  const auto n = s.size();
+  const auto uj = static_cast<std::size_t>(j);
+  if (uj + 1 < n) {
+    return tr_valid(s[uj].sn) && tr_valid(s[uj + 1].sn) && s[uj].sn != s[uj + 1].sn;
+  }
+  return tr_valid(s[n - 1].sn) && tr_valid(s[0].sn) && s[n - 1].sn == s[0].sn;
+}
+
+int tr_token_count(const TrState& s) {
+  int count = 0;
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    count += tr_has_token(s, static_cast<int>(j));
+  }
+  return count;
+}
+
+bool tr_legitimate(const TrState& s) {
+  for (const auto& p : s) {
+    if (!tr_valid(p.sn)) return false;
+  }
+  return tr_token_count(s) == 1;
+}
+
+sim::FaultEnv<TrProc>::Perturb tr_detectable_fault() {
+  return [](std::size_t, TrProc& p, util::Rng&) { p.sn = kTrBot; };
+}
+
+sim::FaultEnv<TrProc>::Perturb tr_undetectable_fault(const TrOptions& opt) {
+  const int k = opt.k();
+  return [k](std::size_t, TrProc& p, util::Rng& rng) {
+    const auto pick = rng.uniform(static_cast<std::uint64_t>(k) + 2);
+    p.sn = pick < static_cast<std::uint64_t>(k) ? static_cast<int>(pick)
+           : pick == static_cast<std::uint64_t>(k) ? kTrBot
+                                                   : kTrTop;
+  };
+}
+
+}  // namespace ftbar::core

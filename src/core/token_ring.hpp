@@ -1,0 +1,68 @@
+// The underlying multitolerant token ring (paper, Section 4.1), standalone.
+//
+// RB superposes the barrier's cp/ph updates on this program; the standalone
+// form exists so its own properties — the ones Lemma 4.1.2 cites — can be
+// tested in isolation:
+//   * fault-free: exactly one token circulates forever;
+//   * detectable faults: at most one token at all times, eventually exactly
+//     one, and a process can tell it was corrupted (sn in {BOT, TOP});
+//   * undetectable faults: any number of tokens transiently, but the ring
+//     converges to exactly one (self-stabilization a la Dijkstra, which
+//     needs the sequence domain K to EXCEED the ring size minus one — the
+//     paper's "K > N"; the tests exhibit a non-converging cycle when K is
+//     one smaller).
+//
+// Actions (ring 0..S-1, arithmetic mod K on sequence numbers):
+//   T1 :: at 0, sn.last valid /\ (sn.0 = sn.last \/ sn.0 in {BOT,TOP})
+//                                  -> sn.0 := sn.last + 1
+//   T2 :: at j != 0, sn.(j-1) valid /\ sn.j != sn.(j-1) -> sn.j := sn.(j-1)
+//   T3 :: at last, sn = BOT -> sn := TOP
+//   T4 :: at j != last, sn.j = BOT /\ sn.(j+1) = TOP -> sn.j := TOP
+//   T5 :: at 0, sn.0 = TOP -> sn.0 := 0
+#pragma once
+
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/fault_env.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::core {
+
+inline constexpr int kTrBot = -1;
+inline constexpr int kTrTop = -2;
+
+[[nodiscard]] constexpr bool tr_valid(int sn) noexcept { return sn >= 0; }
+
+struct TrProc {
+  int sn = 0;
+  friend auto operator<=>(const TrProc&, const TrProc&) = default;
+};
+
+using TrState = std::vector<TrProc>;
+
+struct TrOptions {
+  int num_procs = 4;   ///< ring size S (the paper's N+1)
+  int seq_modulus = 0; ///< K; 0 selects num_procs + 1 (satisfies K > N)
+
+  [[nodiscard]] int k() const { return seq_modulus > 0 ? seq_modulus : num_procs + 1; }
+};
+
+/// Uniform sequence numbers: the single token sits at the last process.
+[[nodiscard]] TrState tr_start_state(const TrOptions& opt);
+
+[[nodiscard]] std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt);
+
+/// Token predicate of the paper: process j != last holds the token iff
+/// sn.j != sn.(j+1) (both valid); the last process iff sn.last = sn.0.
+[[nodiscard]] bool tr_has_token(const TrState& s, int j);
+[[nodiscard]] int tr_token_count(const TrState& s);
+
+/// Legitimate: every sn valid and exactly one token.
+[[nodiscard]] bool tr_legitimate(const TrState& s);
+
+/// Detectable fault: sn := BOT. Undetectable: sn := arbitrary domain value.
+[[nodiscard]] sim::FaultEnv<TrProc>::Perturb tr_detectable_fault();
+[[nodiscard]] sim::FaultEnv<TrProc>::Perturb tr_undetectable_fault(const TrOptions& opt);
+
+}  // namespace ftbar::core

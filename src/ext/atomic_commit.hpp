@@ -1,0 +1,57 @@
+// Atomic commitment instantiation (paper, Section 7): a transaction
+// commits only if all of its subtransactions complete successfully, and
+// transaction j+1 executes only after transaction j commits.
+//
+// The mapping onto the barrier program is direct: each participant runs a
+// subtransaction per phase; a successful subtransaction is the
+// execute -> success transition, a failed one the error path — in which
+// case the whole transaction is re-executed (our retry-until-commit
+// semantics; an abort-instead-of-retry policy is a trivial caller-side
+// variation, also offered below).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/ft_barrier.hpp"
+
+namespace ftbar::ext {
+
+enum class CommitOutcome {
+  kCommitted,  ///< all subtransactions succeeded
+  kRetried,    ///< some subtransaction failed; the transaction re-executes
+};
+
+class AtomicCommitter {
+ public:
+  explicit AtomicCommitter(int participants, core::BarrierOptions options = {})
+      : barrier_(participants, options) {}
+
+  [[nodiscard]] int participants() const noexcept { return barrier_.size(); }
+
+  /// Participant `id` reports the outcome of its current subtransaction.
+  /// Blocks until the group decides; kCommitted moves to the next
+  /// transaction, kRetried means the SAME transaction must run again.
+  CommitOutcome submit(int id, bool subtransaction_ok) {
+    const auto ticket = barrier_.arrive_and_wait(id, subtransaction_ok);
+    return ticket.repeated ? CommitOutcome::kRetried : CommitOutcome::kCommitted;
+  }
+
+  /// Runs `work` (returning subtransaction success) until the transaction
+  /// commits; returns the number of attempts.
+  template <class Work>
+  int run_transaction(int id, Work&& work) {
+    int attempts = 0;
+    for (;;) {
+      ++attempts;
+      if (submit(id, work(attempts)) == CommitOutcome::kCommitted) return attempts;
+    }
+  }
+
+  void finalize(int id) { barrier_.finalize(id); }
+
+ private:
+  core::FaultTolerantBarrier barrier_;
+};
+
+}  // namespace ftbar::ext

@@ -1,0 +1,55 @@
+#include "ext/clock_unison.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ftbar::ext {
+
+ClockUnison::ClockUnison(int num_procs, int bound, util::Rng rng)
+    : options_{num_procs, bound},
+      engine_(core::cb_start_state(options_), core::make_cb_actions(options_), rng,
+              sim::Semantics::kInterleaving),
+      last_clocks_(static_cast<std::size_t>(num_procs), 0),
+      increments_(static_cast<std::size_t>(num_procs), 0) {}
+
+std::vector<int> ClockUnison::clocks() const {
+  std::vector<int> out;
+  out.reserve(engine_.state().size());
+  for (const auto& p : engine_.state()) out.push_back(p.ph);
+  return out;
+}
+
+void ClockUnison::step() {
+  engine_.step();
+  const auto now = clocks();
+  for (std::size_t j = 0; j < now.size(); ++j) {
+    if (now[j] != last_clocks_[j]) ++increments_[j];
+  }
+  last_clocks_ = now;
+  min_increments_ = *std::min_element(increments_.begin(), increments_.end());
+}
+
+bool ClockUnison::in_unison() const {
+  std::set<int> values;
+  for (const auto& p : engine_.state()) values.insert(p.ph);
+  if (values.size() == 1) return true;
+  if (values.size() != 2) return false;
+  const core::PhaseRing ring(options_.num_phases);
+  const int a = *values.begin();
+  const int b = *std::next(values.begin());
+  return ring.next(a) == b || ring.next(b) == a;
+}
+
+bool ClockUnison::legitimate() const {
+  return core::cb_legitimate(engine_.state(), options_.num_phases);
+}
+
+void ClockUnison::perturb(util::Rng& rng) {
+  const auto fault = core::cb_undetectable_fault(options_);
+  for (std::size_t j = 0; j < engine_.mutable_state().size(); ++j) {
+    fault(j, engine_.mutable_state()[j], rng);
+  }
+  last_clocks_ = clocks();
+}
+
+}  // namespace ftbar::ext

@@ -1,0 +1,58 @@
+// Clock unison instantiation (paper, Section 7): every process maintains a
+// bounded counter such that, at all times (in legitimate states), any two
+// counters differ by at most one, and every counter is incremented
+// infinitely often. Phase.i of the barrier computation maps onto the i-th
+// counter value, and the barrier program's stabilizing tolerance to
+// undetectable counter corruption is exactly the unison requirement.
+//
+// The model runs program CB with the phase ring as the clock domain; the
+// clock of a process is its phase, nudged forward by one when the process
+// has already completed the current phase (so clocks are adjacent, not
+// equal, mid-rollover — matching the unison specification).
+#pragma once
+
+#include <vector>
+
+#include "core/cb.hpp"
+#include "sim/step_engine.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::ext {
+
+class ClockUnison {
+ public:
+  /// `bound` is the clock modulus (>= 3 so adjacency mod bound is
+  /// unambiguous); all clocks start at 0.
+  ClockUnison(int num_procs, int bound, util::Rng rng);
+
+  [[nodiscard]] int bound() const noexcept { return options_.num_phases; }
+
+  /// Executes one interleaving step of the underlying program.
+  void step();
+
+  /// Current clock values (one per process).
+  [[nodiscard]] std::vector<int> clocks() const;
+
+  /// True when every pair of clocks differs by at most one (mod bound) —
+  /// the unison safety condition; holds in all legitimate states.
+  [[nodiscard]] bool in_unison() const;
+
+  /// True when the underlying program is in a legitimate state.
+  [[nodiscard]] bool legitimate() const;
+
+  /// Corrupts every clock undetectably (the traditional unison fault).
+  void perturb(util::Rng& rng);
+
+  /// Number of times the slowest clock has been incremented (progress
+  /// metric: grows without bound in fault-free runs).
+  [[nodiscard]] long long min_increments() const noexcept { return min_increments_; }
+
+ private:
+  core::CbOptions options_;
+  sim::StepEngine<core::CbProc> engine_;
+  std::vector<int> last_clocks_;
+  std::vector<long long> increments_;  ///< per-process clock-change counts
+  long long min_increments_ = 0;
+};
+
+}  // namespace ftbar::ext

@@ -1,0 +1,113 @@
+// Auxiliary-variable modeling of crash and Byzantine faults (paper,
+// Section 7): corruption of ACTIONS is expressed as corruption of
+// VARIABLES by wrapping each process state P with two auxiliary booleans:
+//
+//   up   — a crashed process (up = false) executes no actions; the crash
+//          fault sets up := false, the repair fault sets up := true and
+//          resets the process detectably.
+//   good — a Byzantine process (good = false) additionally executes
+//          nondeterministic actions that scribble over its own variables.
+//
+// add_crash_model() transforms a program's action list accordingly, so the
+// tolerance results proved for the base program can be exercised under
+// crash/Byzantine behaviour without touching the base program's code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::ext {
+
+template <class P>
+struct WithAux {
+  P inner{};
+  bool up = true;
+  bool good = true;
+  friend auto operator<=>(const WithAux&, const WithAux&) = default;
+};
+
+/// Lifts base-program actions into the auxiliary-variable model: every
+/// guard additionally requires the owner to be up, and each not-good
+/// process gains a "byz" action that applies `scramble` to its own state.
+/// `scramble` may be empty to model crash faults only.
+template <class P>
+std::vector<sim::Action<WithAux<P>>> add_crash_model(
+    const std::vector<sim::Action<P>>& base,
+    std::function<void(std::size_t, P&)> scramble = {}) {
+  using Aux = WithAux<P>;
+  std::vector<sim::Action<Aux>> out;
+  out.reserve(base.size());
+  for (const auto& action : base) {
+    const auto owner = static_cast<std::size_t>(action.process);
+    out.push_back(sim::make_action<Aux>(
+        action.name, action.process,
+        [owner, guard = action.guard](const std::vector<Aux>& s) {
+          if (!s[owner].up) return false;
+          std::vector<P> inner;
+          inner.reserve(s.size());
+          for (const auto& a : s) inner.push_back(a.inner);
+          return guard(inner);
+        },
+        [owner, apply = action.apply](std::vector<Aux>& s) {
+          std::vector<P> inner;
+          inner.reserve(s.size());
+          for (const auto& a : s) inner.push_back(a.inner);
+          apply(inner);
+          s[owner].inner = inner[owner];
+        }));
+  }
+  if (scramble) {
+    const auto procs = [&] {
+      int max_proc = -1;
+      for (const auto& a : base) max_proc = std::max(max_proc, a.process);
+      return max_proc + 1;
+    }();
+    for (int j = 0; j < procs; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      out.push_back(sim::make_action<Aux>(
+          "byz@" + std::to_string(j), j,
+          [uj](const std::vector<Aux>& s) { return s[uj].up && !s[uj].good; },
+          [uj, scramble](std::vector<Aux>& s) { scramble(uj, s[uj].inner); }));
+    }
+  }
+  return out;
+}
+
+/// Crash fault: the process stops executing (up := false).
+template <class P>
+void crash(WithAux<P>& p) {
+  p.up = false;
+}
+
+/// Repair fault: the process restarts; `reset` applies the base program's
+/// detectable-fault reset to its state.
+template <class P, class Reset>
+void repair(WithAux<P>& p, Reset&& reset) {
+  reset(p.inner);
+  p.up = true;
+}
+
+/// Byzantine corruption: the process keeps running but behaves arbitrarily.
+template <class P>
+void make_byzantine(WithAux<P>& p) {
+  p.good = false;
+}
+
+template <class P>
+void make_good(WithAux<P>& p) {
+  p.good = true;
+}
+
+/// Lifts a base start state into the auxiliary model (all up, all good).
+template <class P>
+std::vector<WithAux<P>> lift_state(const std::vector<P>& base) {
+  std::vector<WithAux<P>> out;
+  out.reserve(base.size());
+  for (const auto& p : base) out.push_back(WithAux<P>{p, true, true});
+  return out;
+}
+
+}  // namespace ftbar::ext

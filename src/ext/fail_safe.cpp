@@ -1,0 +1,72 @@
+#include "ext/fail_safe.hpp"
+
+namespace ftbar::ext {
+
+namespace {
+constexpr int kArriveTag = 200;
+constexpr int kPoisonTag = 201;
+}  // namespace
+
+FailSafeBarrier::FailSafeBarrier(int num_threads, std::uint64_t seed)
+    : num_threads_(num_threads),
+      net_(std::make_unique<runtime::Network>(num_threads, seed)),
+      episode_(static_cast<std::size_t>(num_threads), 0),
+      poisoned_(static_cast<std::size_t>(num_threads), 0),
+      highest_seen_(static_cast<std::size_t>(num_threads),
+                    std::vector<std::uint64_t>(static_cast<std::size_t>(num_threads), 0)) {}
+
+void FailSafeBarrier::broadcast(int tid, int tag, std::uint64_t value) {
+  for (int peer = 0; peer < num_threads_; ++peer) {
+    if (peer != tid) net_->send_value(tid, peer, tag, value);
+  }
+}
+
+bool FailSafeBarrier::poisoned(int tid) const {
+  return poisoned_[static_cast<std::size_t>(tid)] != 0;
+}
+
+FailSafeResult FailSafeBarrier::arrive_and_wait(int tid, bool ok,
+                                                std::chrono::milliseconds timeout) {
+  const auto utid = static_cast<std::size_t>(tid);
+  if (poisoned_[utid]) return FailSafeResult::kFatal;
+
+  const std::uint64_t episode = ++episode_[utid];
+  if (!ok) {
+    // Uncorrectable detectable fault: poison the group and fail closed.
+    poisoned_[utid] = 1;
+    broadcast(tid, kPoisonTag, episode);
+    return FailSafeResult::kFatal;
+  }
+  broadcast(tid, kArriveTag, episode);
+  auto& seen = highest_seen_[utid];
+  seen[utid] = episode;
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all_arrived = true;
+    for (int peer = 0; peer < num_threads_; ++peer) {
+      if (seen[static_cast<std::size_t>(peer)] < episode) {
+        all_arrived = false;
+        break;
+      }
+    }
+    if (all_arrived) return FailSafeResult::kCompleted;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left <= std::chrono::milliseconds::zero()) return FailSafeResult::kTimeout;
+    const auto m = net_->recv(tid, std::min(left, std::chrono::milliseconds(5)));
+    if (!m || !runtime::Network::verify(*m)) continue;
+    if (m->tag == kPoisonTag) {
+      poisoned_[utid] = 1;
+      return FailSafeResult::kFatal;
+    }
+    if (m->tag == kArriveTag) {
+      if (const auto e = runtime::Network::decode<std::uint64_t>(*m)) {
+        auto& h = seen[static_cast<std::size_t>(m->src)];
+        if (*e > h) h = *e;
+      }
+    }
+  }
+}
+
+}  // namespace ftbar::ext

@@ -1,0 +1,55 @@
+// Fail-safe barrier (paper, Section 7, bottom-left of Table 1): when a
+// fault is detectable but UNCORRECTABLE, Progress cannot be guaranteed, but
+// Safety can — the barrier must never report a completion incorrectly.
+//
+// FailSafeBarrier wraps the intolerant tree pattern with a poison channel:
+// a participant that detects an uncorrectable local fault poisons the
+// group; every subsequent wait (and any wait that observes poison instead
+// of its release) returns kFatal, permanently. A wait returns kCompleted
+// only if every participant genuinely arrived un-poisoned — so a kCompleted
+// verdict is always truthful, while a faulty run stalls into kFatal rather
+// than lying.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/network.hpp"
+
+namespace ftbar::ext {
+
+enum class FailSafeResult {
+  kCompleted,  ///< everyone arrived; the report is guaranteed correct
+  kFatal,      ///< an uncorrectable fault was reported; the barrier is dead
+  kTimeout,    ///< no completion observed (e.g. a peer stalled); safe stall
+};
+
+class FailSafeBarrier {
+ public:
+  explicit FailSafeBarrier(int num_threads, std::uint64_t seed = 0xfa11ULL);
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// Participant `tid` arrives; `ok=false` reports an uncorrectable local
+  /// fault. Blocks up to `timeout` for the episode to complete.
+  FailSafeResult arrive_and_wait(int tid, bool ok = true,
+                                 std::chrono::milliseconds timeout =
+                                     std::chrono::milliseconds(1000));
+
+  /// True once the barrier has been poisoned (any participant's view).
+  [[nodiscard]] bool poisoned(int tid) const;
+
+ private:
+  void broadcast(int tid, int tag, std::uint64_t value);
+
+  int num_threads_;
+  std::unique_ptr<runtime::Network> net_;
+  std::vector<std::uint64_t> episode_;  ///< per-participant episode counter
+  std::vector<char> poisoned_;          ///< per-participant sticky poison view
+  /// highest_seen_[tid][src]: latest episode tid observed src arriving in.
+  std::vector<std::vector<std::uint64_t>> highest_seen_;
+};
+
+}  // namespace ftbar::ext

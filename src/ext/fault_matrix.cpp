@@ -1,0 +1,80 @@
+#include "ext/fault_matrix.hpp"
+
+#include <array>
+
+namespace ftbar::ext {
+
+std::string_view to_string(Detectability d) noexcept {
+  return d == Detectability::kDetectable ? "detectable" : "undetectable";
+}
+
+std::string_view to_string(Correctability c) noexcept {
+  switch (c) {
+    case Correctability::kImmediate: return "immediately correctable";
+    case Correctability::kEventual: return "eventually correctable";
+    case Correctability::kUncorrectable: return "uncorrectable";
+  }
+  return "?";
+}
+
+std::string_view to_string(Tolerance t) noexcept {
+  switch (t) {
+    case Tolerance::kTriviallyMasking: return "trivially masking";
+    case Tolerance::kMasking: return "masking";
+    case Tolerance::kStabilizing: return "stabilizing";
+    case Tolerance::kFailSafe: return "fail-safe";
+    case Tolerance::kIntolerant: return "intolerant";
+  }
+  return "?";
+}
+
+Tolerance appropriate_tolerance(Detectability d, Correctability c) noexcept {
+  switch (c) {
+    case Correctability::kImmediate:
+      // Correction is modeled simultaneously with occurrence: the fault
+      // effectively does not exist, whatever its detectability.
+      return Tolerance::kTriviallyMasking;
+    case Correctability::kEventual:
+      return d == Detectability::kDetectable ? Tolerance::kMasking
+                                             : Tolerance::kStabilizing;
+    case Correctability::kUncorrectable:
+      return d == Detectability::kDetectable ? Tolerance::kFailSafe
+                                             : Tolerance::kIntolerant;
+  }
+  return Tolerance::kIntolerant;
+}
+
+std::span<const FaultType> standard_fault_catalog() noexcept {
+  // Classification per Section 2's detectable/undetectable lists and the
+  // correctability discussion of Section 7.
+  static constexpr std::array<FaultType, 16> kCatalog{{
+      {"message loss", Detectability::kDetectable, Correctability::kEventual},
+      {"detectable message corruption", Detectability::kDetectable,
+       Correctability::kEventual},
+      {"ECC-corrected message corruption", Detectability::kDetectable,
+       Correctability::kImmediate},
+      {"message duplication", Detectability::kDetectable, Correctability::kEventual},
+      {"message reorder", Detectability::kDetectable, Correctability::kEventual},
+      {"unexpected message reception", Detectability::kDetectable,
+       Correctability::kEventual},
+      {"processor fail-stop with repair", Detectability::kDetectable,
+       Correctability::kEventual},
+      {"processor reboot", Detectability::kDetectable, Correctability::kEventual},
+      {"floating point exception", Detectability::kDetectable,
+       Correctability::kEventual},
+      {"I/O error", Detectability::kDetectable, Correctability::kEventual},
+      {"permanent processor crash", Detectability::kDetectable,
+       Correctability::kUncorrectable},
+      {"undetectable message corruption", Detectability::kUndetectable,
+       Correctability::kEventual},
+      {"transient state corruption", Detectability::kUndetectable,
+       Correctability::kEventual},
+      {"memory leak", Detectability::kUndetectable, Correctability::kEventual},
+      {"hanging process", Detectability::kUndetectable, Correctability::kEventual},
+      {"Byzantine process", Detectability::kUndetectable,
+       Correctability::kUncorrectable},
+  }};
+  return kCatalog;
+}
+
+}  // namespace ftbar::ext

@@ -1,0 +1,51 @@
+// The fault classification of Table 1 (paper, Section 7): detectability x
+// correctability determines the appropriate tolerance for barrier
+// synchronization. The catalog below classifies the standard fault types
+// the introduction enumerates; the table1 bench demonstrates each cell
+// empirically.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace ftbar::ext {
+
+enum class Detectability { kDetectable, kUndetectable };
+
+enum class Correctability {
+  kImmediate,      ///< correction can be modeled with the fault itself
+  kEventual,       ///< the fault stops / is repaired eventually
+  kUncorrectable,  ///< no repair ever happens
+};
+
+enum class Tolerance {
+  kTriviallyMasking,  ///< pretend the fault never happened
+  kMasking,           ///< every barrier still executes correctly
+  kStabilizing,       ///< eventually barriers execute correctly again
+  kFailSafe,          ///< never report a completion incorrectly; may stall
+  kIntolerant,        ///< no guarantee possible
+};
+
+[[nodiscard]] std::string_view to_string(Detectability d) noexcept;
+[[nodiscard]] std::string_view to_string(Correctability c) noexcept;
+[[nodiscard]] std::string_view to_string(Tolerance t) noexcept;
+
+/// Table 1: the appropriate tolerance for each (detectability,
+/// correctability) cell.
+[[nodiscard]] Tolerance appropriate_tolerance(Detectability d, Correctability c) noexcept;
+
+/// One named fault type from the introduction's enumeration, classified.
+struct FaultType {
+  std::string_view name;
+  Detectability detectability;
+  Correctability correctability;
+
+  [[nodiscard]] Tolerance tolerance() const noexcept {
+    return appropriate_tolerance(detectability, correctability);
+  }
+};
+
+/// The standard fault types of Section 1, classified per Sections 2 and 7.
+[[nodiscard]] std::span<const FaultType> standard_fault_catalog() noexcept;
+
+}  // namespace ftbar::ext

@@ -1,0 +1,110 @@
+#include "ext/fuzzy_barrier.hpp"
+
+#include <cassert>
+
+namespace ftbar::ext {
+
+namespace {
+constexpr int kStateTag = 1;
+constexpr int kByeTag = 2;
+}
+
+FuzzyBarrier::FuzzyBarrier(int num_threads, core::BarrierOptions options)
+    : num_threads_(num_threads),
+      options_(options),
+      net_(std::make_unique<runtime::Network>(num_threads, options.seed,
+                                              /*inbox_capacity=*/4096)),
+      last_seq_pred_(static_cast<std::size_t>(num_threads), 0),
+      last_seq_succ_(static_cast<std::size_t>(num_threads), 0),
+      bye_mask_(static_cast<std::size_t>(num_threads), 0),
+      last_publish_(static_cast<std::size_t>(num_threads),
+                    std::chrono::steady_clock::now()) {
+  assert(num_threads >= 2);
+  net_->set_default_faults(options.link_faults);
+  engines_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    engines_.push_back(
+        std::make_unique<core::MbEngine>(t, num_threads, options.num_phases));
+  }
+}
+
+void FuzzyBarrier::publish(int tid) {
+  const auto ws = engines_[static_cast<std::size_t>(tid)]->wire_state();
+  net_->send_value(tid, (tid + 1) % num_threads_, kStateTag, ws);
+  net_->send_value(tid, (tid + num_threads_ - 1) % num_threads_, kStateTag, ws);
+  last_publish_[static_cast<std::size_t>(tid)] = std::chrono::steady_clock::now();
+}
+
+void FuzzyBarrier::consume(int tid, const runtime::Message& m) {
+  if (!runtime::Network::verify(m)) return;
+  if (m.tag == kByeTag) {
+    if (const auto mask = runtime::Network::decode<std::uint64_t>(m)) {
+      bye_mask_[static_cast<std::size_t>(tid)] |= *mask;
+    }
+    return;
+  }
+  if (m.tag != kStateTag) return;
+  const auto ws = runtime::Network::decode<core::WireState>(m);
+  if (!ws) return;
+  const auto utid = static_cast<std::size_t>(tid);
+  const int pred = (tid + num_threads_ - 1) % num_threads_;
+  auto& last = m.src == pred ? last_seq_pred_[utid] : last_seq_succ_[utid];
+  if (m.link_seq < last) return;
+  last = m.link_seq + 1;
+  engines_[utid]->on_neighbor_state(m.src, *ws);
+}
+
+void FuzzyBarrier::enter(int tid, bool ok) {
+  auto& eng = *engines_[static_cast<std::size_t>(tid)];
+  if (!ok) eng.inject_detectable_fault();
+  eng.step();
+  publish(tid);
+}
+
+bool FuzzyBarrier::poll(int tid) {
+  auto& eng = *engines_[static_cast<std::size_t>(tid)];
+  if (eng.has_ticket()) return true;
+  if (const auto m = net_->recv(tid, options_.poll)) consume(tid, *m);
+  const bool changed = eng.step();
+  const auto now = std::chrono::steady_clock::now();
+  if (changed ||
+      now - last_publish_[static_cast<std::size_t>(tid)] >= options_.retransmit_every) {
+    publish(tid);
+  }
+  return eng.has_ticket();
+}
+
+core::PhaseTicket FuzzyBarrier::leave(int tid) {
+  auto& eng = *engines_[static_cast<std::size_t>(tid)];
+  while (!eng.has_ticket()) poll(tid);
+  const auto ticket = eng.take_ticket();
+  publish(tid);  // keep the release wave moving
+  return *ticket;
+}
+
+void FuzzyBarrier::drain(int tid, std::chrono::milliseconds deadline) {
+  const auto utid = static_cast<std::size_t>(tid);
+  const std::uint64_t full =
+      num_threads_ == 64 ? ~0ULL : ((1ULL << num_threads_) - 1);
+  bye_mask_[utid] |= 1ULL << tid;
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  auto last_bye = std::chrono::steady_clock::time_point{};
+  while (bye_mask_[utid] != full && std::chrono::steady_clock::now() < until) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_bye >= options_.retransmit_every) {
+      for (int peer = 0; peer < num_threads_; ++peer) {
+        if (peer != tid) net_->send_value(tid, peer, kByeTag, bye_mask_[utid]);
+      }
+      last_bye = now;
+    }
+    (void)poll(tid);
+    (void)engines_[utid]->take_ticket();
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int peer = 0; peer < num_threads_; ++peer) {
+      if (peer != tid) net_->send_value(tid, peer, kByeTag, bye_mask_[utid]);
+    }
+  }
+}
+
+}  // namespace ftbar::ext

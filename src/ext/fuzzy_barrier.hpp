@@ -1,0 +1,61 @@
+// Fuzzy barriers (paper, Section 8): the transition execute -> success is
+// "entering the barrier" and ready -> execute is "leaving" it, so a process
+// may perform useful work that does not belong to either phase between the
+// two transitions, instead of blocking.
+//
+//   FuzzyBarrier bar(kThreads);
+//   // thread tid, once per phase:
+//   do_phase_work();
+//   bar.enter(tid, ok);            // announce completion, returns at once
+//   while (!bar.poll(tid)) {       // barrier completes in the background
+//     do_fuzzy_work();             // work outside any phase
+//   }
+//   PhaseTicket t = bar.leave(tid);  // next phase released
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/ft_barrier.hpp"
+
+namespace ftbar::ext {
+
+class FuzzyBarrier {
+ public:
+  explicit FuzzyBarrier(int num_threads, core::BarrierOptions options = {});
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// Enters the barrier: publishes this thread's phase completion (or its
+  /// failure when ok=false) and returns immediately.
+  void enter(int tid, bool ok = true);
+
+  /// Services the protocol briefly; true once the next phase is released
+  /// (call leave() to collect it). Call repeatedly between fuzzy work.
+  bool poll(int tid);
+
+  /// Blocks until the next phase is released and returns its ticket.
+  core::PhaseTicket leave(int tid);
+
+  /// Services the protocol after this thread's LAST leave so peers still
+  /// inside poll/leave can finish even if the final wave's messages were
+  /// lost. Returns when every thread has drained or after `deadline`.
+  void drain(int tid, std::chrono::milliseconds deadline =
+                          std::chrono::milliseconds(2000));
+
+ private:
+  void publish(int tid);
+  void consume(int tid, const runtime::Message& m);
+
+  int num_threads_;
+  core::BarrierOptions options_;
+  std::unique_ptr<runtime::Network> net_;
+  std::vector<std::unique_ptr<core::MbEngine>> engines_;
+  std::vector<std::uint64_t> last_seq_pred_;
+  std::vector<std::uint64_t> last_seq_succ_;
+  std::vector<std::uint64_t> bye_mask_;  ///< per-thread view of drained peers
+  std::vector<std::chrono::steady_clock::time_point> last_publish_;
+};
+
+}  // namespace ftbar::ext

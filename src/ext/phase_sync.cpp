@@ -1,0 +1,34 @@
+#include "ext/phase_sync.hpp"
+
+namespace ftbar::ext {
+
+PhaseSync::PhaseSync(int num_procs, util::Rng rng,
+                     const std::vector<int>& corrupt_initially)
+    : options_(core::rb_ring_options(num_procs, /*num_phases=*/16)),
+      monitor_(num_procs, options_.num_phases),
+      engine_(core::rb_start_state(options_), core::make_rb_actions(options_, &monitor_),
+              rng, sim::Semantics::kInterleaving) {
+  const auto fault = core::rb_detectable_fault(options_, &monitor_);
+  util::Rng fault_rng = rng.fork(0x9a5eULL);
+  for (int j : corrupt_initially) {
+    // The traditional model corrupts variables before the computation
+    // begins; keep at least one process intact so the phase identity
+    // survives (footnote 2).
+    if (j >= 0 && j < num_procs &&
+        static_cast<std::size_t>(corrupt_initially.size()) <
+            engine_.state().size()) {
+      fault(static_cast<std::size_t>(j),
+            engine_.mutable_state()[static_cast<std::size_t>(j)], fault_rng);
+    }
+  }
+}
+
+bool PhaseSync::run_phases(std::size_t phases, std::size_t max_steps) {
+  const auto target = monitor_.successful_phases() + phases;
+  const auto done = engine_.run_until(
+      [&](const core::RbState&) { return monitor_.successful_phases() >= target; },
+      max_steps);
+  return done.has_value();
+}
+
+}  // namespace ftbar::ext

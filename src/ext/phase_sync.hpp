@@ -1,0 +1,48 @@
+// Phase synchronization instantiation (paper, Section 7): each process
+// executes a potentially infinite sequence of phases; a process executes a
+// phase only when all processes have completed the previous one. The
+// traditional fault model corrupts phase variables detectably at the START
+// of the computation (not during it); the required tolerance is that every
+// phase still executes correctly.
+//
+// Barrier synchronization generalizes this: each phase of the former maps
+// to an instance of a phase in the latter, and the masking tolerance of RB
+// to detectable variable corruption covers the initial-corruption model.
+// PhaseSync runs RB with optional initial detectable corruption and tracks
+// the unbounded phase index each process has reached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rb.hpp"
+#include "core/spec.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::ext {
+
+class PhaseSync {
+ public:
+  /// `corrupt_initially`: processes whose state is detectably corrupted
+  /// before the computation starts (the traditional phase-sync fault).
+  PhaseSync(int num_procs, util::Rng rng, const std::vector<int>& corrupt_initially = {});
+
+  /// Executes steps until `phases` more phases complete successfully.
+  /// Returns false if the bound on steps is exceeded.
+  bool run_phases(std::size_t phases, std::size_t max_steps = 1'000'000);
+
+  /// Unbounded index of the last successfully completed phase.
+  [[nodiscard]] std::uint64_t completed_phases() const noexcept {
+    return monitor_.successful_phases();
+  }
+
+  [[nodiscard]] bool safety_ok() const noexcept { return monitor_.safety_ok(); }
+  [[nodiscard]] const core::SpecMonitor& monitor() const noexcept { return monitor_; }
+
+ private:
+  core::RbOptions options_;
+  core::SpecMonitor monitor_;
+  sim::StepEngine<core::RbProc> engine_;
+};
+
+}  // namespace ftbar::ext

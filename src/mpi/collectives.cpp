@@ -1,0 +1,287 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ftbar::mpi {
+
+namespace {
+
+constexpr int kArriveTag = 100;
+constexpr int kReleaseTag = 101;
+constexpr int kReduceTag = 102;
+constexpr int kBcastTag = 103;
+constexpr int kGatherTag = 104;
+constexpr int kScatterTag = 105;
+
+struct Stamp {
+  std::uint64_t epoch;
+};
+
+struct StampedValue {
+  std::uint64_t epoch;
+  double value;
+};
+
+[[nodiscard]] int parent_of(int r) noexcept { return (r - 1) / 2; }
+[[nodiscard]] int left_of(int r) noexcept { return 2 * r + 1; }
+[[nodiscard]] int right_of(int r) noexcept { return 2 * r + 2; }
+
+/// Receives a stamped message of type T from `src` with the right epoch.
+/// Stale epochs (duplicates/reorder from earlier collectives) are
+/// discarded; FUTURE epochs — a peer already running the next collective —
+/// are held back and re-stashed for later receives.
+template <class T>
+std::optional<T> recv_epoch(Communicator& comm, int src, int tag,
+                            std::uint64_t epoch, std::chrono::milliseconds timeout) {
+  std::vector<Recvd> futures;
+  const auto restash = [&] {
+    for (auto& f : futures) comm.stash(std::move(f));
+  };
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left <= std::chrono::milliseconds::zero()) {
+      restash();
+      return std::nullopt;
+    }
+    auto m = comm.recv(src, tag, left);
+    if (!m) {
+      restash();
+      return std::nullopt;
+    }
+    const auto v = m->as<T>();
+    if (!v) continue;  // wrong shape: treat as corruption
+    if (v->epoch == epoch) {
+      restash();
+      return v;
+    }
+    if (v->epoch > epoch) futures.push_back(std::move(*m));
+    // Older epoch: a duplicate or reordered leftover; drop it.
+  }
+}
+
+}  // namespace
+
+Err tree_barrier(Communicator& comm, std::uint64_t epoch,
+                 const CollectiveOptions& options) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  // Convergecast: wait for both children, then notify the parent.
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    if (!recv_epoch<Stamp>(comm, child, kArriveTag, epoch, options.timeout)) {
+      return Err::kTimeout;
+    }
+  }
+  if (r != 0) {
+    comm.send(parent_of(r), kArriveTag, Stamp{epoch});
+    if (!recv_epoch<Stamp>(comm, parent_of(r), kReleaseTag, epoch, options.timeout)) {
+      return Err::kTimeout;
+    }
+  }
+  // Release broadcast.
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    comm.send(child, kReleaseTag, Stamp{epoch});
+  }
+  return Err::kSuccess;
+}
+
+Err bcast(Communicator& comm, double& value, std::uint64_t epoch,
+          const CollectiveOptions& options) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  if (r != 0) {
+    const auto v =
+        recv_epoch<StampedValue>(comm, parent_of(r), kBcastTag, epoch, options.timeout);
+    if (!v) return Err::kTimeout;
+    value = v->value;
+  }
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    comm.send(child, kBcastTag, StampedValue{epoch, value});
+  }
+  return Err::kSuccess;
+}
+
+Err allreduce_sum(Communicator& comm, double& value, std::uint64_t epoch,
+                  const CollectiveOptions& options) {
+  return allreduce(comm, value, ReduceOp::kSum, epoch, options);
+}
+
+Err reduce(Communicator& comm, double& value, ReduceOp op, std::uint64_t epoch,
+           const CollectiveOptions& options) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  auto combine = [op](double a, double b) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kProd: return a * b;
+      case ReduceOp::kMin: return std::min(a, b);
+      case ReduceOp::kMax: return std::max(a, b);
+    }
+    return a;
+  };
+  double acc = value;
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    const auto v =
+        recv_epoch<StampedValue>(comm, child, kReduceTag, epoch, options.timeout);
+    if (!v) return Err::kTimeout;
+    acc = combine(acc, v->value);
+  }
+  if (r != 0) {
+    comm.send(parent_of(r), kReduceTag, StampedValue{epoch, acc});
+  } else {
+    value = acc;
+  }
+  return Err::kSuccess;
+}
+
+Err allreduce(Communicator& comm, double& value, ReduceOp op, std::uint64_t epoch,
+              const CollectiveOptions& options) {
+  const auto err = reduce(comm, value, op, epoch, options);
+  if (err != Err::kSuccess) return err;
+  return bcast(comm, value, epoch, options);
+}
+
+namespace {
+
+/// Wire format for gather/scatter segments: epoch, then (rank, value) pairs.
+struct Slot {
+  std::uint64_t epoch;
+  std::int32_t rank;
+  double value;
+};
+
+std::vector<std::byte> pack_slots(const std::vector<Slot>& slots) {
+  std::vector<std::byte> bytes(slots.size() * sizeof(Slot));
+  std::memcpy(bytes.data(), slots.data(), bytes.size());
+  return bytes;
+}
+
+std::optional<std::vector<Slot>> unpack_slots(const Recvd& m) {
+  if (m.payload.size() % sizeof(Slot) != 0) return std::nullopt;
+  std::vector<Slot> slots(m.payload.size() / sizeof(Slot));
+  std::memcpy(slots.data(), m.payload.data(), m.payload.size());
+  return slots;
+}
+
+/// Receives a slot bundle from `src` with the right epoch; stale bundles
+/// are dropped, future ones held back and re-stashed (as in recv_epoch).
+std::optional<std::vector<Slot>> recv_slots(Communicator& comm, int src, int tag,
+                                            std::uint64_t epoch,
+                                            std::chrono::milliseconds timeout) {
+  std::vector<Recvd> futures;
+  const auto restash = [&] {
+    for (auto& f : futures) comm.stash(std::move(f));
+  };
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left <= std::chrono::milliseconds::zero()) {
+      restash();
+      return std::nullopt;
+    }
+    auto m = comm.recv(src, tag, left);
+    if (!m) {
+      restash();
+      return std::nullopt;
+    }
+    const auto slots = unpack_slots(*m);
+    if (!slots || slots->empty()) continue;
+    if (slots->front().epoch == epoch) {
+      restash();
+      return slots;
+    }
+    if (slots->front().epoch > epoch) futures.push_back(std::move(*m));
+  }
+}
+
+}  // namespace
+
+Err gather(Communicator& comm, double value, std::vector<double>& out,
+           std::uint64_t epoch, const CollectiveOptions& options) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  std::vector<Slot> collected{{epoch, r, value}};
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    const auto slots = recv_slots(comm, child, kGatherTag, epoch, options.timeout);
+    if (!slots) return Err::kTimeout;
+    collected.insert(collected.end(), slots->begin(), slots->end());
+  }
+  if (r != 0) {
+    const auto bytes = pack_slots(collected);
+    comm.send_bytes(parent_of(r), kGatherTag,
+                    std::span<const std::byte>(bytes.data(), bytes.size()));
+    return Err::kSuccess;
+  }
+  out.assign(static_cast<std::size_t>(n), 0.0);
+  for (const auto& slot : collected) {
+    if (slot.rank >= 0 && slot.rank < n) {
+      out[static_cast<std::size_t>(slot.rank)] = slot.value;
+    }
+  }
+  return Err::kSuccess;
+}
+
+Err scatter(Communicator& comm, const std::vector<double>& in, double& out,
+            std::uint64_t epoch, const CollectiveOptions& options) {
+  const int r = comm.rank();
+  const int n = comm.size();
+  std::vector<Slot> mine;
+  if (r == 0) {
+    mine.reserve(static_cast<std::size_t>(n));
+    for (int rank = 0; rank < n && rank < static_cast<int>(in.size()); ++rank) {
+      mine.push_back(Slot{epoch, rank, in[static_cast<std::size_t>(rank)]});
+    }
+  } else {
+    const auto slots =
+        recv_slots(comm, parent_of(r), kScatterTag, epoch, options.timeout);
+    if (!slots) return Err::kTimeout;
+    mine = *slots;
+  }
+  // Keep my slot; forward each child the slice for its subtree.
+  for (const auto& slot : mine) {
+    if (slot.rank == r) out = slot.value;
+  }
+  for (int child : {left_of(r), right_of(r)}) {
+    if (child >= n) continue;
+    std::vector<Slot> subtree;
+    // The binary-heap subtree of `child` is exactly the ranks whose
+    // ancestor chain passes through `child`.
+    for (const auto& slot : mine) {
+      int a = slot.rank;
+      while (a > child) a = parent_of(a);
+      if (a == child) subtree.push_back(slot);
+    }
+    const auto bytes = pack_slots(subtree);
+    comm.send_bytes(child, kScatterTag,
+                    std::span<const std::byte>(bytes.data(), bytes.size()));
+  }
+  return Err::kSuccess;
+}
+
+Err allgather(Communicator& comm, double value, std::vector<double>& out,
+              std::uint64_t epoch, const CollectiveOptions& options) {
+  const auto err = gather(comm, value, out, epoch, options);
+  if (err != Err::kSuccess) return err;
+  // Broadcast the gathered vector element by element (simple and robust;
+  // an optimized implementation would ship one bundle). Elements use the
+  // sub-epochs epoch+1 .. epoch+size, hence the documented requirement
+  // that callers advance their epoch counter by size()+1 per allgather.
+  const int n = comm.size();
+  if (comm.rank() != 0) out.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto e = bcast(comm, out[static_cast<std::size_t>(i)],
+                         epoch + 1 + static_cast<std::uint64_t>(i), options);
+    if (e != Err::kSuccess) return e;
+  }
+  return Err::kSuccess;
+}
+
+}  // namespace ftbar::mpi

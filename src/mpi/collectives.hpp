@@ -1,0 +1,67 @@
+// Fault-INTOLERANT collectives over the mini-MPI layer: the comparison
+// baseline (1 + 2hc: one convergecast to detect completion, one broadcast
+// to release) and the substrate for the Abort / ErrorCode fault-handling
+// alternatives that MPI traditionally offers.
+//
+// All collectives run over the binomial-ish static tree rank r ->
+// children 2r+1, 2r+2 and carry an epoch stamp so that duplicated or
+// reordered messages from older collectives are discarded. Loss surfaces
+// as Err::kTimeout.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "mpi/comm.hpp"
+
+namespace ftbar::mpi {
+
+struct CollectiveOptions {
+  std::chrono::milliseconds timeout{1000};
+};
+
+/// Tree barrier: arrive-up then release-down. Every rank must call it with
+/// the same epoch. Returns kTimeout if any wait expires (peer crashed or
+/// message lost) — the caller then aborts or propagates the error code.
+[[nodiscard]] Err tree_barrier(Communicator& comm, std::uint64_t epoch,
+                               const CollectiveOptions& options = {});
+
+/// Broadcast of a double from rank 0.
+[[nodiscard]] Err bcast(Communicator& comm, double& value, std::uint64_t epoch,
+                        const CollectiveOptions& options = {});
+
+/// Sum-allreduce of a double (reduce-up to rank 0, broadcast-down).
+[[nodiscard]] Err allreduce_sum(Communicator& comm, double& value,
+                                std::uint64_t epoch,
+                                const CollectiveOptions& options = {});
+
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+/// Reduce to rank 0: on return, rank 0's `value` holds the reduction.
+[[nodiscard]] Err reduce(Communicator& comm, double& value, ReduceOp op,
+                         std::uint64_t epoch, const CollectiveOptions& options = {});
+
+/// Reduce + broadcast: every rank gets the reduction.
+[[nodiscard]] Err allreduce(Communicator& comm, double& value, ReduceOp op,
+                            std::uint64_t epoch,
+                            const CollectiveOptions& options = {});
+
+/// Gather: rank 0's `out` receives all ranks' contributions, indexed by
+/// rank; other ranks' `out` is untouched.
+[[nodiscard]] Err gather(Communicator& comm, double value, std::vector<double>& out,
+                         std::uint64_t epoch, const CollectiveOptions& options = {});
+
+/// Scatter from rank 0: `in` (meaningful at rank 0 only, size = comm.size())
+/// is distributed; every rank receives its slot in `out`.
+[[nodiscard]] Err scatter(Communicator& comm, const std::vector<double>& in,
+                          double& out, std::uint64_t epoch,
+                          const CollectiveOptions& options = {});
+
+/// Allgather: every rank's `out` receives all contributions by rank.
+/// Consumes the epoch range [epoch, epoch + size()] — advance your epoch
+/// counter by size() + 1 afterwards so later collectives stay monotone.
+[[nodiscard]] Err allgather(Communicator& comm, double value,
+                            std::vector<double>& out, std::uint64_t epoch,
+                            const CollectiveOptions& options = {});
+
+}  // namespace ftbar::mpi

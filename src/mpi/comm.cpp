@@ -1,0 +1,29 @@
+#include "mpi/comm.hpp"
+
+namespace ftbar::mpi {
+
+std::optional<Recvd> Communicator::recv(int src, int tag,
+                                        std::chrono::milliseconds timeout) {
+  // Serve from the holdback queue first.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Recvd out = std::move(*it);
+      pending_.erase(it);
+      return out;
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left <= std::chrono::milliseconds::zero()) return std::nullopt;
+    auto m = net_->recv(rank_, left);
+    if (!m) return std::nullopt;  // timeout or shutdown
+    if (!runtime::Network::verify(*m)) continue;  // detectable corruption
+    Recvd r{m->src, m->tag, std::move(m->payload)};
+    if (matches(r, src, tag)) return r;
+    pending_.push_back(std::move(r));
+  }
+}
+
+}  // namespace ftbar::mpi

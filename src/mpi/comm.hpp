@@ -1,0 +1,106 @@
+// Mini-MPI: a small message-passing interface over runtime::Network.
+//
+// This is the repo's substitute for a real MPI installation: ranks, typed
+// point-to-point sends, and source/tag-matched receives, enough to host
+// both the fault-intolerant collectives (mpi/collectives.hpp) and the
+// paper's fault-tolerant barrier (mpi/ft_barrier_mpi.hpp) over the same
+// fault-injecting transport.
+//
+// Fault surface: corrupted messages (checksum mismatch) are discarded on
+// receipt — detectable corruption degenerates to loss, as in the paper's
+// fault classification. Loss itself surfaces as a receive timeout, which
+// the layers above translate into the MPI alternatives: abort, error code,
+// or tolerance.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/network.hpp"
+
+namespace ftbar::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// MPI-style error results for collectives and receives.
+enum class Err {
+  kSuccess = 0,
+  kTimeout,  ///< a peer did not respond in time (loss or crash)
+};
+
+struct Recvd {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  template <class T>
+  [[nodiscard]] std::optional<T> as() const noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload.size() != sizeof(T)) return std::nullopt;
+    T out;
+    std::memcpy(&out, payload.data(), sizeof(T));
+    return out;
+  }
+};
+
+/// A rank's endpoint. One Communicator per rank; not thread-safe (each rank
+/// is driven by exactly one thread, as in MPI).
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<runtime::Network> net, int rank)
+      : net_(std::move(net)), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return net_->size(); }
+  [[nodiscard]] runtime::Network& network() noexcept { return *net_; }
+
+  void send_bytes(int dst, int tag, std::span<const std::byte> bytes) {
+    net_->send(rank_, dst, tag, bytes);
+  }
+
+  template <class T>
+  void send(int dst, int tag, const T& value) {
+    net_->send_value(rank_, dst, tag, value);
+  }
+
+  /// Receives the next message matching (src, tag), where kAnySource /
+  /// kAnyTag match everything. Non-matching messages are queued for later
+  /// receives; corrupted messages are dropped. Returns nullopt on timeout.
+  std::optional<Recvd> recv(int src, int tag, std::chrono::milliseconds timeout);
+
+  /// Re-queues a message for a later recv. Used by layers that pull raw
+  /// network messages (e.g. the tolerant barrier) when they encounter
+  /// traffic destined for someone else's matching loop.
+  void stash(Recvd r) { pending_.push_back(std::move(r)); }
+
+  template <class T>
+  std::optional<T> recv_value(int src, int tag, std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left <= std::chrono::milliseconds::zero()) return std::nullopt;
+      const auto m = recv(src, tag, left);
+      if (!m) return std::nullopt;
+      if (const auto v = m->as<T>()) return v;
+      // Wrong size for T: treat like corruption and keep waiting.
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool matches(const Recvd& m, int src, int tag) noexcept {
+    return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::shared_ptr<runtime::Network> net_;
+  int rank_;
+  std::deque<Recvd> pending_;
+};
+
+}  // namespace ftbar::mpi

@@ -1,0 +1,109 @@
+#include "mpi/ft_barrier_mpi.hpp"
+
+namespace ftbar::mpi {
+
+namespace {
+constexpr int kMbStateTag = 110;
+constexpr int kMbByeTag = 111;
+}
+
+FtBarrier::FtBarrier(Communicator comm, FtMode mode, FtBarrierOptions options)
+    : comm_(std::move(comm)),
+      mode_(mode),
+      options_(options),
+      engine_(comm_.rank(), comm_.size(), options.num_phases) {}
+
+WaitResult FtBarrier::wait(bool ok) {
+  return mode_ == FtMode::kTolerant ? wait_tolerant(ok) : wait_intolerant();
+}
+
+WaitResult FtBarrier::wait_intolerant() {
+  const auto err =
+      tree_barrier(comm_, epoch_++, CollectiveOptions{options_.intolerant_timeout});
+  if (err != Err::kSuccess && mode_ == FtMode::kAbort) throw BarrierAborted();
+  return WaitResult{err, {}};
+}
+
+void FtBarrier::publish() {
+  const int rank = comm_.rank();
+  const int size = comm_.size();
+  const auto ws = engine_.wire_state();
+  comm_.send((rank + 1) % size, kMbStateTag, ws);
+  comm_.send((rank + size - 1) % size, kMbStateTag, ws);
+}
+
+void FtBarrier::pump() {
+  const int rank = comm_.rank();
+  const int pred = (rank + comm_.size() - 1) % comm_.size();
+  // Pull raw messages so the link sequence numbers are visible for the
+  // reorder/duplication filter.
+  if (auto m = comm_.network().recv(rank, options_.poll)) {
+    if (m->tag == kMbStateTag) {
+      if (runtime::Network::verify(*m)) {
+        if (const auto ws = runtime::Network::decode<core::WireState>(*m)) {
+          auto& last = m->src == pred ? last_seq_pred_ : last_seq_succ_;
+          if (m->link_seq >= last) {
+            last = m->link_seq + 1;
+            engine_.on_neighbor_state(m->src, *ws);
+          }
+        }
+      }
+    } else if (m->tag == kMbByeTag) {
+      if (const auto mask = runtime::Network::decode<std::uint64_t>(*m)) {
+        bye_mask_ |= *mask;
+      }
+    } else if (runtime::Network::verify(*m)) {
+      // Someone else's traffic: keep it for the communicator's matcher.
+      comm_.stash(Recvd{m->src, m->tag, std::move(m->payload)});
+    }
+  }
+  const bool changed = engine_.step();
+  const auto now = std::chrono::steady_clock::now();
+  if (changed || now - last_publish_ >= options_.retransmit_every) {
+    publish();
+    last_publish_ = now;
+  }
+}
+
+WaitResult FtBarrier::wait_tolerant(bool ok) {
+  if (!ok) engine_.inject_detectable_fault();
+  engine_.step();
+  publish();
+  last_publish_ = std::chrono::steady_clock::now();
+  for (;;) {
+    if (auto ticket = engine_.take_ticket()) {
+      publish();  // keep the wave moving before starting phase work
+      return WaitResult{Err::kSuccess, *ticket};
+    }
+    pump();
+  }
+}
+
+void FtBarrier::drain(std::chrono::milliseconds duration) {
+  if (mode_ != FtMode::kTolerant) return;
+  const int rank = comm_.rank();
+  const int size = comm_.size();
+  const std::uint64_t full = size == 64 ? ~0ULL : ((1ULL << size) - 1);
+  bye_mask_ |= 1ULL << rank;
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  auto last_bye = std::chrono::steady_clock::time_point{};
+  while (bye_mask_ != full && std::chrono::steady_clock::now() < deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_bye >= options_.retransmit_every) {
+      for (int peer = 0; peer < size; ++peer) {
+        if (peer != rank) comm_.send(peer, kMbByeTag, bye_mask_);
+      }
+      last_bye = now;
+    }
+    pump();
+    (void)engine_.take_ticket();  // releases past the final wait are moot
+  }
+  // Parting shots for peers that are still draining.
+  for (int round = 0; round < 3; ++round) {
+    for (int peer = 0; peer < size; ++peer) {
+      if (peer != rank) comm_.send(peer, kMbByeTag, bye_mask_);
+    }
+  }
+}
+
+}  // namespace ftbar::mpi

@@ -1,0 +1,87 @@
+// The paper's "third alternative" for MPI barrier synchronization.
+//
+// MPI traditionally offers two ways of dealing with faults: (i) abort the
+// program, and (ii) return an error code and leave recovery to the user.
+// This binding adds (iii): tolerate the fault — program MB runs under the
+// barrier so that detectable faults (message loss, duplication, reorder,
+// detectable corruption, a rank losing its state) are masked by
+// re-executing the affected phase, per the paper's Section 1 and 8 goals.
+//
+//   FtMode::kAbort     - intolerant tree barrier; a timeout throws
+//                        BarrierAborted (the MPI_Abort analogue).
+//   FtMode::kErrorCode - intolerant tree barrier; a timeout returns
+//                        Err::kTimeout and the caller must recover.
+//   FtMode::kTolerant  - program MB over the same communicator; the wait
+//                        returns a PhaseTicket that says which phase to run
+//                        next and whether the previous one must be redone.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/ft_barrier.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+
+namespace ftbar::mpi {
+
+enum class FtMode { kAbort, kErrorCode, kTolerant };
+
+/// Thrown by FtMode::kAbort when a peer fails, standing in for MPI_Abort.
+class BarrierAborted : public std::runtime_error {
+ public:
+  BarrierAborted() : std::runtime_error("barrier aborted: peer fault detected") {}
+};
+
+struct FtBarrierOptions {
+  int num_phases = 64;
+  std::chrono::milliseconds retransmit_every{2};
+  std::chrono::milliseconds poll{1};
+  /// Timeout for the intolerant modes (kAbort / kErrorCode).
+  std::chrono::milliseconds intolerant_timeout{1000};
+};
+
+struct WaitResult {
+  Err err = Err::kSuccess;
+  core::PhaseTicket ticket{};  ///< meaningful in kTolerant mode
+};
+
+/// Persistent barrier object bound to one rank's communicator.
+class FtBarrier {
+ public:
+  FtBarrier(Communicator comm, FtMode mode, FtBarrierOptions options = {});
+
+  [[nodiscard]] FtMode mode() const noexcept { return mode_; }
+
+  /// Completes one barrier episode. In kTolerant mode `ok=false` reports
+  /// that this rank's phase work was lost, forcing a re-execution
+  /// everywhere. In the intolerant modes `ok` is ignored (they have no
+  /// recovery channel — that is the point of the comparison).
+  WaitResult wait(bool ok = true);
+
+  /// Keeps servicing the protocol (republish + consume, tickets discarded)
+  /// for `duration` after this rank's LAST wait, so peers still blocked in
+  /// theirs can observe the final wave even when its messages were lost.
+  /// The message-passing analogue of FaultTolerantBarrier::finalize(); a
+  /// no-op in the intolerant modes.
+  void drain(std::chrono::milliseconds duration = std::chrono::milliseconds(500));
+
+ private:
+  WaitResult wait_tolerant(bool ok);
+  WaitResult wait_intolerant();
+  void publish();
+  void pump();
+
+  Communicator comm_;
+  FtMode mode_;
+  FtBarrierOptions options_;
+  core::MbEngine engine_;
+  std::uint64_t epoch_ = 0;        ///< intolerant-mode collective stamp
+  std::uint64_t last_seq_pred_ = 0;
+  std::uint64_t last_seq_succ_ = 0;
+  std::uint64_t bye_mask_ = 0;  ///< drain(): peers known to be done
+  std::chrono::steady_clock::time_point last_publish_{};
+};
+
+}  // namespace ftbar::mpi

@@ -1,0 +1,100 @@
+// Bounded MPMC channel used as the per-rank inbox of the in-process network.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace ftbar::runtime {
+
+template <class T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full. Returns false (and drops the value) if closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || full_locked()) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a value is available or the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    return pop_locked();
+  }
+
+  /// Waits up to `timeout`; nullopt on timeout or closed-and-drained.
+  std::optional<T> pop_wait_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !queue_.empty(); });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  /// Closes the channel: pending pops drain the queue, pushes fail.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  [[nodiscard]] bool full_locked() const {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
+
+  std::optional<T> pop_locked() {
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(queue_.front()));
+    queue_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ftbar::runtime

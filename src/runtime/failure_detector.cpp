@@ -1,0 +1,62 @@
+#include "runtime/failure_detector.hpp"
+
+namespace ftbar::runtime {
+
+SuspectTracker::SuspectTracker(int num_ranks, int self, Clock::duration timeout)
+    : num_ranks_(num_ranks),
+      self_(self),
+      timeout_(timeout),
+      last_seen_(static_cast<std::size_t>(num_ranks), Clock::time_point{}) {
+  // Everyone gets the benefit of the doubt at construction time.
+  const auto now = Clock::now();
+  for (auto& t : last_seen_) t = now;
+}
+
+void SuspectTracker::record(int rank, Clock::time_point now) {
+  if (rank < 0 || rank >= num_ranks_) return;
+  auto& slot = last_seen_[static_cast<std::size_t>(rank)];
+  if (now > slot) slot = now;
+}
+
+bool SuspectTracker::is_suspected(int rank, Clock::time_point now) const {
+  if (rank == self_ || rank < 0 || rank >= num_ranks_) return false;
+  return now - last_seen_[static_cast<std::size_t>(rank)] > timeout_;
+}
+
+std::vector<int> SuspectTracker::suspected(Clock::time_point now) const {
+  std::vector<int> out;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (is_suspected(r, now)) out.push_back(r);
+  }
+  return out;
+}
+
+HeartbeatDetector::HeartbeatDetector(std::shared_ptr<Network> net, int rank,
+                                     SuspectTracker::Clock::duration beat_every,
+                                     SuspectTracker::Clock::duration timeout)
+    : net_(std::move(net)),
+      rank_(rank),
+      beat_every_(beat_every),
+      tracker_(net_->size(), rank, timeout),
+      last_beat_(SuspectTracker::Clock::time_point{}) {}
+
+void HeartbeatDetector::beat() {
+  const auto now = SuspectTracker::Clock::now();
+  if (now - last_beat_ < beat_every_) return;
+  last_beat_ = now;
+  for (int peer = 0; peer < net_->size(); ++peer) {
+    if (peer != rank_) {
+      net_->send_value(rank_, peer, kHeartbeatTag, static_cast<std::uint8_t>(1));
+    }
+  }
+}
+
+bool HeartbeatDetector::observe(const Message& m) {
+  // ANY verified message is a sign of life, not just heartbeats.
+  if (Network::verify(m)) {
+    tracker_.record(m.src, SuspectTracker::Clock::now());
+  }
+  return m.tag == kHeartbeatTag;
+}
+
+}  // namespace ftbar::runtime

@@ -1,0 +1,85 @@
+// Heartbeat failure detector: turns SILENT faults (a hung process, a
+// crashed rank) into DETECTABLE ones, which is the precondition for the
+// paper's masking machinery — a fail-stopped peer must be noticed before
+// the barrier can decide to re-execute the phase or hand the rank's work
+// elsewhere.
+//
+// Two layers:
+//   SuspectTracker — pure logic: record(rank, time) on every sign of life,
+//     suspected(now) lists ranks silent for longer than the timeout.
+//     Deterministic and directly unit-testable.
+//   HeartbeatDetector — the wire loop over runtime::Network: beat() sends
+//     heartbeats to every peer, observe() feeds received messages, and
+//     suspected() applies the tracker. Drive both from the rank's poll
+//     loop (the same place the barrier's retransmission lives).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/network.hpp"
+
+namespace ftbar::runtime {
+
+/// Pure suspicion logic over abstract timestamps.
+class SuspectTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  SuspectTracker(int num_ranks, int self, Clock::duration timeout);
+
+  /// Records a sign of life from `rank` at `now`.
+  void record(int rank, Clock::time_point now);
+
+  /// Ranks (other than self) whose last sign of life is older than the
+  /// timeout relative to `now`.
+  [[nodiscard]] std::vector<int> suspected(Clock::time_point now) const;
+
+  [[nodiscard]] bool is_suspected(int rank, Clock::time_point now) const;
+
+  /// Time of the last sign of life from `rank`.
+  [[nodiscard]] Clock::time_point last_seen(int rank) const {
+    return last_seen_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  int num_ranks_;
+  int self_;
+  Clock::duration timeout_;
+  std::vector<Clock::time_point> last_seen_;
+};
+
+/// Wire protocol over the in-process network.
+class HeartbeatDetector {
+ public:
+  static constexpr int kHeartbeatTag = 300;
+
+  HeartbeatDetector(std::shared_ptr<Network> net, int rank,
+                    SuspectTracker::Clock::duration beat_every,
+                    SuspectTracker::Clock::duration timeout);
+
+  /// Sends a heartbeat to every peer if the beat interval elapsed.
+  void beat();
+
+  /// Feeds a received message; returns true if it was a heartbeat (and was
+  /// consumed), false if the caller should process it itself.
+  bool observe(const Message& m);
+
+  [[nodiscard]] std::vector<int> suspected() const {
+    return tracker_.suspected(SuspectTracker::Clock::now());
+  }
+  [[nodiscard]] bool is_suspected(int rank) const {
+    return tracker_.is_suspected(rank, SuspectTracker::Clock::now());
+  }
+
+ private:
+  std::shared_ptr<Network> net_;
+  int rank_;
+  SuspectTracker::Clock::duration beat_every_;
+  SuspectTracker tracker_;
+  SuspectTracker::Clock::time_point last_beat_;
+};
+
+}  // namespace ftbar::runtime

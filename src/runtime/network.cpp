@@ -1,0 +1,116 @@
+#include "runtime/network.hpp"
+
+namespace ftbar::runtime {
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Network::Network(int num_ranks, std::uint64_t seed, std::size_t inbox_capacity)
+    : num_ranks_(num_ranks),
+      links_(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks)),
+      rng_(seed) {
+  inboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    inboxes_.push_back(std::make_unique<Channel<Message>>(inbox_capacity));
+  }
+}
+
+void Network::set_default_faults(const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_faults_ = faults;
+}
+
+void Network::set_link_faults(int src, int dst, const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_[link_index(src, dst)].faults = faults;
+}
+
+void Network::deliver(Message m) {
+  // try_push: a full inbox drops the message (buffer exhaustion fault).
+  if (inboxes_[static_cast<std::size_t>(m.dst)]->try_push(std::move(m))) {
+    ++stats_.delivered;
+  } else {
+    ++stats_.dropped;
+  }
+}
+
+void Network::send(int src, int dst, int tag, std::span<const std::byte> bytes) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload.assign(bytes.begin(), bytes.end());
+  m.checksum = fnv1a(bytes);
+
+  std::vector<Message> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Link& link = links_[link_index(src, dst)];
+    m.link_seq = link.next_seq++;
+    const LinkFaults faults = link.faults.value_or(default_faults_);
+    ++stats_.sent;
+
+    if (rng_.bernoulli(faults.drop)) {
+      ++stats_.dropped;
+      // A dropped message still releases any held-back message so reorder
+      // holdbacks cannot be starved forever.
+      if (link.held) {
+        out.push_back(std::move(*link.held));
+        link.held.reset();
+      }
+    } else {
+      if (rng_.bernoulli(faults.corrupt) && !m.payload.empty()) {
+        ++stats_.corrupted;
+        m.payload[0] ^= std::byte{0xFF};  // checksum now fails: detectable
+      }
+      const bool dup = rng_.bernoulli(faults.duplicate);
+      if (dup) ++stats_.duplicated;
+
+      if (link.held) {
+        // The held message is released AFTER this one: the swap is the reorder.
+        out.push_back(m);
+        if (dup) out.push_back(m);
+        out.push_back(std::move(*link.held));
+        link.held.reset();
+      } else if (rng_.bernoulli(faults.reorder)) {
+        ++stats_.reordered;
+        link.held = m;
+        if (dup) out.push_back(std::move(m));  // the duplicate goes out now
+      } else {
+        out.push_back(m);
+        if (dup) out.push_back(std::move(m));
+      }
+    }
+  }
+  for (auto& msg : out) deliver(std::move(msg));
+}
+
+std::optional<Message> Network::recv(int rank, std::chrono::milliseconds timeout) {
+  return inboxes_[static_cast<std::size_t>(rank)]->pop_wait_for(timeout);
+}
+
+std::optional<Message> Network::try_recv(int rank) {
+  return inboxes_[static_cast<std::size_t>(rank)]->try_pop();
+}
+
+bool Network::verify(const Message& m) noexcept {
+  return fnv1a(std::span<const std::byte>(m.payload.data(), m.payload.size())) ==
+         m.checksum;
+}
+
+void Network::shutdown() {
+  for (auto& inbox : inboxes_) inbox->close();
+}
+
+Network::Stats Network::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ftbar::runtime

@@ -1,0 +1,125 @@
+// In-process message-passing network with per-link fault injection.
+//
+// This is the testbed substitute for a real cluster interconnect: ranks
+// exchange byte messages through per-rank inboxes while the network injects
+// the paper's communication faults — loss, duplication, detectable
+// corruption (checksum mismatch) and reorder — at configurable per-link
+// probabilities. Messages carry a per-link sequence number so higher layers
+// can discard stale deliveries (turning reorder into a detectable,
+// maskable fault, as the paper's fault classification requires).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/channel.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::runtime {
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::uint64_t link_seq = 0;  ///< monotone per (src,dst,tag-agnostic) link
+  std::vector<std::byte> payload;
+  std::uint64_t checksum = 0;  ///< FNV-1a over payload, set at send time
+};
+
+/// Per-link fault-injection probabilities (each applied independently).
+struct LinkFaults {
+  double drop = 0.0;       ///< message vanishes
+  double duplicate = 0.0;  ///< message delivered twice
+  double corrupt = 0.0;    ///< payload bytes flipped; checksum then fails
+  double reorder = 0.0;    ///< message held back and swapped with the next
+};
+
+class Network {
+ public:
+  Network(int num_ranks, std::uint64_t seed, std::size_t inbox_capacity = 1024);
+
+  [[nodiscard]] int size() const noexcept { return num_ranks_; }
+
+  /// Applies to every link without an explicit per-link setting.
+  void set_default_faults(const LinkFaults& faults);
+  void set_link_faults(int src, int dst, const LinkFaults& faults);
+
+  /// Sends `bytes` from src to dst, subject to fault injection. Messages to
+  /// a full inbox are dropped (counted as losses) — the fault model calls
+  /// this "non-availability of buffers".
+  void send(int src, int dst, int tag, std::span<const std::byte> bytes);
+
+  /// Sends a trivially copyable value.
+  template <class T>
+  void send_value(int src, int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(src, dst, tag,
+         std::span<const std::byte>(reinterpret_cast<const std::byte*>(&value),
+                                    sizeof(T)));
+  }
+
+  /// Blocking receive with timeout; nullopt on timeout or shutdown.
+  std::optional<Message> recv(int rank, std::chrono::milliseconds timeout);
+  std::optional<Message> try_recv(int rank);
+
+  /// True when the payload matches its checksum (i.e. not corrupted).
+  [[nodiscard]] static bool verify(const Message& m) noexcept;
+
+  /// Decodes a trivially copyable value; nullopt on size or checksum
+  /// mismatch (corruption is detected, never silently consumed).
+  template <class T>
+  [[nodiscard]] static std::optional<T> decode(const Message& m) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (m.payload.size() != sizeof(T) || !verify(m)) return std::nullopt;
+    T out;
+    std::memcpy(&out, m.payload.data(), sizeof(T));
+    return out;
+  }
+
+  /// Closes every inbox; pending and future recvs drain/return nullopt.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t reordered = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Link {
+    std::uint64_t next_seq = 0;
+    std::optional<LinkFaults> faults;  ///< overrides the default when set
+    std::optional<Message> held;       ///< reorder holdback slot
+  };
+
+  [[nodiscard]] std::size_t link_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
+           static_cast<std::size_t>(dst);
+  }
+  void deliver(Message m);
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Channel<Message>>> inboxes_;
+  mutable std::mutex mutex_;  ///< guards links_, default_faults_, rng_, stats_
+  std::vector<Link> links_;
+  LinkFaults default_faults_;
+  util::Rng rng_;
+  Stats stats_;
+};
+
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept;
+
+}  // namespace ftbar::runtime

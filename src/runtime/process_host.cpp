@@ -1,0 +1,75 @@
+#include "runtime/process_host.hpp"
+
+#include <stdexcept>
+
+namespace ftbar::runtime {
+
+ProcessHost::ProcessHost(int num_ranks, RankMain main)
+    : num_ranks_(num_ranks),
+      main_(std::move(main)),
+      slots_(static_cast<std::size_t>(num_ranks)) {}
+
+ProcessHost::~ProcessHost() { shutdown(); }
+
+void ProcessHost::launch(int rank) {
+  auto& slot = slots_[static_cast<std::size_t>(rank)];
+  ++slot.generation;
+  slot.alive->store(true, std::memory_order_release);
+  const int generation = slot.generation;
+  std::atomic<bool>* alive = slot.alive.get();
+  slot.thread = std::thread([this, rank, generation, alive] {
+    main_(rank, generation, *alive);
+  });
+}
+
+void ProcessHost::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (!slots_[static_cast<std::size_t>(r)].thread.joinable()) launch(r);
+  }
+}
+
+void ProcessHost::kill(int rank) {
+  std::thread victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = slots_[static_cast<std::size_t>(rank)];
+    if (!slot.thread.joinable()) return;
+    slot.alive->store(false, std::memory_order_release);
+    victim = std::move(slot.thread);
+  }
+  victim.join();
+}
+
+void ProcessHost::restart(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = slots_[static_cast<std::size_t>(rank)];
+  if (slot.thread.joinable()) {
+    throw std::logic_error("ProcessHost::restart: rank is still running");
+  }
+  launch(rank);
+}
+
+bool ProcessHost::alive(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[static_cast<std::size_t>(rank)].alive->load(std::memory_order_acquire);
+}
+
+int ProcessHost::generation(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[static_cast<std::size_t>(rank)].generation;
+}
+
+void ProcessHost::shutdown() {
+  std::vector<std::thread> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& slot : slots_) {
+      slot.alive->store(false, std::memory_order_release);
+      if (slot.thread.joinable()) victims.push_back(std::move(slot.thread));
+    }
+  }
+  for (auto& t : victims) t.join();
+}
+
+}  // namespace ftbar::runtime

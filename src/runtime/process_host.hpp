@@ -1,0 +1,60 @@
+// Per-rank thread hosting with cooperative kill/restart — the processor
+// fail-stop / repair / reboot fault of the paper's fault model, realized on
+// std::thread. A killed rank's main observes `alive` turning false and
+// unwinds; restart() launches a fresh incarnation with a new generation
+// number so the rank can rejoin a protocol via its detectable-fault path.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftbar::runtime {
+
+class ProcessHost {
+ public:
+  /// Rank main: loops doing work while `alive` is true; `generation` is 0
+  /// for the first incarnation and increments on every restart.
+  using RankMain = std::function<void(int rank, int generation,
+                                      const std::atomic<bool>& alive)>;
+
+  ProcessHost(int num_ranks, RankMain main);
+  ~ProcessHost();
+
+  ProcessHost(const ProcessHost&) = delete;
+  ProcessHost& operator=(const ProcessHost&) = delete;
+
+  /// Launches every rank (generation 0).
+  void start();
+
+  /// Fail-stops a rank: its alive flag drops and its thread is joined.
+  void kill(int rank);
+
+  /// Restarts a previously killed rank with the next generation number.
+  void restart(int rank);
+
+  [[nodiscard]] bool alive(int rank) const;
+  [[nodiscard]] int generation(int rank) const;
+
+  /// Signals every rank to stop and joins all threads.
+  void shutdown();
+
+ private:
+  struct Slot {
+    std::unique_ptr<std::atomic<bool>> alive = std::make_unique<std::atomic<bool>>(false);
+    std::thread thread;
+    int generation = -1;
+  };
+
+  void launch(int rank);
+
+  int num_ranks_;
+  RankMain main_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ftbar::runtime

@@ -1,0 +1,42 @@
+// Guarded-command actions, the unit of computation in the paper's model.
+//
+// A program is a set of processes, each a finite set of actions
+//     (name) :: (guard) -> (statement)
+// where the guard is a boolean expression over the variables of that and
+// possibly other processes, and the statement updates zero or more
+// variables of that process (paper, Section 2).
+//
+// We represent the whole-system state as std::vector<P> where P is the
+// per-process record for the protocol at hand (e.g. {sn, cp, ph}). An
+// action's guard may read the entire vector; its statement must, by
+// convention, write only element `process` — the maximal-parallel engine
+// relies on this to merge simultaneous statements.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ftbar::sim {
+
+template <class P>
+struct Action {
+  using State = std::vector<P>;
+
+  std::string name;   ///< e.g. "CB1@3" — unique per (rule, process).
+  int process;        ///< owning process index; the only index `apply` may write.
+  std::function<bool(const State&)> guard;
+  std::function<void(State&)> apply;
+
+  [[nodiscard]] bool enabled(const State& s) const { return guard(s); }
+};
+
+/// Convenience builder keeping action definitions terse at call sites.
+template <class P>
+Action<P> make_action(std::string name, int process,
+                      std::function<bool(const std::vector<P>&)> guard,
+                      std::function<void(std::vector<P>&)> apply) {
+  return Action<P>{std::move(name), process, std::move(guard), std::move(apply)};
+}
+
+}  // namespace ftbar::sim

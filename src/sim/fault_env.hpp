@@ -1,0 +1,65 @@
+// Fault environments for the untimed step engine.
+//
+// The paper represents each fault as an action that assigns either "reset"
+// values (detectable fault) or nondeterministically chosen values from the
+// variable domains (undetectable fault). A FaultEnv injects such fault
+// actions between program steps, each process being hit independently with
+// a fixed per-step probability — the discrete analogue of the fault
+// frequency f of Section 6.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbar::sim {
+
+template <class P>
+class FaultEnv {
+ public:
+  using Perturb = std::function<void(std::size_t, P&, util::Rng&)>;
+
+  FaultEnv(double per_step_prob, Perturb perturb, util::Rng rng)
+      : prob_(per_step_prob), perturb_(std::move(perturb)), rng_(rng) {}
+
+  /// Visits every process; each is corrupted independently with the
+  /// configured probability. Returns how many faults were injected.
+  std::size_t maybe_inject(std::vector<P>& state) {
+    std::size_t injected = 0;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (rng_.bernoulli(prob_)) {
+        perturb_(i, state[i], rng_);
+        ++injected;
+      }
+    }
+    total_ += injected;
+    return injected;
+  }
+
+  /// Unconditionally corrupts every process — used to start stabilization
+  /// experiments from an arbitrary state.
+  void perturb_all(std::vector<P>& state) {
+    for (std::size_t i = 0; i < state.size(); ++i) perturb_(i, state[i], rng_);
+    total_ += state.size();
+  }
+
+  /// Corrupts exactly one (randomly chosen) process.
+  void perturb_one(std::vector<P>& state) {
+    const auto i = rng_.uniform(state.size());
+    perturb_(i, state[i], rng_);
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t total_injected() const noexcept { return total_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  double prob_;
+  Perturb perturb_;
+  util::Rng rng_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ftbar::sim

@@ -1,0 +1,193 @@
+// Exhaustive state-space exploration for small instances of the paper's
+// guarded-command programs. Used by the test suite to machine-check the
+// lemmas of Sections 3-5 (safety invariants, closure of the legitimate
+// state set, and convergence back to it) instead of trusting sampled runs.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/action.hpp"
+
+namespace ftbar::sim {
+
+/// Result of an exploration. `violation` holds the first state failing the
+/// invariant (if any); `truncated` is set when max_states was hit.
+template <class P>
+struct ExploreResult {
+  std::size_t states_visited = 0;
+  std::optional<std::vector<P>> violation;
+  std::string violated_by;  ///< action that produced the violating state.
+  bool truncated = false;
+};
+
+/// Breadth-first exploration of all states reachable from `initial` via the
+/// interleaving semantics (one action per transition). `Hash` must hash a
+/// whole-system state; P needs operator==.
+template <class P, class Hash>
+class Explorer {
+ public:
+  using State = std::vector<P>;
+
+  Explorer(std::vector<Action<P>> actions, Hash hash, std::size_t max_states = 2'000'000)
+      : actions_(std::move(actions)), hash_(hash), max_states_(max_states) {}
+
+  /// Explores from every state in `roots`; stops early on the first state
+  /// violating `invariant` (pass an always-true predicate to just collect).
+  ExploreResult<P> explore(const std::vector<State>& roots,
+                           const std::function<bool(const State&)>& invariant) {
+    seen_.clear();
+    order_.clear();
+    edges_.clear();
+    ExploreResult<P> result;
+    std::deque<std::size_t> frontier;
+    for (const auto& root : roots) {
+      if (!invariant(root)) {
+        result.violation = root;
+        result.violated_by = "<initial>";
+        result.states_visited = order_.size();
+        return result;
+      }
+      if (auto id = intern(root)) frontier.push_back(*id);
+    }
+    while (!frontier.empty()) {
+      if (order_.size() >= max_states_) {
+        result.truncated = true;
+        break;
+      }
+      const auto id = frontier.front();
+      frontier.pop_front();
+      const State current = order_[id];  // copy: order_ may reallocate below
+      for (const auto& action : actions_) {
+        if (!action.enabled(current)) continue;
+        State next = current;
+        action.apply(next);
+        if (!invariant(next)) {
+          result.violation = next;
+          result.violated_by = action.name;
+          result.states_visited = order_.size();
+          return result;
+        }
+        if (auto nid = intern(next)) frontier.push_back(*nid);
+        edges_[id].push_back(id_of(next));
+      }
+    }
+    result.states_visited = order_.size();
+    return result;
+  }
+
+  /// All distinct states seen by the last explore().
+  [[nodiscard]] const std::vector<State>& states() const noexcept { return order_; }
+
+  /// True iff from every reachable state some state satisfying `legit` is
+  /// reachable (possibility of convergence; inevitability under fairness is
+  /// checked separately with no_cycle_outside()).
+  [[nodiscard]] bool legit_reachable_from_all(
+      const std::function<bool(const State&)>& legit) const {
+    // Reverse-BFS from legit states over reversed edges.
+    std::vector<char> ok(order_.size(), 0);
+    std::deque<std::size_t> frontier;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (legit(order_[i])) {
+        ok[i] = 1;
+        frontier.push_back(i);
+      }
+    }
+    // Build reverse adjacency.
+    std::vector<std::vector<std::size_t>> rev(order_.size());
+    for (const auto& [from, tos] : edges_) {
+      for (auto to : tos) rev[to].push_back(from);
+    }
+    while (!frontier.empty()) {
+      const auto v = frontier.front();
+      frontier.pop_front();
+      for (auto u : rev[v]) {
+        if (!ok[u]) {
+          ok[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (!ok[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the transition graph restricted to non-legit states is acyclic
+  /// and has no terminal (deadlocked) non-legit state — a sufficient
+  /// condition for convergence under ANY (even unfair) scheduling.
+  [[nodiscard]] bool converges_outside(
+      const std::function<bool(const State&)>& legit) const {
+    const std::size_t n = order_.size();
+    std::vector<char> is_legit(n, 0);
+    for (std::size_t i = 0; i < n; ++i) is_legit[i] = legit(order_[i]) ? 1 : 0;
+    // Deadlock check: a non-legit state with no outgoing edges never recovers.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_legit[i]) continue;
+      auto it = edges_.find(i);
+      if (it == edges_.end() || it->second.empty()) return false;
+    }
+    // Cycle check among non-legit states (iterative DFS, colors).
+    std::vector<char> color(n, 0);  // 0 white, 1 gray, 2 black
+    for (std::size_t s = 0; s < n; ++s) {
+      if (is_legit[s] || color[s] != 0) continue;
+      std::vector<std::pair<std::size_t, std::size_t>> stack{{s, 0}};
+      color[s] = 1;
+      while (!stack.empty()) {
+        const auto v = stack.back().first;
+        const auto it = edges_.find(v);
+        const auto& out = it == edges_.end() ? empty_ : it->second;
+        if (stack.back().second < out.size()) {
+          const auto w = out[stack.back().second++];
+          if (is_legit[w]) continue;        // edges into legit states are fine
+          if (color[w] == 1) return false;  // back edge: cycle outside legit
+          if (color[w] == 0) {
+            color[w] = 1;
+            stack.emplace_back(w, 0);
+          }
+          continue;
+        }
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::optional<std::size_t> intern(const State& s) {
+    const auto key = hash_(s);
+    auto [it, inserted] = seen_.emplace(key, std::vector<std::size_t>{});
+    for (auto id : it->second) {
+      if (order_[id] == s) return std::nullopt;  // already present
+    }
+    const auto id = order_.size();
+    order_.push_back(s);
+    it->second.push_back(id);
+    return id;
+  }
+
+  std::size_t id_of(const State& s) const {
+    const auto it = seen_.find(hash_(s));
+    for (auto id : it->second) {
+      if (order_[id] == s) return id;
+    }
+    return static_cast<std::size_t>(-1);  // unreachable by construction
+  }
+
+  std::vector<Action<P>> actions_;
+  Hash hash_;
+  std::size_t max_states_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen_;
+  std::vector<State> order_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> edges_;
+  std::vector<std::size_t> empty_;
+};
+
+}  // namespace ftbar::sim

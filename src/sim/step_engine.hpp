@@ -1,0 +1,124 @@
+// Untimed execution engine for guarded-command programs.
+//
+// Two semantics are provided, mirroring the paper:
+//  - kInterleaving: in every step one enabled action is chosen and its
+//    statement executed atomically; randomized choice gives probabilistic
+//    weak fairness (Section 2).
+//  - kMaxParallel:  in every step EVERY process executes one of its enabled
+//    actions unless all its actions are disabled (Section 6, "maximum
+//    parallel semantics"). Statements of a step read the pre-state — the
+//    standard synchronous interpretation — which is sound because a
+//    statement writes only its own process's variables.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::sim {
+
+enum class Semantics { kInterleaving, kMaxParallel };
+
+template <class P>
+class StepEngine {
+ public:
+  using State = std::vector<P>;
+
+  StepEngine(State initial, std::vector<Action<P>> actions, util::Rng rng,
+             Semantics semantics = Semantics::kInterleaving)
+      : state_(std::move(initial)),
+        actions_(std::move(actions)),
+        rng_(rng),
+        semantics_(semantics) {}
+
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  [[nodiscard]] State& mutable_state() noexcept { return state_; }
+  [[nodiscard]] const std::vector<Action<P>>& actions() const noexcept { return actions_; }
+  [[nodiscard]] Semantics semantics() const noexcept { return semantics_; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
+
+  /// Indices of currently enabled actions.
+  [[nodiscard]] std::vector<std::size_t> enabled() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled(state_)) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// Executes one step under the configured semantics. Returns the number
+  /// of actions executed (0 means the program is quiescent / deadlocked).
+  std::size_t step() {
+    return semantics_ == Semantics::kInterleaving ? step_interleaving()
+                                                  : step_max_parallel();
+  }
+
+  /// Runs until quiescent or `max_steps` steps elapse; returns steps run.
+  std::size_t run(std::size_t max_steps) {
+    std::size_t n = 0;
+    while (n < max_steps && step() > 0) ++n;
+    return n;
+  }
+
+  /// Runs until `pred(state)` holds, quiescence, or the step bound.
+  /// Returns the number of steps taken if the predicate was reached.
+  template <class Pred>
+  std::optional<std::size_t> run_until(Pred&& pred, std::size_t max_steps) {
+    for (std::size_t n = 0; n <= max_steps; ++n) {
+      if (pred(state_)) return n;
+      if (step() == 0) break;
+    }
+    return pred(state_) ? std::optional<std::size_t>(max_steps) : std::nullopt;
+  }
+
+ private:
+  std::size_t step_interleaving() {
+    const auto en = enabled();
+    if (en.empty()) return 0;
+    const auto pick = en[rng_.uniform(en.size())];
+    actions_[pick].apply(state_);
+    ++steps_;
+    return 1;
+  }
+
+  std::size_t step_max_parallel() {
+    // Group enabled actions by process against the pre-state.
+    const State pre = state_;
+    std::vector<std::vector<std::size_t>> per_proc(pre.size());
+    bool any = false;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled(pre)) {
+        per_proc[static_cast<std::size_t>(actions_[i].process)].push_back(i);
+        any = true;
+      }
+    }
+    if (!any) return 0;
+    State next = pre;
+    std::size_t executed = 0;
+    for (std::size_t p = 0; p < per_proc.size(); ++p) {
+      if (per_proc[p].empty()) continue;
+      const auto pick = per_proc[p][rng_.uniform(per_proc[p].size())];
+      // Run the statement against a copy of the pre-state so that reads of
+      // other processes see the state at the start of the step, then keep
+      // only the owner's writes.
+      State scratch = pre;
+      actions_[pick].apply(scratch);
+      next[p] = scratch[p];
+      ++executed;
+    }
+    state_ = std::move(next);
+    ++steps_;
+    return executed;
+  }
+
+  State state_;
+  std::vector<Action<P>> actions_;
+  util::Rng rng_;
+  Semantics semantics_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace ftbar::sim

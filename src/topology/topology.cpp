@@ -1,0 +1,119 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace ftbar::topology {
+
+Topology::Topology(std::vector<int> parent) : parent_(std::move(parent)) {
+  const auto n = parent_.size();
+  children_.assign(n, {});
+  depth_.assign(n, -1);
+  if (n == 0) throw std::invalid_argument("Topology: empty");
+  if (parent_[0] != -1) throw std::invalid_argument("Topology: process 0 must be the root");
+  for (std::size_t j = 1; j < n; ++j) {
+    const int p = parent_[j];
+    if (p < 0 || p >= static_cast<int>(n) || p == static_cast<int>(j)) {
+      throw std::invalid_argument("Topology: invalid parent");
+    }
+    children_[static_cast<std::size_t>(p)].push_back(static_cast<int>(j));
+  }
+  // BFS from the root assigns depths and verifies connectivity/acyclicity.
+  std::deque<int> frontier{0};
+  depth_[0] = 0;
+  std::size_t seen = 1;
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop_front();
+    for (int c : children_[static_cast<std::size_t>(v)]) {
+      if (depth_[static_cast<std::size_t>(c)] != -1) {
+        throw std::invalid_argument("Topology: not a tree");
+      }
+      depth_[static_cast<std::size_t>(c)] = depth_[static_cast<std::size_t>(v)] + 1;
+      ++seen;
+      frontier.push_back(c);
+    }
+  }
+  if (seen != n) throw std::invalid_argument("Topology: disconnected");
+  height_ = *std::max_element(depth_.begin(), depth_.end());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (children_[j].empty()) leaves_.push_back(static_cast<int>(j));
+  }
+}
+
+Topology Topology::from_parents(std::vector<int> parent) {
+  return Topology(std::move(parent));
+}
+
+Topology Topology::ring(int num_procs) {
+  if (num_procs < 1) throw std::invalid_argument("ring: need >= 1 process");
+  std::vector<int> parent(static_cast<std::size_t>(num_procs));
+  for (int j = 0; j < num_procs; ++j) parent[static_cast<std::size_t>(j)] = j - 1;
+  return Topology(std::move(parent));
+}
+
+Topology Topology::two_ring(int num_procs) {
+  if (num_procs < 3) throw std::invalid_argument("two_ring: need >= 3 processes");
+  std::vector<int> parent(static_cast<std::size_t>(num_procs), -1);
+  // Chain A gets the odd indices' share: 1..m, chain B gets m+1..n-1.
+  const int m = (num_procs - 1 + 1) / 2;  // size of the first chain
+  for (int j = 1; j < num_procs; ++j) {
+    if (j == 1 || j == m + 1) {
+      parent[static_cast<std::size_t>(j)] = 0;
+    } else {
+      parent[static_cast<std::size_t>(j)] = j - 1;
+    }
+  }
+  return Topology(std::move(parent));
+}
+
+Topology Topology::kary_tree(int num_procs, int arity) {
+  if (num_procs < 1) throw std::invalid_argument("kary_tree: need >= 1 process");
+  if (arity < 1) throw std::invalid_argument("kary_tree: arity must be >= 1");
+  std::vector<int> parent(static_cast<std::size_t>(num_procs), -1);
+  for (int j = 1; j < num_procs; ++j) {
+    parent[static_cast<std::size_t>(j)] = (j - 1) / arity;
+  }
+  return Topology(std::move(parent));
+}
+
+Topology Topology::spanning_tree(int num_procs,
+                                 const std::vector<std::pair<int, int>>& edges,
+                                 int root) {
+  if (num_procs < 1) throw std::invalid_argument("spanning_tree: need >= 1 process");
+  if (root != 0) {
+    // The protocols pin the decision process to id 0; relabeling is the
+    // caller's responsibility.
+    throw std::invalid_argument("spanning_tree: root must be process 0");
+  }
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_procs));
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || b < 0 || a >= num_procs || b >= num_procs) {
+      throw std::invalid_argument("spanning_tree: edge endpoint out of range");
+    }
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<int> parent(static_cast<std::size_t>(num_procs), -2);
+  parent[0] = -1;
+  std::deque<int> frontier{0};
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop_front();
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (parent[static_cast<std::size_t>(w)] == -2) {
+        parent[static_cast<std::size_t>(w)] = v;
+        frontier.push_back(w);
+      }
+    }
+  }
+  for (int v = 0; v < num_procs; ++v) {
+    if (parent[static_cast<std::size_t>(v)] == -2) {
+      throw std::invalid_argument("spanning_tree: graph is disconnected");
+    }
+  }
+  return Topology(std::move(parent));
+}
+
+}  // namespace ftbar::topology

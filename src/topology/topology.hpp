@@ -1,0 +1,65 @@
+// Process topologies for the distributed refinements (paper, Section 4).
+//
+// All of Figure 2's organizations are spanning trees with the leaves feeding
+// back to the root:
+//   (a) ring            = a single path,
+//   (b) two rings meeting at 0 = two paths from the root,
+//   (c) tree with leaves connected to the root,
+//   (d) double tree     = a spanning tree of an arbitrary graph used twice,
+// so one Topology type (rooted tree + implicit leaf->root links) covers the
+// whole section. The token wave flows root -> children; the root reads the
+// leaves directly to detect that a circulation completed.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace ftbar::topology {
+
+class Topology {
+ public:
+  /// Builds a topology from a parent vector (parent[root] == -1).
+  /// Throws std::invalid_argument unless the vector describes a single
+  /// rooted tree over 0..n-1.
+  static Topology from_parents(std::vector<int> parent);
+
+  /// Figure 2(a): the ring 0 -> 1 -> ... -> n-1 (-> 0 via the leaf link).
+  static Topology ring(int num_procs);
+
+  /// Figure 2(b): two chains from process 0 of sizes as equal as possible.
+  static Topology two_ring(int num_procs);
+
+  /// Figure 2(c): complete-as-possible k-ary tree in BFS order.
+  static Topology kary_tree(int num_procs, int arity);
+
+  /// Figure 2(d): BFS spanning tree of an arbitrary connected graph,
+  /// used as both the top and bottom tree.
+  static Topology spanning_tree(int num_procs,
+                                const std::vector<std::pair<int, int>>& edges,
+                                int root = 0);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(parent_.size()); }
+  [[nodiscard]] int root() const noexcept { return 0; }
+  [[nodiscard]] int parent(int j) const { return parent_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] const std::vector<int>& children(int j) const {
+    return children_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const std::vector<int>& leaves() const noexcept { return leaves_; }
+  [[nodiscard]] bool is_leaf(int j) const {
+    return children_[static_cast<std::size_t>(j)].empty();
+  }
+  [[nodiscard]] int depth(int j) const { return depth_[static_cast<std::size_t>(j)]; }
+  /// Height h of the tree (max depth); the paper's barrier latency is O(h).
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+ private:
+  explicit Topology(std::vector<int> parent);
+
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> leaves_;
+  std::vector<int> depth_;
+  int height_ = 0;
+};
+
+}  // namespace ftbar::topology

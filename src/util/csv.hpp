@@ -1,0 +1,45 @@
+// Tabular output helpers for the benchmark harnesses: each figure/table
+// bench prints an aligned human-readable table to stdout and can also emit
+// machine-readable CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ftbar::util {
+
+/// A cell is a string, an integer, or a double (printed with fixed precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// A simple column-aligned table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of digits after the decimal point for double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Writes an aligned plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting of embedded commas is attempted;
+  /// headers and cells in this library never contain commas).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace ftbar::util

@@ -1,0 +1,35 @@
+// Minimal leveled logging. Off by default so simulations stay quiet; tests
+// and examples can raise the level to trace protocol transitions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ftbar::util {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log level; not synchronized — set it before spawning threads.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits a line to stderr if `level` is enabled. Thread-safe per line.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) <= static_cast<int>(log_level())) {
+    log_line(level, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace ftbar::util

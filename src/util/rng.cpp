@@ -1,0 +1,45 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ftbar::util {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::exponential(double rate) noexcept {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  // Inverse-CDF; 1 - uniform01() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+Rng Rng::fork(std::uint64_t stream) const noexcept {
+  // Hash the current state together with the stream id so forks taken at
+  // different times or with different ids are decorrelated.
+  std::uint64_t h = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+  h ^= state_[2] + 0x632be59bd9b4e019ULL;
+  Rng out(0);
+  out.reseed(splitmix64(h));
+  return out;
+}
+
+}  // namespace ftbar::util

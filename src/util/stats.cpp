@@ -1,0 +1,66 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftbar::util {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const noexcept {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s / static_cast<double>(data_.size());
+}
+
+double Samples::quantile(double q) {
+  if (data_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= data_.size()) return data_.back();
+  return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+}
+
+}  // namespace ftbar::util

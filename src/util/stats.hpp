@@ -1,0 +1,55 @@
+// Online statistics accumulators used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftbar::util {
+
+/// Welford online accumulator: mean / variance / min / max in O(1) space.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; supports exact quantiles. Use for modest sample
+/// counts (simulation repetitions), not per-event streams.
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return data_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by linear interpolation, q in [0, 1]. Sorts lazily.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+}  // namespace ftbar::util

@@ -1,0 +1,97 @@
+#include "analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbar::analysis {
+namespace {
+
+TEST(AnalysisModel, NoFaultNoLatencyIsUnitTime) {
+  const Params p{5, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(phase_time(p), 1.0);
+  EXPECT_DOUBLE_EQ(expected_instances(p), 1.0);
+  EXPECT_DOUBLE_EQ(expected_phase_time(p), 1.0);
+  EXPECT_DOUBLE_EQ(intolerant_phase_time(p), 1.0);
+  EXPECT_DOUBLE_EQ(overhead(p), 0.0);
+}
+
+TEST(AnalysisModel, PhaseTimeFormula) {
+  const Params p{5, 0.01, 0.0};
+  EXPECT_DOUBLE_EQ(phase_time(p), 1.15);        // 1 + 3*5*0.01
+  EXPECT_DOUBLE_EQ(intolerant_phase_time(p), 1.10);  // 1 + 2*5*0.01
+}
+
+TEST(AnalysisModel, PaperOverheadReferencePoints) {
+  // Paper, Section 6.1 (32 processes, h = 5, c = 0.01):
+  //   f = 0    -> overhead 4.5%
+  //   f = 0.01 -> overhead 5.7%
+  //   f = 0.05 -> overhead bounded by 10.8%
+  EXPECT_NEAR(overhead({5, 0.01, 0.0}), 0.045, 0.001);
+  EXPECT_NEAR(overhead({5, 0.01, 0.01}), 0.057, 0.001);
+  EXPECT_NEAR(overhead({5, 0.01, 0.05}), 0.108, 0.001);
+}
+
+TEST(AnalysisModel, PaperReExecutionReferencePoints) {
+  // "when the frequency of faults is small (f <= 0.01), the percentage of
+  //  phases executed incorrectly is lower than 1.6%" (c = 0.01, h = 5)
+  EXPECT_LT(expected_instances({5, 0.01, 0.01}) - 1.0, 0.016);
+  // "even at high communication latency, c = 0.05, when f = 0.01 the
+  //  probability that a phase is re-executed is as low as 1.7%"
+  EXPECT_NEAR(expected_instances({5, 0.05, 0.01}) - 1.0, 0.017, 0.002);
+}
+
+TEST(AnalysisModel, RecoveryBoundWithinQuarterRule) {
+  // Under the paper's assumption 2hc <= 0.5 the bound 5hc is at most 1.25.
+  const Params p{5, 0.05, 0.0};
+  EXPECT_DOUBLE_EQ(recovery_bound(p), 1.25);
+  EXPECT_LE(recovery_bound({5, 0.01, 0.0}), 1.25);
+}
+
+TEST(AnalysisModel, InstancesIncreaseWithFaultFrequency) {
+  double prev = 0.0;
+  for (double f = 0.0; f <= 0.1001; f += 0.01) {
+    const double v = expected_instances({5, 0.01, f});
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(AnalysisModel, InstancesIncreaseWithLatency) {
+  double prev = 0.0;
+  for (double c = 0.0; c <= 0.0501; c += 0.01) {
+    const double v = expected_instances({5, c, 0.05});
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(AnalysisModel, OverheadIncreasesWithFaultFrequency) {
+  EXPECT_LT(overhead({5, 0.01, 0.0}), overhead({5, 0.01, 0.01}));
+  EXPECT_LT(overhead({5, 0.01, 0.01}), overhead({5, 0.01, 0.05}));
+}
+
+TEST(AnalysisModel, ExpectedPhaseTimeConsistency) {
+  const Params p{5, 0.02, 0.03};
+  EXPECT_NEAR(expected_phase_time(p), phase_time(p) * expected_instances(p), 1e-12);
+}
+
+TEST(AnalysisModel, DegenerateFaultFrequencies) {
+  EXPECT_DOUBLE_EQ(no_fault_probability({5, 0.01, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(no_fault_probability({5, 0.01, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(no_fault_probability({5, 0.01, 2.0}), 0.0);
+}
+
+TEST(AnalysisModel, TreeHeight) {
+  EXPECT_EQ(tree_height(1), 0);
+  EXPECT_EQ(tree_height(2), 1);
+  EXPECT_EQ(tree_height(3), 1);
+  EXPECT_EQ(tree_height(4), 2);
+  EXPECT_EQ(tree_height(7), 2);
+  EXPECT_EQ(tree_height(8), 3);
+  EXPECT_EQ(tree_height(32), 5);   // the paper's configuration
+  EXPECT_EQ(tree_height(128), 7);
+  EXPECT_EQ(tree_height(5, 1), 4);  // unary tree = chain
+  EXPECT_EQ(tree_height(13, 3), 2);
+}
+
+}  // namespace
+}  // namespace ftbar::analysis

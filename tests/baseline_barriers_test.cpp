@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baseline/central_barrier.hpp"
+#include "baseline/dissemination_barrier.hpp"
+#include "baseline/tree_barrier.hpp"
+
+namespace ftbar::baseline {
+namespace {
+
+/// Generic correctness harness: after the barrier of round r, every thread
+/// must observe every other thread's counter at >= r (no one is released
+/// before everyone arrived).
+template <class Barrier, class Arrive>
+void check_barrier(Barrier& bar, int num_threads, int rounds, Arrive arrive) {
+  std::vector<std::atomic<int>> progress(static_cast<std::size_t>(num_threads));
+  for (auto& p : progress) p.store(0);
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int r = 1; r <= rounds; ++r) {
+        progress[static_cast<std::size_t>(tid)].store(r, std::memory_order_release);
+        arrive(bar, tid);
+        for (int k = 0; k < num_threads; ++k) {
+          if (progress[static_cast<std::size_t>(k)].load(std::memory_order_acquire) < r) {
+            ++violations;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+class BarrierSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierSweep, CentralBarrierSynchronizes) {
+  const int n = GetParam();
+  CentralBarrier bar(n);
+  check_barrier(bar, n, 50, [](CentralBarrier& b, int) { b.arrive_and_wait(); });
+}
+
+TEST_P(BarrierSweep, TreeBarrierSynchronizes) {
+  const int n = GetParam();
+  TreeBarrier bar(n);
+  check_barrier(bar, n, 50, [](TreeBarrier& b, int tid) { b.arrive_and_wait(tid); });
+}
+
+TEST_P(BarrierSweep, DisseminationBarrierSynchronizes) {
+  const int n = GetParam();
+  DisseminationBarrier bar(n);
+  check_barrier(bar, n, 50,
+                [](DisseminationBarrier& b, int tid) { b.arrive_and_wait(tid); });
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BarrierSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(CentralBarrier, SingleThreadNeverBlocks) {
+  CentralBarrier bar(1);
+  for (int i = 0; i < 100; ++i) bar.arrive_and_wait();
+}
+
+TEST(TreeBarrier, HeightMatchesAnalyticalH) {
+  EXPECT_EQ(TreeBarrier(1).height(), 0);
+  EXPECT_EQ(TreeBarrier(3).height(), 1);
+  EXPECT_EQ(TreeBarrier(7).height(), 2);
+  EXPECT_EQ(TreeBarrier(8).height(), 3);
+  EXPECT_EQ(TreeBarrier(32).height(), 5);  // the paper's 32-process setup
+}
+
+TEST(DisseminationBarrier, RoundsAreCeilLog2) {
+  EXPECT_EQ(DisseminationBarrier(1).rounds(), 0);
+  EXPECT_EQ(DisseminationBarrier(2).rounds(), 1);
+  EXPECT_EQ(DisseminationBarrier(5).rounds(), 3);
+  EXPECT_EQ(DisseminationBarrier(8).rounds(), 3);
+  EXPECT_EQ(DisseminationBarrier(9).rounds(), 4);
+}
+
+TEST(DisseminationBarrier, ManyRoundsStayConsistent) {
+  // Episode counters are monotone; make sure nothing wraps or deadlocks
+  // over a longer run.
+  DisseminationBarrier bar(4);
+  check_barrier(bar, 4, 500,
+                [](DisseminationBarrier& b, int tid) { b.arrive_and_wait(tid); });
+}
+
+}  // namespace
+}  // namespace ftbar::baseline

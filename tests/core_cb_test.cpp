@@ -1,0 +1,371 @@
+#include "core/cb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/model_check.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+struct CbHash {
+  std::size_t operator()(const CbState& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& p : s) {
+      h ^= static_cast<std::size_t>(p.cp) * 31u + static_cast<std::size_t>(p.ph);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fault-free behaviour (Lemma 3.1)
+// ---------------------------------------------------------------------------
+
+struct CbRunParam {
+  int num_procs;
+  int num_phases;
+  sim::Semantics semantics;
+  std::uint64_t seed;
+};
+
+class CbFaultFree : public ::testing::TestWithParam<CbRunParam> {};
+
+TEST_P(CbFaultFree, SatisfiesSpecification) {
+  const auto param = GetParam();
+  const CbOptions opt{param.num_procs, param.num_phases};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<CbProc> eng(cb_start_state(opt), make_cb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  // Run until at least three full cycles of phases complete.
+  const auto target = static_cast<std::size_t>(3 * param.num_phases);
+  const auto reached = eng.run_until(
+      [&](const CbState&) { return monitor.successful_phases() >= target; },
+      200'000);
+  ASSERT_TRUE(reached.has_value()) << "Progress violated: only "
+                                   << monitor.successful_phases() << " phases";
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_EQ(monitor.failed_instances(), 0u);
+  // In the absence of faults each phase executes exactly once (Section 2).
+  EXPECT_EQ(monitor.total_instances(), monitor.successful_phases());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CbFaultFree,
+    ::testing::Values(CbRunParam{2, 2, sim::Semantics::kInterleaving, 1},
+                      CbRunParam{3, 2, sim::Semantics::kInterleaving, 2},
+                      CbRunParam{5, 3, sim::Semantics::kInterleaving, 3},
+                      CbRunParam{8, 4, sim::Semantics::kInterleaving, 4},
+                      CbRunParam{2, 2, sim::Semantics::kMaxParallel, 5},
+                      CbRunParam{4, 3, sim::Semantics::kMaxParallel, 6},
+                      CbRunParam{16, 5, sim::Semantics::kMaxParallel, 7},
+                      CbRunParam{32, 2, sim::Semantics::kMaxParallel, 8}));
+
+// ---------------------------------------------------------------------------
+// Masking tolerance to detectable faults (Lemma 3.2)
+// ---------------------------------------------------------------------------
+
+class CbDetectable : public ::testing::TestWithParam<CbRunParam> {};
+
+TEST_P(CbDetectable, MasksDetectableFaults) {
+  const auto param = GetParam();
+  const CbOptions opt{param.num_procs, param.num_phases};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<CbProc> eng(cb_start_state(opt), make_cb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  util::Rng fault_rng(param.seed ^ 0xfau);
+  const auto perturb = cb_detectable_fault(opt, &monitor);
+
+  // Detectable faults preserve masking only while the current phase can be
+  // recovered from SOME process (footnote 2: corrupting every process
+  // detectably is classified undetectable). The injector therefore never
+  // corrupts the last process holding valid phase knowledge (cp != error).
+  const double f = 0.02;
+  std::size_t steps = 0;
+  while (monitor.successful_phases() < static_cast<std::size_t>(4 * param.num_phases) &&
+         steps < 400'000) {
+    auto& state = eng.mutable_state();
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      if (!fault_rng.bernoulli(f)) continue;
+      int intact = 0;
+      for (std::size_t k = 0; k < state.size(); ++k) {
+        if (k != j && state[k].cp != Cp::kError) ++intact;
+      }
+      if (intact > 0) perturb(j, state[j], fault_rng);
+    }
+    eng.step();
+    ++steps;
+  }
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GE(monitor.successful_phases(), static_cast<std::size_t>(4 * param.num_phases))
+      << "Progress violated under detectable faults";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CbDetectable,
+    ::testing::Values(CbRunParam{2, 2, sim::Semantics::kInterleaving, 11},
+                      CbRunParam{3, 3, sim::Semantics::kInterleaving, 12},
+                      CbRunParam{5, 2, sim::Semantics::kInterleaving, 13},
+                      CbRunParam{4, 4, sim::Semantics::kInterleaving, 14},
+                      CbRunParam{8, 2, sim::Semantics::kInterleaving, 15}));
+
+TEST(CbDetectableFaults, FaultsCauseReExecutionNotSkipping) {
+  const CbOptions opt{4, 2};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<CbProc> eng(cb_start_state(opt), make_cb_actions(opt, &monitor),
+                              util::Rng(21));
+  util::Rng fault_rng(22);
+  const auto perturb = cb_detectable_fault(opt, &monitor);
+  // Corrupt one process mid-run a few times; instances must be retried.
+  std::size_t injected = 0;
+  std::size_t steps = 0;
+  while (monitor.successful_phases() < 20 && steps < 200'000) {
+    if (steps % 97 == 42 && injected < 8) {
+      auto& state = eng.mutable_state();
+      // Corrupt a process that is not the only intact one.
+      for (std::size_t j = 0; j < state.size(); ++j) {
+        if (state[j].cp == Cp::kExecute) {
+          perturb(j, state[j], fault_rng);
+          ++injected;
+          break;
+        }
+      }
+    }
+    eng.step();
+    ++steps;
+  }
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GE(monitor.successful_phases(), 20u);
+  EXPECT_GT(injected, 0u);
+  // Every injected fault hit an executing process, so the instance it was
+  // part of cannot have completed successfully.
+  EXPECT_GE(monitor.total_instances(), monitor.successful_phases());
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive model checking (Lemmas 3.1-3.3 on small instances)
+// ---------------------------------------------------------------------------
+
+std::vector<CbState> all_states(const CbOptions& opt) {
+  std::vector<CbState> out;
+  const int domain = 4 * opt.num_phases;  // cp in 4 values x ph in n values
+  const auto total = static_cast<std::size_t>(
+      std::pow(static_cast<double>(domain), opt.num_procs) + 0.5);
+  for (std::size_t code = 0; code < total; ++code) {
+    CbState s(static_cast<std::size_t>(opt.num_procs));
+    std::size_t rest = code;
+    for (auto& p : s) {
+      const auto d = rest % static_cast<std::size_t>(domain);
+      rest /= static_cast<std::size_t>(domain);
+      p.cp = static_cast<Cp>(d % 4);
+      p.ph = static_cast<int>(d / 4);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(CbModelCheck, FaultFreeReachableSetEqualsLegitimatePredicate) {
+  const CbOptions opt{3, 3};
+  sim::Explorer<CbProc, CbHash> ex(make_cb_actions(opt), CbHash{});
+  const auto result =
+      ex.explore({cb_start_state(opt)}, [](const CbState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  std::set<CbState> reachable(ex.states().begin(), ex.states().end());
+  // Every reachable state is legitimate.
+  for (const auto& s : reachable) {
+    EXPECT_TRUE(cb_legitimate(s, opt.num_phases))
+        << "reachable state not covered by the closed-form legitimate set";
+  }
+  // Every legitimate state is reachable (the closed form is tight).
+  for (const auto& s : all_states(opt)) {
+    if (cb_legitimate(s, opt.num_phases)) {
+      EXPECT_TRUE(reachable.contains(s))
+          << "legitimate state not reachable from the start state";
+    }
+  }
+}
+
+TEST(CbModelCheck, LegitimateSetIsClosed) {
+  const CbOptions opt{3, 2};
+  const auto actions = make_cb_actions(opt);
+  for (const auto& s : all_states(opt)) {
+    if (!cb_legitimate(s, opt.num_phases)) continue;
+    for (const auto& a : actions) {
+      if (!a.enabled(s)) continue;
+      CbState next = s;
+      a.apply(next);
+      EXPECT_TRUE(cb_legitimate(next, opt.num_phases))
+          << "legitimate set not closed under action " << a.name;
+    }
+  }
+}
+
+TEST(CbModelCheck, StabilizesFromEveryState) {
+  // Lemma 3.3: from an arbitrary state, a legitimate state is reachable.
+  const CbOptions opt{3, 2};
+  sim::Explorer<CbProc, CbHash> ex(make_cb_actions(opt), CbHash{});
+  const auto result = ex.explore(all_states(opt), [](const CbState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_TRUE(ex.legit_reachable_from_all(
+      [&](const CbState& s) { return cb_legitimate(s, opt.num_phases); }));
+}
+
+TEST(CbModelCheck, NoDeadlockInAnyReachableState) {
+  const CbOptions opt{3, 2};
+  const auto actions = make_cb_actions(opt);
+  for (const auto& s : all_states(opt)) {
+    bool any_enabled = false;
+    for (const auto& a : actions) {
+      if (a.enabled(s)) {
+        any_enabled = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any_enabled) << "deadlocked state exists";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stabilizing tolerance to undetectable faults (Lemmas 3.3-3.4, randomized)
+// ---------------------------------------------------------------------------
+
+class CbStabilization : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CbStabilization, RecoversFromArbitraryStateAndResatisfiesSpec) {
+  const CbOptions opt{5, 4};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<CbProc> eng(cb_start_state(opt), make_cb_actions(opt, &monitor),
+                              util::Rng(GetParam()), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(GetParam() ^ 0xdeadULL);
+  const auto perturb = cb_undetectable_fault(opt, &monitor);
+
+  // Corrupt every process to an arbitrary state.
+  monitor.on_undetectable_fault();
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+
+  // Convergence: a start state (all ready, same phase) is reached.
+  const auto recovered =
+      eng.run_until([](const CbState& s) { return cb_is_start_state(s); }, 100'000);
+  ASSERT_TRUE(recovered.has_value()) << "did not stabilize";
+
+  // From there, the specification is (re)satisfied.
+  monitor.resync(eng.state().front().ph);
+  const auto ok = eng.run_until(
+      [&](const CbState&) { return monitor.successful_phases() >= 8; }, 200'000);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+}
+
+TEST_P(CbStabilization, IncorrectPhasesBoundedByM) {
+  // Lemma 3.4: perturbed into m distinct phases -> at most m phases execute
+  // incorrectly. Concretely: every instance started before the system is
+  // legitimate again lies in one of the m perturbed phases.
+  const CbOptions opt{4, 6};
+  sim::StepEngine<CbProc> eng(cb_start_state(opt), make_cb_actions(opt),
+                              util::Rng(GetParam() * 31 + 7),
+                              sim::Semantics::kInterleaving);
+  util::Rng fault_rng(GetParam() * 17 + 3);
+  const auto perturb = cb_undetectable_fault(opt, nullptr);
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+
+  std::set<int> perturbed_phases;
+  for (const auto& p : eng.state()) perturbed_phases.insert(p.ph);
+
+  std::set<int> started_before_legit;
+  std::size_t steps = 0;
+  while (!cb_legitimate(eng.state(), opt.num_phases) && steps < 100'000) {
+    const CbState before = eng.state();
+    eng.step();
+    const CbState& after = eng.state();
+    for (std::size_t j = 0; j < before.size(); ++j) {
+      if (before[j].cp == Cp::kReady && after[j].cp == Cp::kExecute) {
+        started_before_legit.insert(after[j].ph);
+      }
+    }
+    ++steps;
+  }
+  ASSERT_TRUE(cb_legitimate(eng.state(), opt.num_phases));
+  for (int ph : started_before_legit) {
+    EXPECT_TRUE(perturbed_phases.contains(ph))
+        << "phase " << ph << " executed incorrectly outside the m perturbed phases";
+  }
+  EXPECT_LE(started_before_legit.size(), perturbed_phases.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CbStabilization,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808,
+                                           909, 1010));
+
+// ---------------------------------------------------------------------------
+// Helpers and state predicates
+// ---------------------------------------------------------------------------
+
+TEST(CbHelpers, StartStateIsStartState) {
+  const CbOptions opt{4, 3};
+  EXPECT_TRUE(cb_is_start_state(cb_start_state(opt, 0)));
+  EXPECT_TRUE(cb_is_start_state(cb_start_state(opt, 2)));
+  auto s = cb_start_state(opt);
+  s[1].cp = Cp::kExecute;
+  EXPECT_FALSE(cb_is_start_state(s));
+  s = cb_start_state(opt);
+  s[2].ph = 1;
+  EXPECT_FALSE(cb_is_start_state(s));
+}
+
+TEST(CbHelpers, LegitimateCases) {
+  const int n = 4;
+  // Case A: mixed ready/execute, same phase.
+  CbState a{{Cp::kReady, 1}, {Cp::kExecute, 1}, {Cp::kExecute, 1}};
+  EXPECT_TRUE(cb_legitimate(a, n));
+  // Case B: mixed execute/success, same phase.
+  CbState b{{Cp::kSuccess, 2}, {Cp::kExecute, 2}, {Cp::kSuccess, 2}};
+  EXPECT_TRUE(cb_legitimate(b, n));
+  // Case C: success at i, ready at i+1.
+  CbState c{{Cp::kSuccess, 3}, {Cp::kReady, 0}, {Cp::kSuccess, 3}};
+  EXPECT_TRUE(cb_legitimate(c, n));
+  // Not legitimate: error present.
+  CbState d{{Cp::kError, 0}, {Cp::kReady, 0}};
+  EXPECT_FALSE(cb_legitimate(d, n));
+  // Not legitimate: ready and success in the same phase.
+  CbState e{{Cp::kSuccess, 1}, {Cp::kReady, 1}};
+  EXPECT_FALSE(cb_legitimate(e, n));
+  // Not legitimate: phases diverge in case A.
+  CbState f{{Cp::kReady, 0}, {Cp::kExecute, 1}};
+  EXPECT_FALSE(cb_legitimate(f, n));
+}
+
+TEST(CbHelpers, DistinctPhases) {
+  CbState s{{Cp::kReady, 0}, {Cp::kReady, 2}, {Cp::kReady, 0}};
+  EXPECT_EQ(cb_distinct_phases(s), 2);
+}
+
+TEST(CbHelpers, ControlPositionNames) {
+  EXPECT_EQ(to_string(Cp::kReady), "ready");
+  EXPECT_EQ(to_string(Cp::kExecute), "execute");
+  EXPECT_EQ(to_string(Cp::kSuccess), "success");
+  EXPECT_EQ(to_string(Cp::kError), "error");
+  EXPECT_EQ(to_string(Cp::kRepeat), "repeat");
+}
+
+TEST(CbHelpers, PhaseRingArithmetic) {
+  constexpr PhaseRing ring(4);
+  static_assert(ring.next(3) == 0);
+  static_assert(ring.prev(0) == 3);
+  static_assert(ring.canon(-1) == 3);
+  static_assert(ring.canon(9) == 1);
+  EXPECT_TRUE(ring.valid(0));
+  EXPECT_FALSE(ring.valid(4));
+  EXPECT_FALSE(ring.valid(-1));
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,138 @@
+#include "core/des_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftbar::core {
+namespace {
+
+TEST(DesModel, FaultFreePeriodWithinPipelineBounds) {
+  // The steady-state period lies between the pure compute time (1.0, all
+  // synchronization hidden by cross-phase pipelining) and the unpipelined
+  // circulation time 1 + 2hc + 2c.
+  DesParams p;
+  p.num_procs = 31;  // h = 4 binary tree
+  p.arity = 2;
+  p.c = 0.01;
+  p.f = 0.0;
+  DesRbSimulation sim(p);
+  (void)sim.run(1);  // absorb the startup transient
+  const double t1 = sim.now();
+  const auto r = sim.run(5);
+  EXPECT_EQ(r.phases, 5u);
+  const double period = (sim.now() - t1) / 5.0;
+  EXPECT_GE(period, 1.0);
+  EXPECT_LE(period, sim.fault_free_period_bound());
+}
+
+TEST(DesModel, FirstPhaseLatencyIsExactlyOnePlusHc) {
+  // The first phase has no pipeline to hide in: the leaf completes exactly
+  // at 1 + hc (execute wave down, then unit work).
+  DesParams p;
+  p.num_procs = 31;
+  p.arity = 2;
+  p.c = 0.01;
+  p.f = 0.0;
+  DesRbSimulation sim(p);
+  const auto r = sim.run(1);
+  EXPECT_EQ(r.phases, 1u);
+  EXPECT_NEAR(sim.now(), 1.0 + 4 * 0.01, 1e-9);
+}
+
+TEST(DesModel, FaultFreeInstancesEqualPhases) {
+  DesParams p;
+  p.num_procs = 15;
+  p.f = 0.0;
+  DesRbSimulation sim(p);
+  const auto r = sim.run(10);
+  EXPECT_EQ(r.phases, 10u);
+  EXPECT_EQ(r.instances, 10u);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_TRUE(r.safety_ok);
+}
+
+TEST(DesModel, PipelinedPeriodBeatsAnalyticalWorstCase) {
+  DesParams p;
+  p.num_procs = 31;
+  p.c = 0.02;
+  DesRbSimulation sim(p);
+  const int h = 4;
+  EXPECT_LT(sim.fault_free_period_bound(), 1.0 + 3 * h * p.c);
+  EXPECT_GT(sim.fault_free_period_bound(), 1.0 + 2 * h * p.c);
+}
+
+TEST(DesModel, RingTopologyWorks) {
+  DesParams p;
+  p.num_procs = 6;
+  p.arity = 1;  // ring
+  p.c = 0.01;
+  DesRbSimulation sim(p);
+  const auto r = sim.run(4);
+  EXPECT_EQ(r.phases, 4u);
+  EXPECT_TRUE(r.safety_ok);
+  // Ring height is N-1: period 1 + 2(N-1)c + 2c.
+  EXPECT_NEAR(sim.fault_free_period_bound(), 1.0 + 2 * 5 * 0.01 + 2 * 0.01, 1e-12);
+}
+
+TEST(DesModel, DetectableFaultsForceReExecutionsButPreserveSafety) {
+  DesParams p;
+  p.num_procs = 15;
+  p.c = 0.01;
+  p.f = 0.05;
+  p.seed = 99;
+  DesRbSimulation sim(p);
+  const auto r = sim.run(200);
+  EXPECT_EQ(r.phases, 200u);
+  EXPECT_TRUE(r.safety_ok) << sim.monitor().violations().front();
+  EXPECT_GT(r.faults, 0u);
+  EXPECT_GT(r.instances, r.phases) << "faults must cause re-executions";
+}
+
+TEST(DesModel, InstancesGrowWithFaultFrequency) {
+  auto instances_at = [](double f) {
+    DesParams p;
+    p.num_procs = 15;
+    p.c = 0.01;
+    p.f = f;
+    p.seed = 7;
+    DesRbSimulation sim(p);
+    return sim.run(400).instances;
+  };
+  const auto low = instances_at(0.01);
+  const auto high = instances_at(0.20);
+  EXPECT_LT(low, high);
+}
+
+TEST(DesModel, MeanPhaseTimeBelowAnalyticalWorstCase) {
+  DesParams p;
+  p.num_procs = 31;
+  p.c = 0.01;
+  p.f = 0.05;
+  p.seed = 13;
+  DesRbSimulation sim(p);
+  (void)sim.run(1);
+  const double t1 = sim.now();
+  const auto r = sim.run(400);
+  ASSERT_EQ(r.phases, 400u);
+  const double mean = (sim.now() - t1) / 400.0;
+  const int h = 4;
+  const double analytic_worst =
+      (1.0 + 3 * h * p.c) / std::pow(1.0 - p.f, 1.0 + 3 * h * p.c);
+  EXPECT_LT(mean, analytic_worst);
+  EXPECT_GE(mean, 1.0);  // the phase work itself is incompressible
+  EXPECT_TRUE(r.safety_ok);
+}
+
+TEST(DesModel, RepeatedRunsAccumulate) {
+  DesParams p;
+  p.num_procs = 7;
+  DesRbSimulation sim(p);
+  (void)sim.run(3);
+  const auto r2 = sim.run(3);
+  EXPECT_EQ(r2.phases, 3u);
+  EXPECT_EQ(sim.monitor().successful_phases(), 6u);
+}
+
+}  // namespace
+}  // namespace ftbar::core

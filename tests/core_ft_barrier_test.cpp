@@ -1,0 +1,256 @@
+#include "core/ft_barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftbar::core {
+namespace {
+
+using TicketLog = std::vector<PhaseTicket>;
+
+bool operator_eq(const PhaseTicket& a, const PhaseTicket& b) {
+  return a.phase == b.phase && a.repeated == b.repeated;
+}
+
+/// Runs `num_threads` workers; each asks `fail_here(tid, arrive_index)`
+/// whether to report a lost phase, and stops after `goal` successfully
+/// completed (non-repeated) phases. Returns per-thread ticket logs.
+std::vector<TicketLog> run_workers(
+    FaultTolerantBarrier& bar, int num_threads, int goal,
+    const std::function<bool(int, int)>& fail_here) {
+  std::vector<TicketLog> logs(static_cast<std::size_t>(num_threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      int completed = 0;
+      int arrives = 0;
+      while (completed < goal) {
+        const bool ok = !fail_here(tid, arrives);
+        const auto t = bar.arrive_and_wait(tid, ok);
+        logs[static_cast<std::size_t>(tid)].push_back(t);
+        ++arrives;
+        if (!t.repeated) ++completed;
+      }
+      bar.finalize(tid);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return logs;
+}
+
+void expect_identical_logs(const std::vector<TicketLog>& logs) {
+  for (std::size_t t = 1; t < logs.size(); ++t) {
+    ASSERT_EQ(logs[t].size(), logs[0].size()) << "thread " << t;
+    for (std::size_t i = 0; i < logs[0].size(); ++i) {
+      EXPECT_TRUE(operator_eq(logs[t][i], logs[0][i]))
+          << "thread " << t << " ticket " << i << ": (" << logs[t][i].phase
+          << "," << logs[t][i].repeated << ") vs (" << logs[0][i].phase << ","
+          << logs[0][i].repeated << ")";
+    }
+  }
+}
+
+/// The guarantee that holds even under faults: every thread commits the
+/// same phases in the same order. (Repeat tickets may differ per thread: a
+/// thread that never started a doomed instance has nothing to redo.)
+void expect_identical_commits(const std::vector<TicketLog>& logs) {
+  auto committed = [](const TicketLog& log) {
+    std::vector<int> out;
+    for (const auto& t : log) {
+      if (!t.repeated) out.push_back(t.phase);
+    }
+    return out;
+  };
+  const auto reference = committed(logs[0]);
+  for (std::size_t t = 1; t < logs.size(); ++t) {
+    EXPECT_EQ(committed(logs[t]), reference) << "thread " << t;
+  }
+}
+
+int total_repeats(const std::vector<TicketLog>& logs) {
+  int repeats = 0;
+  for (const auto& log : logs) {
+    for (const auto& t : log) repeats += t.repeated;
+  }
+  return repeats;
+}
+
+TEST(FtBarrier, FaultFreePhasesAdvanceInLockstep) {
+  constexpr int kThreads = 4;
+  FaultTolerantBarrier bar(kThreads);
+  const auto logs = run_workers(bar, kThreads, 6,
+                                [](int, int) { return false; });
+  expect_identical_logs(logs);
+  ASSERT_EQ(logs[0].size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(logs[0][static_cast<std::size_t>(i)].phase, (i + 1) % 64);
+    EXPECT_FALSE(logs[0][static_cast<std::size_t>(i)].repeated);
+  }
+}
+
+TEST(FtBarrier, TwoThreadsMinimalRing) {
+  FaultTolerantBarrier bar(2);
+  const auto logs = run_workers(bar, 2, 4, [](int, int) { return false; });
+  expect_identical_logs(logs);
+  EXPECT_EQ(logs[0].size(), 4u);
+}
+
+TEST(FtBarrier, SingleFailureRepeatsThePhaseForEveryone) {
+  constexpr int kThreads = 3;
+  FaultTolerantBarrier bar(kThreads);
+  // Thread 1 loses its state during its second phase (arrive index 1).
+  const auto logs = run_workers(bar, kThreads, 4, [](int tid, int arrive) {
+    return tid == 1 && arrive == 1;
+  });
+  expect_identical_commits(logs);
+  // The faulting thread itself always re-executes the phase it lost; peers
+  // that had already started that instance do too (at most once each).
+  int t1_repeats = 0;
+  for (const auto& t : logs[1]) t1_repeats += t.repeated;
+  EXPECT_EQ(t1_repeats, 1);
+  for (const auto& log : logs) {
+    int repeats = 0;
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      if (log[i].repeated) {
+        ++repeats;
+        // The repeat re-releases the phase that was in flight.
+        EXPECT_EQ(log[i].phase, log[i - 1].phase);
+      }
+    }
+    EXPECT_LE(repeats, 1);
+  }
+}
+
+TEST(FtBarrier, RootFailureAlsoRepeats) {
+  constexpr int kThreads = 3;
+  FaultTolerantBarrier bar(kThreads);
+  const auto logs = run_workers(bar, kThreads, 3, [](int tid, int arrive) {
+    return tid == 0 && arrive == 0;
+  });
+  expect_identical_commits(logs);
+  EXPECT_GE(total_repeats(logs), 1);
+}
+
+TEST(FtBarrier, MultipleFailuresAreAllMasked) {
+  constexpr int kThreads = 4;
+  FaultTolerantBarrier bar(kThreads);
+  const auto logs = run_workers(bar, kThreads, 5, [](int tid, int arrive) {
+    return (tid == 2 && arrive == 0) || (tid == 3 && arrive == 2) ||
+           (tid == 1 && arrive == 4);
+  });
+  expect_identical_commits(logs);
+  int completed = 0;
+  for (const auto& t : logs[0]) completed += !t.repeated;
+  EXPECT_EQ(completed, 5);
+  EXPECT_GE(total_repeats(logs), 3) << "each faulting thread re-executes";
+}
+
+TEST(FtBarrier, MaskingSurvivesMessageLoss) {
+  constexpr int kThreads = 3;
+  BarrierOptions opt;
+  opt.link_faults.drop = 0.10;
+  FaultTolerantBarrier bar(kThreads, opt);
+  const auto logs = run_workers(bar, kThreads, 5, [](int, int) { return false; });
+  expect_identical_commits(logs);
+  EXPECT_EQ(total_repeats(logs), 0) << "pure channel faults never repeat a phase";
+  EXPECT_GT(bar.network_stats().dropped, 0u) << "loss injection did not engage";
+}
+
+TEST(FtBarrier, MaskingSurvivesDuplicationAndReorder) {
+  constexpr int kThreads = 3;
+  BarrierOptions opt;
+  opt.link_faults.duplicate = 0.15;
+  opt.link_faults.reorder = 0.15;
+  FaultTolerantBarrier bar(kThreads, opt);
+  const auto logs = run_workers(bar, kThreads, 5, [](int, int) { return false; });
+  expect_identical_commits(logs);
+  EXPECT_EQ(total_repeats(logs), 0);
+  const auto stats = bar.network_stats();
+  EXPECT_GT(stats.duplicated + stats.reordered, 0u);
+}
+
+TEST(FtBarrier, MaskingSurvivesDetectableCorruption) {
+  constexpr int kThreads = 3;
+  BarrierOptions opt;
+  opt.link_faults.corrupt = 0.10;
+  FaultTolerantBarrier bar(kThreads, opt);
+  const auto logs = run_workers(bar, kThreads, 4, [](int, int) { return false; });
+  expect_identical_commits(logs);
+  EXPECT_EQ(total_repeats(logs), 0);
+  EXPECT_GT(bar.network_stats().corrupted, 0u);
+}
+
+TEST(FtBarrier, CombinedCommunicationAndProcessFaults) {
+  constexpr int kThreads = 4;
+  BarrierOptions opt;
+  opt.link_faults = runtime::LinkFaults{.drop = 0.05, .duplicate = 0.05,
+                                        .corrupt = 0.05, .reorder = 0.05};
+  opt.seed = 99;
+  FaultTolerantBarrier bar(kThreads, opt);
+  const auto logs = run_workers(bar, kThreads, 6, [](int tid, int arrive) {
+    return tid == 1 && arrive == 2;
+  });
+  expect_identical_commits(logs);
+  int completed = 0;
+  for (const auto& t : logs[0]) completed += !t.repeated;
+  EXPECT_EQ(completed, 6);
+}
+
+TEST(FtBarrier, PhaseCounterWrapsModulo) {
+  constexpr int kThreads = 2;
+  BarrierOptions opt;
+  opt.num_phases = 3;
+  FaultTolerantBarrier bar(kThreads, opt);
+  const auto logs = run_workers(bar, kThreads, 7, [](int, int) { return false; });
+  expect_identical_logs(logs);
+  for (std::size_t i = 0; i < logs[0].size(); ++i) {
+    EXPECT_EQ(logs[0][i].phase, static_cast<int>((i + 1) % 3));
+  }
+}
+
+// Pumps a hand-driven 2-participant ring until both engines release a
+// ticket, returning the FIRST ticket each produced (as the real barrier
+// would consume them).
+std::pair<PhaseTicket, PhaseTicket> pump_first_tickets(MbEngine& a, MbEngine& b) {
+  std::optional<PhaseTicket> ta, tb;
+  for (int i = 0; i < 64 && (!ta || !tb); ++i) {
+    a.step();
+    if (!ta) ta = a.take_ticket();
+    b.on_neighbor_state(0, a.wire_state());
+    b.step();
+    if (!tb) tb = b.take_ticket();
+    a.on_neighbor_state(1, b.wire_state());
+  }
+  EXPECT_TRUE(ta.has_value());
+  EXPECT_TRUE(tb.has_value());
+  return {ta.value_or(PhaseTicket{}), tb.value_or(PhaseTicket{})};
+}
+
+TEST(MbEngineUnit, RootReleasesPhasesAgainstLoopedCopies) {
+  // Drive a 2-participant ring entirely by hand, no threads involved.
+  MbEngine a(0, 2, 8);
+  MbEngine b(1, 2, 8);
+  const auto [ta, tb] = pump_first_tickets(a, b);
+  EXPECT_EQ(ta.phase, 1);
+  EXPECT_EQ(tb.phase, 1);
+  EXPECT_FALSE(ta.repeated);
+  EXPECT_FALSE(tb.repeated);
+}
+
+TEST(MbEngineUnit, DetectableFaultForcesRepeat) {
+  MbEngine a(0, 2, 8);
+  MbEngine b(1, 2, 8);
+  b.inject_detectable_fault();
+  const auto [ta, tb] = pump_first_tickets(a, b);
+  EXPECT_TRUE(ta.repeated) << "phase 0 must be re-executed after the fault";
+  EXPECT_EQ(ta.phase, 0);
+  EXPECT_EQ(tb.phase, 0);
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,99 @@
+#include "core/hw_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftbar::core::hw {
+namespace {
+
+TEST(HwTable, FollowerTableEquivalentToStatementExhaustively) {
+  const PhaseRing ring(4);
+  for (int self_cp = 0; self_cp < kCpCount; ++self_cp) {
+    for (int prev_cp = 0; prev_cp < kCpCount; ++prev_cp) {
+      for (int self_ph = 0; self_ph < 4; ++self_ph) {
+        for (int prev_ph = 0; prev_ph < 4; ++prev_ph) {
+          const CpPh self{static_cast<Cp>(self_cp), self_ph};
+          const CpPh prev{static_cast<Cp>(prev_cp), prev_ph};
+          const auto reference = rb_follower_update(self, prev, ring);
+          const auto table = follower_update(self, prev, ring);
+          EXPECT_EQ(table.next.cp, reference.next.cp)
+              << "self=" << self_cp << " prev=" << prev_cp;
+          EXPECT_EQ(table.next.ph, reference.next.ph)
+              << "self=" << self_cp << " prev=" << prev_cp;
+          EXPECT_EQ(static_cast<int>(table.event), static_cast<int>(reference.event))
+              << "self=" << self_cp << " prev=" << prev_cp;
+        }
+      }
+    }
+  }
+}
+
+TEST(HwTable, RootTableEquivalentToStatementExhaustively) {
+  const PhaseRing ring(4);
+  // Enumerate all leaf configurations over one and two leaves with every
+  // cp/ph combination, reduce them to the two alignment booleans, and
+  // compare against the executable statement.
+  for (int self_cp = 0; self_cp < 4; ++self_cp) {  // root cp excludes repeat
+    for (int self_ph = 0; self_ph < 4; ++self_ph) {
+      for (int l1_cp = 0; l1_cp < kCpCount; ++l1_cp) {
+        for (int l1_ph = 0; l1_ph < 4; ++l1_ph) {
+          for (int l2_cp = 0; l2_cp < kCpCount; ++l2_cp) {
+            for (int l2_ph = 0; l2_ph < 4; ++l2_ph) {
+              const CpPh self{static_cast<Cp>(self_cp), self_ph};
+              const std::vector<CpPh> leaves{
+                  CpPh{static_cast<Cp>(l1_cp), l1_ph},
+                  CpPh{static_cast<Cp>(l2_cp), l2_ph}};
+              bool ready = true, success = true;
+              for (const auto& l : leaves) {
+                ready &= l.cp == Cp::kReady && l.ph == self.ph;
+                success &= l.cp == Cp::kSuccess && l.ph == self.ph;
+              }
+              const auto reference = rb_root_update(self, leaves, ring);
+              const auto table =
+                  root_update(self, ready, success, leaves.front().ph, ring);
+              ASSERT_EQ(table.next.cp, reference.next.cp)
+                  << "self=" << self_cp << " leaves=" << l1_cp << "," << l2_cp;
+              ASSERT_EQ(table.next.ph, reference.next.ph)
+                  << "self=" << self_cp << " ph=" << self_ph << " leaves=" << l1_cp
+                  << "@" << l1_ph << "," << l2_cp << "@" << l2_ph;
+              ASSERT_EQ(static_cast<int>(table.event),
+                        static_cast<int>(reference.event));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HwTable, TablesAreConstexpr) {
+  static_assert(kFollowerTable[0][1].next_cp == Cp::kExecute);  // ready<-execute
+  static_assert(kFollowerTable[0][1].event == RbEvent::kStart);
+  static_assert(kRootTable[0][1][0].next_cp == Cp::kExecute);   // ready, aligned
+  static_assert(kRootTable[1][0][0].next_cp == Cp::kSuccess);   // execute
+  SUCCEED();
+}
+
+TEST(HwTable, StateBitsAreLogarithmic) {
+  static_assert(bits_for(1) == 0);
+  static_assert(bits_for(2) == 1);
+  static_assert(bits_for(5) == 3);
+  static_assert(bits_for(6) == 3);
+  // sn: ceil log2(K+2), cp: 3, ph: ceil log2(n).
+  EXPECT_EQ(state_bits(31, 4), 6 + 3 + 2);   // K=32 -> 34 values -> 6 bits
+  EXPECT_EQ(state_bits(255, 2), 9 + 3 + 1);  // 258 values -> 9 bits
+  // O(log N): doubling N adds at most one sn bit.
+  for (int n = 4; n <= 1024; n *= 2) {
+    EXPECT_LE(state_bits(2 * n, 4), state_bits(n, 4) + 1);
+  }
+}
+
+TEST(HwTable, EntryLayoutIsSmall) {
+  // One ROM word per entry: must stay trivially packable.
+  static_assert(sizeof(Entry) <= 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ftbar::core::hw

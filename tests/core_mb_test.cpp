@@ -1,0 +1,273 @@
+#include "core/mb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rb.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fault-free behaviour across sizes and semantics
+// ---------------------------------------------------------------------------
+
+struct MbRunParam {
+  int num_procs;
+  int num_phases;
+  sim::Semantics semantics;
+  std::uint64_t seed;
+};
+
+class MbFaultFree : public ::testing::TestWithParam<MbRunParam> {};
+
+TEST_P(MbFaultFree, SatisfiesSpecification) {
+  const auto param = GetParam();
+  const MbOptions opt{param.num_procs, param.num_phases, 0};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  const auto target = static_cast<std::size_t>(3 * param.num_phases);
+  const auto reached = eng.run_until(
+      [&](const MbState&) { return monitor.successful_phases() >= target; },
+      500'000);
+  ASSERT_TRUE(reached.has_value())
+      << "Progress violated: " << monitor.successful_phases() << " phases";
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_EQ(monitor.failed_instances(), 0u);
+  EXPECT_EQ(monitor.total_instances(), monitor.successful_phases());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MbFaultFree,
+    ::testing::Values(MbRunParam{2, 2, sim::Semantics::kInterleaving, 1},
+                      MbRunParam{3, 3, sim::Semantics::kInterleaving, 2},
+                      MbRunParam{5, 2, sim::Semantics::kInterleaving, 3},
+                      MbRunParam{8, 4, sim::Semantics::kMaxParallel, 4},
+                      MbRunParam{16, 2, sim::Semantics::kMaxParallel, 5}));
+
+// ---------------------------------------------------------------------------
+// Refinement: MB simulates RB on a ring of 2(N+1) processes
+// ---------------------------------------------------------------------------
+
+RbState map_to_doubled_ring(const MbState& s) {
+  const int n = static_cast<int>(s.size());
+  RbState r(static_cast<std::size_t>(2 * n));
+  for (int j = 0; j < n; ++j) {
+    const auto& p = s[static_cast<std::size_t>(j)];
+    r[static_cast<std::size_t>(2 * j)] = RbProc{p.sn, p.cp, p.ph};
+    // The copy cell held at process (j+1) sits between real j and real j+1.
+    const auto& q = s[static_cast<std::size_t>((j + 1) % n)];
+    r[static_cast<std::size_t>(2 * j + 1)] = RbProc{q.c_sn, q.c_cp, q.c_ph};
+  }
+  return r;
+}
+
+TEST(MbRefinement, FaultFreeTransitionsMatchDoubledRingRb) {
+  const int s = 4;
+  const MbOptions mb_opt{s, 3, 0};
+  const int l = mb_opt.l();
+
+  RbOptions rb_opt = rb_ring_options(2 * s, 3);
+  rb_opt.seq_modulus = l;
+  const auto rb_actions = make_rb_actions(rb_opt);
+  // Index RB actions by name for the correspondence lookup.
+  auto rb_action = [&](const std::string& name) -> const sim::Action<RbProc>& {
+    const auto it = std::find_if(rb_actions.begin(), rb_actions.end(),
+                                 [&](const auto& a) { return a.name == name; });
+    EXPECT_NE(it, rb_actions.end()) << "missing RB action " << name;
+    return *it;
+  };
+
+  // Correspondence: MT1@0 <-> T1@0, MT2@j <-> T2@(2j), COPY@j <-> T2 at the
+  // copy cell's index in the doubled ring.
+  auto corresponding = [&](const std::string& mb_name) -> std::string {
+    if (mb_name == "MT1@0") return "T1@0";
+    if (mb_name.rfind("MT2@", 0) == 0) {
+      const int j = std::stoi(mb_name.substr(4));
+      return "T2@" + std::to_string(2 * j);
+    }
+    if (mb_name.rfind("COPY@", 0) == 0) {
+      const int j = std::stoi(mb_name.substr(5));
+      const int cell = j == 0 ? 2 * s - 1 : 2 * j - 1;
+      return "T2@" + std::to_string(cell);
+    }
+    return "";  // T3/T4/T5/CPYN have no fault-free counterpart
+  };
+
+  const auto mb_actions = make_mb_actions(mb_opt);
+  sim::StepEngine<MbProc> eng(mb_start_state(mb_opt), make_mb_actions(mb_opt),
+                              util::Rng(99), sim::Semantics::kInterleaving);
+
+  for (int step = 0; step < 3'000; ++step) {
+    const MbState& mb_state = eng.state();
+    const RbState mapped = map_to_doubled_ring(mb_state);
+    for (const auto& a : mb_actions) {
+      const auto rb_name = corresponding(a.name);
+      if (rb_name.empty()) {
+        // Housekeeping actions must be disabled in fault-free computations
+        // (property (*) of the appendix proof).
+        EXPECT_FALSE(a.enabled(mb_state))
+            << a.name << " enabled in a fault-free state";
+        continue;
+      }
+      const auto& ra = rb_action(rb_name);
+      ASSERT_EQ(a.enabled(mb_state), ra.enabled(mapped))
+          << "enabledness mismatch: " << a.name << " vs " << rb_name
+          << " at step " << step;
+      if (!a.enabled(mb_state)) continue;
+      MbState mb_next = mb_state;
+      a.apply(mb_next);
+      RbState rb_next = mapped;
+      ra.apply(rb_next);
+      ASSERT_EQ(map_to_doubled_ring(mb_next), rb_next)
+          << "transition mismatch: " << a.name << " vs " << rb_name
+          << " at step " << step;
+    }
+    if (eng.step() == 0) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Masking tolerance to detectable faults
+// ---------------------------------------------------------------------------
+
+class MbDetectable : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MbDetectable, MasksDetectableFaults) {
+  const MbOptions opt{5, 2, 0};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt, &monitor),
+                              util::Rng(GetParam()), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(GetParam() ^ 0x5a5aULL);
+  const auto perturb = mb_detectable_fault(opt, &monitor);
+
+  const double f = 0.005;
+  std::size_t steps = 0;
+  while (monitor.successful_phases() < 8 && steps < 2'000'000) {
+    auto& state = eng.mutable_state();
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      if (!fault_rng.bernoulli(f)) continue;
+      int intact = 0;
+      for (std::size_t k = 0; k < state.size(); ++k) {
+        if (k != j && mb_sn_valid(state[k].sn)) ++intact;
+      }
+      if (intact > 0) perturb(j, state[j], fault_rng);
+    }
+    eng.step();
+    ++steps;
+  }
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GE(monitor.successful_phases(), 8u) << "Progress violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbDetectable,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Stabilizing tolerance to undetectable faults
+// ---------------------------------------------------------------------------
+
+class MbStabilization : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MbStabilization, RecoversAndResatisfiesSpec) {
+  const MbOptions opt{4, 2, 0};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt, &monitor),
+                              util::Rng(GetParam()), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(GetParam() ^ 0x1111ULL);
+  const auto perturb = mb_undetectable_fault(opt, &monitor);
+
+  monitor.on_undetectable_fault();
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+
+  const auto recovered =
+      eng.run_until([](const MbState& s) { return mb_is_start_state(s); }, 2'000'000);
+  ASSERT_TRUE(recovered.has_value()) << "did not stabilize";
+
+  // Property (*): once converged, no BOT/TOP ever reappears without faults.
+  monitor.resync(eng.state().front().ph);
+  bool corrupt_seen = false;
+  std::size_t steps = 0;
+  while (monitor.successful_phases() < 6 && steps < 2'000'000) {
+    eng.step();
+    ++steps;
+    for (const auto& p : eng.state()) {
+      corrupt_seen |= !mb_sn_valid(p.sn) || !mb_sn_valid(p.c_sn);
+    }
+  }
+  EXPECT_GE(monitor.successful_phases(), 6u);
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_FALSE(corrupt_seen) << "BOT/TOP reappeared after convergence";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbStabilization,
+                         ::testing::Values(71, 72, 73, 74, 75, 76, 77, 78));
+
+// ---------------------------------------------------------------------------
+// Whole-system detectable corruption heals via the TOP wave (MT3/MT4/MT5)
+// ---------------------------------------------------------------------------
+
+TEST(MbTopWave, GlobalDetectableCorruptionRecovers) {
+  const MbOptions opt{4, 2, 0};
+  sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt),
+                              util::Rng(123), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(321);
+  const auto perturb = mb_detectable_fault(opt, nullptr);
+  // Corrupt EVERY process detectably (footnote 2: this is undetectable-class,
+  // so phases may be lost, but the sn machinery must still converge).
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+  const auto recovered =
+      eng.run_until([](const MbState& s) { return mb_is_start_state(s); }, 2'000'000);
+  EXPECT_TRUE(recovered.has_value()) << "TOP wave did not restore the ring";
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+TEST(MbHelpers, StartStatePredicate) {
+  const MbOptions opt{3, 2, 0};
+  auto s = mb_start_state(opt, 1);
+  EXPECT_TRUE(mb_is_start_state(s));
+  s[1].c_cp = Cp::kSuccess;
+  EXPECT_FALSE(mb_is_start_state(s));
+  s = mb_start_state(opt);
+  s[2].c_sn = 3;
+  EXPECT_FALSE(mb_is_start_state(s));
+}
+
+TEST(MbHelpers, DefaultModulusExceedsDoubledRing) {
+  const MbOptions opt{5, 2, 0};
+  EXPECT_EQ(opt.l(), 10);          // L = 2 * (N+1) = 2N+2 > 2N+1
+  EXPECT_GT(opt.l(), 2 * 5 - 1);
+  MbOptions custom{5, 2, 16};
+  EXPECT_EQ(custom.l(), 16);
+}
+
+TEST(MbHelpers, DetectableFaultResetsCopies) {
+  const MbOptions opt{3, 4, 0};
+  const auto perturb = mb_detectable_fault(opt, nullptr);
+  util::Rng rng(5);
+  MbProc p;
+  p.sn = 3;
+  p.c_sn = 3;
+  p.c_next = 1;
+  perturb(1, p, rng);
+  EXPECT_EQ(p.sn, kMbSnBot);
+  EXPECT_EQ(p.cp, Cp::kError);
+  EXPECT_EQ(p.c_sn, kMbSnBot);
+  EXPECT_EQ(p.c_cp, Cp::kError);
+  EXPECT_EQ(p.c_next, kMbSnBot);
+  EXPECT_GE(p.ph, 0);
+  EXPECT_LT(p.ph, 4);
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,114 @@
+#include "core/phase_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ftbar::core {
+namespace {
+
+TEST(PhaseLoop, FaultFreeRunsEveryPhaseOnce) {
+  constexpr int kWorkers = 3;
+  FaultTolerantBarrier bar(kWorkers);
+  std::vector<PhaseLoopStats> stats(kWorkers);
+  std::vector<int> final_value(kWorkers, 0);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    threads.emplace_back([&, tid] {
+      PhaseLoop<int> loop(bar, tid, 0);
+      stats[static_cast<std::size_t>(tid)] = loop.run(6, [](int& v, int) {
+        ++v;
+        return PhaseStatus::kOk;
+      });
+      final_value[static_cast<std::size_t>(tid)] = loop.state();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].phases_completed, 6u);
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].attempts, 6u);
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].rollbacks, 0u);
+    EXPECT_EQ(final_value[static_cast<std::size_t>(tid)], 6);
+  }
+}
+
+TEST(PhaseLoop, StateLossRollsEveryoneBack) {
+  constexpr int kWorkers = 3;
+  FaultTolerantBarrier bar(kWorkers);
+  std::vector<PhaseLoopStats> stats(kWorkers);
+  std::vector<int> final_value(kWorkers, 0);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    threads.emplace_back([&, tid] {
+      PhaseLoop<int> loop(bar, tid, 0);
+      int my_attempts = 0;
+      stats[static_cast<std::size_t>(tid)] = loop.run(5, [&](int& v, int) {
+        ++my_attempts;
+        ++v;
+        // Worker 1's third attempt scribbles its state and reports the loss.
+        if (tid == 1 && my_attempts == 3) {
+          v = -999;
+          return PhaseStatus::kStateLost;
+        }
+        return PhaseStatus::kOk;
+      });
+      final_value[static_cast<std::size_t>(tid)] = loop.state();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].phases_completed, 5u);
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].attempts, 6u);
+    EXPECT_EQ(stats[static_cast<std::size_t>(tid)].rollbacks, 1u);
+    // The rollback restored the checkpoint, so the net effect is exactly
+    // five increments — the garbage write never survives.
+    EXPECT_EQ(final_value[static_cast<std::size_t>(tid)], 5);
+  }
+}
+
+TEST(PhaseLoop, ChainedRunsContinueTheTicketStream) {
+  constexpr int kWorkers = 2;
+  FaultTolerantBarrier bar(kWorkers);
+  std::vector<int> totals(kWorkers, 0);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    threads.emplace_back([&, tid] {
+      PhaseLoop<int> loop(bar, tid, 0);
+      (void)loop.run(3, [](int& v, int) {
+        ++v;
+        return PhaseStatus::kOk;
+      }, /*finalize=*/false);
+      (void)loop.run(3, [](int& v, int) {
+        ++v;
+        return PhaseStatus::kOk;
+      });
+      totals[static_cast<std::size_t>(tid)] = loop.state();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(totals[0], 6);
+  EXPECT_EQ(totals[1], 6);
+}
+
+TEST(PhaseLoop, WorkSeesConsistentPhaseNumbers) {
+  constexpr int kWorkers = 2;
+  FaultTolerantBarrier bar(kWorkers);
+  std::vector<std::vector<int>> seen(kWorkers);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kWorkers; ++tid) {
+    threads.emplace_back([&, tid] {
+      PhaseLoop<int> loop(bar, tid, 0);
+      (void)loop.run(4, [&](int&, int phase) {
+        seen[static_cast<std::size_t>(tid)].push_back(phase);
+        return PhaseStatus::kOk;
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,70 @@
+// Lemma 4.1.4: if undetectable faults perturb the system into m distinct
+// phases, at most m phases are executed incorrectly — correct execution
+// resumes before any more phases run incorrectly. Randomized check on the
+// ring: every phase STARTED before the system returns to a start state
+// must be one of the m perturbed phases, except possibly one phase entered
+// correctly through process 0's increment (which the lemma's proof calls
+// out as executed correctly).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rb.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+class RbMBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RbMBound, PhasesStartedDuringRecoveryAreBoundedByM) {
+  const auto opt = rb_ring_options(5, 8);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt),
+                              util::Rng(GetParam()), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(GetParam() ^ 0xbdULL);
+  const auto perturb = rb_undetectable_fault(opt);
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+
+  std::set<int> perturbed_phases;
+  for (const auto& p : eng.state()) perturbed_phases.insert(p.ph);
+  const auto m = perturbed_phases.size();
+
+  std::set<int> started;
+  std::size_t steps = 0;
+  while (!rb_is_start_state(eng.state()) && steps < 1'000'000) {
+    const RbState before = eng.state();
+    eng.step();
+    const RbState& after = eng.state();
+    for (std::size_t j = 0; j < before.size(); ++j) {
+      if (before[j].cp != Cp::kExecute && after[j].cp == Cp::kExecute) {
+        started.insert(after[j].ph);
+      }
+    }
+    ++steps;
+  }
+  ASSERT_TRUE(rb_is_start_state(eng.state())) << "did not stabilize";
+
+  // Phases started outside the perturbed set: at most one, and it must be
+  // the increment successor of a perturbed phase.
+  std::set<int> outside;
+  const PhaseRing ring(opt.num_phases);
+  for (int ph : started) {
+    if (!perturbed_phases.contains(ph)) outside.insert(ph);
+  }
+  EXPECT_LE(outside.size(), 1u)
+      << "more than one non-perturbed phase ran during recovery";
+  for (int ph : outside) {
+    EXPECT_TRUE(perturbed_phases.contains(ring.prev(ph)))
+        << "phase " << ph << " is not an increment of a perturbed phase";
+  }
+  EXPECT_LE(started.size(), m + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbMBound,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 43, 53, 61, 71,
+                                           83, 97));
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,455 @@
+#include "core/rb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/model_check.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+struct RbHash {
+  std::size_t operator()(const RbState& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& p : s) {
+      h ^= (static_cast<std::size_t>(p.sn + 3) * 131u) ^
+           (static_cast<std::size_t>(p.cp) * 31u) ^ static_cast<std::size_t>(p.ph);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct RbRunParam {
+  const char* name;
+  int num_procs;
+  int arity;  // 0 = ring, 1 = two_ring, else k-ary tree
+  int num_phases;
+  sim::Semantics semantics;
+  std::uint64_t seed;
+};
+
+RbOptions options_for(const RbRunParam& p) {
+  using topology::Topology;
+  std::shared_ptr<const Topology> topo;
+  if (p.arity == 0) {
+    topo = std::make_shared<const Topology>(Topology::ring(p.num_procs));
+  } else if (p.arity == 1) {
+    topo = std::make_shared<const Topology>(Topology::two_ring(p.num_procs));
+  } else {
+    topo = std::make_shared<const Topology>(Topology::kary_tree(p.num_procs, p.arity));
+  }
+  return RbOptions{topo, p.num_phases, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Fault-free behaviour (Lemma 4.1.1) across topologies and semantics
+// ---------------------------------------------------------------------------
+
+class RbFaultFree : public ::testing::TestWithParam<RbRunParam> {};
+
+TEST_P(RbFaultFree, SatisfiesSpecification) {
+  const auto param = GetParam();
+  const auto opt = options_for(param);
+  SpecMonitor monitor(opt.topo->size(), opt.num_phases);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  const auto target = static_cast<std::size_t>(3 * param.num_phases);
+  const auto reached = eng.run_until(
+      [&](const RbState&) { return monitor.successful_phases() >= target; },
+      500'000);
+  ASSERT_TRUE(reached.has_value())
+      << "Progress violated: " << monitor.successful_phases() << " phases";
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_EQ(monitor.failed_instances(), 0u);
+  EXPECT_EQ(monitor.total_instances(), monitor.successful_phases());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RbFaultFree,
+    ::testing::Values(
+        RbRunParam{"ring2", 2, 0, 2, sim::Semantics::kInterleaving, 1},
+        RbRunParam{"ring4", 4, 0, 3, sim::Semantics::kInterleaving, 2},
+        RbRunParam{"ring8", 8, 0, 2, sim::Semantics::kMaxParallel, 3},
+        RbRunParam{"tworing5", 5, 1, 2, sim::Semantics::kInterleaving, 4},
+        RbRunParam{"tworing9", 9, 1, 4, sim::Semantics::kMaxParallel, 5},
+        RbRunParam{"btree7", 7, 2, 2, sim::Semantics::kInterleaving, 6},
+        RbRunParam{"btree15", 15, 2, 3, sim::Semantics::kMaxParallel, 7},
+        RbRunParam{"tree31", 31, 2, 2, sim::Semantics::kMaxParallel, 8},
+        RbRunParam{"quad21", 21, 4, 2, sim::Semantics::kMaxParallel, 9}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(RbFaultFree, RingAlwaysHasExactlyOneToken) {
+  const auto opt = rb_ring_options(5);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt),
+                              util::Rng(77));
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_EQ(rb_ring_token_count(eng.state(), opt.k()), 1)
+        << "token invariant broken at step " << i;
+    eng.step();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Masking tolerance to detectable faults (Lemma 4.1.2)
+// ---------------------------------------------------------------------------
+
+class RbDetectable : public ::testing::TestWithParam<RbRunParam> {};
+
+TEST_P(RbDetectable, MasksDetectableFaults) {
+  const auto param = GetParam();
+  const auto opt = options_for(param);
+  SpecMonitor monitor(opt.topo->size(), opt.num_phases);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  util::Rng fault_rng(param.seed ^ 0xfefeULL);
+  const auto perturb = rb_detectable_fault(opt, &monitor);
+
+  // As in CB: corrupting every process detectably is classified as an
+  // undetectable fault (footnote 2), so the injector keeps at least one
+  // process with a valid sequence number.
+  const double f = 0.01;
+  std::size_t steps = 0;
+  const auto target = static_cast<std::size_t>(4 * param.num_phases);
+  while (monitor.successful_phases() < target && steps < 2'000'000) {
+    auto& state = eng.mutable_state();
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      if (!fault_rng.bernoulli(f)) continue;
+      int intact = 0;
+      for (std::size_t k = 0; k < state.size(); ++k) {
+        if (k != j && sn_valid(state[k].sn)) ++intact;
+      }
+      if (intact > 0) perturb(j, state[j], fault_rng);
+    }
+    eng.step();
+    ++steps;
+  }
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GE(monitor.successful_phases(), target)
+      << "Progress violated under detectable faults";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RbDetectable,
+    ::testing::Values(
+        RbRunParam{"ring3", 3, 0, 2, sim::Semantics::kInterleaving, 31},
+        RbRunParam{"ring5", 5, 0, 3, sim::Semantics::kInterleaving, 32},
+        RbRunParam{"ring4mp", 4, 0, 2, sim::Semantics::kMaxParallel, 33},
+        RbRunParam{"tworing6", 6, 1, 2, sim::Semantics::kInterleaving, 34},
+        RbRunParam{"btree7", 7, 2, 2, sim::Semantics::kInterleaving, 35},
+        RbRunParam{"btree15mp", 15, 2, 2, sim::Semantics::kMaxParallel, 36}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Token-ring invariants under detectable faults, model-checked
+// (Lemma 4.1.2 properties (a)-(c) of the underlying token program)
+// ---------------------------------------------------------------------------
+
+TEST(RbModelCheck, DetectableFaultInvariants) {
+  const auto opt = rb_ring_options(3, 2);
+  auto actions = make_rb_actions(opt);
+  // Deterministic detectable-fault actions: one per (process, target phase),
+  // gated so that at least one other process keeps a valid sequence number
+  // (footnote 2: corrupting everything detectably is undetectable-class).
+  for (int j = 0; j < 3; ++j) {
+    for (int ph = 0; ph < 2; ++ph) {
+      const auto uj = static_cast<std::size_t>(j);
+      actions.push_back(sim::make_action<RbProc>(
+          "F@" + std::to_string(j) + "," + std::to_string(ph), j,
+          [uj](const RbState& s) {
+            for (std::size_t k = 0; k < s.size(); ++k) {
+              if (k != uj && sn_valid(s[k].sn)) return true;
+            }
+            return false;
+          },
+          [uj, ph](RbState& s) {
+            s[uj].sn = kSnBot;
+            s[uj].cp = Cp::kError;
+            s[uj].ph = ph;
+          }));
+    }
+  }
+  sim::Explorer<RbProc, RbHash> ex(std::move(actions), RbHash{}, 4'000'000);
+  const auto result = ex.explore(
+      {rb_start_state(opt)}, [&](const RbState& s) {
+        // (a) at most one token among valid sequence numbers;
+        if (rb_ring_token_count(s, opt.k()) > 1) return false;
+        // (b) cp = error exactly when sn is corrupted;
+        for (const auto& p : s) {
+          if ((p.cp == Cp::kError) != !sn_valid(p.sn)) return false;
+        }
+        // (c) process 0 never reaches TOP (never executes T5).
+        return s[0].sn != kSnTop;
+      });
+  EXPECT_FALSE(result.truncated);
+  EXPECT_FALSE(result.violation.has_value())
+      << "invariant violated via " << result.violated_by;
+}
+
+// ---------------------------------------------------------------------------
+// Stabilizing tolerance to undetectable faults (Lemma 4.1.3)
+// ---------------------------------------------------------------------------
+
+TEST(RbModelCheck, StabilizesFromEveryState) {
+  // Exhaustive: from EVERY state of a 3-process ring (K=4, n=2), a start
+  // state is reachable again.
+  const auto opt = rb_ring_options(3, 2);
+  const int k = opt.k();
+  std::vector<RbState> roots;
+  std::vector<int> sn_domain;
+  for (int v = 0; v < k; ++v) sn_domain.push_back(v);
+  sn_domain.push_back(kSnBot);
+  sn_domain.push_back(kSnTop);
+  for (int s0 : sn_domain) {
+    for (int s1 : sn_domain) {
+      for (int s2 : sn_domain) {
+        for (int c0 = 0; c0 < 4; ++c0) {      // root: no repeat
+          for (int c1 = 0; c1 < 5; ++c1) {
+            for (int c2 = 0; c2 < 5; ++c2) {
+              for (int p0 = 0; p0 < 2; ++p0) {
+                for (int p1 = 0; p1 < 2; ++p1) {
+                  for (int p2 = 0; p2 < 2; ++p2) {
+                    roots.push_back(RbState{
+                        RbProc{s0, static_cast<Cp>(c0), p0},
+                        RbProc{s1, static_cast<Cp>(c1), p1},
+                        RbProc{s2, static_cast<Cp>(c2), p2}});
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  sim::Explorer<RbProc, RbHash> ex(make_rb_actions(opt), RbHash{}, 4'000'000);
+  const auto result = ex.explore(roots, [](const RbState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_TRUE(ex.legit_reachable_from_all(
+      [](const RbState& s) { return rb_is_start_state(s); }))
+      << "some state cannot recover to a start state";
+}
+
+TEST(RbModelCheck, TwoLeafTopologyStabilizesFromEveryState) {
+  // The multi-leaf root guard (Section 4.2's "sn.0 = sn.N1 = sn.N2 before
+  // executing T1") is the delicate spot: with a corrupted root and UNEQUAL
+  // valid leaves, only the BOT/TOP escape disjunct prevents deadlock.
+  // Exhaustive check on the 3-process two-ring (root + two leaves).
+  const auto topo = std::make_shared<const topology::Topology>(
+      topology::Topology::two_ring(3));
+  const RbOptions opt{topo, 2, 0};
+  const int k = opt.k();
+  std::vector<int> sn_domain;
+  for (int v = 0; v < k; ++v) sn_domain.push_back(v);
+  sn_domain.push_back(kSnBot);
+  sn_domain.push_back(kSnTop);
+  std::vector<RbState> roots;
+  for (int s0 : sn_domain) {
+    for (int s1 : sn_domain) {
+      for (int s2 : sn_domain) {
+        for (int c0 = 0; c0 < 4; ++c0) {
+          for (int c1 = 0; c1 < 5; ++c1) {
+            for (int c2 = 0; c2 < 5; ++c2) {
+              for (int p0 = 0; p0 < 2; ++p0) {
+                for (int p1 = 0; p1 < 2; ++p1) {
+                  for (int p2 = 0; p2 < 2; ++p2) {
+                    roots.push_back(RbState{RbProc{s0, static_cast<Cp>(c0), p0},
+                                            RbProc{s1, static_cast<Cp>(c1), p1},
+                                            RbProc{s2, static_cast<Cp>(c2), p2}});
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  sim::Explorer<RbProc, RbHash> ex(make_rb_actions(opt), RbHash{}, 6'000'000);
+  const auto result = ex.explore(roots, [](const RbState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_TRUE(ex.legit_reachable_from_all(
+      [](const RbState& s) { return rb_is_start_state(s); }))
+      << "a two-leaf state cannot recover (multi-leaf T1 guard deadlock)";
+}
+
+class RbStabilization : public ::testing::TestWithParam<RbRunParam> {};
+
+TEST_P(RbStabilization, RecoversAndResatisfiesSpec) {
+  const auto param = GetParam();
+  const auto opt = options_for(param);
+  SpecMonitor monitor(opt.topo->size(), opt.num_phases);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, &monitor),
+                              util::Rng(param.seed), param.semantics);
+  util::Rng fault_rng(param.seed ^ 0xabcdULL);
+  const auto perturb = rb_undetectable_fault(opt, &monitor);
+
+  monitor.on_undetectable_fault();
+  for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+    perturb(j, eng.mutable_state()[j], fault_rng);
+  }
+
+  const auto recovered =
+      eng.run_until([](const RbState& s) { return rb_is_start_state(s); }, 1'000'000);
+  ASSERT_TRUE(recovered.has_value()) << "did not stabilize";
+
+  monitor.resync(eng.state().front().ph);
+  const auto target = static_cast<std::size_t>(3 * param.num_phases);
+  const auto ok = eng.run_until(
+      [&](const RbState&) { return monitor.successful_phases() >= target; },
+      1'000'000);
+  ASSERT_TRUE(ok.has_value()) << "no progress after recovery";
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RbStabilization,
+    ::testing::Values(
+        RbRunParam{"ring3a", 3, 0, 2, sim::Semantics::kInterleaving, 201},
+        RbRunParam{"ring3b", 3, 0, 2, sim::Semantics::kInterleaving, 202},
+        RbRunParam{"ring6", 6, 0, 3, sim::Semantics::kInterleaving, 203},
+        RbRunParam{"ring6mp", 6, 0, 3, sim::Semantics::kMaxParallel, 204},
+        RbRunParam{"tworing7", 7, 1, 2, sim::Semantics::kInterleaving, 205},
+        RbRunParam{"btree7", 7, 2, 2, sim::Semantics::kInterleaving, 206},
+        RbRunParam{"btree15mp", 15, 2, 2, sim::Semantics::kMaxParallel, 207},
+        RbRunParam{"quad13mp", 13, 4, 4, sim::Semantics::kMaxParallel, 208}),
+    [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+TEST(RbHelpers, StartStatePredicate) {
+  const auto opt = rb_ring_options(4);
+  auto s = rb_start_state(opt, 1);
+  EXPECT_TRUE(rb_is_start_state(s));
+  s[2].cp = Cp::kExecute;
+  EXPECT_FALSE(rb_is_start_state(s));
+  s = rb_start_state(opt);
+  s[1].sn = 3;
+  EXPECT_FALSE(rb_is_start_state(s));
+  s = rb_start_state(opt);
+  s[0].sn = kSnBot;
+  for (auto& p : s) p.sn = kSnBot;
+  EXPECT_FALSE(rb_is_start_state(s));
+}
+
+TEST(RbHelpers, TokenCountOnFreshRing) {
+  const auto opt = rb_ring_options(4);
+  const auto s = rb_start_state(opt);
+  // Uniform sequence numbers: exactly one token, held at the last process.
+  EXPECT_EQ(rb_ring_token_count(s, opt.k()), 1);
+}
+
+TEST(RbHelpers, TokenCountIgnoresCorruptPairs) {
+  const auto opt = rb_ring_options(3);
+  RbState s = rb_start_state(opt);
+  s[1].sn = kSnBot;
+  // Pairs (0,1) and (1,2) are corrupt; pair (2,0) matches -> one token.
+  EXPECT_EQ(rb_ring_token_count(s, opt.k()), 1);
+  s[0].sn = kSnTop;
+  EXPECT_EQ(rb_ring_token_count(s, opt.k()), 0);
+}
+
+TEST(RbHelpers, CorruptSnPredicate) {
+  const auto opt = rb_ring_options(3);
+  RbState s = rb_start_state(opt);
+  EXPECT_FALSE(rb_any_corrupt_sn(s));
+  s[2].sn = kSnTop;
+  EXPECT_TRUE(rb_any_corrupt_sn(s));
+}
+
+TEST(RbHelpers, OptionsDefaultModulusExceedsSize) {
+  EXPECT_EQ(rb_ring_options(5).k(), 6);
+  EXPECT_EQ(rb_tree_options(7, 2).k(), 8);
+  RbOptions opt = rb_ring_options(5);
+  opt.seq_modulus = 9;
+  EXPECT_EQ(opt.k(), 9);
+}
+
+TEST(RbRules, RootLifecycle) {
+  const PhaseRing ring(4);
+  const CpPh leaf_ready{Cp::kReady, 1};
+  // ready + all leaves ready -> execute (start).
+  auto r = rb_root_update(CpPh{Cp::kReady, 1}, std::vector<CpPh>{leaf_ready}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kExecute);
+  EXPECT_EQ(r.event, RbEvent::kStart);
+  // execute -> success (complete), unconditionally.
+  r = rb_root_update(CpPh{Cp::kExecute, 1}, std::vector<CpPh>{leaf_ready}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kSuccess);
+  EXPECT_EQ(r.event, RbEvent::kComplete);
+  // success + all leaves success same phase -> increment, ready.
+  r = rb_root_update(CpPh{Cp::kSuccess, 1},
+                     std::vector<CpPh>{CpPh{Cp::kSuccess, 1}}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  EXPECT_EQ(r.next.ph, 2);
+  // success + a repeat leaf -> re-execute the leaf's phase.
+  r = rb_root_update(CpPh{Cp::kSuccess, 1},
+                     std::vector<CpPh>{CpPh{Cp::kRepeat, 1}}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  EXPECT_EQ(r.next.ph, 1);
+  // error -> ready, copying the leaf's phase.
+  r = rb_root_update(CpPh{Cp::kError, 3},
+                     std::vector<CpPh>{CpPh{Cp::kSuccess, 1}}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  EXPECT_EQ(r.next.ph, 1);
+  // ready but a leaf lags -> no transition.
+  r = rb_root_update(CpPh{Cp::kReady, 1},
+                     std::vector<CpPh>{CpPh{Cp::kSuccess, 1}}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  EXPECT_EQ(r.event, RbEvent::kNone);
+}
+
+TEST(RbRules, RootRequiresAllLeavesAligned) {
+  const PhaseRing ring(2);
+  // Two leaves, one lagging in phase: no start.
+  auto r = rb_root_update(
+      CpPh{Cp::kReady, 0},
+      std::vector<CpPh>{CpPh{Cp::kReady, 0}, CpPh{Cp::kReady, 1}}, ring);
+  EXPECT_EQ(r.event, RbEvent::kNone);
+  // Both aligned: start.
+  r = rb_root_update(CpPh{Cp::kReady, 0},
+                     std::vector<CpPh>{CpPh{Cp::kReady, 0}, CpPh{Cp::kReady, 0}},
+                     ring);
+  EXPECT_EQ(r.event, RbEvent::kStart);
+}
+
+TEST(RbRules, FollowerLifecycle) {
+  const PhaseRing ring(4);
+  // ready follows execute.
+  auto r = rb_follower_update(CpPh{Cp::kReady, 1}, CpPh{Cp::kExecute, 1}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kExecute);
+  EXPECT_EQ(r.event, RbEvent::kStart);
+  // execute follows success.
+  r = rb_follower_update(CpPh{Cp::kExecute, 1}, CpPh{Cp::kSuccess, 1}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kSuccess);
+  EXPECT_EQ(r.event, RbEvent::kComplete);
+  // success follows ready (next phase propagates).
+  r = rb_follower_update(CpPh{Cp::kSuccess, 1}, CpPh{Cp::kReady, 2}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  EXPECT_EQ(r.next.ph, 2);
+  // error is converted to repeat when any wave passes.
+  r = rb_follower_update(CpPh{Cp::kError, 3}, CpPh{Cp::kSuccess, 1}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kRepeat);
+  EXPECT_EQ(r.event, RbEvent::kNone);
+  // ...except a ready wave, which resets it directly.
+  r = rb_follower_update(CpPh{Cp::kError, 3}, CpPh{Cp::kReady, 2}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kReady);
+  // an executing process cut off by a ready wave aborts.
+  r = rb_follower_update(CpPh{Cp::kExecute, 1}, CpPh{Cp::kReady, 2}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kRepeat);
+  EXPECT_EQ(r.event, RbEvent::kAbort);
+  // repeat propagates through executing processes, aborting them.
+  r = rb_follower_update(CpPh{Cp::kExecute, 1}, CpPh{Cp::kRepeat, 1}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kRepeat);
+  EXPECT_EQ(r.event, RbEvent::kAbort);
+  // matching states pass through unchanged.
+  r = rb_follower_update(CpPh{Cp::kExecute, 1}, CpPh{Cp::kExecute, 1}, ring);
+  EXPECT_EQ(r.next.cp, Cp::kExecute);
+  EXPECT_EQ(r.event, RbEvent::kNone);
+}
+
+}  // namespace
+}  // namespace ftbar::core

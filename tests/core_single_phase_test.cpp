@@ -1,0 +1,80 @@
+#include "core/single_phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ftbar::core {
+namespace {
+
+TEST(SinglePhaseBarrier, IteratesWithoutPhaseBookkeeping) {
+  constexpr int kThreads = 3;
+  SinglePhaseBarrier bar(kThreads);
+  std::vector<int> iterations(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int done = 0; done < 7;) {
+        if (!bar.arrive_and_wait(tid).repeated) {
+          ++done;
+          ++iterations[static_cast<std::size_t>(tid)];
+        }
+      }
+      bar.finalize(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int v : iterations) EXPECT_EQ(v, 7);
+}
+
+TEST(SinglePhaseBarrier, StateLossRepeatsTheIteration) {
+  constexpr int kThreads = 2;
+  SinglePhaseBarrier bar(kThreads);
+  std::vector<int> repeats(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      int arrives = 0;
+      for (int done = 0; done < 4;) {
+        const bool ok = !(tid == 1 && arrives == 1);
+        ++arrives;
+        const auto o = bar.arrive_and_wait(tid, ok);
+        if (o.repeated) {
+          ++repeats[static_cast<std::size_t>(tid)];
+        } else {
+          ++done;
+        }
+      }
+      bar.finalize(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(repeats[0], 1);
+  EXPECT_EQ(repeats[1], 1);
+}
+
+TEST(SinglePhaseBarrier, ReplicationSurvivesLossyLinks) {
+  BarrierOptions opt;
+  opt.link_faults.drop = 0.1;
+  opt.num_phases = 17;  // caller's value is overridden by the replication
+  SinglePhaseBarrier bar(2, opt);
+  std::vector<std::thread> threads;
+  std::vector<int> done(2, 0);
+  for (int tid = 0; tid < 2; ++tid) {
+    threads.emplace_back([&, tid] {
+      while (done[static_cast<std::size_t>(tid)] < 5) {
+        if (!bar.arrive_and_wait(tid).repeated) {
+          ++done[static_cast<std::size_t>(tid)];
+        }
+      }
+      bar.finalize(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done[0], 5);
+  EXPECT_EQ(done[1], 5);
+}
+
+}  // namespace
+}  // namespace ftbar::core

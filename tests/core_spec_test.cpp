@@ -1,0 +1,201 @@
+#include "core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbar::core {
+namespace {
+
+// Drives one full, correct instance of `ph` on `n` processes.
+void run_phase(SpecMonitor& m, int n, int ph) {
+  m.on_start(0, ph, /*new_instance=*/true);
+  for (int p = 1; p < n; ++p) m.on_start(p, ph, false);
+  for (int p = 0; p < n; ++p) m.on_complete(p, ph);
+}
+
+TEST(SpecMonitor, FaultFreeCycleIsSafe) {
+  SpecMonitor m(3, 4);
+  for (int round = 0; round < 3; ++round) {
+    for (int ph = 0; ph < 4; ++ph) run_phase(m, 3, ph);
+  }
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.successful_phases(), 12u);
+  EXPECT_EQ(m.total_instances(), 12u);
+  EXPECT_EQ(m.failed_instances(), 0u);
+}
+
+TEST(SpecMonitor, PhaseWrapsModulo) {
+  SpecMonitor m(2, 2);
+  run_phase(m, 2, 0);
+  run_phase(m, 2, 1);
+  run_phase(m, 2, 0);  // wraps
+  EXPECT_TRUE(m.safety_ok());
+  EXPECT_EQ(m.successful_phases(), 3u);
+}
+
+TEST(SpecMonitor, SkippingAPhaseViolatesSafety) {
+  SpecMonitor m(2, 4);
+  run_phase(m, 2, 0);
+  m.on_start(0, 2, true);  // phase 1 skipped
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, NextPhaseBeforeSuccessViolatesSafety) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_complete(0, 0);
+  // Process 1 never completes; a fresh instance of phase 1 opens anyway.
+  m.on_abort(1);
+  m.on_start(0, 1, true);
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, RetryOfFailedInstanceIsSafe) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_complete(0, 0);
+  m.on_abort(1);  // process 1 lost its state
+  // New instance of the same phase once nobody is executing.
+  run_phase(m, 2, 0);
+  run_phase(m, 2, 1);
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.failed_instances(), 1u);
+  EXPECT_EQ(m.total_instances(), 3u);
+  EXPECT_EQ(m.successful_phases(), 2u);
+}
+
+TEST(SpecMonitor, OverlappingInstancesViolateSafety) {
+  SpecMonitor m(3, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_complete(0, 0);
+  m.on_abort(2);  // irrelevant: 2 never started
+  // Process 1 is still executing; opening a new instance now overlaps.
+  m.on_start(2, 0, true);
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, ReExecutionAfterSuccessIsSafe) {
+  // The program may conservatively re-execute an already-successful phase
+  // (e.g. a process was reset after completing). The phase counts as
+  // successful when the LAST instance succeeds.
+  SpecMonitor m(2, 4);
+  run_phase(m, 2, 0);
+  run_phase(m, 2, 0);  // repeat of phase 0
+  run_phase(m, 2, 1);
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.successful_phases(), 2u);
+  EXPECT_EQ(m.total_instances(), 3u);
+}
+
+TEST(SpecMonitor, DoubleExecutionInOneInstanceViolates) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(0, 0, false);  // same process starts again mid-instance
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, CompletionWithoutStartViolates) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_complete(1, 0);
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, CompletionAfterAbortViolates) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_abort(1);
+  m.on_complete(1, 0);  // 1's execution was discarded by the reset
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, DoubleCompletionViolates) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_complete(0, 0);
+  m.on_complete(0, 0);
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, WrongPhaseJoinViolates) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 1, false);  // joins with the wrong phase
+  EXPECT_FALSE(m.safety_ok());
+}
+
+TEST(SpecMonitor, SimultaneousOpeningsArePristineJoins) {
+  // Under maximal parallelism several processes may take the instance-
+  // opening transition in the same step; as long as the instance is
+  // pristine this is a join, not an overlap.
+  SpecMonitor m(3, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, true);
+  m.on_start(2, 0, true);
+  for (int p = 0; p < 3; ++p) m.on_complete(p, 0);
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.total_instances(), 1u);
+}
+
+TEST(SpecMonitor, DesyncSuspendsChecking) {
+  SpecMonitor m(2, 4);
+  run_phase(m, 2, 0);
+  m.on_undetectable_fault();
+  EXPECT_TRUE(m.desynced());
+  // Wild events while desynced are not violations.
+  m.on_start(0, 3, true);
+  m.on_complete(1, 2);
+  EXPECT_TRUE(m.safety_ok());
+  m.resync(2);
+  EXPECT_FALSE(m.desynced());
+  EXPECT_EQ(m.expected_phase(), 2);
+  run_phase(m, 2, 2);
+  run_phase(m, 2, 3);
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+}
+
+TEST(SpecMonitor, DesyncMidInstanceCountsItFailed) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_undetectable_fault();
+  EXPECT_EQ(m.failed_instances(), 1u);
+}
+
+TEST(SpecMonitor, ResyncNormalizesPhase) {
+  SpecMonitor m(2, 4);
+  m.resync(-3);
+  EXPECT_EQ(m.expected_phase(), 1);
+  m.resync(6);
+  EXPECT_EQ(m.expected_phase(), 2);
+}
+
+TEST(SpecMonitor, AnyoneExecutingTracksLifecycle) {
+  SpecMonitor m(2, 4);
+  EXPECT_FALSE(m.anyone_executing());
+  m.on_start(0, 0, true);
+  EXPECT_TRUE(m.anyone_executing());
+  m.on_start(1, 0, false);
+  m.on_complete(0, 0);
+  EXPECT_TRUE(m.anyone_executing());
+  m.on_complete(1, 0);
+  EXPECT_FALSE(m.anyone_executing());
+}
+
+TEST(SpecMonitor, FailedInstanceBoundaryRequiresQuiescence) {
+  SpecMonitor m(2, 4);
+  m.on_start(0, 0, true);
+  m.on_start(1, 0, false);
+  m.on_abort(0);
+  m.on_abort(1);
+  // All participants aborted; a fresh instance may open.
+  run_phase(m, 2, 0);
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.failed_instances(), 1u);
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,155 @@
+#include "core/timed_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "analysis/model.hpp"
+
+namespace ftbar::core {
+namespace {
+
+TEST(TimedRbModel, FaultFreePhaseIsExactlyAnalytic) {
+  TimedRbModel model({5, 0.01, 0.0}, util::Rng(1));
+  const auto s = model.run_phase();
+  EXPECT_EQ(s.instances, 1);
+  EXPECT_DOUBLE_EQ(s.elapsed, 1.15);  // 1 + 3hc
+  EXPECT_DOUBLE_EQ(model.instance_time(), 1.15);
+}
+
+TEST(TimedRbModel, ZeroLatencyFaultFree) {
+  TimedRbModel model({5, 0.0, 0.0}, util::Rng(2));
+  const auto s = model.run_phases(10);
+  EXPECT_EQ(s.instances, 10);
+  EXPECT_DOUBLE_EQ(s.elapsed, 10.0);
+}
+
+struct SweepPoint {
+  double c;
+  double f;
+};
+
+class TimedMatchesAnalytic : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(TimedMatchesAnalytic, MeanInstancesTrackFormula) {
+  const auto [c, f] = GetParam();
+  TimedRbModel model({5, c, f}, util::Rng(42));
+  constexpr std::size_t kPhases = 40'000;
+  const auto s = model.run_phases(kPhases);
+  const double measured = static_cast<double>(s.instances) / kPhases;
+  const double predicted = analysis::expected_instances({5, c, f});
+  EXPECT_NEAR(measured, predicted, 0.05 * predicted)
+      << "c=" << c << " f=" << f;
+}
+
+TEST_P(TimedMatchesAnalytic, MeanPhaseTimeBelowAnalyticWorstCase) {
+  // Failed instances abort at a wave boundary, so the simulated time per
+  // successful phase is at most the analytical worst case (Figures 4 vs 6)
+  // but never below the fault-free floor 1 + 3hc.
+  const auto [c, f] = GetParam();
+  TimedRbModel model({5, c, f}, util::Rng(77));
+  constexpr std::size_t kPhases = 40'000;
+  const auto s = model.run_phases(kPhases);
+  const double mean_time = s.elapsed / kPhases;
+  const double analytic = analysis::expected_phase_time({5, c, f});
+  EXPECT_LE(mean_time, analytic * 1.01) << "c=" << c << " f=" << f;
+  EXPECT_GE(mean_time, (1.0 + 3 * 5 * c) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimedMatchesAnalytic,
+                         ::testing::Values(SweepPoint{0.0, 0.01},
+                                           SweepPoint{0.01, 0.01},
+                                           SweepPoint{0.01, 0.05},
+                                           SweepPoint{0.03, 0.1},
+                                           SweepPoint{0.05, 0.05}));
+
+TEST(TimedRbModel, FaultsStrictlyIncreaseInstances) {
+  TimedRbModel low({5, 0.01, 0.01}, util::Rng(5));
+  TimedRbModel high({5, 0.01, 0.10}, util::Rng(5));
+  constexpr std::size_t kPhases = 20'000;
+  EXPECT_LT(low.run_phases(kPhases).instances, high.run_phases(kPhases).instances);
+}
+
+TEST(TimedRbModel, FailedInstancesAreCheaperThanWorstCase) {
+  // With very frequent faults the average per-instance cost must fall well
+  // below 1 + 3hc (instances abort early) yet remain positive.
+  TimedRbModel model({5, 0.05, 0.5}, util::Rng(9));
+  const auto s = model.run_phases(2'000);
+  const double per_instance = s.elapsed / s.instances;
+  EXPECT_LT(per_instance, model.instance_time());
+  EXPECT_GT(per_instance, 0.0);
+}
+
+TEST(TimedRbModel, InstanceCountsFollowGeometricDistribution) {
+  // Analytical model: a phase needs exactly k instances with probability
+  // q^(k-1) * p where p = (1-f)^(1+3hc). Check the first categories of the
+  // empirical distribution against the geometric law.
+  const double c = 0.02;
+  const double f = 0.15;  // high rate so multi-instance phases are common
+  TimedRbModel model({5, c, f}, util::Rng(2718));
+  constexpr std::size_t kPhases = 50'000;
+  std::array<std::size_t, 6> histogram{};  // k = 1..5, 6+ lumped
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    const auto s = model.run_phase();
+    const auto bucket = std::min<std::size_t>(static_cast<std::size_t>(s.instances), 6);
+    ++histogram[bucket - 1];
+  }
+  const double p = analysis::no_fault_probability({5, c, f});
+  const double q = 1.0 - p;
+  double qk = 1.0;  // q^(k-1)
+  for (int k = 1; k <= 4; ++k) {
+    const double expected = qk * p;
+    const double observed =
+        static_cast<double>(histogram[static_cast<std::size_t>(k - 1)]) / kPhases;
+    // 4 sigma of the binomial sampling noise.
+    const double sigma = std::sqrt(expected * (1 - expected) / kPhases);
+    EXPECT_NEAR(observed, expected, 4 * sigma + 1e-6) << "k=" << k;
+    qk *= q;
+  }
+}
+
+TEST(TimedIntolerant, PhaseTimeFormula) {
+  EXPECT_DOUBLE_EQ(timed_intolerant_phase_time({5, 0.01, 0.0}), 1.10);
+  EXPECT_DOUBLE_EQ(timed_intolerant_phase_time({3, 0.0, 0.0}), 1.0);
+}
+
+TEST(Recovery, ZeroLatencyIsFree) {
+  util::Rng rng(11);
+  EXPECT_DOUBLE_EQ(measure_recovery(2, 0.0, rng), 0.0);
+}
+
+TEST(Recovery, CompletesAndScalesWithLatency) {
+  util::Rng rng(13);
+  const double at_c1 = measure_recovery(3, 0.01, rng);
+  util::Rng rng2(13);
+  const double at_c5 = measure_recovery(3, 0.05, rng2);
+  EXPECT_GT(at_c1, 0.0);
+  // Same seed, same step count: time scales linearly with c.
+  EXPECT_NEAR(at_c5, 5.0 * at_c1, 1e-9);
+}
+
+TEST(Recovery, GrowsWithTreeHeightOnAverage) {
+  util::Rng rng(17);
+  double small = 0.0;
+  double large = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    small += measure_recovery(1, 0.01, rng);
+    large += measure_recovery(4, 0.01, rng);
+  }
+  EXPECT_LT(small, large);
+}
+
+TEST(Recovery, StaysWithinPaperBallpark) {
+  // Paper, Figure 7: h = 5, c = 0.01 recovers in well under the 2hc<=0.5
+  // regime's bound of 1.25 time units.
+  util::Rng rng(19);
+  for (int i = 0; i < 5; ++i) {
+    const double t = measure_recovery(5, 0.01, rng);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1.25);
+  }
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,195 @@
+#include "core/token_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/model_check.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+struct TrHash {
+  std::size_t operator()(const TrState& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& p : s) {
+      h ^= static_cast<std::size_t>(p.sn + 3);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+std::vector<TrState> all_valid_states(const TrOptions& opt) {
+  std::vector<TrState> out;
+  const int k = opt.k();
+  std::vector<int> digits(static_cast<std::size_t>(opt.num_procs), 0);
+  for (;;) {
+    TrState s(static_cast<std::size_t>(opt.num_procs));
+    for (std::size_t j = 0; j < digits.size(); ++j) s[j].sn = digits[j];
+    out.push_back(std::move(s));
+    int pos = 0;
+    while (pos < opt.num_procs && ++digits[static_cast<std::size_t>(pos)] == k) {
+      digits[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == opt.num_procs) break;
+  }
+  return out;
+}
+
+std::vector<TrState> all_states(const TrOptions& opt) {
+  // Valid values plus BOT/TOP.
+  std::vector<TrState> out;
+  const int k = opt.k();
+  std::vector<int> domain;
+  for (int v = 0; v < k; ++v) domain.push_back(v);
+  domain.push_back(kTrBot);
+  domain.push_back(kTrTop);
+  std::vector<std::size_t> digits(static_cast<std::size_t>(opt.num_procs), 0);
+  for (;;) {
+    TrState s(static_cast<std::size_t>(opt.num_procs));
+    for (std::size_t j = 0; j < digits.size(); ++j) s[j].sn = domain[digits[j]];
+    out.push_back(std::move(s));
+    std::size_t pos = 0;
+    while (pos < digits.size() && ++digits[pos] == domain.size()) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == digits.size()) break;
+  }
+  return out;
+}
+
+TEST(TokenRing, StartStateHasExactlyOneToken) {
+  const TrOptions opt{5, 0};
+  const auto s = tr_start_state(opt);
+  EXPECT_EQ(tr_token_count(s), 1);
+  EXPECT_TRUE(tr_has_token(s, 4)) << "uniform ring: token at the last process";
+  EXPECT_TRUE(tr_legitimate(s));
+}
+
+TEST(TokenRing, FaultFreeSingleTokenInvariantModelChecked) {
+  const TrOptions opt{4, 0};
+  sim::Explorer<TrProc, TrHash> ex(make_tr_actions(opt), TrHash{});
+  const auto result = ex.explore(
+      {tr_start_state(opt)},
+      [](const TrState& s) { return tr_token_count(s) == 1; });
+  EXPECT_FALSE(result.truncated);
+  EXPECT_FALSE(result.violation.has_value())
+      << "token invariant violated via " << result.violated_by;
+}
+
+TEST(TokenRing, TokenCirculatesThroughEveryProcess) {
+  const TrOptions opt{5, 0};
+  sim::StepEngine<TrProc> eng(tr_start_state(opt), make_tr_actions(opt),
+                              util::Rng(3));
+  std::vector<int> holds(5, 0);
+  for (int i = 0; i < 3'000; ++i) {
+    for (int j = 0; j < 5; ++j) holds[static_cast<std::size_t>(j)] += tr_has_token(eng.state(), j);
+    eng.step();
+  }
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_GT(holds[static_cast<std::size_t>(j)], 100) << "process " << j << " starved";
+  }
+}
+
+TEST(TokenRing, DetectableFaultsKeepAtMostOneToken) {
+  // Model check with gated detectable-fault actions (at least one other
+  // process keeps a valid sn): property (a) of Section 4.1.
+  const TrOptions opt{3, 0};
+  auto actions = make_tr_actions(opt);
+  for (int j = 0; j < 3; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    actions.push_back(sim::make_action<TrProc>(
+        "F@" + std::to_string(j), j,
+        [uj](const TrState& s) {
+          for (std::size_t q = 0; q < s.size(); ++q) {
+            if (q != uj && tr_valid(s[q].sn)) return true;
+          }
+          return false;
+        },
+        [uj](TrState& s) { s[uj].sn = kTrBot; }));
+  }
+  sim::Explorer<TrProc, TrHash> ex(std::move(actions), TrHash{});
+  const auto result = ex.explore(
+      {tr_start_state(opt)},
+      [](const TrState& s) { return tr_token_count(s) <= 1 && s[0].sn != kTrTop; });
+  EXPECT_FALSE(result.truncated);
+  EXPECT_FALSE(result.violation.has_value())
+      << "violated via " << result.violated_by;
+  // And from every reachable state the single token returns.
+  EXPECT_TRUE(ex.legit_reachable_from_all(tr_legitimate));
+}
+
+TEST(TokenRing, StabilizesFromEveryStateIncludingBotTop) {
+  const TrOptions opt{3, 0};  // K = 4 > N = 2
+  sim::Explorer<TrProc, TrHash> ex(make_tr_actions(opt), TrHash{});
+  const auto result = ex.explore(all_states(opt), [](const TrState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_TRUE(ex.legit_reachable_from_all(tr_legitimate));
+}
+
+TEST(TokenRing, ConvergesUnderAnySchedulingWhenKExceedsN) {
+  // Dijkstra bound, positive side: with K = S (> N = S-1), there is no
+  // infinite execution that avoids legitimacy — the non-legitimate part of
+  // the transition graph is cycle-free.
+  const TrOptions opt{4, 4};
+  sim::Explorer<TrProc, TrHash> ex(make_tr_actions(opt), TrHash{});
+  const auto result =
+      ex.explore(all_valid_states(opt), [](const TrState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_TRUE(ex.converges_outside(tr_legitimate))
+      << "a non-converging execution exists although K > N";
+}
+
+TEST(TokenRing, CycleExistsWhenKTooSmall) {
+  // Dijkstra bound, negative side: K = S - 1 is known to still converge,
+  // but at K = S - 2 the classic counterexample appears — an infinite
+  // execution that never reaches a single-token state. This validates why
+  // the sequence domain cannot be shrunk arbitrarily (the paper plays it
+  // safe with K > N).
+  const TrOptions opt{4, 2};
+  sim::Explorer<TrProc, TrHash> ex(make_tr_actions(opt), TrHash{});
+  const auto result =
+      ex.explore(all_valid_states(opt), [](const TrState&) { return true; });
+  ASSERT_FALSE(result.truncated);
+  EXPECT_FALSE(ex.converges_outside(tr_legitimate))
+      << "expected a non-converging cycle with K = N";
+}
+
+TEST(TokenRing, WholeRingDetectableCorruptionHealsViaTopWave) {
+  const TrOptions opt{5, 0};
+  sim::StepEngine<TrProc> eng(tr_start_state(opt), make_tr_actions(opt),
+                              util::Rng(9));
+  for (auto& p : eng.mutable_state()) p.sn = kTrBot;
+  const auto recovered = eng.run_until(tr_legitimate, 100'000);
+  EXPECT_TRUE(recovered.has_value()) << "TOP wave did not restore the ring";
+}
+
+TEST(TokenRing, RandomizedStabilization) {
+  const TrOptions opt{7, 0};
+  const auto perturb = tr_undetectable_fault(opt);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::StepEngine<TrProc> eng(tr_start_state(opt), make_tr_actions(opt),
+                                util::Rng(seed));
+    util::Rng fault_rng(seed * 31);
+    for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+      perturb(j, eng.mutable_state()[j], fault_rng);
+    }
+    const auto recovered = eng.run_until(tr_legitimate, 200'000);
+    ASSERT_TRUE(recovered.has_value()) << "seed " << seed;
+    // Once legitimate, the single-token invariant is closed.
+    for (int i = 0; i < 500; ++i) {
+      eng.step();
+      ASSERT_EQ(tr_token_count(eng.state()), 1) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TokenRing, DefaultModulusSatisfiesPaperBound) {
+  EXPECT_EQ((TrOptions{6, 0}).k(), 7);  // K = S+1 > N = S-1
+  EXPECT_EQ((TrOptions{6, 9}).k(), 9);
+}
+
+}  // namespace
+}  // namespace ftbar::core

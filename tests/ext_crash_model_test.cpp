@@ -1,0 +1,128 @@
+#include "ext/crash_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cb.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::ext {
+namespace {
+
+using core::CbOptions;
+using core::CbProc;
+using core::Cp;
+
+using AuxState = std::vector<WithAux<CbProc>>;
+
+sim::StepEngine<WithAux<CbProc>> make_engine(const CbOptions& opt, std::uint64_t seed,
+                                             bool with_byzantine = false) {
+  std::function<void(std::size_t, CbProc&)> scramble;
+  if (with_byzantine) {
+    scramble = [n = opt.num_phases, rng = std::make_shared<util::Rng>(seed ^ 0xb12eULL)](
+                   std::size_t, CbProc& p) {
+      p.ph = static_cast<int>(rng->uniform(static_cast<std::uint64_t>(n)));
+      p.cp = static_cast<Cp>(rng->uniform(4));
+    };
+  }
+  return sim::StepEngine<WithAux<CbProc>>(
+      lift_state(core::cb_start_state(opt)),
+      add_crash_model(core::make_cb_actions(opt), scramble), util::Rng(seed));
+}
+
+int max_phase(const AuxState& s) {
+  int m = 0;
+  for (const auto& p : s) m = std::max(m, p.inner.ph);
+  return m;
+}
+
+TEST(CrashModel, LiftedProgramBehavesLikeBase) {
+  const CbOptions opt{3, 4};
+  auto eng = make_engine(opt, 1);
+  const auto done = eng.run_until(
+      [](const AuxState& s) {
+        return s[0].inner.ph == 2;  // advanced two phases
+      },
+      100'000);
+  EXPECT_TRUE(done.has_value());
+}
+
+TEST(CrashModel, CrashedProcessStopsTheBarrier) {
+  const CbOptions opt{3, 4};
+  auto eng = make_engine(opt, 2);
+  crash(eng.mutable_state()[1]);
+  const int before = max_phase(eng.state());
+  eng.run(20'000);
+  // Without process 1, no phase can complete: progress is bounded by one
+  // partial advance at most.
+  EXPECT_LE(max_phase(eng.state()), before + 1);
+}
+
+TEST(CrashModel, RepairWithDetectableResetRestoresProgress) {
+  const CbOptions opt{3, 4};
+  auto eng = make_engine(opt, 3);
+  crash(eng.mutable_state()[1]);
+  eng.run(5'000);
+  // Repair: restart with a detectable reset (cp = error).
+  util::Rng repair_rng(33);
+  repair(eng.mutable_state()[1], [&](CbProc& p) {
+    p.cp = Cp::kError;
+    p.ph = 0;
+  });
+  const auto done = eng.run_until(
+      [](const AuxState& s) {
+        return std::all_of(s.begin(), s.end(),
+                           [](const auto& p) { return p.inner.ph >= 2; });
+      },
+      200'000);
+  EXPECT_TRUE(done.has_value()) << "no progress after repair";
+}
+
+TEST(CrashModel, CrashedProcessExecutesNoActions) {
+  const CbOptions opt{2, 2};
+  auto eng = make_engine(opt, 4);
+  crash(eng.mutable_state()[0]);
+  const auto frozen = eng.state()[0];
+  eng.run(5'000);
+  EXPECT_EQ(eng.state()[0], frozen) << "a crashed process moved";
+}
+
+TEST(CrashModel, ByzantineProcessKeepsScribbling) {
+  const CbOptions opt{3, 2};
+  auto eng = make_engine(opt, 5, /*with_byzantine=*/true);
+  make_byzantine(eng.mutable_state()[2]);
+  // The byz action stays enabled forever; the run never quiesces.
+  EXPECT_EQ(eng.run(2'000), 2'000u);
+}
+
+TEST(CrashModel, ByzantineRecoveryAfterGoodAgain) {
+  const CbOptions opt{3, 2};
+  auto eng = make_engine(opt, 6, /*with_byzantine=*/true);
+  make_byzantine(eng.mutable_state()[1]);
+  eng.run(2'000);
+  make_good(eng.mutable_state()[1]);
+  // Once good again, the stabilizing tolerance of CB applies: the program
+  // reaches a legitimate state.
+  const auto recovered = eng.run_until(
+      [&](const AuxState& s) {
+        std::vector<CbProc> inner;
+        for (const auto& p : s) inner.push_back(p.inner);
+        return core::cb_legitimate(inner, opt.num_phases);
+      },
+      200'000);
+  EXPECT_TRUE(recovered.has_value());
+}
+
+TEST(CrashModel, LiftStatePreservesInner) {
+  const CbOptions opt{4, 2};
+  const auto lifted = lift_state(core::cb_start_state(opt, 1));
+  ASSERT_EQ(lifted.size(), 4u);
+  for (const auto& p : lifted) {
+    EXPECT_TRUE(p.up);
+    EXPECT_TRUE(p.good);
+    EXPECT_EQ(p.inner.ph, 1);
+    EXPECT_EQ(p.inner.cp, Cp::kReady);
+  }
+}
+
+}  // namespace
+}  // namespace ftbar::ext

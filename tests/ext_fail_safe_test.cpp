@@ -1,0 +1,104 @@
+#include "ext/fail_safe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ftbar::ext {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FailSafeBarrier, CompletesWhenEveryoneIsHealthy) {
+  const int n = 3;
+  FailSafeBarrier bar(n);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 5; ++round) {
+        if (bar.arrive_and_wait(t) == FailSafeResult::kCompleted) ++completed;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(FailSafeBarrier, UncorrectableFaultPoisonsEveryone) {
+  const int n = 3;
+  FailSafeBarrier bar(n);
+  std::vector<FailSafeResult> results(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      // Participant 1 reports an uncorrectable fault.
+      results[static_cast<std::size_t>(t)] = bar.arrive_and_wait(t, t != 1, 500ms);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(results[1], FailSafeResult::kFatal);
+  // The healthy participants must NOT report completion.
+  for (int t : {0, 2}) {
+    EXPECT_NE(results[static_cast<std::size_t>(t)], FailSafeResult::kCompleted)
+        << "participant " << t << " reported an incorrect completion";
+  }
+}
+
+TEST(FailSafeBarrier, PoisonIsSticky) {
+  FailSafeBarrier bar(2);
+  std::thread peer([&] {
+    EXPECT_EQ(bar.arrive_and_wait(1, /*ok=*/false), FailSafeResult::kFatal);
+    // Every later call fails immediately, even with ok=true.
+    EXPECT_EQ(bar.arrive_and_wait(1, true), FailSafeResult::kFatal);
+  });
+  EXPECT_NE(bar.arrive_and_wait(0, true, 500ms), FailSafeResult::kCompleted);
+  EXPECT_TRUE(bar.poisoned(1) || bar.poisoned(0));
+  peer.join();
+}
+
+TEST(FailSafeBarrier, StalledPeerCausesSafeTimeoutNotFalseCompletion) {
+  FailSafeBarrier bar(2);
+  // Participant 1 never arrives: participant 0 stalls out safely.
+  EXPECT_EQ(bar.arrive_and_wait(0, true, 60ms), FailSafeResult::kTimeout);
+  EXPECT_FALSE(bar.poisoned(0));
+}
+
+TEST(FailSafeBarrier, SafetyNeverReportsCompletionIncorrectly) {
+  // Across many episodes with a random failure, count completion reports:
+  // whenever any participant reports kCompleted for an episode, every
+  // participant must in fact have arrived in that episode.
+  const int n = 4;
+  FailSafeBarrier bar(n);
+  std::atomic<int> completions{0};
+  std::atomic<int> fatals{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        const bool ok = !(t == 2 && round == 3);
+        const auto r = bar.arrive_and_wait(t, ok, 500ms);
+        if (r == FailSafeResult::kCompleted) ++completions;
+        if (r == FailSafeResult::kFatal) {
+          ++fatals;
+          return;  // uncorrectable: this participant is done for good
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Safety: the poisoned round (and everything after it) must never count
+  // as complete anywhere — the faulty participant never arrives at round 3,
+  // so at most 3 rounds * n participants can report completion. (A healthy
+  // participant may fail closed even EARLIER if the poison overtakes a
+  // straggler's arrival in its inbox: fewer completions are always safe.)
+  EXPECT_LE(completions.load(), 3 * n);
+  // The faulty participant completed its three clean rounds itself.
+  EXPECT_GE(completions.load(), 3);
+  EXPECT_GE(fatals.load(), 1);
+}
+
+}  // namespace
+}  // namespace ftbar::ext

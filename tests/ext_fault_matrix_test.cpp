@@ -1,0 +1,77 @@
+#include "ext/fault_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbar::ext {
+namespace {
+
+TEST(FaultMatrix, Table1Mapping) {
+  // Row 1: immediately correctable faults are trivially masked.
+  EXPECT_EQ(appropriate_tolerance(Detectability::kDetectable, Correctability::kImmediate),
+            Tolerance::kTriviallyMasking);
+  EXPECT_EQ(
+      appropriate_tolerance(Detectability::kUndetectable, Correctability::kImmediate),
+      Tolerance::kTriviallyMasking);
+  // Row 2: eventually correctable -> masking / stabilizing.
+  EXPECT_EQ(appropriate_tolerance(Detectability::kDetectable, Correctability::kEventual),
+            Tolerance::kMasking);
+  EXPECT_EQ(
+      appropriate_tolerance(Detectability::kUndetectable, Correctability::kEventual),
+      Tolerance::kStabilizing);
+  // Row 3: uncorrectable -> fail-safe / intolerant.
+  EXPECT_EQ(
+      appropriate_tolerance(Detectability::kDetectable, Correctability::kUncorrectable),
+      Tolerance::kFailSafe);
+  EXPECT_EQ(appropriate_tolerance(Detectability::kUndetectable,
+                                  Correctability::kUncorrectable),
+            Tolerance::kIntolerant);
+}
+
+TEST(FaultMatrix, CatalogClassifiesIntroductionFaults) {
+  const auto catalog = standard_fault_catalog();
+  ASSERT_GE(catalog.size(), 10u);
+  auto find = [&](std::string_view name) -> const FaultType* {
+    for (const auto& f : catalog) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  };
+  const auto* loss = find("message loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(loss->tolerance(), Tolerance::kMasking);
+
+  const auto* transient = find("transient state corruption");
+  ASSERT_NE(transient, nullptr);
+  EXPECT_EQ(transient->tolerance(), Tolerance::kStabilizing);
+
+  const auto* crash = find("permanent processor crash");
+  ASSERT_NE(crash, nullptr);
+  EXPECT_EQ(crash->tolerance(), Tolerance::kFailSafe);
+
+  const auto* byz = find("Byzantine process");
+  ASSERT_NE(byz, nullptr);
+  EXPECT_EQ(byz->tolerance(), Tolerance::kIntolerant);
+
+  const auto* ecc = find("ECC-corrected message corruption");
+  ASSERT_NE(ecc, nullptr);
+  EXPECT_EQ(ecc->tolerance(), Tolerance::kTriviallyMasking);
+}
+
+TEST(FaultMatrix, NamesAreStable) {
+  EXPECT_EQ(to_string(Detectability::kDetectable), "detectable");
+  EXPECT_EQ(to_string(Correctability::kUncorrectable), "uncorrectable");
+  EXPECT_EQ(to_string(Tolerance::kFailSafe), "fail-safe");
+  EXPECT_EQ(to_string(Tolerance::kStabilizing), "stabilizing");
+}
+
+TEST(FaultMatrix, CatalogNamesAreUnique) {
+  const auto catalog = standard_fault_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.size(); ++j) {
+      EXPECT_NE(catalog[i].name, catalog[j].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftbar::ext

@@ -1,0 +1,130 @@
+#include "ext/fuzzy_barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ftbar::ext {
+namespace {
+
+TEST(FuzzyBarrier, PhasesAdvanceWithFuzzyWorkInBetween) {
+  const int n = 3;
+  FuzzyBarrier bar(n);
+  std::vector<long long> fuzzy_work(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> phases(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int round = 0; round < 5; ++round) {
+        bar.enter(tid);
+        // Useful work outside any phase, overlapped with the barrier.
+        while (!bar.poll(tid)) ++fuzzy_work[static_cast<std::size_t>(tid)];
+        const auto t = bar.leave(tid);
+        phases[static_cast<std::size_t>(tid)].push_back(t.phase);
+      }
+      bar.drain(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int tid = 0; tid < n; ++tid) {
+    ASSERT_EQ(phases[static_cast<std::size_t>(tid)].size(), 5u);
+    for (int round = 0; round < 5; ++round) {
+      EXPECT_EQ(phases[static_cast<std::size_t>(tid)][static_cast<std::size_t>(round)],
+                (round + 1) % 64);
+    }
+  }
+}
+
+TEST(FuzzyBarrier, LeaveWithoutPollingStillBlocksCorrectly) {
+  const int n = 2;
+  FuzzyBarrier bar(n);
+  std::vector<int> got(static_cast<std::size_t>(n), -1);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      bar.enter(tid);
+      got[static_cast<std::size_t>(tid)] = bar.leave(tid).phase;
+      bar.drain(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST(FuzzyBarrier, FaultReportedAtEnterRepeatsThePhase) {
+  const int n = 2;
+  FuzzyBarrier bar(n);
+  std::vector<std::vector<core::PhaseTicket>> logs(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      int completed = 0;
+      int round = 0;
+      while (completed < 3) {
+        const bool ok = !(tid == 1 && round == 1);
+        bar.enter(tid, ok);
+        const auto t = bar.leave(tid);
+        logs[static_cast<std::size_t>(tid)].push_back(t);
+        ++round;
+        if (!t.repeated) ++completed;
+      }
+      bar.drain(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(logs[0].size(), logs[1].size());
+  int repeats = 0;
+  for (const auto& t : logs[0]) repeats += t.repeated;
+  EXPECT_EQ(repeats, 1);
+  for (std::size_t i = 0; i < logs[0].size(); ++i) {
+    EXPECT_EQ(logs[0][i].phase, logs[1][i].phase);
+    EXPECT_EQ(logs[0][i].repeated, logs[1][i].repeated);
+  }
+}
+
+TEST(FuzzyBarrier, FuzzySectionsOverlapAcrossThreads) {
+  // Thread 0 enters immediately; thread 1 enters late. Thread 0's fuzzy
+  // section must actually run (poll returns false at least once) because
+  // the barrier cannot complete before thread 1 enters.
+  FuzzyBarrier bar(2);
+  std::atomic<long long> polls_before_release{0};
+  std::thread t0([&] {
+    bar.enter(0);
+    while (!bar.poll(0)) ++polls_before_release;
+    bar.leave(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread t1([&] {
+    bar.enter(1);
+    bar.leave(1);
+  });
+  t0.join();
+  t1.join();
+  EXPECT_GT(polls_before_release.load(), 0);
+}
+
+TEST(FuzzyBarrier, SurvivesLossyLinks) {
+  core::BarrierOptions opt;
+  opt.link_faults.drop = 0.1;
+  FuzzyBarrier bar(3, opt);
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 3; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int round = 0; round < 4; ++round) {
+        bar.enter(tid);
+        bar.leave(tid);
+      }
+      bar.drain(tid);
+      ++done;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), 3);
+}
+
+}  // namespace
+}  // namespace ftbar::ext

@@ -1,0 +1,175 @@
+// Tests for the Section 7 problem instantiations: atomic commitment,
+// clock unison, and phase synchronization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ext/atomic_commit.hpp"
+#include "ext/clock_unison.hpp"
+#include "ext/phase_sync.hpp"
+
+namespace ftbar::ext {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Atomic commitment
+// ---------------------------------------------------------------------------
+
+TEST(AtomicCommit, AllHealthySubtransactionsCommitFirstTry) {
+  const int n = 3;
+  AtomicCommitter committer(n);
+  std::atomic<int> total_attempts{0};
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      for (int txn = 0; txn < 4; ++txn) {
+        total_attempts += committer.run_transaction(id, [](int) { return true; });
+      }
+      committer.finalize(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total_attempts.load(), 4 * n) << "every transaction needed one attempt";
+}
+
+TEST(AtomicCommit, FailedSubtransactionForcesGlobalRetry) {
+  const int n = 3;
+  AtomicCommitter committer(n);
+  std::vector<int> attempts(static_cast<std::size_t>(n), 0);
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      // Participant 1's subtransaction fails on its first attempt.
+      attempts[static_cast<std::size_t>(id)] = committer.run_transaction(
+          id, [id](int attempt) { return !(id == 1 && attempt == 1); });
+      committer.finalize(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Everyone needed exactly two attempts: the failed one and the commit.
+  for (int id = 0; id < n; ++id) {
+    EXPECT_EQ(attempts[static_cast<std::size_t>(id)], 2) << "participant " << id;
+  }
+}
+
+TEST(AtomicCommit, SequentialTransactionsStayOrdered) {
+  const int n = 2;
+  AtomicCommitter committer(n);
+  std::vector<std::vector<CommitOutcome>> outcomes(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      int committed = 0;
+      int attempt_in_txn = 0;
+      while (committed < 3) {
+        ++attempt_in_txn;
+        const bool fail = id == 0 && committed == 1 && attempt_in_txn == 1;
+        const auto o = committer.submit(id, !fail);
+        outcomes[static_cast<std::size_t>(id)].push_back(o);
+        if (o == CommitOutcome::kCommitted) {
+          ++committed;
+          attempt_in_txn = 0;
+        }
+      }
+      committer.finalize(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Both participants observed the identical global decision sequence.
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  int retries = 0;
+  for (const auto o : outcomes[0]) retries += (o == CommitOutcome::kRetried);
+  EXPECT_EQ(retries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Clock unison
+// ---------------------------------------------------------------------------
+
+TEST(ClockUnison, StaysInUnisonWithoutFaults) {
+  ClockUnison clock(4, 6, util::Rng(11));
+  for (int i = 0; i < 20'000; ++i) {
+    clock.step();
+    ASSERT_TRUE(clock.in_unison()) << "clocks diverged at step " << i;
+  }
+}
+
+TEST(ClockUnison, ClocksIncrementInfinitelyOften) {
+  ClockUnison clock(3, 5, util::Rng(13));
+  long long last = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 20'000 && clock.min_increments() < last + 3; ++i) clock.step();
+    EXPECT_GE(clock.min_increments(), last + 3) << "slowest clock stalled";
+    last = clock.min_increments();
+  }
+}
+
+TEST(ClockUnison, RecoversUnisonAfterCorruption) {
+  ClockUnison clock(4, 6, util::Rng(17));
+  util::Rng fault_rng(18);
+  for (int round = 0; round < 5; ++round) {
+    clock.perturb(fault_rng);
+    bool recovered = false;
+    for (int i = 0; i < 200'000; ++i) {
+      clock.step();
+      if (clock.legitimate()) {
+        recovered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(recovered) << "round " << round;
+    EXPECT_TRUE(clock.in_unison()) << "legitimate but not in unison?";
+  }
+}
+
+TEST(ClockUnison, LegitimateImpliesUnison) {
+  // Drive with random perturbations and check the implication throughout.
+  ClockUnison clock(3, 4, util::Rng(19));
+  util::Rng fault_rng(20);
+  clock.perturb(fault_rng);
+  for (int i = 0; i < 50'000; ++i) {
+    clock.step();
+    if (clock.legitimate()) {
+      ASSERT_TRUE(clock.in_unison()) << "at step " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase synchronization
+// ---------------------------------------------------------------------------
+
+TEST(PhaseSync, CleanStartExecutesPhasesInOrder) {
+  PhaseSync sync(4, util::Rng(23));
+  EXPECT_TRUE(sync.run_phases(10));
+  EXPECT_EQ(sync.completed_phases(), 10u);
+  EXPECT_TRUE(sync.safety_ok());
+}
+
+TEST(PhaseSync, InitialDetectableCorruptionIsMasked) {
+  // The traditional phase-sync fault: some processes start with corrupted
+  // variables. Every phase must still execute correctly.
+  PhaseSync sync(5, util::Rng(29), /*corrupt_initially=*/{1, 3});
+  EXPECT_TRUE(sync.run_phases(8));
+  EXPECT_TRUE(sync.safety_ok()) << sync.monitor().violations().front();
+  EXPECT_GE(sync.completed_phases(), 8u);
+}
+
+TEST(PhaseSync, CorruptingAllButOneStillMasks) {
+  PhaseSync sync(4, util::Rng(31), {1, 2, 3});
+  EXPECT_TRUE(sync.run_phases(6));
+  EXPECT_TRUE(sync.safety_ok());
+}
+
+TEST(PhaseSync, ProgressContinuesAcrossManyPhases) {
+  PhaseSync sync(3, util::Rng(37));
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    EXPECT_TRUE(sync.run_phases(5));
+  }
+  EXPECT_EQ(sync.completed_phases(), 20u);
+}
+
+}  // namespace
+}  // namespace ftbar::ext

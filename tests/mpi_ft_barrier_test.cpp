@@ -1,0 +1,232 @@
+#include "mpi/ft_barrier_mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftbar::mpi {
+namespace {
+
+std::shared_ptr<runtime::Network> make_net(int ranks, std::uint64_t seed = 7) {
+  return std::make_shared<runtime::Network>(ranks, seed);
+}
+
+TEST(MpiFtBarrier, ErrorCodeModeReportsMissingRank) {
+  auto net = make_net(2);
+  FtBarrierOptions opt;
+  opt.intolerant_timeout = std::chrono::milliseconds(50);
+  FtBarrier bar(Communicator(net, 0), FtMode::kErrorCode, opt);
+  const auto r = bar.wait();  // rank 1 never arrives
+  EXPECT_EQ(r.err, Err::kTimeout);
+}
+
+TEST(MpiFtBarrier, AbortModeThrows) {
+  auto net = make_net(2);
+  FtBarrierOptions opt;
+  opt.intolerant_timeout = std::chrono::milliseconds(50);
+  FtBarrier bar(Communicator(net, 0), FtMode::kAbort, opt);
+  EXPECT_THROW(bar.wait(), BarrierAborted);
+}
+
+TEST(MpiFtBarrier, ErrorCodeModeSucceedsWhenAllArrive) {
+  const int n = 4;
+  auto net = make_net(n);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      FtBarrier bar(Communicator(net, r), FtMode::kErrorCode);
+      for (int i = 0; i < 10; ++i) {
+        if (bar.wait().err != Err::kSuccess) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(MpiFtBarrier, TolerantModeAdvancesPhases) {
+  const int n = 3;
+  auto net = make_net(n);
+  std::vector<std::vector<core::PhaseTicket>> logs(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      FtBarrier bar(Communicator(net, r), FtMode::kTolerant);
+      int completed = 0;
+      while (completed < 5) {
+        const auto res = bar.wait();
+        ASSERT_EQ(res.err, Err::kSuccess);
+        logs[static_cast<std::size_t>(r)].push_back(res.ticket);
+        if (!res.ticket.repeated) ++completed;
+      }
+      bar.drain();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(logs[static_cast<std::size_t>(r)].size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(logs[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)].phase,
+                (i + 1) % 64);
+    }
+  }
+}
+
+TEST(MpiFtBarrier, TolerantModeMasksRankStateLoss) {
+  const int n = 3;
+  auto net = make_net(n);
+  std::vector<std::vector<core::PhaseTicket>> logs(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      FtBarrier bar(Communicator(net, r), FtMode::kTolerant);
+      int completed = 0;
+      int arrives = 0;
+      while (completed < 4) {
+        const bool ok = !(r == 2 && arrives == 1);  // rank 2 loses a phase
+        const auto res = bar.wait(ok);
+        ++arrives;
+        logs[static_cast<std::size_t>(r)].push_back(res.ticket);
+        if (!res.ticket.repeated) ++completed;
+      }
+      bar.drain();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All ranks saw the same ticket sequence, with exactly one repeat.
+  for (int r = 1; r < n; ++r) {
+    ASSERT_EQ(logs[static_cast<std::size_t>(r)].size(), logs[0].size());
+    for (std::size_t i = 0; i < logs[0].size(); ++i) {
+      EXPECT_EQ(logs[static_cast<std::size_t>(r)][i].phase, logs[0][i].phase);
+      EXPECT_EQ(logs[static_cast<std::size_t>(r)][i].repeated, logs[0][i].repeated);
+    }
+  }
+  int repeats = 0;
+  for (const auto& t : logs[0]) repeats += t.repeated;
+  EXPECT_EQ(repeats, 1);
+}
+
+TEST(MpiFtBarrier, TolerantModeSurvivesLossyLinks) {
+  const int n = 3;
+  auto net = make_net(n, 21);
+  net->set_default_faults(runtime::LinkFaults{.drop = 0.1, .duplicate = 0.05,
+                                              .corrupt = 0.05, .reorder = 0.05});
+  std::atomic<int> completed_total{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      FtBarrier bar(Communicator(net, r), FtMode::kTolerant);
+      int completed = 0;
+      while (completed < 5) {
+        const auto res = bar.wait();
+        if (!res.ticket.repeated) ++completed;
+      }
+      bar.drain();
+      completed_total += completed;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed_total.load(), 15);
+}
+
+TEST(MpiFtBarrier, TolerantAndIntolerantContrastUnderLoss) {
+  // The headline contrast of the paper: under heavy loss the intolerant
+  // barrier fails (times out) while the tolerant one completes.
+  // Rank 1's arrival is always lost: rank 0 never sees it, and rank 1
+  // never gets a release, so both sides report the fault.
+  auto net_bad = make_net(2, 31);
+  net_bad->set_link_faults(1, 0, runtime::LinkFaults{.drop = 1.0});
+  FtBarrierOptions opt;
+  opt.intolerant_timeout = std::chrono::milliseconds(50);
+  std::thread peer([&] {
+    FtBarrier bar(Communicator(net_bad, 1), FtMode::kErrorCode, opt);
+    EXPECT_EQ(bar.wait().err, Err::kTimeout);
+  });
+  FtBarrier bar(Communicator(net_bad, 0), FtMode::kErrorCode, opt);
+  EXPECT_EQ(bar.wait().err, Err::kTimeout);
+  peer.join();
+
+  // Same loss rate (but < 1 so retransmission can win) in tolerant mode.
+  auto net_ok = make_net(2, 32);
+  net_ok->set_default_faults(runtime::LinkFaults{.drop = 0.5});
+  std::thread t1([&] {
+    FtBarrier bar1(Communicator(net_ok, 1), FtMode::kTolerant);
+    const auto res = bar1.wait();
+    EXPECT_EQ(res.err, Err::kSuccess);
+    bar1.drain();
+  });
+  FtBarrier bar0(Communicator(net_ok, 0), FtMode::kTolerant);
+  EXPECT_EQ(bar0.wait().err, Err::kSuccess);
+  bar0.drain();
+  t1.join();
+}
+
+TEST(MpiFtBarrier, RankFailStopAndRepairRejoins) {
+  // The paper's processor fail-stop + repair fault, end to end: rank 1's
+  // thread DIES after two committed supersteps (its barrier state is gone),
+  // the survivors stall — no barrier can complete without it — and a
+  // replacement incarnation rejoins through the detectable-fault path.
+  const int n = 3;
+  auto net = make_net(n, 41);
+  std::vector<std::vector<int>> commits(static_cast<std::size_t>(n));
+  std::atomic<bool> rank1_died{false};
+
+  auto run_rank = [&](int r, int goal) {
+    FtBarrier bar(Communicator(net, r), FtMode::kTolerant);
+    int completed = 0;
+    while (completed < goal) {
+      const auto res = bar.wait();
+      if (!res.ticket.repeated) {
+        ++completed;
+        commits[static_cast<std::size_t>(r)].push_back(res.ticket.phase);
+      }
+      if (r == 1 && commits[1].size() == 2) {  // die after two commits
+        rank1_died = true;
+        return;  // thread exits: fail-stop (no drain, no goodbye)
+      }
+    }
+    bar.drain();
+  };
+
+  std::thread survivor0([&] { run_rank(0, 6); });
+  std::thread survivor2([&] { run_rank(2, 6); });
+  std::thread victim([&] { run_rank(1, 6); });
+  victim.join();
+  ASSERT_TRUE(rank1_died.load());
+
+  // Survivors are now blocked. Repair: a fresh incarnation of rank 1 whose
+  // state was reset (the constructor state is NOT the ring's state, so its
+  // first wait reports ok=false to re-learn everything cleanly).
+  std::thread replacement([&] {
+    FtBarrier bar(Communicator(net, 1), FtMode::kTolerant);
+    int completed = 0;
+    bool first = true;
+    while (completed < 4) {  // finish the remaining supersteps
+      const auto res = bar.wait(/*ok=*/!first);
+      first = false;
+      if (!res.ticket.repeated) {
+        ++completed;
+        commits[1].push_back(res.ticket.phase);
+      }
+    }
+    bar.drain();
+  });
+  survivor0.join();
+  survivor2.join();
+  replacement.join();
+
+  // Survivors committed all six supersteps, in identical order.
+  EXPECT_EQ(commits[0].size(), 6u);
+  EXPECT_EQ(commits[0], commits[2]);
+  // The repaired rank committed the remainder; its commits are a suffix-
+  // consistent subsequence of the survivors' (it may have re-run the phase
+  // in flight at the crash, and joined mid-stream).
+  EXPECT_GE(commits[1].size(), 6u);
+}
+
+}  // namespace
+}  // namespace ftbar::mpi

@@ -1,0 +1,178 @@
+// Property-based tests of the shared transition rules (core/rb_rules.hpp)
+// and the phase arithmetic: exhaustive over the small input domains,
+// metamorphic where the domain is unbounded.
+#include <gtest/gtest.h>
+
+#include "core/rb_rules.hpp"
+
+namespace ftbar::core {
+namespace {
+
+constexpr int kCpCount = 5;
+constexpr int kPhases = 5;
+
+std::vector<CpPh> all_cpph() {
+  std::vector<CpPh> out;
+  for (int cp = 0; cp < kCpCount; ++cp) {
+    for (int ph = 0; ph < kPhases; ++ph) {
+      out.push_back(CpPh{static_cast<Cp>(cp), ph});
+    }
+  }
+  return out;
+}
+
+TEST(RulesProperty, FollowerAlwaysCopiesPredecessorPhase) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    for (const auto& prev : all_cpph()) {
+      const auto r = rb_follower_update(self, prev, ring);
+      EXPECT_EQ(r.next.ph, ring.canon(prev.ph));
+    }
+  }
+}
+
+TEST(RulesProperty, FollowerEventsOnlyOnTheirTransitions) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    for (const auto& prev : all_cpph()) {
+      const auto r = rb_follower_update(self, prev, ring);
+      switch (r.event) {
+        case RbEvent::kStart:
+          EXPECT_EQ(self.cp, Cp::kReady);
+          EXPECT_EQ(prev.cp, Cp::kExecute);
+          EXPECT_EQ(r.next.cp, Cp::kExecute);
+          break;
+        case RbEvent::kComplete:
+          EXPECT_EQ(self.cp, Cp::kExecute);
+          EXPECT_EQ(prev.cp, Cp::kSuccess);
+          EXPECT_EQ(r.next.cp, Cp::kSuccess);
+          break;
+        case RbEvent::kAbort:
+          EXPECT_EQ(self.cp, Cp::kExecute);
+          EXPECT_EQ(r.next.cp, Cp::kRepeat);
+          break;
+        case RbEvent::kNone:
+          break;
+      }
+    }
+  }
+}
+
+TEST(RulesProperty, FollowerSecondApplicationIsEventFree) {
+  // Re-applying the statement against the same predecessor state must not
+  // double-fire start/complete/abort — the idempotence the retransmitting
+  // runtime relies on (a duplicated snapshot is harmless).
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    for (const auto& prev : all_cpph()) {
+      const auto first = rb_follower_update(self, prev, ring);
+      const auto second = rb_follower_update(first.next, prev, ring);
+      EXPECT_EQ(static_cast<int>(second.event), static_cast<int>(RbEvent::kNone))
+          << "self=" << static_cast<int>(self.cp)
+          << " prev=" << static_cast<int>(prev.cp);
+    }
+  }
+}
+
+TEST(RulesProperty, FollowerThirdApplicationIsFixpoint) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    for (const auto& prev : all_cpph()) {
+      const auto a = rb_follower_update(self, prev, ring);
+      const auto b = rb_follower_update(a.next, prev, ring);
+      const auto c = rb_follower_update(b.next, prev, ring);
+      EXPECT_EQ(c.next, b.next) << "no fixpoint after two applications";
+    }
+  }
+}
+
+TEST(RulesProperty, FollowerErrorNeverSurvives) {
+  // Whatever the predecessor shows, an error control position is always
+  // converted (the basis of the "cp=error iff sn corrupt" invariant).
+  const PhaseRing ring(kPhases);
+  for (const auto& prev : all_cpph()) {
+    const auto r = rb_follower_update(CpPh{Cp::kError, 0}, prev, ring);
+    EXPECT_NE(r.next.cp, Cp::kError);
+  }
+}
+
+TEST(RulesProperty, RootEventsOnlyOnTheirTransitions) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    if (self.cp == Cp::kRepeat) continue;  // not in the root's domain
+    for (const auto& l1 : all_cpph()) {
+      for (const auto& l2 : all_cpph()) {
+        const auto r =
+            rb_root_update(self, std::vector<CpPh>{l1, l2}, ring);
+        switch (r.event) {
+          case RbEvent::kStart:
+            EXPECT_EQ(self.cp, Cp::kReady);
+            EXPECT_EQ(l1.cp, Cp::kReady);
+            EXPECT_EQ(l2.cp, Cp::kReady);
+            EXPECT_EQ(l1.ph, self.ph);
+            EXPECT_EQ(l2.ph, self.ph);
+            break;
+          case RbEvent::kComplete:
+            EXPECT_EQ(self.cp, Cp::kExecute);
+            break;
+          case RbEvent::kAbort:
+            FAIL() << "the root never aborts";
+            break;
+          case RbEvent::kNone:
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(RulesProperty, RootPhaseAdvancesOnlyOnUnanimousSuccess) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    if (self.cp == Cp::kRepeat) continue;
+    for (const auto& l1 : all_cpph()) {
+      for (const auto& l2 : all_cpph()) {
+        const auto r = rb_root_update(self, std::vector<CpPh>{l1, l2}, ring);
+        if (r.next.ph == ring.next(self.ph) && self.cp == Cp::kSuccess) {
+          // Increment implies unanimous, phase-aligned success — unless a
+          // leaf happened to hold exactly that phase value for copying.
+          const bool unanimous = l1.cp == Cp::kSuccess && l2.cp == Cp::kSuccess &&
+                                 l1.ph == self.ph && l2.ph == self.ph;
+          const bool copied = ring.canon(l1.ph) == ring.next(self.ph);
+          EXPECT_TRUE(unanimous || copied);
+        }
+      }
+    }
+  }
+}
+
+TEST(RulesProperty, RootAlwaysKeepsPhaseInDomain) {
+  const PhaseRing ring(kPhases);
+  for (const auto& self : all_cpph()) {
+    if (self.cp == Cp::kRepeat) continue;
+    for (const auto& l1 : all_cpph()) {
+      // Corrupted (out-of-domain) leaf phases must be canonicalized.
+      CpPh wild = l1;
+      wild.ph = l1.ph + 7 * kPhases;
+      const auto r = rb_root_update(self, std::vector<CpPh>{wild}, ring);
+      EXPECT_TRUE(ring.valid(r.next.ph));
+    }
+  }
+}
+
+TEST(RulesProperty, PhaseRingAlgebra) {
+  for (int n = 2; n <= 7; ++n) {
+    const PhaseRing ring(n);
+    for (int ph = 0; ph < n; ++ph) {
+      EXPECT_EQ(ring.prev(ring.next(ph)), ph);
+      EXPECT_EQ(ring.next(ring.prev(ph)), ph);
+      EXPECT_EQ(ring.canon(ph), ph);
+      EXPECT_EQ(ring.canon(ph + 3 * n), ph);
+      EXPECT_EQ(ring.canon(ph - 2 * n), ph);
+      EXPECT_EQ(ring.canon(ring.canon(ph + 11)), ring.canon(ph + 11));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,120 @@
+// Fuzz tests of the specification monitor: arbitrary event streams must
+// never crash or corrupt its bookkeeping, and legally generated barrier
+// executions (with random joins, failures, and re-executions) must always
+// be accepted.
+#include <gtest/gtest.h>
+
+#include "core/spec.hpp"
+#include "runtime/network.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::core {
+namespace {
+
+class SpecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecFuzz, ArbitraryEventStormNeverCrashes) {
+  util::Rng rng(GetParam());
+  SpecMonitor m(4, 3);
+  for (int i = 0; i < 20'000; ++i) {
+    const int proc = static_cast<int>(rng.uniform(4));
+    const int ph = static_cast<int>(rng.uniform(3));
+    switch (rng.uniform(6)) {
+      case 0: m.on_start(proc, ph, rng.bernoulli(0.3)); break;
+      case 1: m.on_complete(proc, ph); break;
+      case 2: m.on_abort(proc); break;
+      case 3: m.on_undetectable_fault(); break;
+      case 4: m.resync(static_cast<int>(rng.uniform(9)) - 3); break;
+      case 5:
+        (void)m.anyone_executing();
+        (void)m.successful_phases();
+        (void)m.expected_phase();
+        break;
+    }
+  }
+  // Bookkeeping stays internally consistent whatever happened.
+  EXPECT_LE(m.failed_instances(), m.total_instances());
+  EXPECT_GE(m.expected_phase(), 0);
+  EXPECT_LT(m.expected_phase(), 3);
+}
+
+TEST_P(SpecFuzz, LegallyGeneratedExecutionsAreAlwaysAccepted) {
+  // Generator of correct barrier behaviour: for each phase, run one or
+  // more instances; all but the last fail through process resets at random
+  // points (never leaving anyone executing when the next instance opens);
+  // the last instance completes everywhere.
+  util::Rng rng(GetParam() ^ 0x9999ULL);
+  constexpr int kProcs = 5;
+  constexpr int kPhaseCount = 4;
+  SpecMonitor m(kProcs, kPhaseCount);
+
+  int expected_successes = 0;
+  int expected_failures = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int ph = round % kPhaseCount;
+    const int attempts = 1 + static_cast<int>(rng.uniform(3));
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const bool last = attempt == attempts - 1;
+      // Random join order, process 0-equivalent opener first.
+      std::vector<int> order;
+      for (int p = 0; p < kProcs; ++p) order.push_back(p);
+      for (int i = kProcs - 1; i > 0; --i) {
+        std::swap(order[static_cast<std::size_t>(i)],
+                  order[static_cast<std::size_t>(rng.uniform(
+                      static_cast<std::uint64_t>(i + 1)))]);
+      }
+      m.on_start(order[0], ph, /*new_instance=*/true);
+      for (int i = 1; i < kProcs; ++i) {
+        m.on_start(order[static_cast<std::size_t>(i)], ph, false);
+      }
+      if (last) {
+        for (int p = 0; p < kProcs; ++p) m.on_complete(p, ph);
+        ++expected_successes;
+      } else {
+        // A random prefix completes, the rest abort (state resets); then a
+        // fresh instance may open since nobody is executing.
+        const auto completed = rng.uniform(kProcs);  // < kProcs
+        for (std::size_t i = 0; i < completed; ++i) {
+          m.on_complete(order[i], ph);
+        }
+        for (std::size_t i = completed; i < kProcs; ++i) {
+          m.on_abort(order[i]);
+        }
+        ++expected_failures;
+      }
+    }
+  }
+  EXPECT_TRUE(m.safety_ok()) << m.violations().front();
+  EXPECT_EQ(m.successful_phases(), static_cast<std::size_t>(expected_successes));
+  EXPECT_EQ(m.failed_instances(), static_cast<std::size_t>(expected_failures));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(NetworkFuzz, StatsStayConsistentUnderRandomTraffic) {
+  util::Rng rng(4242);
+  runtime::Network net(4, 99, /*inbox_capacity=*/64);
+  net.set_default_faults(runtime::LinkFaults{.drop = 0.2, .duplicate = 0.2,
+                                             .corrupt = 0.2, .reorder = 0.2});
+  for (int i = 0; i < 20'000; ++i) {
+    const int src = static_cast<int>(rng.uniform(4));
+    int dst = static_cast<int>(rng.uniform(4));
+    if (dst == src) dst = (dst + 1) % 4;
+    if (rng.bernoulli(0.7)) {
+      net.send_value(src, dst, static_cast<int>(rng.uniform(8)), i);
+    } else {
+      (void)net.try_recv(dst);
+    }
+  }
+  const auto s = net.stats();
+  // Every sent-or-duplicated message is delivered, dropped, or still held
+  // back in one of the 16 reorder slots.
+  EXPECT_LE(s.delivered + s.dropped, s.sent + s.duplicated);
+  EXPECT_GE(s.delivered + s.dropped + 16, s.sent + s.duplicated);
+  EXPECT_LE(s.corrupted, s.sent);
+  EXPECT_LE(s.reordered, s.sent);
+}
+
+}  // namespace
+}  // namespace ftbar::core

@@ -1,0 +1,98 @@
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ftbar::runtime {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ch.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ch.try_pop(), i);
+  EXPECT_EQ(ch.try_pop(), std::nullopt);
+}
+
+TEST(Channel, TryPushRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));
+  EXPECT_EQ(ch.size(), 2u);
+  ch.try_pop();
+  EXPECT_TRUE(ch.try_push(3));
+}
+
+TEST(Channel, PopWaitForTimesOut) {
+  Channel<int> ch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ch.pop_wait_for(std::chrono::milliseconds(20)), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(15));
+}
+
+TEST(Channel, CloseDrainsThenReturnsNull) {
+  Channel<int> ch;
+  ch.push(7);
+  ch.close();
+  EXPECT_FALSE(ch.push(8));
+  EXPECT_EQ(ch.pop(), 7);          // drains pending values
+  EXPECT_EQ(ch.pop(), std::nullopt);  // then reports closure
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CloseWakesBlockedPop) {
+  Channel<int> ch;
+  std::thread waiter([&] { EXPECT_EQ(ch.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  waiter.join();
+}
+
+TEST(Channel, ProducerConsumerTransfersEverything) {
+  Channel<int> ch(16);
+  constexpr int kItems = 5'000;
+  std::atomic<long long> sum{0};
+  std::thread consumer([&] {
+    while (auto v = ch.pop()) sum += *v;
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) ch.push(i);
+    ch.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(Channel, MultipleProducersMultipleConsumers) {
+  Channel<int> ch(8);
+  constexpr int kPerProducer = 1'000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) ch.push(1);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = ch.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[static_cast<std::size_t>(p)].join();
+  ch.close();
+  threads[3].join();
+  threads[4].join();
+  EXPECT_EQ(sum.load(), 3LL * kPerProducer);
+  EXPECT_EQ(received.load(), 3 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace ftbar::runtime

@@ -1,0 +1,118 @@
+#include "runtime/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ftbar::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = SuspectTracker::Clock;
+
+TEST(SuspectTracker, FreshTrackerSuspectsNobody) {
+  SuspectTracker tracker(4, 0, 100ms);
+  EXPECT_TRUE(tracker.suspected(Clock::now()).empty());
+}
+
+TEST(SuspectTracker, SilenceBeyondTimeoutIsSuspected) {
+  SuspectTracker tracker(3, 0, 100ms);
+  const auto t0 = Clock::now();
+  tracker.record(1, t0);
+  tracker.record(2, t0);
+  EXPECT_FALSE(tracker.is_suspected(1, t0 + 50ms));
+  EXPECT_TRUE(tracker.is_suspected(1, t0 + 150ms));
+  const auto suspects = tracker.suspected(t0 + 150ms);
+  EXPECT_EQ(suspects.size(), 2u);
+}
+
+TEST(SuspectTracker, RecordingClearsSuspicion) {
+  SuspectTracker tracker(2, 0, 100ms);
+  const auto t0 = Clock::now();
+  tracker.record(1, t0);
+  EXPECT_TRUE(tracker.is_suspected(1, t0 + 200ms));
+  tracker.record(1, t0 + 180ms);
+  EXPECT_FALSE(tracker.is_suspected(1, t0 + 200ms));
+}
+
+TEST(SuspectTracker, SelfIsNeverSuspected) {
+  SuspectTracker tracker(2, 0, 1ms);
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(tracker.is_suspected(0, t0 + 10s));
+}
+
+TEST(SuspectTracker, StaleRecordDoesNotRewindClock) {
+  SuspectTracker tracker(2, 0, 100ms);
+  const auto t0 = Clock::now();
+  tracker.record(1, t0 + 100ms);
+  tracker.record(1, t0);  // out-of-order observation
+  EXPECT_EQ(tracker.last_seen(1), t0 + 100ms);
+}
+
+TEST(SuspectTracker, OutOfRangeRanksIgnored) {
+  SuspectTracker tracker(2, 0, 100ms);
+  tracker.record(-1, Clock::now());
+  tracker.record(7, Clock::now());
+  EXPECT_FALSE(tracker.is_suspected(-1, Clock::now() + 1s));
+  EXPECT_FALSE(tracker.is_suspected(7, Clock::now() + 1s));
+}
+
+TEST(HeartbeatDetector, DetectsSilentRankAndRecovery) {
+  auto net = std::make_shared<Network>(3, 11);
+  HeartbeatDetector d0(net, 0, /*beat_every=*/5ms, /*timeout=*/60ms);
+  HeartbeatDetector d1(net, 1, 5ms, 60ms);
+  // Rank 2 exists but never beats.
+  const auto deadline = Clock::now() + 1s;
+  bool detected = false;
+  while (Clock::now() < deadline && !detected) {
+    d0.beat();
+    d1.beat();
+    while (auto m = net->try_recv(0)) d0.observe(*m);
+    while (auto m = net->try_recv(1)) d1.observe(*m);
+    detected = d0.is_suspected(2) && d1.is_suspected(2) && !d0.is_suspected(1) &&
+               !d1.is_suspected(0);
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_TRUE(detected) << "silent rank 2 was not suspected (or peers wrongly were)";
+
+  // Rank 2 comes back: a single heartbeat clears the suspicion.
+  HeartbeatDetector d2(net, 2, 5ms, 60ms);
+  d2.beat();
+  while (auto m = net->try_recv(0)) d0.observe(*m);
+  EXPECT_FALSE(d0.is_suspected(2));
+}
+
+TEST(HeartbeatDetector, AnyVerifiedTrafficCountsAsLife) {
+  auto net = std::make_shared<Network>(2, 12);
+  HeartbeatDetector d0(net, 0, 5ms, 50ms);
+  std::this_thread::sleep_for(60ms);
+  EXPECT_TRUE(d0.is_suspected(1));
+  net->send_value(1, 0, /*tag=*/42, 7);  // ordinary application message
+  const auto m = net->try_recv(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(d0.observe(*m)) << "application messages are not consumed";
+  EXPECT_FALSE(d0.is_suspected(1));
+}
+
+TEST(HeartbeatDetector, CorruptMessagesAreNotSignsOfLife) {
+  auto net = std::make_shared<Network>(2, 13);
+  net->set_link_faults(1, 0, LinkFaults{.corrupt = 1.0});
+  HeartbeatDetector d0(net, 0, 5ms, 50ms);
+  net->send_value(1, 0, HeartbeatDetector::kHeartbeatTag,
+                  static_cast<std::uint8_t>(1));
+  std::this_thread::sleep_for(60ms);
+  if (auto m = net->try_recv(0)) d0.observe(*m);
+  EXPECT_TRUE(d0.is_suspected(1));
+}
+
+TEST(HeartbeatDetector, BeatRespectsInterval) {
+  auto net = std::make_shared<Network>(2, 14);
+  HeartbeatDetector d0(net, 0, /*beat_every=*/1s, 10s);
+  d0.beat();
+  d0.beat();
+  d0.beat();
+  EXPECT_EQ(net->stats().sent, 1u) << "beats within the interval must coalesce";
+}
+
+}  // namespace
+}  // namespace ftbar::runtime

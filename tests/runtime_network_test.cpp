@@ -1,0 +1,154 @@
+#include "runtime/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbar::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Payload {
+  int a = 0;
+  double b = 0.0;
+};
+
+TEST(Network, DeliversInOrderWithoutFaults) {
+  Network net(2, 1);
+  for (int i = 0; i < 5; ++i) net.send_value(0, 1, 7, i);
+  for (int i = 0; i < 5; ++i) {
+    const auto m = net.recv(1, 100ms);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->src, 0);
+    EXPECT_EQ(m->tag, 7);
+    EXPECT_EQ(m->link_seq, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(Network::decode<int>(*m), i);
+  }
+  EXPECT_EQ(net.try_recv(1), std::nullopt);
+}
+
+TEST(Network, DecodeRoundTripsStructs) {
+  Network net(2, 2);
+  net.send_value(0, 1, 0, Payload{42, 2.5});
+  const auto m = net.recv(1, 100ms);
+  ASSERT_TRUE(m.has_value());
+  const auto p = Network::decode<Payload>(*m);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->a, 42);
+  EXPECT_DOUBLE_EQ(p->b, 2.5);
+}
+
+TEST(Network, DecodeRejectsSizeMismatch) {
+  Network net(2, 3);
+  net.send_value(0, 1, 0, 7);
+  const auto m = net.recv(1, 100ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(Network::decode<double>(*m), std::nullopt);
+}
+
+TEST(Network, DropLosesMessages) {
+  Network net(2, 4);
+  net.set_link_faults(0, 1, LinkFaults{.drop = 1.0});
+  for (int i = 0; i < 10; ++i) net.send_value(0, 1, 0, i);
+  EXPECT_EQ(net.try_recv(1), std::nullopt);
+  EXPECT_EQ(net.stats().dropped, 10u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(Network, DuplicateDeliversTwice) {
+  Network net(2, 5);
+  net.set_link_faults(0, 1, LinkFaults{.duplicate = 1.0});
+  net.send_value(0, 1, 0, 9);
+  const auto a = net.recv(1, 100ms);
+  const auto b = net.recv(1, 100ms);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->link_seq, b->link_seq);
+  EXPECT_EQ(Network::decode<int>(*a), 9);
+  EXPECT_EQ(Network::decode<int>(*b), 9);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(Network, CorruptionIsDetectable) {
+  Network net(2, 6);
+  net.set_link_faults(0, 1, LinkFaults{.corrupt = 1.0});
+  net.send_value(0, 1, 0, 1234);
+  const auto m = net.recv(1, 100ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(Network::verify(*m));
+  EXPECT_EQ(Network::decode<int>(*m), std::nullopt);
+  EXPECT_EQ(net.stats().corrupted, 1u);
+}
+
+TEST(Network, ReorderSwapsAdjacentMessages) {
+  Network net(2, 7);
+  net.set_link_faults(0, 1, LinkFaults{.reorder = 1.0});
+  // First message is held; the second's arrival releases it after itself.
+  net.send_value(0, 1, 0, 100);
+  // The second message is also a reorder candidate, but a held slot exists,
+  // so it is delivered first, followed by the held one.
+  net.send_value(0, 1, 0, 200);
+  const auto a = net.recv(1, 100ms);
+  const auto b = net.recv(1, 100ms);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(Network::decode<int>(*a), 200);
+  EXPECT_EQ(Network::decode<int>(*b), 100);
+  EXPECT_GT(a->link_seq, b->link_seq);  // stale-filterable
+}
+
+TEST(Network, SeparateLinksDoNotInterfere) {
+  Network net(3, 8);
+  net.set_link_faults(0, 1, LinkFaults{.drop = 1.0});
+  net.send_value(0, 1, 0, 1);
+  net.send_value(0, 2, 0, 2);
+  net.send_value(2, 1, 0, 3);
+  EXPECT_EQ(net.try_recv(1)->src, 2);
+  EXPECT_EQ(Network::decode<int>(*net.recv(2, 100ms)), 2);
+}
+
+TEST(Network, LinkSequencesAreIndependent) {
+  Network net(3, 9);
+  net.send_value(0, 1, 0, 1);
+  net.send_value(0, 1, 0, 2);
+  net.send_value(2, 1, 0, 3);
+  auto a = net.recv(1, 100ms);
+  auto b = net.recv(1, 100ms);
+  auto c = net.recv(1, 100ms);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->link_seq, 0u);
+  EXPECT_EQ(b->link_seq, 1u);
+  EXPECT_EQ(c->link_seq, 0u);  // different link starts fresh
+}
+
+TEST(Network, FullInboxCountsAsLoss) {
+  Network net(2, 10, /*inbox_capacity=*/2);
+  for (int i = 0; i < 5; ++i) net.send_value(0, 1, 0, i);
+  EXPECT_EQ(net.stats().delivered, 2u);
+  EXPECT_EQ(net.stats().dropped, 3u);
+}
+
+TEST(Network, ShutdownUnblocksReceivers) {
+  Network net(2, 11);
+  net.shutdown();
+  EXPECT_EQ(net.recv(1, 1000ms), std::nullopt);
+}
+
+TEST(Network, StatisticalLossRate) {
+  // Inbox large enough that buffer exhaustion never adds to the drop count.
+  Network net(2, 12, /*inbox_capacity=*/30'000);
+  net.set_default_faults(LinkFaults{.drop = 0.3});
+  constexpr int kSends = 20'000;
+  for (int i = 0; i < kSends; ++i) net.send_value(0, 1, 0, i);
+  const auto s = net.stats();
+  EXPECT_NEAR(static_cast<double>(s.dropped) / kSends, 0.3, 0.02);
+}
+
+TEST(Fnv1a, KnownBehaviour) {
+  const std::vector<std::byte> empty;
+  const std::vector<std::byte> one{std::byte{0x61}};
+  EXPECT_NE(fnv1a({empty.data(), empty.size()}), fnv1a({one.data(), one.size()}));
+  EXPECT_EQ(fnv1a({one.data(), one.size()}), fnv1a({one.data(), one.size()}));
+}
+
+}  // namespace
+}  // namespace ftbar::runtime

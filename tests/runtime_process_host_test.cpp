@@ -1,0 +1,90 @@
+#include "runtime/process_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace ftbar::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ProcessHost, RunsEveryRank) {
+  std::atomic<int> started{0};
+  ProcessHost host(4, [&](int, int, const std::atomic<bool>& alive) {
+    ++started;
+    while (alive.load()) std::this_thread::sleep_for(1ms);
+  });
+  host.start();
+  while (started.load() < 4) std::this_thread::sleep_for(1ms);
+  host.shutdown();
+  EXPECT_EQ(started.load(), 4);
+}
+
+TEST(ProcessHost, KillStopsOnlyThatRank) {
+  std::atomic<int> alive_count{0};
+  ProcessHost host(3, [&](int, int, const std::atomic<bool>& alive) {
+    ++alive_count;
+    while (alive.load()) std::this_thread::sleep_for(1ms);
+    --alive_count;
+  });
+  host.start();
+  while (alive_count.load() < 3) std::this_thread::sleep_for(1ms);
+  host.kill(1);
+  EXPECT_FALSE(host.alive(1));
+  EXPECT_TRUE(host.alive(0));
+  EXPECT_TRUE(host.alive(2));
+  EXPECT_EQ(alive_count.load(), 2);
+  host.shutdown();
+  EXPECT_EQ(alive_count.load(), 0);
+}
+
+TEST(ProcessHost, RestartBumpsGeneration) {
+  std::atomic<int> last_generation{-1};
+  ProcessHost host(2, [&](int rank, int generation, const std::atomic<bool>& alive) {
+    if (rank == 0) last_generation.store(generation);
+    while (alive.load()) std::this_thread::sleep_for(1ms);
+  });
+  host.start();
+  while (last_generation.load() < 0) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(host.generation(0), 0);
+  host.kill(0);
+  host.restart(0);
+  while (last_generation.load() < 1) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(host.generation(0), 1);
+  host.shutdown();
+}
+
+TEST(ProcessHost, RestartWhileRunningThrows) {
+  ProcessHost host(1, [](int, int, const std::atomic<bool>& alive) {
+    while (alive.load()) std::this_thread::sleep_for(1ms);
+  });
+  host.start();
+  EXPECT_THROW(host.restart(0), std::logic_error);
+  host.shutdown();
+}
+
+TEST(ProcessHost, ShutdownIsIdempotent) {
+  ProcessHost host(2, [](int, int, const std::atomic<bool>& alive) {
+    while (alive.load()) std::this_thread::sleep_for(1ms);
+  });
+  host.start();
+  host.shutdown();
+  host.shutdown();  // no crash, no double join
+}
+
+TEST(ProcessHost, RankMainSeesOwnRank) {
+  std::atomic<int> rank_sum{0};
+  ProcessHost host(4, [&](int rank, int, const std::atomic<bool>&) {
+    rank_sum += rank;  // runs once and exits
+  });
+  host.start();
+  host.shutdown();
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+}  // namespace
+}  // namespace ftbar::runtime

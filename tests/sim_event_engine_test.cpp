@@ -1,0 +1,96 @@
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftbar::sim {
+namespace {
+
+TEST(EventEngine, ExecutesInTimeOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  eng.schedule(3.0, [&] { order.push_back(3); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.schedule(2.0, [&] { order.push_back(2); });
+  while (eng.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(EventEngine, FifoTieBreakAtSameTime) {
+  EventEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (eng.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngine, EventsCanScheduleMoreEvents) {
+  EventEngine eng;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) eng.schedule(0.5, chain);
+  };
+  eng.schedule(0.5, chain);
+  while (eng.step()) {
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+TEST(EventEngine, PastTimesClampToNow) {
+  EventEngine eng;
+  double seen = -1.0;
+  eng.schedule(2.0, [&] {
+    eng.schedule_at(1.0, [&] { seen = eng.now(); });  // in the past
+  });
+  while (eng.step()) {
+  }
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(EventEngine, RunUntilStopsAtBoundaryInclusive) {
+  EventEngine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] { ++fired; });
+  eng.schedule(2.0, [&] { ++fired; });
+  eng.schedule(2.5, [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.pending(), 1u);
+  EXPECT_EQ(eng.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventEngine, RunWhilePendingHonoursPredicate) {
+  EventEngine eng;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) eng.schedule(i + 1.0, [&] { ++fired; });
+  EXPECT_TRUE(eng.run_while_pending([&] { return fired >= 4; }, 1'000));
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(eng.run_while_pending([&] { return fired >= 100; }, 1'000));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventEngine, ProcessedCountAccumulates) {
+  EventEngine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule(1.0, [] {});
+  while (eng.step()) {
+  }
+  EXPECT_EQ(eng.processed(), 7u);
+}
+
+TEST(EventEngine, EmptyQueueStepReturnsFalse) {
+  EventEngine eng;
+  EXPECT_FALSE(eng.step());
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftbar::sim

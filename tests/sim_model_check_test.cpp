@@ -1,0 +1,128 @@
+#include "sim/model_check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbar::sim {
+namespace {
+
+struct Bit {
+  int v = 0;
+  friend auto operator<=>(const Bit&, const Bit&) = default;
+};
+using State = std::vector<Bit>;
+
+struct BitHash {
+  std::size_t operator()(const State& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& b : s) {
+      h ^= static_cast<std::size_t>(b.v);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+Action<Bit> set_bit(int j) {
+  const auto uj = static_cast<std::size_t>(j);
+  return make_action<Bit>(
+      "set@" + std::to_string(j), j,
+      [uj](const State& s) { return s[uj].v == 0; },
+      [uj](State& s) { s[uj].v = 1; });
+}
+
+TEST(Explorer, CountsReachableStates) {
+  Explorer<Bit, BitHash> ex({set_bit(0), set_bit(1)}, BitHash{});
+  const auto result = ex.explore({State{Bit{0}, Bit{0}}},
+                                 [](const State&) { return true; });
+  // (0,0) -> (1,0),(0,1) -> (1,1): four states.
+  EXPECT_EQ(result.states_visited, 4u);
+  EXPECT_FALSE(result.violation.has_value());
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(Explorer, FindsInvariantViolation) {
+  Explorer<Bit, BitHash> ex({set_bit(0), set_bit(1)}, BitHash{});
+  const auto result =
+      ex.explore({State{Bit{0}, Bit{0}}},
+                 [](const State& s) { return s[0].v + s[1].v < 2; });
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ((*result.violation)[0].v + (*result.violation)[1].v, 2);
+  EXPECT_FALSE(result.violated_by.empty());
+}
+
+TEST(Explorer, ViolatingInitialStateReported) {
+  Explorer<Bit, BitHash> ex({set_bit(0)}, BitHash{});
+  const auto result =
+      ex.explore({State{Bit{1}}}, [](const State& s) { return s[0].v == 0; });
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violated_by, "<initial>");
+}
+
+TEST(Explorer, MultipleRootsAreMerged) {
+  Explorer<Bit, BitHash> ex({set_bit(0)}, BitHash{});
+  const auto result = ex.explore({State{Bit{0}}, State{Bit{1}}},
+                                 [](const State&) { return true; });
+  EXPECT_EQ(result.states_visited, 2u);
+}
+
+TEST(Explorer, TruncatesAtMaxStates) {
+  // Mod-counter with a huge range; cap exploration.
+  auto inc = make_action<Bit>(
+      "inc", 0, [](const State& s) { return s[0].v < 1'000'000; },
+      [](State& s) { ++s[0].v; });
+  Explorer<Bit, BitHash> ex({inc}, BitHash{}, /*max_states=*/50);
+  const auto result = ex.explore({State{Bit{0}}}, [](const State&) { return true; });
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.states_visited, 51u);
+}
+
+TEST(Explorer, LegitReachableFromAll) {
+  // set_bit drives everything toward (1,1); let legit = all ones.
+  Explorer<Bit, BitHash> ex({set_bit(0), set_bit(1)}, BitHash{});
+  ex.explore({State{Bit{0}, Bit{0}}}, [](const State&) { return true; });
+  EXPECT_TRUE(ex.legit_reachable_from_all(
+      [](const State& s) { return s[0].v == 1 && s[1].v == 1; }));
+  // An unreachable legit definition must fail.
+  EXPECT_FALSE(ex.legit_reachable_from_all(
+      [](const State& s) { return s[0].v == 7; }));
+}
+
+TEST(Explorer, ConvergesOutsideAcceptsAcyclicEscape) {
+  // 0 -> 1 -> 2 (legit). Non-legit subgraph {0,1} is acyclic with no
+  // deadlock, so convergence holds under any scheduling.
+  auto inc = make_action<Bit>(
+      "inc", 0, [](const State& s) { return s[0].v < 2; },
+      [](State& s) { ++s[0].v; });
+  Explorer<Bit, BitHash> ex({inc}, BitHash{});
+  ex.explore({State{Bit{0}}}, [](const State&) { return true; });
+  EXPECT_TRUE(ex.converges_outside([](const State& s) { return s[0].v == 2; }));
+}
+
+TEST(Explorer, ConvergesOutsideRejectsCycles) {
+  // v flips between 0 and 1 forever; legit is unreachable v==2.
+  auto flip = make_action<Bit>(
+      "flip", 0, [](const State&) { return true; },
+      [](State& s) { s[0].v = 1 - s[0].v; });
+  Explorer<Bit, BitHash> ex({flip}, BitHash{});
+  ex.explore({State{Bit{0}}}, [](const State&) { return true; });
+  EXPECT_FALSE(ex.converges_outside([](const State& s) { return s[0].v == 2; }));
+}
+
+TEST(Explorer, ConvergesOutsideRejectsNonLegitDeadlock) {
+  // A single state with no transitions that is not legit.
+  auto never = make_action<Bit>(
+      "never", 0, [](const State&) { return false; }, [](State&) {});
+  Explorer<Bit, BitHash> ex({never}, BitHash{});
+  ex.explore({State{Bit{0}}}, [](const State&) { return true; });
+  EXPECT_FALSE(ex.converges_outside([](const State& s) { return s[0].v == 1; }));
+  EXPECT_TRUE(ex.converges_outside([](const State& s) { return s[0].v == 0; }));
+}
+
+TEST(Explorer, StatesAccessorExposesAllStates) {
+  Explorer<Bit, BitHash> ex({set_bit(0), set_bit(1)}, BitHash{});
+  ex.explore({State{Bit{0}, Bit{0}}}, [](const State&) { return true; });
+  EXPECT_EQ(ex.states().size(), 4u);
+}
+
+}  // namespace
+}  // namespace ftbar::sim

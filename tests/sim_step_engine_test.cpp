@@ -1,0 +1,167 @@
+#include "sim/step_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_env.hpp"
+
+namespace ftbar::sim {
+namespace {
+
+struct Cell {
+  int v = 0;
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+using State = std::vector<Cell>;
+
+Action<Cell> inc_until(int j, int limit) {
+  const auto uj = static_cast<std::size_t>(j);
+  return make_action<Cell>(
+      "inc@" + std::to_string(j), j,
+      [uj, limit](const State& s) { return s[uj].v < limit; },
+      [uj](State& s) { ++s[uj].v; });
+}
+
+TEST(StepEngine, InterleavingRunsToQuiescence) {
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 5)}, util::Rng(1));
+  EXPECT_EQ(eng.run(100), 5u);
+  EXPECT_EQ(eng.state()[0].v, 5);
+  EXPECT_EQ(eng.step(), 0u) << "quiescent program must not step";
+}
+
+TEST(StepEngine, InterleavingExecutesOneActionPerStep) {
+  StepEngine<Cell> eng({Cell{}, Cell{}}, {inc_until(0, 10), inc_until(1, 10)},
+                       util::Rng(2));
+  EXPECT_EQ(eng.step(), 1u);
+  EXPECT_EQ(eng.state()[0].v + eng.state()[1].v, 1);
+}
+
+TEST(StepEngine, MaxParallelExecutesEveryEnabledProcess) {
+  StepEngine<Cell> eng({Cell{}, Cell{}, Cell{}},
+                       {inc_until(0, 10), inc_until(1, 10), inc_until(2, 10)},
+                       util::Rng(3), Semantics::kMaxParallel);
+  EXPECT_EQ(eng.step(), 3u);
+  for (const auto& c : eng.state()) EXPECT_EQ(c.v, 1);
+}
+
+TEST(StepEngine, MaxParallelSkipsDisabledProcesses) {
+  StepEngine<Cell> eng({Cell{5}, Cell{0}}, {inc_until(0, 5), inc_until(1, 5)},
+                       util::Rng(4), Semantics::kMaxParallel);
+  EXPECT_EQ(eng.step(), 1u);
+  EXPECT_EQ(eng.state()[0].v, 5);
+  EXPECT_EQ(eng.state()[1].v, 1);
+}
+
+TEST(StepEngine, MaxParallelStatementsReadPreState) {
+  // Each process copies the other's value plus one. Synchronous semantics
+  // must produce (1, 1) from (0, 0); a sequential bleed-through would give
+  // (1, 2).
+  auto copy_other = [](int j, int other) {
+    const auto uj = static_cast<std::size_t>(j);
+    const auto uo = static_cast<std::size_t>(other);
+    return make_action<Cell>(
+        "copy@" + std::to_string(j), j, [](const State&) { return true; },
+        [uj, uo](State& s) { s[uj].v = s[uo].v + 1; });
+  };
+  StepEngine<Cell> eng({Cell{}, Cell{}}, {copy_other(0, 1), copy_other(1, 0)},
+                       util::Rng(5), Semantics::kMaxParallel);
+  eng.step();
+  EXPECT_EQ(eng.state()[0].v, 1);
+  EXPECT_EQ(eng.state()[1].v, 1);
+}
+
+TEST(StepEngine, MaxParallelPicksOneActionPerProcess) {
+  // Two always-enabled actions on the same process; exactly one fires per
+  // step, so after one step v is exactly 1 or -1, never 0 or +-2.
+  std::vector<Action<Cell>> actions;
+  actions.push_back(make_action<Cell>(
+      "up@0", 0, [](const State&) { return true; },
+      [](State& s) { ++s[0].v; }));
+  actions.push_back(make_action<Cell>(
+      "down@0", 0, [](const State&) { return true; },
+      [](State& s) { --s[0].v; }));
+  StepEngine<Cell> eng({Cell{}}, actions, util::Rng(6), Semantics::kMaxParallel);
+  EXPECT_EQ(eng.step(), 1u);
+  EXPECT_EQ(std::abs(eng.state()[0].v), 1);
+}
+
+TEST(StepEngine, RunUntilFindsPredicate) {
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 100)}, util::Rng(7));
+  const auto steps = eng.run_until(
+      [](const State& s) { return s[0].v == 42; }, 1'000);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(eng.state()[0].v, 42);
+}
+
+TEST(StepEngine, RunUntilReportsFailure) {
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 5)}, util::Rng(8));
+  const auto steps = eng.run_until(
+      [](const State& s) { return s[0].v == 42; }, 1'000);
+  EXPECT_FALSE(steps.has_value());
+}
+
+TEST(StepEngine, InterleavingIsProbabilisticallyFair) {
+  // Both processes must make progress over many steps.
+  StepEngine<Cell> eng({Cell{}, Cell{}},
+                       {inc_until(0, 1'000'000), inc_until(1, 1'000'000)},
+                       util::Rng(9));
+  eng.run(1'000);
+  EXPECT_GT(eng.state()[0].v, 300);
+  EXPECT_GT(eng.state()[1].v, 300);
+}
+
+TEST(StepEngine, StepsTakenCounts) {
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 3)}, util::Rng(10));
+  eng.run(100);
+  EXPECT_EQ(eng.steps_taken(), 3u);
+}
+
+TEST(FaultEnv, ZeroProbabilityNeverInjects) {
+  FaultEnv<Cell> env(0.0, [](std::size_t, Cell& c, util::Rng&) { c.v = -1; },
+                     util::Rng(11));
+  State s(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(env.maybe_inject(s), 0u);
+  for (const auto& c : s) EXPECT_EQ(c.v, 0);
+}
+
+TEST(FaultEnv, ProbabilityOneHitsEveryProcess) {
+  FaultEnv<Cell> env(1.0, [](std::size_t, Cell& c, util::Rng&) { c.v = -1; },
+                     util::Rng(12));
+  State s(4);
+  EXPECT_EQ(env.maybe_inject(s), 4u);
+  for (const auto& c : s) EXPECT_EQ(c.v, -1);
+  EXPECT_EQ(env.total_injected(), 4u);
+}
+
+TEST(FaultEnv, PerturbOneHitsExactlyOne) {
+  FaultEnv<Cell> env(0.0, [](std::size_t, Cell& c, util::Rng&) { c.v = -1; },
+                     util::Rng(13));
+  State s(8);
+  env.perturb_one(s);
+  int hit = 0;
+  for (const auto& c : s) hit += (c.v == -1);
+  EXPECT_EQ(hit, 1);
+}
+
+TEST(FaultEnv, PerturbReceivesProcessIndex) {
+  FaultEnv<Cell> env(0.0,
+                     [](std::size_t i, Cell& c, util::Rng&) {
+                       c.v = static_cast<int>(i);
+                     },
+                     util::Rng(14));
+  State s(5);
+  env.perturb_all(s);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i].v, static_cast<int>(i));
+}
+
+TEST(FaultEnv, InjectionRateMatchesProbability) {
+  FaultEnv<Cell> env(0.25, [](std::size_t, Cell&, util::Rng&) {}, util::Rng(15));
+  State s(10);
+  std::size_t total = 0;
+  constexpr int kRounds = 10'000;
+  for (int i = 0; i < kRounds; ++i) total += env.maybe_inject(s);
+  EXPECT_NEAR(static_cast<double>(total) / (kRounds * 10), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace ftbar::sim

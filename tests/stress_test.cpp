@@ -1,0 +1,192 @@
+// Long-horizon stress campaigns mixing fault classes, exercising the
+// masking/stabilizing machinery far past the short unit-test runs.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/ft_barrier.hpp"
+#include "core/mb.hpp"
+#include "core/rb.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::core {
+namespace {
+
+/// Alternates masked segments (detectable faults only; safety must hold
+/// throughout) with undetectable strikes (monitor desyncs, system must
+/// restabilize), for many rounds.
+TEST(Stress, RbMixedFaultCampaign) {
+  const auto opt = rb_tree_options(15, 2, 4);
+  SpecMonitor monitor(15, 4);
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, &monitor),
+                              util::Rng(0x57e55ULL), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(0xfa57ULL);
+  const auto detectable = rb_detectable_fault(opt, &monitor);
+  const auto undetectable = rb_undetectable_fault(opt, &monitor);
+
+  for (int round = 0; round < 12; ++round) {
+    // Masked segment: random detectable faults, progress of 6 phases.
+    const auto target = monitor.successful_phases() + 6;
+    std::size_t steps = 0;
+    while (monitor.successful_phases() < target && steps < 3'000'000) {
+      auto& state = eng.mutable_state();
+      for (std::size_t j = 0; j < state.size(); ++j) {
+        if (!fault_rng.bernoulli(0.003)) continue;
+        int intact = 0;
+        for (std::size_t q = 0; q < state.size(); ++q) {
+          if (q != j && sn_valid(state[q].sn)) ++intact;
+        }
+        if (intact > 0) detectable(j, state[j], fault_rng);
+      }
+      eng.step();
+      ++steps;
+    }
+    ASSERT_GE(monitor.successful_phases(), target) << "round " << round;
+    ASSERT_TRUE(monitor.safety_ok())
+        << "round " << round << ": " << monitor.violations().front();
+
+    // Undetectable strike: corrupt a random subset, then restabilize.
+    monitor.on_undetectable_fault();
+    const auto hits = 1 + fault_rng.uniform(eng.state().size());
+    for (std::uint64_t h = 0; h < hits; ++h) {
+      const auto j = fault_rng.uniform(eng.state().size());
+      undetectable(j, eng.mutable_state()[j], fault_rng);
+    }
+    const auto recovered =
+        eng.run_until([](const RbState& s) { return rb_is_start_state(s); },
+                      3'000'000);
+    ASSERT_TRUE(recovered.has_value()) << "round " << round << " did not stabilize";
+    monitor.resync(eng.state().front().ph);
+  }
+}
+
+TEST(Stress, MbLongDetectableCampaign) {
+  const MbOptions opt{6, 4, 0};
+  SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt, &monitor),
+                              util::Rng(0xabcULL), sim::Semantics::kInterleaving);
+  util::Rng fault_rng(0xdefULL);
+  const auto perturb = mb_detectable_fault(opt, &monitor);
+  std::size_t steps = 0;
+  while (monitor.successful_phases() < 60 && steps < 8'000'000) {
+    auto& state = eng.mutable_state();
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      if (!fault_rng.bernoulli(0.002)) continue;
+      int intact = 0;
+      for (std::size_t q = 0; q < state.size(); ++q) {
+        if (q != j && mb_sn_valid(state[q].sn)) ++intact;
+      }
+      if (intact > 0) perturb(j, state[j], fault_rng);
+    }
+    eng.step();
+    ++steps;
+  }
+  EXPECT_GE(monitor.successful_phases(), 60u);
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GT(monitor.failed_instances(), 0u) << "campaign injected no effective fault";
+}
+
+TEST(Stress, BarrierManyPhasesEveryFaultClassAtOnce) {
+  constexpr int kThreads = 5;
+  BarrierOptions opt;
+  opt.link_faults = runtime::LinkFaults{.drop = 0.08, .duplicate = 0.08,
+                                        .corrupt = 0.05, .reorder = 0.08};
+  opt.seed = 0x600dULL;
+  FaultTolerantBarrier bar(kThreads, opt);
+  std::vector<std::vector<PhaseTicket>> logs(kThreads);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      util::Rng rng(static_cast<std::uint64_t>(tid) * 7919 + 1);
+      int completed = 0;
+      while (completed < 25) {
+        const bool ok = !rng.bernoulli(0.04);  // occasional state loss
+        const auto t = bar.arrive_and_wait(tid, ok);
+        logs[static_cast<std::size_t>(tid)].push_back(t);
+        if (!t.repeated) ++completed;
+      }
+      bar.finalize(tid, std::chrono::milliseconds(5000));
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The guarantee under faults: every thread COMMITS the same phases in
+  // the same order. Repeat tickets may differ per thread — a thread that
+  // never started a doomed instance (the execute wave was cut off before
+  // reaching it) has nothing to redo and correctly sees one fewer repeat.
+  auto committed = [&](int tid) {
+    std::vector<int> out;
+    for (const auto& t : logs[static_cast<std::size_t>(tid)]) {
+      if (!t.repeated) out.push_back(t.phase);
+    }
+    return out;
+  };
+  const auto reference = committed(0);
+  EXPECT_EQ(reference.size(), 25u);
+  for (int tid = 1; tid < kThreads; ++tid) {
+    EXPECT_EQ(committed(tid), reference) << "thread " << tid;
+  }
+  const auto stats = bar.network_stats();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.corrupted, 0u);
+}
+
+TEST(Stress, RebootOutageStallsThenRecovers) {
+  // Processor reboot (paper fault model): thread 1 goes silent mid-run and
+  // comes back with its state reset. Peers must stall (no phase can commit
+  // without it — that IS the barrier) and then resume, re-executing the
+  // phase the reboot interrupted.
+  constexpr int kThreads = 3;
+  constexpr auto kOutage = std::chrono::milliseconds(150);
+  FaultTolerantBarrier bar(kThreads);
+  std::vector<std::vector<std::chrono::steady_clock::time_point>> commit_times(
+      kThreads);
+  std::vector<std::vector<PhaseTicket>> logs(kThreads);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      int completed = 0;
+      bool rebooted = false;
+      while (completed < 6) {
+        bool ok = true;
+        if (tid == 1 && completed == 3 && !rebooted) {
+          rebooted = true;
+          std::this_thread::sleep_for(kOutage);  // down
+          ok = false;                            // back, state lost
+        }
+        const auto t = bar.arrive_and_wait(tid, ok);
+        logs[static_cast<std::size_t>(tid)].push_back(t);
+        if (!t.repeated) {
+          ++completed;
+          commit_times[static_cast<std::size_t>(tid)].push_back(
+              std::chrono::steady_clock::now());
+        }
+      }
+      bar.finalize(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All threads agree on the ticket stream with exactly one repeat.
+  for (int tid = 1; tid < kThreads; ++tid) {
+    ASSERT_EQ(logs[static_cast<std::size_t>(tid)].size(), logs[0].size());
+    for (std::size_t i = 0; i < logs[0].size(); ++i) {
+      EXPECT_EQ(logs[static_cast<std::size_t>(tid)][i].repeated,
+                logs[0][i].repeated);
+    }
+  }
+  int repeats = 0;
+  for (const auto& t : logs[0]) repeats += t.repeated;
+  EXPECT_EQ(repeats, 1);
+  // Thread 0 visibly stalled across the outage: some inter-commit gap on
+  // its timeline spans at least most of the outage duration.
+  auto max_gap = std::chrono::steady_clock::duration::zero();
+  const auto& times = commit_times[0];
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    max_gap = std::max(max_gap, times[i] - times[i - 1]);
+  }
+  EXPECT_GE(max_gap, kOutage - std::chrono::milliseconds(30));
+}
+
+}  // namespace
+}  // namespace ftbar::core

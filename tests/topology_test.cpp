@@ -1,0 +1,121 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ftbar::topology {
+namespace {
+
+TEST(Topology, RingIsASinglePath) {
+  const auto t = Topology::ring(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(0), -1);
+  for (int j = 1; j < 5; ++j) EXPECT_EQ(t.parent(j), j - 1);
+  ASSERT_EQ(t.leaves().size(), 1u);
+  EXPECT_EQ(t.leaves().front(), 4);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_TRUE(t.is_leaf(4));
+  EXPECT_FALSE(t.is_leaf(0));
+}
+
+TEST(Topology, SingleProcessRing) {
+  const auto t = Topology::ring(1);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.height(), 0);
+  ASSERT_EQ(t.leaves().size(), 1u);
+  EXPECT_EQ(t.leaves().front(), 0);
+}
+
+TEST(Topology, TwoRingHasTwoChainsFromRoot) {
+  const auto t = Topology::two_ring(7);
+  EXPECT_EQ(t.size(), 7);
+  EXPECT_EQ(t.children(0).size(), 2u);
+  EXPECT_EQ(t.leaves().size(), 2u);
+  // Chains of 3 each: height 3.
+  EXPECT_EQ(t.height(), 3);
+}
+
+TEST(Topology, TwoRingUnevenSplit) {
+  const auto t = Topology::two_ring(4);  // chains of 2 and 1
+  EXPECT_EQ(t.children(0).size(), 2u);
+  EXPECT_EQ(t.leaves().size(), 2u);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Topology, BinaryTreeShape) {
+  const auto t = Topology::kary_tree(7, 2);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(2), 0);
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_EQ(t.parent(6), 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.leaves().size(), 4u);
+}
+
+TEST(Topology, BinaryTreeHeightIsLogN) {
+  EXPECT_EQ(Topology::kary_tree(31, 2).height(), 4);
+  EXPECT_EQ(Topology::kary_tree(32, 2).height(), 5);
+  EXPECT_EQ(Topology::kary_tree(127, 2).height(), 6);
+}
+
+TEST(Topology, UnaryTreeDegeneratesToRing) {
+  const auto t = Topology::kary_tree(4, 1);
+  for (int j = 1; j < 4; ++j) EXPECT_EQ(t.parent(j), j - 1);
+}
+
+TEST(Topology, DepthsAreConsistent) {
+  const auto t = Topology::kary_tree(15, 2);
+  EXPECT_EQ(t.depth(0), 0);
+  for (int j = 1; j < 15; ++j) {
+    EXPECT_EQ(t.depth(j), t.depth(t.parent(j)) + 1);
+  }
+}
+
+TEST(Topology, ChildrenMatchParents) {
+  const auto t = Topology::kary_tree(10, 3);
+  for (int j = 0; j < 10; ++j) {
+    for (int c : t.children(j)) EXPECT_EQ(t.parent(c), j);
+  }
+  std::size_t total_children = 0;
+  for (int j = 0; j < 10; ++j) total_children += t.children(j).size();
+  EXPECT_EQ(total_children, 9u);  // every non-root appears exactly once
+}
+
+TEST(Topology, SpanningTreeOfCycleGraph) {
+  // 0-1-2-3-0 cycle; BFS tree from 0.
+  const auto t = Topology::spanning_tree(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(3), 0);
+  EXPECT_TRUE(t.parent(2) == 1 || t.parent(2) == 3);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Topology, SpanningTreeRejectsDisconnected) {
+  EXPECT_THROW(Topology::spanning_tree(4, {{0, 1}, {2, 3}}), std::invalid_argument);
+}
+
+TEST(Topology, SpanningTreeRejectsBadEdges) {
+  EXPECT_THROW(Topology::spanning_tree(3, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Topology, FromParentsValidation) {
+  EXPECT_THROW(Topology::from_parents({}), std::invalid_argument);
+  EXPECT_THROW(Topology::from_parents({0}), std::invalid_argument);       // root not -1
+  EXPECT_THROW(Topology::from_parents({-1, 5}), std::invalid_argument);   // out of range
+  EXPECT_THROW(Topology::from_parents({-1, 1}), std::invalid_argument);   // self-loop
+  EXPECT_THROW(Topology::from_parents({-1, 2, 1}), std::invalid_argument);  // cycle
+  EXPECT_NO_THROW(Topology::from_parents({-1, 0, 0, 1}));
+}
+
+TEST(Topology, ConstructorRejectsBadSizes) {
+  EXPECT_THROW(Topology::ring(0), std::invalid_argument);
+  EXPECT_THROW(Topology::two_ring(2), std::invalid_argument);
+  EXPECT_THROW(Topology::kary_tree(0, 2), std::invalid_argument);
+  EXPECT_THROW(Topology::kary_tree(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbar::topology

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ftbar::util {
+namespace {
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({std::string("x"), 1LL, 2.0}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"name", "count", "ratio"});
+  t.add_row({std::string("alpha"), 3LL, 0.5});
+  t.add_row({std::string("beta"), 10LL, 1.25});
+  t.set_precision(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,count,ratio\n"
+            "alpha,3,0.50\n"
+            "beta,10,1.25\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "longer"});
+  t.add_row({std::string("aaaa"), 1LL});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("aaaa"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.add_row({1.23456789});
+  t.set_precision(6);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("1.234568"), std::string::npos);
+}
+
+TEST(Table, DimensionsReported) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({1LL, 2LL, 3LL});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftbar::util

@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ftbar::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformBoundZeroIsZero) {
+  Rng r(3);
+  EXPECT_EQ(r.uniform(0), 0u);
+}
+
+TEST(Rng, UniformStaysInBound) {
+  Rng r(11);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.uniform(7), 7u);
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(17);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 0.05 * kDraws / kBuckets);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = r.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(23);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(31);
+  constexpr int kDraws = 100'000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(37);
+  constexpr int kDraws = 200'000;
+  const double rate = 2.5;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += r.exponential(rate);
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialNonPositiveRateIsInfinite) {
+  Rng r(41);
+  EXPECT_TRUE(std::isinf(r.exponential(0.0)));
+  EXPECT_TRUE(std::isinf(r.exponential(-1.0)));
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng base(43);
+  Rng a = base.fork(0);
+  Rng b = base.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base1(47), base2(47);
+  Rng a = base1.fork(9);
+  Rng b = base2.fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+}
+
+}  // namespace
+}  // namespace ftbar::util

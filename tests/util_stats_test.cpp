@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftbar::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 3.0;
+    whole.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  Accumulator b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Samples, EmptyQuantileIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, ExactQuantiles) {
+  Samples s;
+  for (double x : {3.0, 1.0, 2.0, 5.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 4.0);
+}
+
+TEST(Samples, InterpolatesBetweenPoints) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(Samples, QuantileClampsArgument) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 2.0);
+}
+
+TEST(Samples, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);
+  s.add(0.0);  // resorts lazily on next quantile
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+}
+
+TEST(Samples, MeanIsArithmeticMean) {
+  Samples s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+}  // namespace
+}  // namespace ftbar::util

@@ -1,0 +1,334 @@
+// ftbar_sim — command-line driver for the simulation suite.
+//
+// Runs any of the repo's models with one command, prints summary
+// statistics, and exits nonzero on a safety violation or missed progress —
+// usable both for exploration and as a CI probe.
+//
+//   ftbar_sim cb|rb|mb      guarded-command run until --phases-goal phases
+//   ftbar_sim timed         wave-granularity timed model (Figures 5/6)
+//   ftbar_sim des           asynchronous discrete-event model
+//   ftbar_sim recovery      Figure 7 recovery-time measurement
+//
+// Common options (defaults in parentheses):
+//   --procs N (8)            processes / ring size
+//   --phases-goal P (10)     successful phases to run
+//   --num-phases n (4)       phase ring modulus
+//   --seed S (1)             RNG seed
+//   --csv                    machine-readable output
+// cb/rb/mb:
+//   --semantics interleaving|maxpar (interleaving)
+//   --detectable F (0)       per-process per-step detectable fault prob
+//   --undetectable-start     corrupt every process before running
+//   --topology ring|tworing|tree (ring; rb only)   --arity K (2)
+// timed/des/recovery:
+//   --c X (0.01)  --f X (0)  --height H (5)  --arity K (2)  --reps R (20)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/model.hpp"
+#include "core/cb.hpp"
+#include "core/des_model.hpp"
+#include "core/mb.hpp"
+#include "core/rb.hpp"
+#include "core/timed_model.hpp"
+#include "sim/step_engine.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ftbar;
+
+struct Args {
+  std::string command;
+  int procs = 8;
+  std::size_t phases_goal = 10;
+  int num_phases = 4;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  sim::Semantics semantics = sim::Semantics::kInterleaving;
+  double detectable = 0.0;
+  bool undetectable_start = false;
+  std::string topology = "ring";
+  int arity = 2;
+  double c = 0.01;
+  double f = 0.0;
+  int height = 5;
+  int reps = 20;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s cb|rb|mb|timed|des|recovery [options]\n"
+               "see the header of tools/ftbar_sim.cpp for the option list\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--procs") {
+      args.procs = std::atoi(value());
+    } else if (flag == "--phases-goal") {
+      args.phases_goal = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--num-phases") {
+      args.num_phases = std::atoi(value());
+    } else if (flag == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (flag == "--csv") {
+      args.csv = true;
+    } else if (flag == "--semantics") {
+      const std::string v = value();
+      if (v == "maxpar") {
+        args.semantics = sim::Semantics::kMaxParallel;
+      } else if (v == "interleaving") {
+        args.semantics = sim::Semantics::kInterleaving;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (flag == "--detectable") {
+      args.detectable = std::atof(value());
+    } else if (flag == "--undetectable-start") {
+      args.undetectable_start = true;
+    } else if (flag == "--topology") {
+      args.topology = value();
+    } else if (flag == "--arity") {
+      args.arity = std::atoi(value());
+    } else if (flag == "--c") {
+      args.c = std::atof(value());
+    } else if (flag == "--f") {
+      args.f = std::atof(value());
+    } else if (flag == "--height") {
+      args.height = std::atoi(value());
+    } else if (flag == "--reps") {
+      args.reps = std::atoi(value());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+void emit(const Args& args, util::Table& table) {
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Shared driver for the three guarded-command programs.
+template <class P>
+int run_program(const Args& args, std::vector<P> start,
+                std::vector<sim::Action<P>> actions, core::SpecMonitor& monitor,
+                const std::function<void(std::size_t, P&, util::Rng&)>& detectable,
+                const std::function<void(std::size_t, P&, util::Rng&)>& undetectable,
+                const std::function<bool(const P&)>& sn_intact,
+                const std::function<bool(const std::vector<P>&)>& recovered,
+                const std::function<int(const std::vector<P>&)>& phase_of) {
+  sim::StepEngine<P> eng(std::move(start), std::move(actions), util::Rng(args.seed),
+                         args.semantics);
+  util::Rng fault_rng(args.seed ^ 0xfa0117ULL);
+
+  std::size_t recovery_steps = 0;
+  if (args.undetectable_start) {
+    monitor.on_undetectable_fault();
+    for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+      undetectable(j, eng.mutable_state()[j], fault_rng);
+    }
+    const auto steps = eng.run_until(recovered, 10'000'000);
+    if (!steps) {
+      std::fprintf(stderr, "error: program did not stabilize\n");
+      return 4;
+    }
+    recovery_steps = *steps;
+    monitor.resync(phase_of(eng.state()));
+  }
+
+  std::size_t steps = 0;
+  std::size_t faults = 0;
+  const std::size_t max_steps = 50'000'000;
+  while (monitor.successful_phases() < args.phases_goal && steps < max_steps) {
+    if (args.detectable > 0.0) {
+      auto& state = eng.mutable_state();
+      for (std::size_t j = 0; j < state.size(); ++j) {
+        if (!fault_rng.bernoulli(args.detectable)) continue;
+        int intact = 0;
+        for (std::size_t q = 0; q < state.size(); ++q) {
+          if (q != j && sn_intact(state[q])) ++intact;
+        }
+        if (intact > 0) {
+          detectable(j, state[j], fault_rng);
+          ++faults;
+        }
+      }
+    }
+    if (eng.step() == 0) break;
+    ++steps;
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({std::string("program"), args.command});
+  table.add_row({std::string("processes"), static_cast<long long>(args.procs)});
+  if (args.undetectable_start) {
+    table.add_row({std::string("recovery steps"),
+                   static_cast<long long>(recovery_steps)});
+  }
+  table.add_row({std::string("steps"), static_cast<long long>(steps)});
+  table.add_row({std::string("successful phases"),
+                 static_cast<long long>(monitor.successful_phases())});
+  table.add_row({std::string("instances"),
+                 static_cast<long long>(monitor.total_instances())});
+  table.add_row({std::string("failed instances"),
+                 static_cast<long long>(monitor.failed_instances())});
+  table.add_row({std::string("faults injected"), static_cast<long long>(faults)});
+  table.add_row({std::string("safety"),
+                 std::string(monitor.safety_ok() ? "ok" : "VIOLATED")});
+  emit(args, table);
+
+  if (!monitor.safety_ok()) return 1;
+  if (monitor.successful_phases() < args.phases_goal) return 3;
+  return 0;
+}
+
+int run_cb(const Args& args) {
+  const core::CbOptions opt{args.procs, args.num_phases};
+  core::SpecMonitor monitor(args.procs, args.num_phases);
+  return run_program<core::CbProc>(
+      args, core::cb_start_state(opt), core::make_cb_actions(opt, &monitor), monitor,
+      core::cb_detectable_fault(opt, &monitor),
+      core::cb_undetectable_fault(opt, &monitor),
+      [](const core::CbProc& p) { return p.cp != core::Cp::kError; },
+      [](const core::CbState& s) { return core::cb_is_start_state(s); },
+      [](const core::CbState& s) { return s.front().ph; });
+}
+
+int run_rb(const Args& args) {
+  using topology::Topology;
+  std::shared_ptr<const Topology> topo;
+  if (args.topology == "ring") {
+    topo = std::make_shared<const Topology>(Topology::ring(args.procs));
+  } else if (args.topology == "tworing") {
+    topo = std::make_shared<const Topology>(Topology::two_ring(args.procs));
+  } else if (args.topology == "tree") {
+    topo = std::make_shared<const Topology>(
+        Topology::kary_tree(args.procs, args.arity));
+  } else {
+    std::fprintf(stderr, "unknown topology %s\n", args.topology.c_str());
+    return 2;
+  }
+  const core::RbOptions opt{topo, args.num_phases, 0};
+  core::SpecMonitor monitor(args.procs, args.num_phases);
+  return run_program<core::RbProc>(
+      args, core::rb_start_state(opt), core::make_rb_actions(opt, &monitor), monitor,
+      core::rb_detectable_fault(opt, &monitor),
+      core::rb_undetectable_fault(opt, &monitor),
+      [](const core::RbProc& p) { return core::sn_valid(p.sn); },
+      [](const core::RbState& s) { return core::rb_is_start_state(s); },
+      [](const core::RbState& s) { return s.front().ph; });
+}
+
+int run_mb(const Args& args) {
+  const core::MbOptions opt{args.procs, args.num_phases, 0};
+  core::SpecMonitor monitor(args.procs, args.num_phases);
+  return run_program<core::MbProc>(
+      args, core::mb_start_state(opt), core::make_mb_actions(opt, &monitor), monitor,
+      core::mb_detectable_fault(opt, &monitor),
+      core::mb_undetectable_fault(opt, &monitor),
+      [](const core::MbProc& p) { return core::mb_sn_valid(p.sn); },
+      [](const core::MbState& s) { return core::mb_is_start_state(s); },
+      [](const core::MbState& s) { return s.front().ph; });
+}
+
+int run_timed(const Args& args) {
+  core::TimedRbModel model({args.height, args.c, args.f}, util::Rng(args.seed));
+  const auto stats = model.run_phases(args.phases_goal);
+  const analysis::Params ap{args.height, args.c, args.f};
+
+  util::Table table({"metric", "value"});
+  table.set_precision(5);
+  table.add_row({std::string("phases"), static_cast<long long>(args.phases_goal)});
+  table.add_row({std::string("instances/phase"),
+                 static_cast<double>(stats.instances) /
+                     static_cast<double>(args.phases_goal)});
+  table.add_row({std::string("analytic instances/phase"),
+                 analysis::expected_instances(ap)});
+  table.add_row({std::string("time/phase"),
+                 stats.elapsed / static_cast<double>(args.phases_goal)});
+  table.add_row({std::string("analytic time/phase"),
+                 analysis::expected_phase_time(ap)});
+  table.add_row({std::string("overhead vs 1+2hc %"),
+                 100.0 * (stats.elapsed / static_cast<double>(args.phases_goal) /
+                              analysis::intolerant_phase_time(ap) -
+                          1.0)});
+  emit(args, table);
+  return 0;
+}
+
+int run_des(const Args& args) {
+  core::DesParams p;
+  p.num_procs = args.procs;
+  p.arity = args.arity;
+  p.c = args.c;
+  p.f = args.f;
+  p.num_phases = args.num_phases;
+  p.seed = args.seed;
+  core::DesRbSimulation sim(p);
+  const auto r = sim.run(args.phases_goal);
+
+  util::Table table({"metric", "value"});
+  table.set_precision(5);
+  table.add_row({std::string("phases"), static_cast<long long>(r.phases)});
+  table.add_row({std::string("instances"), static_cast<long long>(r.instances)});
+  table.add_row({std::string("faults"), static_cast<long long>(r.faults)});
+  table.add_row({std::string("elapsed"), r.elapsed});
+  table.add_row({std::string("time/phase"),
+                 r.phases ? r.elapsed / static_cast<double>(r.phases) : 0.0});
+  table.add_row({std::string("period upper bound"), sim.fault_free_period_bound()});
+  table.add_row({std::string("safety"), std::string(r.safety_ok ? "ok" : "VIOLATED")});
+  emit(args, table);
+  return r.safety_ok && r.phases >= args.phases_goal ? 0 : 1;
+}
+
+int run_recovery(const Args& args) {
+  util::Rng rng(args.seed);
+  util::Accumulator acc;
+  for (int i = 0; i < args.reps; ++i) {
+    acc.add(core::measure_recovery(args.height, args.c, rng));
+  }
+  util::Table table({"metric", "value"});
+  table.set_precision(5);
+  table.add_row({std::string("height"), static_cast<long long>(args.height)});
+  table.add_row({std::string("c"), args.c});
+  table.add_row({std::string("reps"), static_cast<long long>(args.reps)});
+  table.add_row({std::string("mean recovery"), acc.mean()});
+  table.add_row({std::string("max recovery"), acc.max()});
+  table.add_row({std::string("analytic bound 5hc"),
+                 analysis::recovery_bound({args.height, args.c, 0.0})});
+  emit(args, table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "cb") return run_cb(args);
+  if (args.command == "rb") return run_rb(args);
+  if (args.command == "mb") return run_mb(args);
+  if (args.command == "timed") return run_timed(args);
+  if (args.command == "des") return run_des(args);
+  if (args.command == "recovery") return run_recovery(args);
+  usage(argv[0]);
+}
