@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uniform_mechanism.dir/ablation_uniform_mechanism.cpp.o"
+  "CMakeFiles/ablation_uniform_mechanism.dir/ablation_uniform_mechanism.cpp.o.d"
+  "ablation_uniform_mechanism"
+  "ablation_uniform_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uniform_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

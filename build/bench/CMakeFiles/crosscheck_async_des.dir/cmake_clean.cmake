@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosscheck_async_des.dir/crosscheck_async_des.cpp.o"
+  "CMakeFiles/crosscheck_async_des.dir/crosscheck_async_des.cpp.o.d"
+  "crosscheck_async_des"
+  "crosscheck_async_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosscheck_async_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

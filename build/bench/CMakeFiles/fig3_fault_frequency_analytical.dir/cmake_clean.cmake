@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fault_frequency_analytical.dir/fig3_fault_frequency_analytical.cpp.o"
+  "CMakeFiles/fig3_fault_frequency_analytical.dir/fig3_fault_frequency_analytical.cpp.o.d"
+  "fig3_fault_frequency_analytical"
+  "fig3_fault_frequency_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fault_frequency_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

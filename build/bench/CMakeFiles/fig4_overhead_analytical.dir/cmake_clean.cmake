@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overhead_analytical.dir/fig4_overhead_analytical.cpp.o"
+  "CMakeFiles/fig4_overhead_analytical.dir/fig4_overhead_analytical.cpp.o.d"
+  "fig4_overhead_analytical"
+  "fig4_overhead_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overhead_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

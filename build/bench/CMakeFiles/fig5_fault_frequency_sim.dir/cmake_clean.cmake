@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fault_frequency_sim.dir/fig5_fault_frequency_sim.cpp.o"
+  "CMakeFiles/fig5_fault_frequency_sim.dir/fig5_fault_frequency_sim.cpp.o.d"
+  "fig5_fault_frequency_sim"
+  "fig5_fault_frequency_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fault_frequency_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_fault_frequency_sim.
+# This may be replaced when dependencies are built.

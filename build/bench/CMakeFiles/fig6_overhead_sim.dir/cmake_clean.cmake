@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_overhead_sim.dir/fig6_overhead_sim.cpp.o"
+  "CMakeFiles/fig6_overhead_sim.dir/fig6_overhead_sim.cpp.o.d"
+  "fig6_overhead_sim"
+  "fig6_overhead_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_overhead_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

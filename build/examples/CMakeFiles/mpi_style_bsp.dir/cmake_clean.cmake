@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_style_bsp.dir/mpi_style_bsp.cpp.o"
+  "CMakeFiles/mpi_style_bsp.dir/mpi_style_bsp.cpp.o.d"
+  "mpi_style_bsp"
+  "mpi_style_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_style_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

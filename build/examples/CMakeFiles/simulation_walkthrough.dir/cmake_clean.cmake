@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_walkthrough.dir/simulation_walkthrough.cpp.o"
+  "CMakeFiles/simulation_walkthrough.dir/simulation_walkthrough.cpp.o.d"
+  "simulation_walkthrough"
+  "simulation_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_jacobi.dir/stencil_jacobi.cpp.o"
+  "CMakeFiles/stencil_jacobi.dir/stencil_jacobi.cpp.o.d"
+  "stencil_jacobi"
+  "stencil_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

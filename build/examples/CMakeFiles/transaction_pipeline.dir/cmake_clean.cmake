@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_pipeline.dir/transaction_pipeline.cpp.o"
+  "CMakeFiles/transaction_pipeline.dir/transaction_pipeline.cpp.o.d"
+  "transaction_pipeline"
+  "transaction_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/model.cpp" "src/CMakeFiles/ftbar.dir/analysis/model.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/analysis/model.cpp.o.d"
+  "/root/repo/src/baseline/central_barrier.cpp" "src/CMakeFiles/ftbar.dir/baseline/central_barrier.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/baseline/central_barrier.cpp.o.d"
+  "/root/repo/src/baseline/dissemination_barrier.cpp" "src/CMakeFiles/ftbar.dir/baseline/dissemination_barrier.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/baseline/dissemination_barrier.cpp.o.d"
+  "/root/repo/src/baseline/tree_barrier.cpp" "src/CMakeFiles/ftbar.dir/baseline/tree_barrier.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/baseline/tree_barrier.cpp.o.d"
+  "/root/repo/src/core/cb.cpp" "src/CMakeFiles/ftbar.dir/core/cb.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/cb.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/CMakeFiles/ftbar.dir/core/control.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/control.cpp.o.d"
+  "/root/repo/src/core/des_model.cpp" "src/CMakeFiles/ftbar.dir/core/des_model.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/des_model.cpp.o.d"
+  "/root/repo/src/core/ft_barrier.cpp" "src/CMakeFiles/ftbar.dir/core/ft_barrier.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/ft_barrier.cpp.o.d"
+  "/root/repo/src/core/hw_table.cpp" "src/CMakeFiles/ftbar.dir/core/hw_table.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/hw_table.cpp.o.d"
+  "/root/repo/src/core/mb.cpp" "src/CMakeFiles/ftbar.dir/core/mb.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/mb.cpp.o.d"
+  "/root/repo/src/core/rb.cpp" "src/CMakeFiles/ftbar.dir/core/rb.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/rb.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/CMakeFiles/ftbar.dir/core/spec.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/spec.cpp.o.d"
+  "/root/repo/src/core/timed_model.cpp" "src/CMakeFiles/ftbar.dir/core/timed_model.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/timed_model.cpp.o.d"
+  "/root/repo/src/core/token_ring.cpp" "src/CMakeFiles/ftbar.dir/core/token_ring.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/core/token_ring.cpp.o.d"
+  "/root/repo/src/ext/clock_unison.cpp" "src/CMakeFiles/ftbar.dir/ext/clock_unison.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/ext/clock_unison.cpp.o.d"
+  "/root/repo/src/ext/fail_safe.cpp" "src/CMakeFiles/ftbar.dir/ext/fail_safe.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/ext/fail_safe.cpp.o.d"
+  "/root/repo/src/ext/fault_matrix.cpp" "src/CMakeFiles/ftbar.dir/ext/fault_matrix.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/ext/fault_matrix.cpp.o.d"
+  "/root/repo/src/ext/fuzzy_barrier.cpp" "src/CMakeFiles/ftbar.dir/ext/fuzzy_barrier.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/ext/fuzzy_barrier.cpp.o.d"
+  "/root/repo/src/ext/phase_sync.cpp" "src/CMakeFiles/ftbar.dir/ext/phase_sync.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/ext/phase_sync.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/ftbar.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/ftbar.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/ft_barrier_mpi.cpp" "src/CMakeFiles/ftbar.dir/mpi/ft_barrier_mpi.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/mpi/ft_barrier_mpi.cpp.o.d"
+  "/root/repo/src/runtime/failure_detector.cpp" "src/CMakeFiles/ftbar.dir/runtime/failure_detector.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/runtime/failure_detector.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/CMakeFiles/ftbar.dir/runtime/network.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/runtime/network.cpp.o.d"
+  "/root/repo/src/runtime/process_host.cpp" "src/CMakeFiles/ftbar.dir/runtime/process_host.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/runtime/process_host.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/ftbar.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/ftbar.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/ftbar.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ftbar.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ftbar.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ftbar.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cb_test.dir/core_cb_test.cpp.o"
+  "CMakeFiles/core_cb_test.dir/core_cb_test.cpp.o.d"
+  "core_cb_test"
+  "core_cb_test.pdb"
+  "core_cb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

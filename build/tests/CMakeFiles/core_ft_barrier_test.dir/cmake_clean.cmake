@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ft_barrier_test.dir/core_ft_barrier_test.cpp.o"
+  "CMakeFiles/core_ft_barrier_test.dir/core_ft_barrier_test.cpp.o.d"
+  "core_ft_barrier_test"
+  "core_ft_barrier_test.pdb"
+  "core_ft_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ft_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

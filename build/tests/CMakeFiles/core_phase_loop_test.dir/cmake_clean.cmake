@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phase_loop_test.dir/core_phase_loop_test.cpp.o"
+  "CMakeFiles/core_phase_loop_test.dir/core_phase_loop_test.cpp.o.d"
+  "core_phase_loop_test"
+  "core_phase_loop_test.pdb"
+  "core_phase_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phase_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

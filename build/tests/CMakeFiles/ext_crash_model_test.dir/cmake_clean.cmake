@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crash_model_test.dir/ext_crash_model_test.cpp.o"
+  "CMakeFiles/ext_crash_model_test.dir/ext_crash_model_test.cpp.o.d"
+  "ext_crash_model_test"
+  "ext_crash_model_test.pdb"
+  "ext_crash_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crash_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fail_safe_test.dir/ext_fail_safe_test.cpp.o"
+  "CMakeFiles/ext_fail_safe_test.dir/ext_fail_safe_test.cpp.o.d"
+  "ext_fail_safe_test"
+  "ext_fail_safe_test.pdb"
+  "ext_fail_safe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fail_safe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_matrix_test.dir/ext_fault_matrix_test.cpp.o"
+  "CMakeFiles/ext_fault_matrix_test.dir/ext_fault_matrix_test.cpp.o.d"
+  "ext_fault_matrix_test"
+  "ext_fault_matrix_test.pdb"
+  "ext_fault_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fuzzy_barrier_test.dir/ext_fuzzy_barrier_test.cpp.o"
+  "CMakeFiles/ext_fuzzy_barrier_test.dir/ext_fuzzy_barrier_test.cpp.o.d"
+  "ext_fuzzy_barrier_test"
+  "ext_fuzzy_barrier_test.pdb"
+  "ext_fuzzy_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fuzzy_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

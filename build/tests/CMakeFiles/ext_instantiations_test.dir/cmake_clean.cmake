@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_instantiations_test.dir/ext_instantiations_test.cpp.o"
+  "CMakeFiles/ext_instantiations_test.dir/ext_instantiations_test.cpp.o.d"
+  "ext_instantiations_test"
+  "ext_instantiations_test.pdb"
+  "ext_instantiations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_instantiations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

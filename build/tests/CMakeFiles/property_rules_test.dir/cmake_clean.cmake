@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_rules_test.dir/property_rules_test.cpp.o"
+  "CMakeFiles/property_rules_test.dir/property_rules_test.cpp.o.d"
+  "property_rules_test"
+  "property_rules_test.pdb"
+  "property_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_failure_detector_test.dir/runtime_failure_detector_test.cpp.o"
+  "CMakeFiles/runtime_failure_detector_test.dir/runtime_failure_detector_test.cpp.o.d"
+  "runtime_failure_detector_test"
+  "runtime_failure_detector_test.pdb"
+  "runtime_failure_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_failure_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_network_test.dir/runtime_network_test.cpp.o"
+  "CMakeFiles/runtime_network_test.dir/runtime_network_test.cpp.o.d"
+  "runtime_network_test"
+  "runtime_network_test.pdb"
+  "runtime_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_process_host_test.dir/runtime_process_host_test.cpp.o"
+  "CMakeFiles/runtime_process_host_test.dir/runtime_process_host_test.cpp.o.d"
+  "runtime_process_host_test"
+  "runtime_process_host_test.pdb"
+  "runtime_process_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_process_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

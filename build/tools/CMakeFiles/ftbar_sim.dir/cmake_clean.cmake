@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbar_sim.dir/ftbar_sim.cpp.o"
+  "CMakeFiles/ftbar_sim.dir/ftbar_sim.cpp.o.d"
+  "ftbar_sim"
+  "ftbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_cb "/root/repo/build/tools/ftbar_sim" "cb" "--procs" "5" "--phases-goal" "6" "--seed" "3")
+set_tests_properties(cli_cb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rb_tree "/root/repo/build/tools/ftbar_sim" "rb" "--procs" "15" "--topology" "tree" "--semantics" "maxpar" "--phases-goal" "6")
+set_tests_properties(cli_rb_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rb_detectable "/root/repo/build/tools/ftbar_sim" "rb" "--procs" "6" "--detectable" "0.01" "--phases-goal" "8")
+set_tests_properties(cli_rb_detectable PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mb_recovers "/root/repo/build/tools/ftbar_sim" "mb" "--procs" "4" "--undetectable-start" "--phases-goal" "4")
+set_tests_properties(cli_mb_recovers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_timed "/root/repo/build/tools/ftbar_sim" "timed" "--phases-goal" "2000" "--c" "0.01" "--f" "0.02")
+set_tests_properties(cli_timed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_des "/root/repo/build/tools/ftbar_sim" "des" "--procs" "15" "--phases-goal" "50" "--f" "0.05")
+set_tests_properties(cli_des PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_recovery "/root/repo/build/tools/ftbar_sim" "recovery" "--height" "4" "--c" "0.02" "--reps" "5")
+set_tests_properties(cli_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
