@@ -10,38 +10,48 @@
 // which is the granularity cost the Section 5 refinement accepts to become
 // message-passing implementable.
 //
-// Usage: ablation_granularity [--csv]
-#include <cstring>
+// The 3 programs x 3 metrics form a 9-item grid run on the sweep runner;
+// each item derives its own RNG stream and the table is reduced in grid
+// order, so output is byte-identical for any --threads value.
+//
+// Usage: ablation_granularity [--csv] [--threads N] [phases]
+#include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/cb.hpp"
 #include "core/mb.hpp"
 #include "core/rb.hpp"
 #include "sim/step_engine.hpp"
 #include "util/csv.hpp"
+#include "util/sweep.hpp"
 
 namespace {
 
 using namespace ftbar;
 
+constexpr std::uint64_t kSeed = 0xab1a70ULL;
+constexpr int kProcs = 8;
+constexpr int kPhaseCount = 2;
+
 template <class P>
 double steps_per_phase(std::vector<P> start, std::vector<sim::Action<P>> actions,
                        core::SpecMonitor& monitor, sim::Semantics sem,
-                       std::uint64_t seed) {
-  sim::StepEngine<P> eng(std::move(start), std::move(actions), util::Rng(seed), sem);
-  constexpr std::size_t kPhases = 24;
+                       util::Rng rng, std::size_t phases) {
+  sim::StepEngine<P> eng(std::move(start), std::move(actions), rng, sem);
   eng.run_until([&](const std::vector<P>&) {
-    return monitor.successful_phases() >= kPhases;
+    return monitor.successful_phases() >= phases;
   }, 5'000'000);
-  return static_cast<double>(eng.steps_taken()) / kPhases;
+  return static_cast<double>(eng.steps_taken()) / static_cast<double>(phases);
 }
 
 template <class P, class Perturb, class Legit>
 double recovery_steps(std::vector<P> start, std::vector<sim::Action<P>> actions,
-                      Perturb&& perturb, Legit&& legit, std::uint64_t seed) {
-  sim::StepEngine<P> eng(std::move(start), std::move(actions), util::Rng(seed),
+                      Perturb&& perturb, Legit&& legit, util::Rng rng) {
+  sim::StepEngine<P> eng(std::move(start), std::move(actions), rng,
                          sim::Semantics::kInterleaving);
-  util::Rng fault_rng(seed ^ 0xfeedULL);
+  util::Rng fault_rng = rng.fork(0xfeedULL);
   for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
     perturb(j, eng.mutable_state()[j], fault_rng);
   }
@@ -49,69 +59,88 @@ double recovery_steps(std::vector<P> start, std::vector<sim::Action<P>> actions,
   return steps ? static_cast<double>(*steps) : -1.0;
 }
 
+/// Work item (program, metric) -> scalar. Every item builds its own engine
+/// and monitor so items are independent (and thus safely parallel).
+double run_item(std::size_t idx, std::size_t phases) {
+  const std::size_t program = idx / 3;
+  const std::size_t metric = idx % 3;
+  util::Rng rng = util::stream_rng(kSeed, idx);
+
+  switch (program) {
+    case 0: {  // CB
+      const core::CbOptions opt{kProcs, kPhaseCount};
+      if (metric < 2) {
+        core::SpecMonitor m(kProcs, kPhaseCount);
+        return steps_per_phase(core::cb_start_state(opt),
+                               core::make_cb_actions(opt, &m), m,
+                               metric == 0 ? sim::Semantics::kInterleaving
+                                           : sim::Semantics::kMaxParallel,
+                               rng, phases);
+      }
+      return recovery_steps(
+          core::cb_start_state(opt), core::make_cb_actions(opt),
+          core::cb_undetectable_fault(opt),
+          [](const core::CbState& s) { return core::cb_legitimate(s, kPhaseCount); },
+          rng);
+    }
+    case 1: {  // RB
+      const auto opt = core::rb_ring_options(kProcs, kPhaseCount);
+      if (metric < 2) {
+        core::SpecMonitor m(kProcs, kPhaseCount);
+        return steps_per_phase(core::rb_start_state(opt),
+                               core::make_rb_actions(opt, &m), m,
+                               metric == 0 ? sim::Semantics::kInterleaving
+                                           : sim::Semantics::kMaxParallel,
+                               rng, phases);
+      }
+      return recovery_steps(
+          core::rb_start_state(opt), core::make_rb_actions(opt),
+          core::rb_undetectable_fault(opt),
+          [](const core::RbState& s) { return core::rb_is_start_state(s); }, rng);
+    }
+    default: {  // MB
+      const core::MbOptions opt{kProcs, kPhaseCount, 0};
+      if (metric < 2) {
+        core::SpecMonitor m(kProcs, kPhaseCount);
+        return steps_per_phase(core::mb_start_state(opt),
+                               core::make_mb_actions(opt, &m), m,
+                               metric == 0 ? sim::Semantics::kInterleaving
+                                           : sim::Semantics::kMaxParallel,
+                               rng, phases);
+      }
+      return recovery_steps(
+          core::mb_start_state(opt), core::make_mb_actions(opt),
+          core::mb_undetectable_fault(opt),
+          [](const core::MbState& s) { return core::mb_is_start_state(s); }, rng);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
-  constexpr int kProcs = 8;
-  constexpr int kPhaseCount = 2;
+  const auto cli = util::parse_sweep_cli(argc, argv);
+  const std::size_t phases = cli.positional_or(0, 24);
+
+  util::Sweep sweep(cli.threads);
+  const auto results = sweep.map<double>(
+      9, [phases](std::size_t idx) { return run_item(idx, phases); });
 
   util::Table table({"program", "steps/phase interleaving", "steps/phase max-par",
                      "recovery steps (interleaving)"});
   table.set_precision(1);
-
-  {
-    const core::CbOptions opt{kProcs, kPhaseCount};
-    core::SpecMonitor m1(kProcs, kPhaseCount), m2(kProcs, kPhaseCount);
-    const double inter =
-        steps_per_phase(core::cb_start_state(opt), core::make_cb_actions(opt, &m1),
-                        m1, sim::Semantics::kInterleaving, 11);
-    const double maxp =
-        steps_per_phase(core::cb_start_state(opt), core::make_cb_actions(opt, &m2),
-                        m2, sim::Semantics::kMaxParallel, 12);
-    const double rec = recovery_steps(
-        core::cb_start_state(opt), core::make_cb_actions(opt),
-        core::cb_undetectable_fault(opt),
-        [&](const core::CbState& s) { return core::cb_legitimate(s, kPhaseCount); },
-        13);
-    table.add_row({std::string("CB (coarse grain)"), inter, maxp, rec});
-  }
-  {
-    const auto opt = core::rb_ring_options(kProcs, kPhaseCount);
-    core::SpecMonitor m1(kProcs, kPhaseCount), m2(kProcs, kPhaseCount);
-    const double inter =
-        steps_per_phase(core::rb_start_state(opt), core::make_rb_actions(opt, &m1),
-                        m1, sim::Semantics::kInterleaving, 21);
-    const double maxp =
-        steps_per_phase(core::rb_start_state(opt), core::make_rb_actions(opt, &m2),
-                        m2, sim::Semantics::kMaxParallel, 22);
-    const double rec = recovery_steps(
-        core::rb_start_state(opt), core::make_rb_actions(opt),
-        core::rb_undetectable_fault(opt),
-        [](const core::RbState& s) { return core::rb_is_start_state(s); }, 23);
-    table.add_row({std::string("RB (ring, neighbour reads)"), inter, maxp, rec});
-  }
-  {
-    const core::MbOptions opt{kProcs, kPhaseCount, 0};
-    core::SpecMonitor m1(kProcs, kPhaseCount), m2(kProcs, kPhaseCount);
-    const double inter =
-        steps_per_phase(core::mb_start_state(opt), core::make_mb_actions(opt, &m1),
-                        m1, sim::Semantics::kInterleaving, 31);
-    const double maxp =
-        steps_per_phase(core::mb_start_state(opt), core::make_mb_actions(opt, &m2),
-                        m2, sim::Semantics::kMaxParallel, 32);
-    const double rec = recovery_steps(
-        core::mb_start_state(opt), core::make_mb_actions(opt),
-        core::mb_undetectable_fault(opt),
-        [](const core::MbState& s) { return core::mb_is_start_state(s); }, 33);
-    table.add_row({std::string("MB (message passing)"), inter, maxp, rec});
+  const char* names[] = {"CB (coarse grain)", "RB (ring, neighbour reads)",
+                         "MB (message passing)"};
+  for (std::size_t p = 0; p < 3; ++p) {
+    table.add_row({std::string(names[p]), results[p * 3], results[p * 3 + 1],
+                   results[p * 3 + 2]});
   }
 
   std::cout << "Ablation: action granularity across the refinement chain\n"
             << "(ring of " << kProcs << " processes; recovery = steps back to a "
             << "legitimate state\n after corrupting every process undetectably; "
             << "-1 = not recovered)\n\n";
-  if (csv) {
+  if (cli.csv) {
     table.write_csv(std::cout);
   } else {
     table.print(std::cout);

@@ -4,64 +4,80 @@
 // program under maximal parallel semantics on each topology and reports
 // steps per successful phase (one step = one communication round = c time).
 //
-// Usage: ablation_topology [--csv]
-#include <cstring>
+// The (N, topology) grid runs on the sweep runner — one work item per
+// cell, each with its own RNG stream, reduced in grid order so output is
+// byte-identical for any --threads value.
+//
+// Usage: ablation_topology [--csv] [--threads N] [phases]
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/rb.hpp"
 #include "core/spec.hpp"
 #include "sim/step_engine.hpp"
 #include "util/csv.hpp"
+#include "util/sweep.hpp"
 
 namespace {
 
 using namespace ftbar;
+using topology::Topology;
 
-double steps_per_phase(const core::RbOptions& opt, std::uint64_t seed) {
+constexpr std::uint64_t kSeed = 0xab1a7eULL;
+
+double steps_per_phase(const core::RbOptions& opt, util::Rng rng,
+                       std::size_t phases) {
   core::SpecMonitor monitor(opt.topo->size(), opt.num_phases);
   sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
-                                    core::make_rb_actions(opt, &monitor),
-                                    util::Rng(seed), sim::Semantics::kMaxParallel);
-  constexpr std::size_t kPhases = 24;
+                                    core::make_rb_actions(opt, &monitor), rng,
+                                    sim::Semantics::kMaxParallel);
   eng.run_until(
-      [&](const core::RbState&) { return monitor.successful_phases() >= kPhases; },
+      [&](const core::RbState&) { return monitor.successful_phases() >= phases; },
       5'000'000);
-  return static_cast<double>(eng.steps_taken()) / kPhases;
+  return static_cast<double>(eng.steps_taken()) / static_cast<double>(phases);
 }
+
+struct GridCell {
+  int n;
+  const char* name;
+  Topology topo;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
-  using topology::Topology;
+  const auto cli = util::parse_sweep_cli(argc, argv);
+  const std::size_t phases = cli.positional_or(0, 24);
+
+  std::vector<GridCell> grid;
+  for (const int n : {4, 8, 16, 32, 64, 128}) {
+    grid.push_back({n, "ring (2a)", Topology::ring(n)});
+    if (n >= 3) grid.push_back({n, "two-ring (2b)", Topology::two_ring(n)});
+    grid.push_back({n, "binary tree (2c)", Topology::kary_tree(n, 2)});
+    grid.push_back({n, "4-ary tree (2c)", Topology::kary_tree(n, 4)});
+  }
+
+  util::Sweep sweep(cli.threads);
+  const auto steps = sweep.map<double>(grid.size(), [&](std::size_t idx) {
+    const core::RbOptions opt{
+        std::make_shared<const Topology>(grid[idx].topo), 2, 0};
+    return steps_per_phase(opt, util::stream_rng(kSeed, idx), phases);
+  });
 
   util::Table table({"N", "topology", "height h", "steps/phase",
                      "barrier time at c=0.01"});
   table.set_precision(2);
-  for (const int n : {4, 8, 16, 32, 64, 128}) {
-    struct Config {
-      const char* name;
-      Topology topo;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"ring (2a)", Topology::ring(n)});
-    if (n >= 3) configs.push_back({"two-ring (2b)", Topology::two_ring(n)});
-    configs.push_back({"binary tree (2c)", Topology::kary_tree(n, 2)});
-    configs.push_back({"4-ary tree (2c)", Topology::kary_tree(n, 4)});
-    for (auto& config : configs) {
-      const int h = config.topo.height();
-      const core::RbOptions opt{
-          std::make_shared<const Topology>(std::move(config.topo)), 2, 0};
-      const double steps = steps_per_phase(opt, 0xab1a7e + static_cast<unsigned>(n));
-      table.add_row({static_cast<long long>(n), std::string(config.name),
-                     static_cast<long long>(h), steps, steps * 0.01});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.add_row({static_cast<long long>(grid[i].n), std::string(grid[i].name),
+                   static_cast<long long>(grid[i].topo.height()), steps[i],
+                   steps[i] * 0.01});
   }
 
   std::cout << "Ablation: topology of Figure 2 vs barrier cost\n"
             << "(paper: ring O(N), trees O(h) = O(log N))\n\n";
-  if (csv) {
+  if (cli.csv) {
     table.write_csv(std::cout);
   } else {
     table.print(std::cout);

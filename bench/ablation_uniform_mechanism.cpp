@@ -14,16 +14,21 @@
 // loss rates. The uniform design costs the same order of messages, which
 // is the paper's point.
 //
-// Usage: ablation_uniform_mechanism [--csv] [phases]
+// The (loss, mechanism) grid runs on the sweep runner with the table
+// reduced in grid order. Unlike the simulation sweeps, every work item
+// here is itself a multi-threaded WALL-CLOCK measurement, so the default
+// is --threads 1 (items run sequentially for timing fidelity); pass
+// --threads N explicitly to trade fidelity for speed.
+//
+// Usage: ablation_uniform_mechanism [--csv] [--threads N] [phases]
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "core/ft_barrier.hpp"
 #include "util/csv.hpp"
+#include "util/sweep.hpp"
 
 namespace {
 
@@ -108,6 +113,8 @@ struct Measurement {
   double msgs_per_phase;
 };
 
+constexpr double kDrops[] = {0.0, 0.05, 0.15};
+
 Measurement run_loss_only(int threads, int phases, double drop) {
   LossOnlyBarrier bar(threads, drop, 0x10c0ULL);
   const auto t0 = Clock::now();
@@ -148,26 +155,28 @@ Measurement run_uniform(int threads, int phases, double drop) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  int phases = 40;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else {
-      phases = std::atoi(argv[i]);
-    }
-  }
+  const auto cli = util::parse_sweep_cli(argc, argv);
+  const int phases = static_cast<int>(cli.positional_or(0, 40));
   constexpr int kThreads = 4;
+
+  // Items are wall-clock measurements: sequential by default (see header).
+  util::Sweep sweep(cli.threads > 0 ? cli.threads : 1);
+  const auto results =
+      sweep.map<Measurement>(2 * std::size(kDrops), [phases](std::size_t idx) {
+        const double drop = kDrops[idx / 2];
+        return idx % 2 == 0 ? run_loss_only(kThreads, phases, drop)
+                            : run_uniform(kThreads, phases, drop);
+      });
 
   util::Table table({"loss", "mechanism", "ms/phase", "msgs/phase",
                      "tolerates resets"});
   table.set_precision(2);
-  for (const double drop : {0.0, 0.05, 0.15}) {
-    const auto ad_hoc = run_loss_only(kThreads, phases, drop);
-    table.add_row({drop, std::string("differentiated (loss-only)"),
+  for (std::size_t i = 0; i < std::size(kDrops); ++i) {
+    const auto& ad_hoc = results[i * 2];
+    const auto& uniform = results[i * 2 + 1];
+    table.add_row({kDrops[i], std::string("differentiated (loss-only)"),
                    ad_hoc.ms_per_phase, ad_hoc.msgs_per_phase, std::string("no")});
-    const auto uniform = run_uniform(kThreads, phases, drop);
-    table.add_row({drop, std::string("uniform (MB, whole class)"),
+    table.add_row({kDrops[i], std::string("uniform (MB, whole class)"),
                    uniform.ms_per_phase, uniform.msgs_per_phase,
                    std::string("yes")});
   }
@@ -176,8 +185,8 @@ int main(int argc, char** argv) {
             << "(" << kThreads << " threads, " << phases << " phases/point; the\n"
             << "paper's argument: the uniform design's extra cost is small and\n"
             << "buys tolerance to the entire detectable class)\n\n";
-  if (csv) {
-    table.print(std::cout);
+  if (cli.csv) {
+    table.write_csv(std::cout);
   } else {
     table.print(std::cout);
   }

@@ -2,17 +2,42 @@
 // guarded-command step rates for the three refinements under both
 // semantics, and timed-model phase throughput. These gate how large the
 // figure sweeps can be and catch engine regressions.
+//
+// The RB max-parallel family is measured three ways at N in {15, 63, 255,
+// 1023} to expose the cost model of the incremental engine:
+//   * BM_RbMaxParallelSteps          — read-set-annotated actions on the
+//                                      incremental, copy-free engine;
+//   * BM_RbMaxParallelStepsFullScan  — the same actions with read-sets
+//                                      stripped, exercising the full-scan
+//                                      fallback (copy-free step, but every
+//                                      guard re-evaluated every step);
+//   * BM_RbMaxParallelStepsSeedRef   — the original full-scan + full-copy
+//                                      reference engine, the seed baseline
+//                                      the acceptance criterion compares
+//                                      against.
+// Emit machine-readable results with:
+//   bench_sim_engine --benchmark_format=json > BENCH_sim_engine.json
+// (the `bench-sim-json` CMake target does exactly that).
 #include <benchmark/benchmark.h>
 
 #include "core/cb.hpp"
 #include "core/mb.hpp"
 #include "core/rb.hpp"
 #include "core/timed_model.hpp"
+#include "sim/reference_step_engine.hpp"
 #include "sim/step_engine.hpp"
 
 namespace {
 
 using namespace ftbar;
+
+/// Strips the declared read-sets so the engine takes the full-scan
+/// fallback for every action.
+template <class P>
+std::vector<sim::Action<P>> without_read_sets(std::vector<sim::Action<P>> actions) {
+  for (auto& a : actions) a.reads.clear();
+  return actions;
+}
 
 void BM_CbInterleavingSteps(benchmark::State& state) {
   const core::CbOptions opt{static_cast<int>(state.range(0)), 4};
@@ -29,6 +54,38 @@ void BM_RbMaxParallelSteps(benchmark::State& state) {
   sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
                                     core::make_rb_actions(opt), util::Rng(2),
                                     sim::Semantics::kMaxParallel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RbMaxParallelStepsFullScan(benchmark::State& state) {
+  const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
+  sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                    without_read_sets(core::make_rb_actions(opt)),
+                                    util::Rng(2), sim::Semantics::kMaxParallel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RbMaxParallelStepsSeedRef(benchmark::State& state) {
+  const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
+  sim::ReferenceStepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                             core::make_rb_actions(opt),
+                                             util::Rng(2), /*max_parallel=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RbInterleavingSteps(benchmark::State& state) {
+  const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
+  sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                    core::make_rb_actions(opt), util::Rng(6));
   for (auto _ : state) {
     benchmark::DoNotOptimize(eng.step());
   }
@@ -65,7 +122,10 @@ void BM_RecoveryMeasurement(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_CbInterleavingSteps)->Arg(8)->Arg(32);
-BENCHMARK(BM_RbMaxParallelSteps)->Arg(15)->Arg(63);
+BENCHMARK(BM_RbMaxParallelSteps)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+BENCHMARK(BM_RbMaxParallelStepsFullScan)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+BENCHMARK(BM_RbMaxParallelStepsSeedRef)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+BENCHMARK(BM_RbInterleavingSteps)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
 BENCHMARK(BM_MbInterleavingSteps)->Arg(8)->Arg(32);
 BENCHMARK(BM_TimedModelPhases);
 BENCHMARK(BM_RecoveryMeasurement)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);

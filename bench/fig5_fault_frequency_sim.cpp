@@ -5,46 +5,58 @@
 // the analytical prediction of Figure 3; the rightmost columns report both
 // for direct comparison.
 //
-// Usage: fig5_fault_frequency_sim [--csv] [phases-per-point]
-#include <cstdlib>
-#include <cstring>
+// The (f, c) grid points are independent work items executed on the sweep
+// runner; each derives its own RNG stream from (seed, item index), and the
+// table is reduced in grid order, so output is byte-identical for any
+// --threads value.
+//
+// Usage: fig5_fault_frequency_sim [--csv] [--threads N] [phases-per-point]
 #include <iostream>
 
 #include "analysis/model.hpp"
 #include "core/timed_model.hpp"
 #include "util/csv.hpp"
+#include "util/sweep.hpp"
+
+namespace {
+constexpr std::uint64_t kSeed = 0x515eedULL;
+constexpr int kHeight = 5;
+constexpr int kFaultPoints[] = {0, 2, 4, 6, 8, 10};
+constexpr double kLatencies[] = {0.0, 0.01, 0.03, 0.05};
+}  // namespace
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  std::size_t phases = 30'000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else {
-      phases = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
-    }
-  }
-  constexpr int kHeight = 5;
+  const auto cli = ftbar::util::parse_sweep_cli(argc, argv);
+  const std::size_t phases = cli.positional_or(0, 30'000);
+
+  struct Point {
+    double f, c, sim;
+  };
+  constexpr std::size_t kGrid = std::size(kFaultPoints) * std::size(kLatencies);
+
+  ftbar::util::Sweep sweep(cli.threads);
+  const auto points = sweep.map<Point>(kGrid, [phases](std::size_t idx) {
+    const double f = kFaultPoints[idx / std::size(kLatencies)] * 0.01;
+    const double c = kLatencies[idx % std::size(kLatencies)];
+    ftbar::core::TimedRbModel model({kHeight, c, f},
+                                    ftbar::util::stream_rng(kSeed, idx));
+    const auto stats = model.run_phases(phases);
+    return Point{f, c,
+                 static_cast<double>(stats.instances) / static_cast<double>(phases)};
+  });
 
   ftbar::util::Table table({"f", "c", "sim instances", "analytic instances"});
   table.set_precision(4);
-  for (int fi = 0; fi <= 10; fi += 2) {
-    const double f = fi * 0.01;
-    for (const double c : {0.0, 0.01, 0.03, 0.05}) {
-      ftbar::core::TimedRbModel model({kHeight, c, f},
-                                      ftbar::util::Rng(0x515eedULL + fi));
-      const auto stats = model.run_phases(phases);
-      const double sim = static_cast<double>(stats.instances) /
-                         static_cast<double>(phases);
-      const double analytic = ftbar::analysis::expected_instances({kHeight, c, f});
-      table.add_row({f, c, sim, analytic});
-    }
+  for (const auto& p : points) {
+    const double analytic =
+        ftbar::analysis::expected_instances({kHeight, p.c, p.f});
+    table.add_row({p.f, p.c, p.sim, analytic});
   }
 
   std::cout << "Figure 5: simulated instances per successful phase (h = 5, "
             << phases << " phases/point)\n"
             << "(paper: simulation matches the analytical prediction)\n\n";
-  if (csv) {
+  if (cli.csv) {
     table.write_csv(std::cout);
   } else {
     table.print(std::cout);

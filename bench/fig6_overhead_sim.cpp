@@ -4,49 +4,58 @@
 // full 1 + 3hc circulation — the effect the paper points out when
 // comparing Figures 4 and 6.
 //
-// Usage: fig6_overhead_sim [--csv] [phases-per-point]
-#include <cstdlib>
-#include <cstring>
+// The (c, f) grid points run as independent sweep-runner work items with
+// per-item RNG streams; reduction happens in grid order, so output is
+// byte-identical for any --threads value.
+//
+// Usage: fig6_overhead_sim [--csv] [--threads N] [phases-per-point]
 #include <iostream>
 
 #include "analysis/model.hpp"
 #include "core/timed_model.hpp"
 #include "util/csv.hpp"
+#include "util/sweep.hpp"
+
+namespace {
+constexpr std::uint64_t kSeed = 0xf16ULL;
+constexpr int kHeight = 5;
+constexpr double kFrequencies[] = {0.0, 0.01, 0.05};
+constexpr std::size_t kLatencyPoints = 6;  // c = 0.00 .. 0.05
+}  // namespace
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  std::size_t phases = 30'000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else {
-      phases = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
-    }
-  }
-  constexpr int kHeight = 5;
+  const auto cli = ftbar::util::parse_sweep_cli(argc, argv);
+  const std::size_t phases = cli.positional_or(0, 30'000);
 
-  ftbar::util::Table table(
-      {"c", "f", "sim overhead%", "analytic overhead%"});
+  struct Point {
+    double c, f, overhead;
+  };
+  constexpr std::size_t kGrid = kLatencyPoints * std::size(kFrequencies);
+
+  ftbar::util::Sweep sweep(cli.threads);
+  const auto points = sweep.map<Point>(kGrid, [phases](std::size_t idx) {
+    const double c = static_cast<double>(idx / std::size(kFrequencies)) * 0.01;
+    const double f = kFrequencies[idx % std::size(kFrequencies)];
+    ftbar::core::TimedRbModel model({kHeight, c, f},
+                                    ftbar::util::stream_rng(kSeed, idx));
+    const auto stats = model.run_phases(phases);
+    const double mean_time = stats.elapsed / static_cast<double>(phases);
+    const double baseline =
+        ftbar::core::timed_intolerant_phase_time({kHeight, c, f});
+    return Point{c, f, 100.0 * (mean_time / baseline - 1.0)};
+  });
+
+  ftbar::util::Table table({"c", "f", "sim overhead%", "analytic overhead%"});
   table.set_precision(2);
-  for (int ci = 0; ci <= 5; ++ci) {
-    const double c = ci * 0.01;
-    for (const double f : {0.0, 0.01, 0.05}) {
-      ftbar::core::TimedRbModel model({kHeight, c, f},
-                                      ftbar::util::Rng(0xf16ULL + ci * 7));
-      const auto stats = model.run_phases(phases);
-      const double mean_time = stats.elapsed / static_cast<double>(phases);
-      const double baseline =
-          ftbar::core::timed_intolerant_phase_time({kHeight, c, f});
-      const double sim_overhead = 100.0 * (mean_time / baseline - 1.0);
-      const double analytic = 100.0 * ftbar::analysis::overhead({kHeight, c, f});
-      table.add_row({c, f, sim_overhead, analytic});
-    }
+  for (const auto& p : points) {
+    const double analytic = 100.0 * ftbar::analysis::overhead({kHeight, p.c, p.f});
+    table.add_row({p.c, p.f, p.overhead, analytic});
   }
 
   std::cout << "Figure 6: simulated overhead of fault-tolerance (h = 5, "
             << phases << " phases/point)\n"
             << "(paper: simulated overhead <= analytical, due to early aborts)\n\n";
-  if (csv) {
+  if (cli.csv) {
     table.write_csv(std::cout);
   } else {
     table.print(std::cout);

@@ -8,38 +8,48 @@
 // 2hc <= 0.5 regime it remains below ~1.25 time units (e.g. ~0.56 at
 // 32 processes, c = 0.01).
 //
-// Usage: fig7_recovery_sim [--csv] [repetitions-per-point]
-#include <cstdlib>
-#include <cstring>
+// Each (c, h) cell — `reps` repetitions — is one sweep-runner work item
+// with its own RNG stream; the table is reduced in grid order, so output
+// is byte-identical for any --threads value.
+//
+// Usage: fig7_recovery_sim [--csv] [--threads N] [repetitions-per-point]
 #include <iostream>
+#include <vector>
 
 #include "core/timed_model.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
+#include "util/sweep.hpp"
+
+namespace {
+constexpr std::uint64_t kSeed = 0x7ec0de5ULL;
+constexpr std::size_t kLatencyPoints = 6;  // c = 0.00 .. 0.05
+constexpr int kMaxHeight = 7;
+}  // namespace
 
 int main(int argc, char** argv) {
-  bool csv = false;
-  int reps = 20;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else {
-      reps = std::atoi(argv[i]);
+  const auto cli = ftbar::util::parse_sweep_cli(argc, argv);
+  const int reps = static_cast<int>(cli.positional_or(0, 20));
+
+  constexpr std::size_t kGrid = kLatencyPoints * kMaxHeight;
+  ftbar::util::Sweep sweep(cli.threads);
+  const auto means = sweep.map<double>(kGrid, [reps](std::size_t idx) {
+    const double c = static_cast<double>(idx / kMaxHeight) * 0.01;
+    const int h = static_cast<int>(idx % kMaxHeight) + 1;
+    ftbar::util::Accumulator acc;
+    ftbar::util::Rng rng = ftbar::util::stream_rng(kSeed, idx);
+    for (int r = 0; r < reps; ++r) {
+      acc.add(ftbar::core::measure_recovery(h, c, rng));
     }
-  }
+    return acc.mean();
+  });
 
   ftbar::util::Table table({"c", "h=1", "h=2", "h=3", "h=4", "h=5", "h=6", "h=7"});
   table.set_precision(4);
-  for (int ci = 0; ci <= 5; ++ci) {
-    const double c = ci * 0.01;
-    std::vector<ftbar::util::Cell> row{c};
-    for (int h = 1; h <= 7; ++h) {
-      ftbar::util::Accumulator acc;
-      ftbar::util::Rng rng(0x7ec0de5ULL + static_cast<std::uint64_t>(h * 131 + ci));
-      for (int r = 0; r < reps; ++r) {
-        acc.add(ftbar::core::measure_recovery(h, c, rng));
-      }
-      row.push_back(acc.mean());
+  for (std::size_t ci = 0; ci < kLatencyPoints; ++ci) {
+    std::vector<ftbar::util::Cell> row{static_cast<double>(ci) * 0.01};
+    for (int h = 1; h <= kMaxHeight; ++h) {
+      row.push_back(means[ci * kMaxHeight + static_cast<std::size_t>(h - 1)]);
     }
     table.add_row(std::move(row));
   }
@@ -47,7 +57,7 @@ int main(int argc, char** argv) {
   std::cout << "Figure 7: mean recovery time from an arbitrary state (time "
             << "units; " << reps << " reps/point)\n"
             << "(paper: grows with c and h, < ~1.25 units in the 2hc<=0.5 regime)\n\n";
-  if (csv) {
+  if (cli.csv) {
     table.write_csv(std::cout);
   } else {
     table.print(std::cout);

@@ -39,13 +39,16 @@ std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt, SpecMonit
   std::vector<sim::Action<CbProc>> actions;
   actions.reserve(static_cast<std::size_t>(opt.num_procs) * 4);
   const PhaseRing ring(opt.num_phases);
+  // Every CB guard quantifies over all processes (the coarse-grain point of
+  // the program), so the honest read-set is the full process range.
+  const std::vector<int> all = sim::all_reads(opt.num_procs);
 
   for (int j = 0; j < opt.num_procs; ++j) {
     const auto uj = static_cast<std::size_t>(j);
 
     // CB1: ready -> execute once everyone is ready, or following a starter.
     actions.push_back(sim::make_action<CbProc>(
-        "CB1@" + std::to_string(j), j,
+        "CB1@" + std::to_string(j), j, all,
         [uj](const CbState& s) {
           return s[uj].cp == Cp::kReady &&
                  (all_cp(s, Cp::kReady) || any_cp(s, Cp::kExecute));
@@ -62,7 +65,7 @@ std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt, SpecMonit
     // reset process cannot be stranded mid-instance), or following a
     // process already in success.
     actions.push_back(sim::make_action<CbProc>(
-        "CB2@" + std::to_string(j), j,
+        "CB2@" + std::to_string(j), j, all,
         [uj](const CbState& s) {
           return s[uj].cp == Cp::kExecute &&
                  (none_cp(s, Cp::kReady) || any_cp(s, Cp::kSuccess));
@@ -74,7 +77,7 @@ std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt, SpecMonit
 
     // CB3: success -> ready when nobody is executing; picks the next phase.
     actions.push_back(sim::make_action<CbProc>(
-        "CB3@" + std::to_string(j), j,
+        "CB3@" + std::to_string(j), j, all,
         [uj](const CbState& s) {
           return s[uj].cp == Cp::kSuccess && none_cp(s, Cp::kExecute);
         },
@@ -91,7 +94,7 @@ std::vector<sim::Action<CbProc>> make_cb_actions(const CbOptions& opt, SpecMonit
 
     // CB4: error -> ready when nobody is executing; re-learns the phase.
     actions.push_back(sim::make_action<CbProc>(
-        "CB4@" + std::to_string(j), j,
+        "CB4@" + std::to_string(j), j, all,
         [uj](const CbState& s) {
           return s[uj].cp == Cp::kError && none_cp(s, Cp::kExecute);
         },

@@ -53,7 +53,7 @@ std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
     if (j == 0) {
       // MT1: the root acts on its local copies only.
       actions.push_back(sim::make_action<MbProc>(
-          "MT1@0", 0,
+          "MT1@0", 0, {0},
           [](const MbState& st) {
             return mb_sn_valid(st[0].c_sn) &&
                    (st[0].sn == st[0].c_sn || !mb_sn_valid(st[0].sn));
@@ -71,7 +71,7 @@ std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
     } else {
       // MT2: follower acts on its local copies only.
       actions.push_back(sim::make_action<MbProc>(
-          "MT2@" + std::to_string(j), j,
+          "MT2@" + std::to_string(j), j, {j},
           [uj](const MbState& st) {
             return mb_sn_valid(st[uj].c_sn) && st[uj].sn != st[uj].c_sn;
           },
@@ -90,7 +90,7 @@ std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
     // cell itself evolves with the follower statement, making it the odd
     // process of the doubled ring.
     actions.push_back(sim::make_action<MbProc>(
-        "COPY@" + std::to_string(j), j,
+        "COPY@" + std::to_string(j), j, {j, (j + s - 1) % s},
         [uj, uprev](const MbState& st) {
           return mb_sn_valid(st[uprev].sn) && st[uj].c_sn != st[uprev].sn;
         },
@@ -105,20 +105,20 @@ std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
     if (j == s - 1) {
       // MT3 at the last process.
       actions.push_back(sim::make_action<MbProc>(
-          "MT3@" + std::to_string(j), j,
+          "MT3@" + std::to_string(j), j, {j},
           [uj](const MbState& st) { return st[uj].sn == kMbSnBot; },
           [uj](MbState& st) { st[uj].sn = kMbSnTop; }));
     } else {
       // CPYN: observe a TOP successor.
       actions.push_back(sim::make_action<MbProc>(
-          "CPYN@" + std::to_string(j), j,
+          "CPYN@" + std::to_string(j), j, {j, (j + 1) % s},
           [uj, unext](const MbState& st) {
             return st[unext].sn == kMbSnTop && st[uj].c_next != kMbSnTop;
           },
           [uj](MbState& st) { st[uj].c_next = kMbSnTop; }));
       // MT4: propagate TOP backwards using the local copy.
       actions.push_back(sim::make_action<MbProc>(
-          "MT4@" + std::to_string(j), j,
+          "MT4@" + std::to_string(j), j, {j},
           [uj](const MbState& st) {
             return st[uj].sn == kMbSnBot && st[uj].c_next == kMbSnTop;
           },
@@ -128,7 +128,7 @@ std::vector<sim::Action<MbProc>> make_mb_actions(const MbOptions& opt,
 
   // MT5 at the root.
   actions.push_back(sim::make_action<MbProc>(
-      "MT5@0", 0, [](const MbState& st) { return st[0].sn == kMbSnTop; },
+      "MT5@0", 0, {0}, [](const MbState& st) { return st[0].sn == kMbSnTop; },
       [](MbState& st) { st[0].sn = 0; }));
 
   return actions;

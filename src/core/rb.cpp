@@ -58,6 +58,11 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
 
   const auto& leaves = topo->leaves();
 
+  // Guard read-set of T1: the root plus every leaf (the root detects a
+  // completed circulation by reading the leaves directly, Fig 2).
+  std::vector<int> t1_reads{0};
+  t1_reads.insert(t1_reads.end(), leaves.begin(), leaves.end());
+
   // T1 + superposed root statement.
   //
   // Guard: in normal circulation (sn.0 valid) every leaf must hold the
@@ -67,7 +72,7 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
   // leaves are split between valid and TOP, a state the two-leaf
   // exhaustive check exhibits. The ring (one leaf) is unaffected.
   actions.push_back(sim::make_action<RbProc>(
-      "T1@0", 0,
+      "T1@0", 0, std::move(t1_reads),
       [topo](const RbState& s) {
         const auto& lv = topo->leaves();
         const int sn0 = s[0].sn;
@@ -112,7 +117,7 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
     const auto uj = static_cast<std::size_t>(j);
     const auto up = static_cast<std::size_t>(topo->parent(j));
     actions.push_back(sim::make_action<RbProc>(
-        "T2@" + std::to_string(j), j,
+        "T2@" + std::to_string(j), j, {j, topo->parent(j)},
         [uj, up](const RbState& s) {
           return sn_valid(s[up].sn) && s[uj].sn != s[up].sn;
         },
@@ -131,7 +136,7 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
   for (int l : leaves) {
     const auto ul = static_cast<std::size_t>(l);
     actions.push_back(sim::make_action<RbProc>(
-        "T3@" + std::to_string(l), l,
+        "T3@" + std::to_string(l), l, {l},
         [ul](const RbState& s) { return s[ul].sn == kSnBot; },
         [ul](RbState& s) { s[ul].sn = kSnTop; }));
   }
@@ -141,8 +146,10 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
     if (topo->is_leaf(j)) continue;
     const auto uj = static_cast<std::size_t>(j);
     const auto kids = topo->children(j);
+    std::vector<int> t4_reads{j};
+    t4_reads.insert(t4_reads.end(), kids.begin(), kids.end());
     actions.push_back(sim::make_action<RbProc>(
-        "T4@" + std::to_string(j), j,
+        "T4@" + std::to_string(j), j, std::move(t4_reads),
         [uj, kids](const RbState& s) {
           if (s[uj].sn != kSnBot) return false;
           return std::all_of(kids.begin(), kids.end(), [&](int c) {
@@ -154,7 +161,7 @@ std::vector<sim::Action<RbProc>> make_rb_actions(const RbOptions& opt,
 
   // T5 at the root: TOP -> 0.
   actions.push_back(sim::make_action<RbProc>(
-      "T5@0", 0, [](const RbState& s) { return s[0].sn == kSnTop; },
+      "T5@0", 0, {0}, [](const RbState& s) { return s[0].sn == kSnTop; },
       [](RbState& s) { s[0].sn = 0; }));
 
   return actions;

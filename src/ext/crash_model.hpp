@@ -13,6 +13,7 @@
 // crash/Byzantine behaviour without touching the base program's code.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -42,8 +43,14 @@ std::vector<sim::Action<WithAux<P>>> add_crash_model(
   out.reserve(base.size());
   for (const auto& action : base) {
     const auto owner = static_cast<std::size_t>(action.process);
+    // The lifted guard reads the base read-set plus the owner's up flag.
+    std::vector<int> reads = action.reads;
+    if (!reads.empty() &&
+        std::find(reads.begin(), reads.end(), action.process) == reads.end()) {
+      reads.push_back(action.process);
+    }
     out.push_back(sim::make_action<Aux>(
-        action.name, action.process,
+        action.name, action.process, std::move(reads),
         [owner, guard = action.guard](const std::vector<Aux>& s) {
           if (!s[owner].up) return false;
           std::vector<P> inner;
@@ -68,7 +75,7 @@ std::vector<sim::Action<WithAux<P>>> add_crash_model(
     for (int j = 0; j < procs; ++j) {
       const auto uj = static_cast<std::size_t>(j);
       out.push_back(sim::make_action<Aux>(
-          "byz@" + std::to_string(j), j,
+          "byz@" + std::to_string(j), j, {j},
           [uj](const std::vector<Aux>& s) { return s[uj].up && !s[uj].good; },
           [uj, scramble](std::vector<Aux>& s) { scramble(uj, s[uj].inner); }));
     }

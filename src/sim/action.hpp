@@ -11,6 +11,22 @@
 // action's guard may read the entire vector; its statement must, by
 // convention, write only element `process` — the maximal-parallel engine
 // relies on this to merge simultaneous statements.
+//
+// Read-sets. An action may additionally DECLARE the set of process indices
+// its guard reads (`reads`). The step engine uses this to re-evaluate a
+// guard only when a declared-read process was written in the previous step
+// (incremental enabled-set maintenance). The contract is:
+//
+//   * if `reads` is non-empty, the guard's value may depend only on the
+//     state of the listed processes (the owner should be listed too when
+//     the guard reads it — it almost always does);
+//   * if `reads` is empty, nothing is declared and the engine falls back to
+//     re-evaluating the guard on every step (full-scan mode), so existing
+//     action builders keep working until they are annotated.
+//
+// Statements are NOT constrained by `reads`: a statement may read any
+// process (it always sees the pre-state of the step) — only guard reads
+// matter for enabled-set maintenance.
 #pragma once
 
 #include <functional>
@@ -27,8 +43,12 @@ struct Action {
   int process;        ///< owning process index; the only index `apply` may write.
   std::function<bool(const State&)> guard;
   std::function<void(State&)> apply;
+  /// Declared guard read-set (process indices); empty = undeclared, the
+  /// engine re-evaluates the guard every step.
+  std::vector<int> reads;
 
   [[nodiscard]] bool enabled(const State& s) const { return guard(s); }
+  [[nodiscard]] bool has_read_set() const noexcept { return !reads.empty(); }
 };
 
 /// Convenience builder keeping action definitions terse at call sites.
@@ -36,7 +56,25 @@ template <class P>
 Action<P> make_action(std::string name, int process,
                       std::function<bool(const std::vector<P>&)> guard,
                       std::function<void(std::vector<P>&)> apply) {
-  return Action<P>{std::move(name), process, std::move(guard), std::move(apply)};
+  return Action<P>{std::move(name), process, std::move(guard), std::move(apply), {}};
+}
+
+/// Builder with a declared guard read-set (see the contract above).
+template <class P>
+Action<P> make_action(std::string name, int process, std::vector<int> reads,
+                      std::function<bool(const std::vector<P>&)> guard,
+                      std::function<void(std::vector<P>&)> apply) {
+  return Action<P>{std::move(name), process, std::move(guard), std::move(apply),
+                   std::move(reads)};
+}
+
+/// The full read-set {0..num_procs-1}, for guards that genuinely read every
+/// process (e.g. CB's coarse-grain quantifiers). Declaring it is honest but
+/// degenerates to full-scan cost for that action.
+inline std::vector<int> all_reads(int num_procs) {
+  std::vector<int> out(static_cast<std::size_t>(num_procs));
+  for (int j = 0; j < num_procs; ++j) out[static_cast<std::size_t>(j)] = j;
+  return out;
 }
 
 }  // namespace ftbar::sim

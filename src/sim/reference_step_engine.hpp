@@ -1,0 +1,91 @@
+// Reference implementation of the untimed step engine: full guard scan on
+// every step and a full state copy per executing process, exactly as the
+// original (pre-incremental) engine worked. It is deliberately naive —
+// O(|actions|) guard evaluations per step and O(N) state copies per
+// max-parallel step — and consumes randomness in the same order as
+// StepEngine, so the two must produce bit-identical trajectories from the
+// same seed. Kept as the oracle for the engine-equivalence tests and as
+// the baseline for bench_sim_engine's incremental-vs-full-scan cases; not
+// for production use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::sim {
+
+template <class P>
+class ReferenceStepEngine {
+ public:
+  using State = std::vector<P>;
+
+  ReferenceStepEngine(State initial, std::vector<Action<P>> actions, util::Rng rng,
+                      bool max_parallel)
+      : state_(std::move(initial)),
+        actions_(std::move(actions)),
+        rng_(rng),
+        max_parallel_(max_parallel) {}
+
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  [[nodiscard]] State& mutable_state() noexcept { return state_; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
+
+  std::size_t step() { return max_parallel_ ? step_max_parallel() : step_interleaving(); }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> enabled() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled(state_)) out.push_back(i);
+    }
+    return out;
+  }
+
+  std::size_t step_interleaving() {
+    const auto en = enabled();
+    if (en.empty()) return 0;
+    const auto pick = en[rng_.uniform(en.size())];
+    actions_[pick].apply(state_);
+    ++steps_;
+    return 1;
+  }
+
+  std::size_t step_max_parallel() {
+    const State pre = state_;
+    std::vector<std::vector<std::size_t>> per_proc(pre.size());
+    bool any = false;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled(pre)) {
+        per_proc[static_cast<std::size_t>(actions_[i].process)].push_back(i);
+        any = true;
+      }
+    }
+    if (!any) return 0;
+    State next = pre;
+    std::size_t executed = 0;
+    for (std::size_t p = 0; p < per_proc.size(); ++p) {
+      if (per_proc[p].empty()) continue;
+      const auto pick = per_proc[p][rng_.uniform(per_proc[p].size())];
+      // A fresh copy of the pre-state per executing process, so reads of
+      // other processes see the state at the start of the step.
+      State scratch = pre;
+      actions_[pick].apply(scratch);
+      next[p] = scratch[p];
+      ++executed;
+    }
+    state_ = std::move(next);
+    ++steps_;
+    return executed;
+  }
+
+  State state_;
+  std::vector<Action<P>> actions_;
+  util::Rng rng_;
+  bool max_parallel_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace ftbar::sim

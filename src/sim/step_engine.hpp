@@ -9,10 +9,39 @@
 //    parallel semantics"). Statements of a step read the pre-state — the
 //    standard synchronous interpretation — which is sound because a
 //    statement writes only its own process's variables.
+//
+// Performance model. The engine maintains the enabled set incrementally:
+// at construction it inverts the actions' declared read-sets into a
+// process -> dependent-actions index, and after each step re-evaluates only
+// the guards whose read-set intersects the processes written in that step.
+// Actions without a declared read-set are re-evaluated every step (the
+// full-scan fallback), so unannotated programs remain correct, just slower.
+// External state mutation through mutable_state() conservatively invalidates
+// the whole enabled set.
+//
+// The maximal-parallel step is copy-free: instead of cloning the entire
+// system state once per executing process, the engine keeps a second state
+// buffer (`next_`). Each chosen statement runs against the pre-state buffer
+// in place — saving and restoring its owner's slot, which is the only slot
+// it is allowed to write — and its result is harvested into the next-state
+// buffer. The buffers are swapped at the end of the step and reused, never
+// reallocated. This tightens the write-ownership convention into a hard
+// requirement: a statement that writes a slot other than `process` is
+// undefined behaviour under kMaxParallel (the seed engine silently
+// discarded such writes).
+//
+// Determinism: for a given action list, seed and semantics, the engine
+// consumes randomness exactly like a naive full-scan/full-copy engine
+// (candidates are always collected in ascending action-index order), so
+// state trajectories are bit-identical to the reference implementation —
+// tests/sim_step_engine_test.cpp asserts this for CB, RB and MB.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/action.hpp"
@@ -32,15 +61,23 @@ class StepEngine {
       : state_(std::move(initial)),
         actions_(std::move(actions)),
         rng_(rng),
-        semantics_(semantics) {}
+        semantics_(semantics) {
+    build_read_index();
+  }
 
   [[nodiscard]] const State& state() const noexcept { return state_; }
-  [[nodiscard]] State& mutable_state() noexcept { return state_; }
+  /// Mutable access for fault injection / test setup. Any out-of-band write
+  /// may flip any guard, so the cached enabled set is invalidated wholesale.
+  [[nodiscard]] State& mutable_state() noexcept {
+    full_rescan_ = true;
+    return state_;
+  }
   [[nodiscard]] const std::vector<Action<P>>& actions() const noexcept { return actions_; }
   [[nodiscard]] Semantics semantics() const noexcept { return semantics_; }
   [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
 
-  /// Indices of currently enabled actions.
+  /// Indices of currently enabled actions. Evaluates every guard against
+  /// the current state — an inspection helper, not the engine's hot path.
   [[nodiscard]] std::vector<std::size_t> enabled() const {
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < actions_.size(); ++i) {
@@ -48,6 +85,10 @@ class StepEngine {
     }
     return out;
   }
+
+  /// Number of guard evaluations performed so far (incremental-evaluation
+  /// observability; a full-scan engine would evaluate |actions| per step).
+  [[nodiscard]] std::size_t guard_evals() const noexcept { return guard_evals_; }
 
   /// Executes one step under the configured semantics. Returns the number
   /// of actions executed (0 means the program is quiescent / deadlocked).
@@ -64,61 +105,189 @@ class StepEngine {
   }
 
   /// Runs until `pred(state)` holds, quiescence, or the step bound.
-  /// Returns the number of steps taken if the predicate was reached.
+  /// Returns the number of steps actually taken when the predicate was
+  /// reached (0 if it already held), std::nullopt otherwise. At most
+  /// `max_steps` steps are executed.
   template <class Pred>
   std::optional<std::size_t> run_until(Pred&& pred, std::size_t max_steps) {
-    for (std::size_t n = 0; n <= max_steps; ++n) {
+    for (std::size_t n = 0;; ++n) {
       if (pred(state_)) return n;
-      if (step() == 0) break;
+      if (n == max_steps || step() == 0) return std::nullopt;
     }
-    return pred(state_) ? std::optional<std::size_t>(max_steps) : std::nullopt;
   }
 
  private:
+  /// Inverts declared read-sets into deps_by_proc_, collects actions
+  /// without one (or with out-of-range entries) into the full-scan list,
+  /// and builds the flat proc -> own-actions index used by the
+  /// maximal-parallel selection loop.
+  void build_read_index() {
+    const std::size_t n = state_.size();
+    deps_by_proc_.assign(n, {});
+    fullscan_actions_.clear();
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      bool indexed = actions_[i].has_read_set();
+      if (indexed) {
+        for (const int p : actions_[i].reads) {
+          if (p < 0 || static_cast<std::size_t>(p) >= n) {
+            indexed = false;
+            break;
+          }
+        }
+      }
+      if (!indexed) {
+        fullscan_actions_.push_back(i);
+        continue;
+      }
+      for (const int p : actions_[i].reads) {
+        deps_by_proc_[static_cast<std::size_t>(p)].push_back(i);
+      }
+    }
+    // Counting sort of action indices by owning process. Within a process
+    // the indices stay ascending, which the RNG-parity contract relies on.
+    proc_action_offsets_.assign(n + 1, 0);
+    for (const auto& a : actions_) {
+      ++proc_action_offsets_[static_cast<std::size_t>(a.process) + 1];
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      proc_action_offsets_[p + 1] += proc_action_offsets_[p];
+    }
+    proc_actions_.resize(actions_.size());
+    {
+      auto cursor = proc_action_offsets_;
+      for (std::size_t i = 0; i < actions_.size(); ++i) {
+        proc_actions_[cursor[static_cast<std::size_t>(actions_[i].process)]++] = i;
+      }
+    }
+    enabled_flag_.assign(actions_.size(), 0);
+    eval_epoch_.assign(actions_.size(), 0);
+    proc_enabled_count_.assign(n, 0);
+    full_rescan_ = true;
+  }
+
+  /// Brings enabled_flag_ (and the per-process enabled counts) up to date:
+  /// full scan after external mutation, otherwise only full-scan-mode
+  /// actions plus the dependents of the processes written last step.
+  void refresh_enabled() {
+    if (full_rescan_) {
+      std::fill(proc_enabled_count_.begin(), proc_enabled_count_.end(), 0);
+      for (std::size_t i = 0; i < actions_.size(); ++i) {
+        const char now = actions_[i].enabled(state_) ? 1 : 0;
+        enabled_flag_[i] = now;
+        proc_enabled_count_[static_cast<std::size_t>(actions_[i].process)] += now;
+      }
+      guard_evals_ += actions_.size();
+      full_rescan_ = false;
+      dirty_procs_.clear();
+      return;
+    }
+    ++epoch_;
+    for (const std::size_t i : fullscan_actions_) {
+      update_flag(i);
+      ++guard_evals_;
+    }
+    for (const std::size_t p : dirty_procs_) {
+      for (const std::size_t i : deps_by_proc_[p]) {
+        if (eval_epoch_[i] == epoch_) continue;  // already re-evaluated this step
+        eval_epoch_[i] = epoch_;
+        update_flag(i);
+        ++guard_evals_;
+      }
+    }
+    dirty_procs_.clear();
+  }
+
+  /// Re-evaluates one guard, keeping the owner's enabled count in sync.
+  void update_flag(std::size_t i) {
+    const char now = actions_[i].enabled(state_) ? 1 : 0;
+    if (now != enabled_flag_[i]) {
+      enabled_flag_[i] = now;
+      proc_enabled_count_[static_cast<std::size_t>(actions_[i].process)] +=
+          now != 0 ? 1 : -1;
+    }
+  }
+
   std::size_t step_interleaving() {
-    const auto en = enabled();
-    if (en.empty()) return 0;
-    const auto pick = en[rng_.uniform(en.size())];
+    refresh_enabled();
+    enabled_scratch_.clear();
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (enabled_flag_[i]) enabled_scratch_.push_back(i);
+    }
+    if (enabled_scratch_.empty()) return 0;
+    const auto pick = enabled_scratch_[rng_.uniform(enabled_scratch_.size())];
     actions_[pick].apply(state_);
+    dirty_procs_.push_back(static_cast<std::size_t>(actions_[pick].process));
     ++steps_;
     return 1;
   }
 
   std::size_t step_max_parallel() {
-    // Group enabled actions by process against the pre-state.
-    const State pre = state_;
-    std::vector<std::vector<std::size_t>> per_proc(pre.size());
-    bool any = false;
-    for (std::size_t i = 0; i < actions_.size(); ++i) {
-      if (actions_[i].enabled(pre)) {
-        per_proc[static_cast<std::size_t>(actions_[i].process)].push_back(i);
-        any = true;
-      }
+    // After last step's swap the buffers differ exactly at the slots that
+    // executed (next_ still holds their pre-state values), so re-syncing is
+    // O(executed), not O(N). External mutation desyncs unknown slots; the
+    // first step starts with an empty next_ — both force the full copy
+    // (element-wise into the persistent buffer; no steady-state allocation).
+    if (full_rescan_) {
+      next_ = state_;
+    } else {
+      for (const std::size_t p : dirty_procs_) next_[p] = state_[p];
     }
-    if (!any) return 0;
-    State next = pre;
+    refresh_enabled();
     std::size_t executed = 0;
-    for (std::size_t p = 0; p < per_proc.size(); ++p) {
-      if (per_proc[p].empty()) continue;
-      const auto pick = per_proc[p][rng_.uniform(per_proc[p].size())];
-      // Run the statement against a copy of the pre-state so that reads of
-      // other processes see the state at the start of the step, then keep
-      // only the owner's writes.
-      State scratch = pre;
-      actions_[pick].apply(scratch);
-      next[p] = scratch[p];
+    for (std::size_t p = 0; p < proc_enabled_count_.size(); ++p) {
+      const int enabled_here = proc_enabled_count_[p];
+      if (enabled_here == 0) continue;
+      // Draw the same uniform index a gathered candidate vector would get
+      // (RNG parity), then rank-walk this process's actions — ascending
+      // action index, matching a naive full scan — to the chosen one.
+      auto r = rng_.uniform(static_cast<std::uint64_t>(enabled_here));
+      std::size_t pick = 0;
+      for (std::size_t k = proc_action_offsets_[p];; ++k) {
+        pick = proc_actions_[k];
+        if (enabled_flag_[pick] && r-- == 0) break;
+      }
+      // The statement reads the pre-state buffer and writes only slot p:
+      // run it in place, harvest slot p into the next-state buffer, restore
+      // the pre-state value so later statements of this step still read the
+      // state at the start of the step.
+      P saved = state_[p];
+      actions_[pick].apply(state_);
+      next_[p] = state_[p];
+      state_[p] = std::move(saved);
+      dirty_procs_.push_back(p);
       ++executed;
     }
-    state_ = std::move(next);
+    if (executed == 0) return 0;
+    std::swap(state_, next_);
     ++steps_;
     return executed;
   }
 
   State state_;
+  State next_;  ///< kMaxParallel double buffer; swapped with state_ each step
   std::vector<Action<P>> actions_;
   util::Rng rng_;
   Semantics semantics_;
   std::size_t steps_ = 0;
+  std::size_t guard_evals_ = 0;
+
+  // Incremental enabled-set machinery.
+  std::vector<std::vector<std::size_t>> deps_by_proc_;  ///< proc -> dependent actions
+  std::vector<std::size_t> fullscan_actions_;  ///< actions without a usable read-set
+  std::vector<char> enabled_flag_;             ///< per-action cached guard value
+  std::vector<int> proc_enabled_count_;        ///< per-proc count of set flags
+  std::vector<std::size_t> dirty_procs_;       ///< processes written last step
+  std::vector<std::size_t> eval_epoch_;        ///< per-action dedup stamp
+  std::size_t epoch_ = 0;
+  bool full_rescan_ = true;
+
+  // Flat proc -> own-action-indices index (counting-sorted at construction;
+  // ascending action index within each process's slice).
+  std::vector<std::size_t> proc_action_offsets_;  ///< n+1 slice boundaries
+  std::vector<std::size_t> proc_actions_;         ///< concatenated slices
+
+  // Reusable per-step scratch (allocation-free steady state).
+  std::vector<std::size_t> enabled_scratch_;
 };
 
 }  // namespace ftbar::sim

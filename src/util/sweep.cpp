@@ -1,0 +1,122 @@
+#include "util/sweep.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace ftbar::util {
+
+Rng stream_rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two splitmix64 steps decorrelate (seed, stream) pairs even for small,
+  // structured stream ids (0, 1, 2, ...) — same construction as Rng::fork
+  // but stateless, so item k's stream is independent of execution order.
+  std::uint64_t h = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(h);
+  return Rng(splitmix64(h));
+}
+
+struct Sweep::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;    ///< workers wait for a job
+  std::condition_variable done_cv;    ///< for_each waits for completion
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t limit = 0;
+  std::size_t active = 0;  ///< workers still draining the current job
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock lock(mu);
+      work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+      if (shutdown) return;
+      seen = generation;
+      const auto* job = fn;
+      const std::size_t n = limit;
+      lock.unlock();
+
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        (*job)(i);
+      }
+
+      lock.lock();
+      if (--active == 0) done_cv.notify_all();
+    }
+  }
+};
+
+Sweep::Sweep(int threads) : impl_(new Impl) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  threads_ = threads;
+  impl_->workers.reserve(static_cast<std::size_t>(threads - 1));
+  // The calling thread participates in every job, so the pool only needs
+  // threads-1 workers (and --threads 1 runs everything inline).
+  for (int t = 1; t < threads; ++t) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+Sweep::~Sweep() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void Sweep::for_each(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->limit = n;
+    impl_->next.store(0);
+    impl_->active = impl_->workers.size() + 1;  // workers + this thread
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  for (std::size_t i = impl_->next.fetch_add(1); i < n; i = impl_->next.fetch_add(1)) {
+    fn(i);
+  }
+
+  std::unique_lock lock(impl_->mu);
+  if (--impl_->active > 0) {
+    impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+  }
+  impl_->fn = nullptr;
+}
+
+std::size_t SweepCli::positional_or(std::size_t i, std::size_t fallback) const {
+  if (i >= positional.size()) return fallback;
+  return static_cast<std::size_t>(std::strtoull(positional[i].c_str(), nullptr, 10));
+}
+
+SweepCli parse_sweep_cli(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      cli.csv = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cli.threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      cli.threads = std::atoi(argv[i] + 10);
+    } else {
+      cli.positional.emplace_back(argv[i]);
+    }
+  }
+  return cli;
+}
+
+}  // namespace ftbar::util

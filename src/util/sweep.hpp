@@ -1,0 +1,82 @@
+// Parallel sweep runner for the figure/ablation experiment drivers.
+//
+// Every experiment in the reproduction is a map over an independent grid of
+// (grid-point, replica, seed) work items — exactly the shape a thread pool
+// parallelizes without changing semantics. The contract that keeps output
+// deterministic regardless of thread count:
+//
+//  * each work item derives its own util::Rng stream from
+//    (sweep seed, item index) via splitmix64 (stream_rng below), so no item
+//    ever observes another item's randomness;
+//  * results are stored by item index and reduced by the caller in grid
+//    order, so tables/CSV are byte-identical for --threads 1 and
+//    --threads 8.
+//
+// Drivers accept a --threads N flag (0 or absent = hardware_concurrency),
+// parsed by parse_sweep_cli alongside the pre-existing --csv flag and
+// positional budget arguments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbar::util {
+
+/// An Rng whose stream is a pure function of (seed, stream): distinct
+/// stream ids yield decorrelated generators. This is the per-work-item
+/// randomness of the sweep runner — independent of execution order.
+[[nodiscard]] Rng stream_rng(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+/// A fixed-size thread pool mapping a function over an index range.
+/// Work items must be independent; they are claimed dynamically (atomic
+/// counter), so the pool load-balances uneven items, while determinism is
+/// preserved by indexing results, never by completion order.
+class Sweep {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit Sweep(int threads = 0);
+  ~Sweep();
+
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Calls fn(i) for every i in [0, n), distributing items over the pool.
+  /// Blocks until all items completed. fn must not throw.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps fn over [0, n) into a vector indexed by item — the deterministic
+  /// grid-order reduction happens simply by iterating the result.
+  template <class R, class Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) {
+    std::vector<R> out(n);
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// Common command line of the sweep-based drivers:
+///   [--csv] [--threads N] [positional...]
+struct SweepCli {
+  bool csv = false;
+  int threads = 0;  ///< 0 = hardware_concurrency
+  std::vector<std::string> positional;
+
+  /// Positional argument `i` parsed as unsigned, or `fallback` if absent.
+  [[nodiscard]] std::size_t positional_or(std::size_t i, std::size_t fallback) const;
+};
+
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv);
+
+}  // namespace ftbar::util

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cb.hpp"
+#include "core/mb.hpp"
+#include "core/rb.hpp"
 #include "sim/fault_env.hpp"
+#include "sim/reference_step_engine.hpp"
+#include "util/sweep.hpp"
 
 namespace ftbar::sim {
 namespace {
@@ -85,6 +90,38 @@ TEST(StepEngine, MaxParallelPicksOneActionPerProcess) {
   EXPECT_EQ(std::abs(eng.state()[0].v), 1);
 }
 
+TEST(StepEngine, RunUntilReportsTrueStepCount) {
+  // v reaches 42 after exactly 42 steps; the reported count must be the
+  // number of steps actually taken, not the bound.
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 100)}, util::Rng(7));
+  const auto steps = eng.run_until(
+      [](const State& s) { return s[0].v == 42; }, 1'000);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(*steps, 42u);
+  EXPECT_EQ(eng.steps_taken(), 42u);
+}
+
+TEST(StepEngine, RunUntilNeverExceedsBoundOrLies) {
+  // The seed engine took max_steps+1 steps and then reported max_steps when
+  // the predicate first held after the loop — the count was a lie. Now at
+  // most max_steps steps run, and a predicate not reached within the bound
+  // is a failure, with steps_taken() giving the honest count.
+  StepEngine<Cell> eng({Cell{}}, {inc_until(0, 100)}, util::Rng(7));
+  const auto steps = eng.run_until(
+      [](const State& s) { return s[0].v == 42; }, 41);
+  EXPECT_FALSE(steps.has_value());
+  EXPECT_EQ(eng.steps_taken(), 41u);
+  EXPECT_EQ(eng.state()[0].v, 41);
+}
+
+TEST(StepEngine, RunUntilZeroStepsWhenPredicateAlreadyHolds) {
+  StepEngine<Cell> eng({Cell{7}}, {inc_until(0, 100)}, util::Rng(7));
+  const auto steps = eng.run_until(
+      [](const State& s) { return s[0].v >= 7; }, 1'000);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(*steps, 0u);
+}
+
 TEST(StepEngine, RunUntilFindsPredicate) {
   StepEngine<Cell> eng({Cell{}}, {inc_until(0, 100)}, util::Rng(7));
   const auto steps = eng.run_until(
@@ -114,6 +151,163 @@ TEST(StepEngine, StepsTakenCounts) {
   StepEngine<Cell> eng({Cell{}}, {inc_until(0, 3)}, util::Rng(10));
   eng.run(100);
   EXPECT_EQ(eng.steps_taken(), 3u);
+}
+
+// ---- incremental-engine machinery ------------------------------------------
+
+Action<Cell> inc_with_reads(int j, int limit) {
+  const auto uj = static_cast<std::size_t>(j);
+  return make_action<Cell>(
+      "inc@" + std::to_string(j), j, {j},
+      [uj, limit](const State& s) { return s[uj].v < limit; },
+      [uj](State& s) { ++s[uj].v; });
+}
+
+TEST(StepEngine, IncrementalEvaluatesFewerGuardsThanFullScan) {
+  // 32 annotated single-process actions: after warm-up, each step dirties
+  // one process, so only its one dependent guard is re-evaluated — the
+  // full-scan fallback would pay 32 per step.
+  std::vector<Action<Cell>> actions;
+  for (int j = 0; j < 32; ++j) actions.push_back(inc_with_reads(j, 1 << 20));
+  StepEngine<Cell> eng(State(32), actions, util::Rng(21));
+  (void)eng.step();  // first step pays the full scan
+  const auto after_warmup = eng.guard_evals();
+  EXPECT_EQ(after_warmup, 32u);
+  for (int i = 0; i < 100; ++i) (void)eng.step();
+  EXPECT_EQ(eng.guard_evals(), after_warmup + 100u);
+}
+
+TEST(StepEngine, FullScanFallbackEvaluatesEveryGuard) {
+  std::vector<Action<Cell>> actions;
+  for (int j = 0; j < 8; ++j) actions.push_back(inc_until(j, 1 << 20));
+  StepEngine<Cell> eng(State(8), actions, util::Rng(22));
+  for (int i = 0; i < 10; ++i) (void)eng.step();
+  EXPECT_EQ(eng.guard_evals(), 80u);
+}
+
+TEST(StepEngine, MutableStateInvalidatesEnabledCache) {
+  // Process 1's guard only fires once process 1's value is below the limit
+  // again; the write happens out of band via mutable_state(), which no
+  // step's dirty set covers — the engine must rescan.
+  StepEngine<Cell> eng({Cell{0}, Cell{5}},
+                       {inc_with_reads(0, 10), inc_with_reads(1, 5)},
+                       util::Rng(23), Semantics::kMaxParallel);
+  EXPECT_EQ(eng.step(), 1u);  // only process 0 is enabled
+  eng.mutable_state()[1].v = 0;
+  EXPECT_EQ(eng.step(), 2u) << "out-of-band write must re-enable process 1";
+  EXPECT_EQ(eng.state()[1].v, 1);
+}
+
+// ---- trajectory equivalence against the reference engine -------------------
+
+/// Steps the incremental engine and the full-scan/full-copy reference in
+/// lock-step from identical seeds, with an identical undetectable fault
+/// injected out of band every 97 steps, and asserts bit-identical states
+/// throughout. Randomized choices agree only if both engines also consume
+/// randomness identically, so this pins the RNG contract too.
+template <class P>
+void ExpectTrajectoryEquivalence(const std::vector<P>& start,
+                                 const std::vector<Action<P>>& actions,
+                                 const typename FaultEnv<P>::Perturb& fault,
+                                 bool max_parallel, std::uint64_t seed,
+                                 std::size_t steps) {
+  StepEngine<P> eng(start, actions, util::Rng(seed),
+                    max_parallel ? Semantics::kMaxParallel
+                                 : Semantics::kInterleaving);
+  ReferenceStepEngine<P> ref(start, actions, util::Rng(seed), max_parallel);
+  util::Rng fault_rng_a(seed ^ 0xfa01fULL);
+  util::Rng fault_rng_b(seed ^ 0xfa01fULL);
+  for (std::size_t k = 0; k < steps; ++k) {
+    if (k % 97 == 43) {
+      const auto j = k % start.size();
+      fault(j, eng.mutable_state()[j], fault_rng_a);
+      fault(j, ref.mutable_state()[j], fault_rng_b);
+    }
+    const auto a = eng.step();
+    const auto b = ref.step();
+    ASSERT_EQ(a, b) << "executed-count mismatch at step " << k;
+    ASSERT_TRUE(eng.state() == ref.state()) << "state mismatch at step " << k;
+    if (a == 0) break;
+  }
+}
+
+TEST(StepEngineEquivalence, CbBothSemantics) {
+  const core::CbOptions opt{5, 3};
+  const auto actions = core::make_cb_actions(opt);
+  const auto fault = core::cb_undetectable_fault(opt);
+  ExpectTrajectoryEquivalence<core::CbProc>(core::cb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/false, 101,
+                                            1'500);
+  ExpectTrajectoryEquivalence<core::CbProc>(core::cb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/true, 102,
+                                            1'500);
+}
+
+TEST(StepEngineEquivalence, RbRingBothSemantics) {
+  const auto opt = core::rb_ring_options(7, 2);
+  const auto actions = core::make_rb_actions(opt);
+  const auto fault = core::rb_undetectable_fault(opt);
+  ExpectTrajectoryEquivalence<core::RbProc>(core::rb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/false, 201,
+                                            1'500);
+  ExpectTrajectoryEquivalence<core::RbProc>(core::rb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/true, 202,
+                                            1'500);
+}
+
+TEST(StepEngineEquivalence, RbTreeBothSemantics) {
+  const auto opt = core::rb_tree_options(15, 2);
+  const auto actions = core::make_rb_actions(opt);
+  const auto fault = core::rb_undetectable_fault(opt);
+  ExpectTrajectoryEquivalence<core::RbProc>(core::rb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/false, 301,
+                                            1'500);
+  ExpectTrajectoryEquivalence<core::RbProc>(core::rb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/true, 302,
+                                            1'500);
+}
+
+TEST(StepEngineEquivalence, MbBothSemantics) {
+  const core::MbOptions opt{6, 2, 0};
+  const auto actions = core::make_mb_actions(opt);
+  const auto fault = core::mb_undetectable_fault(opt);
+  ExpectTrajectoryEquivalence<core::MbProc>(core::mb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/false, 401,
+                                            1'500);
+  ExpectTrajectoryEquivalence<core::MbProc>(core::mb_start_state(opt), actions,
+                                            fault, /*max_parallel=*/true, 402,
+                                            1'500);
+}
+
+// ---- sweep determinism ------------------------------------------------------
+
+TEST(SweepDeterminism, ResultsIdenticalForOneAndEightThreads) {
+  // A real workload per item (RB recovery driven by the item's RNG stream):
+  // results must be bit-identical regardless of thread count because each
+  // item's randomness is a pure function of (seed, index).
+  const auto work = [](std::size_t idx) {
+    const auto opt = core::rb_ring_options(5 + static_cast<int>(idx % 3), 2);
+    StepEngine<core::RbProc> eng(core::rb_start_state(opt),
+                                 core::make_rb_actions(opt),
+                                 util::stream_rng(0x5eedULL, idx),
+                                 Semantics::kMaxParallel);
+    auto fault_rng = util::stream_rng(0xfa17ULL, idx);
+    const auto fault = core::rb_undetectable_fault(opt);
+    for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
+      fault(j, eng.mutable_state()[j], fault_rng);
+    }
+    const auto steps = eng.run_until(
+        [](const core::RbState& s) { return core::rb_is_start_state(s); },
+        100'000);
+    return steps ? static_cast<double>(*steps) : -1.0;
+  };
+  util::Sweep one(1);
+  util::Sweep eight(8);
+  const auto a = one.map<double>(64, work);
+  const auto b = eight.map<double>(64, work);
+  EXPECT_EQ(one.threads(), 1);
+  EXPECT_EQ(eight.threads(), 8);
+  ASSERT_TRUE(a == b) << "sweep results depend on thread count";
 }
 
 TEST(FaultEnv, ZeroProbabilityNeverInjects) {

@@ -1,0 +1,106 @@
+#include "util/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ftbar::util {
+namespace {
+
+TEST(StreamRng, PureFunctionOfSeedAndStream) {
+  Rng a = stream_rng(42, 7);
+  Rng b = stream_rng(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamRng, DistinctStreamsDecorrelated) {
+  // Adjacent small stream ids must not produce overlapping streams.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 64; ++stream) {
+    Rng r = stream_rng(1, stream);
+    for (int i = 0; i < 16; ++i) seen.insert(r());
+  }
+  EXPECT_EQ(seen.size(), 64u * 16u);
+}
+
+TEST(StreamRng, SeedChangesStream) {
+  Rng a = stream_rng(1, 0);
+  Rng b = stream_rng(2, 0);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= (a() != b());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Sweep, VisitsEveryIndexExactlyOnce) {
+  Sweep sweep(4);
+  std::vector<std::atomic<int>> hits(1000);
+  sweep.for_each(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Sweep, MapIndexesResults) {
+  Sweep sweep(3);
+  const auto out =
+      sweep.map<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Sweep, SingleThreadRunsInline) {
+  Sweep sweep(1);
+  EXPECT_EQ(sweep.threads(), 1);
+  const auto tid = std::this_thread::get_id();
+  sweep.for_each(10, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), tid); });
+}
+
+TEST(Sweep, ZeroItemsIsANoop) {
+  Sweep sweep(4);
+  bool called = false;
+  sweep.for_each(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Sweep, ReusableAcrossJobs) {
+  Sweep sweep(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    sweep.for_each(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(Sweep, DefaultsToHardwareConcurrency) {
+  Sweep sweep(0);
+  EXPECT_GE(sweep.threads(), 1);
+}
+
+TEST(Sweep, MoreThreadsThanItems) {
+  Sweep sweep(16);
+  const auto out = sweep.map<int>(3, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SweepCli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--csv", "--threads", "8", "200"};
+  const auto cli = parse_sweep_cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.csv);
+  EXPECT_EQ(cli.threads, 8);
+  ASSERT_EQ(cli.positional.size(), 1u);
+  EXPECT_EQ(cli.positional_or(0, 7), 200u);
+  EXPECT_EQ(cli.positional_or(1, 7), 7u);
+}
+
+TEST(SweepCli, ParsesEqualsFormAndDefaults) {
+  const char* argv[] = {"prog", "--threads=3"};
+  const auto cli = parse_sweep_cli(2, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.csv);
+  EXPECT_EQ(cli.threads, 3);
+  EXPECT_TRUE(cli.positional.empty());
+}
+
+}  // namespace
+}  // namespace ftbar::util
