@@ -14,7 +14,16 @@
 //   * BM_RbMaxParallelStepsSeedRef   — the original full-scan + full-copy
 //                                      reference engine, the seed baseline
 //                                      the acceptance criterion compares
-//                                      against.
+//                                      against;
+//   * BM_RbMaxParallelStepsUntraced  — the StepEngine<P, false>
+//                                      instantiation with the tracing hooks
+//                                      compiled out entirely. Comparing it
+//                                      with BM_RbMaxParallelSteps (trace-
+//                                      capable, sink == nullptr) bounds the
+//                                      cost of carrying the disabled
+//                                      instrumentation; the
+//                                      trace_overhead_guard smoke test
+//                                      enforces the <= 5% budget.
 // Emit machine-readable results with:
 //   bench_sim_engine --benchmark_format=json > BENCH_sim_engine.json
 // (the `bench-sim-json` CMake target does exactly that).
@@ -82,6 +91,17 @@ void BM_RbMaxParallelStepsSeedRef(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+void BM_RbMaxParallelStepsUntraced(benchmark::State& state) {
+  const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
+  sim::StepEngine<core::RbProc, false> eng(core::rb_start_state(opt),
+                                           core::make_rb_actions(opt), util::Rng(2),
+                                           sim::Semantics::kMaxParallel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 void BM_RbInterleavingSteps(benchmark::State& state) {
   const auto opt = core::rb_tree_options(static_cast<int>(state.range(0)), 2);
   sim::StepEngine<core::RbProc> eng(core::rb_start_state(opt),
@@ -125,6 +145,7 @@ BENCHMARK(BM_CbInterleavingSteps)->Arg(8)->Arg(32);
 BENCHMARK(BM_RbMaxParallelSteps)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
 BENCHMARK(BM_RbMaxParallelStepsFullScan)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
 BENCHMARK(BM_RbMaxParallelStepsSeedRef)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
+BENCHMARK(BM_RbMaxParallelStepsUntraced)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
 BENCHMARK(BM_RbInterleavingSteps)->Arg(15)->Arg(63)->Arg(255)->Arg(1023);
 BENCHMARK(BM_MbInterleavingSteps)->Arg(8)->Arg(32);
 BENCHMARK(BM_TimedModelPhases);

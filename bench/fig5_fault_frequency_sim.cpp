@@ -10,11 +10,16 @@
 // table is reduced in grid order, so output is byte-identical for any
 // --threads value.
 //
-// Usage: fig5_fault_frequency_sim [--csv] [--threads N] [phases-per-point]
+// Usage: fig5_fault_frequency_sim [--csv] [--threads N]
+//          [--trace FILE [--trace-format jsonl|chrome]] [phases-per-point]
+// --trace records the busiest grid cell (max f, max c) — every instance
+// begin/commit/abort at simulated time — without changing any result.
 #include <iostream>
 
 #include "analysis/model.hpp"
 #include "core/timed_model.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/sweep.hpp"
 
@@ -34,16 +39,34 @@ int main(int argc, char** argv) {
   };
   constexpr std::size_t kGrid = std::size(kFaultPoints) * std::size(kLatencies);
 
+  // With --trace, the last grid cell (highest f, highest c: the most
+  // instances per phase) is recorded; the cell's RNG stream is untouched.
+  ftbar::trace::TraceRecorder recorder(std::size_t{1} << 20);
+  const std::size_t trace_idx = cli.trace.empty() ? kGrid : kGrid - 1;
+
   ftbar::util::Sweep sweep(cli.threads);
-  const auto points = sweep.map<Point>(kGrid, [phases](std::size_t idx) {
+  const auto points =
+      sweep.map<Point>(kGrid, [phases, trace_idx, &recorder](std::size_t idx) {
     const double f = kFaultPoints[idx / std::size(kLatencies)] * 0.01;
     const double c = kLatencies[idx % std::size(kLatencies)];
     ftbar::core::TimedRbModel model({kHeight, c, f},
                                     ftbar::util::stream_rng(kSeed, idx));
+    if (idx == trace_idx) model.set_sink(&recorder);
     const auto stats = model.run_phases(phases);
     return Point{f, c,
                  static_cast<double>(stats.instances) / static_cast<double>(phases)};
   });
+
+  if (!cli.trace.empty()) {
+    if (recorder.dropped() > 0) {
+      std::cerr << "warning: trace ring overflowed, " << recorder.dropped()
+                << " oldest events lost\n";
+    }
+    if (!ftbar::trace::write_trace_file(cli.trace, cli.trace_format,
+                                        recorder.snapshot(), 1e6)) {
+      return 1;
+    }
+  }
 
   ftbar::util::Table table({"f", "c", "sim instances", "analytic instances"});
   table.set_precision(4);

@@ -8,11 +8,16 @@
 // per-item RNG streams; reduction happens in grid order, so output is
 // byte-identical for any --threads value.
 //
-// Usage: fig6_overhead_sim [--csv] [--threads N] [phases-per-point]
+// Usage: fig6_overhead_sim [--csv] [--threads N]
+//          [--trace FILE [--trace-format jsonl|chrome]] [phases-per-point]
+// --trace records the busiest grid cell (max c, max f) — every instance
+// begin/commit/abort at simulated time — without changing any result.
 #include <iostream>
 
 #include "analysis/model.hpp"
 #include "core/timed_model.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/sweep.hpp"
 
@@ -32,18 +37,36 @@ int main(int argc, char** argv) {
   };
   constexpr std::size_t kGrid = kLatencyPoints * std::size(kFrequencies);
 
+  // With --trace, the last grid cell (highest c, highest f: the largest
+  // overhead) is recorded; the cell's RNG stream is untouched.
+  ftbar::trace::TraceRecorder recorder(std::size_t{1} << 20);
+  const std::size_t trace_idx = cli.trace.empty() ? kGrid : kGrid - 1;
+
   ftbar::util::Sweep sweep(cli.threads);
-  const auto points = sweep.map<Point>(kGrid, [phases](std::size_t idx) {
+  const auto points =
+      sweep.map<Point>(kGrid, [phases, trace_idx, &recorder](std::size_t idx) {
     const double c = static_cast<double>(idx / std::size(kFrequencies)) * 0.01;
     const double f = kFrequencies[idx % std::size(kFrequencies)];
     ftbar::core::TimedRbModel model({kHeight, c, f},
                                     ftbar::util::stream_rng(kSeed, idx));
+    if (idx == trace_idx) model.set_sink(&recorder);
     const auto stats = model.run_phases(phases);
     const double mean_time = stats.elapsed / static_cast<double>(phases);
     const double baseline =
         ftbar::core::timed_intolerant_phase_time({kHeight, c, f});
     return Point{c, f, 100.0 * (mean_time / baseline - 1.0)};
   });
+
+  if (!cli.trace.empty()) {
+    if (recorder.dropped() > 0) {
+      std::cerr << "warning: trace ring overflowed, " << recorder.dropped()
+                << " oldest events lost\n";
+    }
+    if (!ftbar::trace::write_trace_file(cli.trace, cli.trace_format,
+                                        recorder.snapshot(), 1e6)) {
+      return 1;
+    }
+  }
 
   ftbar::util::Table table({"c", "f", "sim overhead%", "analytic overhead%"});
   table.set_precision(2);

@@ -1,0 +1,81 @@
+// Trace-overhead guard: the near-zero-cost-when-disabled promise of the
+// trace subsystem, enforced as a smoke test.
+//
+// Two engines run the same RB max-parallel workload:
+//   * untraced  — StepEngine<RbProc, false>: the tracing hooks are compiled
+//                 out entirely (the pre-trace-subsystem engine);
+//   * disabled  — StepEngine<RbProc, true> with NO sink installed: the
+//                 shipped default, one null-pointer test per emission site.
+//
+// Repetitions are interleaved (u, d, u, d, ...) so slow drift (thermal,
+// scheduler) hits both variants equally, and each variant is scored by its
+// BEST repetition — the standard way to estimate the cost floor under
+// noise. The guard fails (exit 1) if the disabled-tracing engine's best
+// step rate falls more than kBudget below the untraced engine's.
+//
+// Usage: trace_overhead_guard [steps-per-rep] [reps]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/rb.hpp"
+#include "sim/step_engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr double kBudget = 0.05;  // disabled tracing may cost at most 5%
+constexpr int kProcs = 255;
+
+template <bool TraceCapable>
+double steps_per_second(std::size_t steps) {
+  using Clock = std::chrono::steady_clock;
+  const auto opt = ftbar::core::rb_tree_options(kProcs, 2);
+  ftbar::sim::StepEngine<ftbar::core::RbProc, TraceCapable> eng(
+      ftbar::core::rb_start_state(opt), ftbar::core::make_rb_actions(opt),
+      ftbar::util::Rng(2), ftbar::sim::Semantics::kMaxParallel);
+  std::size_t fired = 0;
+  const auto begin = Clock::now();
+  for (std::size_t s = 0; s < steps; ++s) fired += eng.step();
+  const auto elapsed = std::chrono::duration<double>(Clock::now() - begin).count();
+  if (fired == 0 || elapsed <= 0.0) return 0.0;
+  return static_cast<double>(steps) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 7;
+
+  double untraced = 0.0;
+  double disabled = 0.0;
+  // Warm-up pass per variant, then interleaved scored repetitions.
+  (void)steps_per_second<false>(steps / 4 + 1);
+  (void)steps_per_second<true>(steps / 4 + 1);
+  for (int r = 0; r < reps; ++r) {
+    untraced = std::max(untraced, steps_per_second<false>(steps));
+    disabled = std::max(disabled, steps_per_second<true>(steps));
+  }
+
+  const double ratio = untraced > 0.0 ? disabled / untraced : 0.0;
+  std::printf("rb maxpar N=%d, %zu steps x %d reps (best-of)\n", kProcs, steps,
+              reps);
+  std::printf("untraced engine        %12.0f steps/s\n", untraced);
+  std::printf("trace-capable, no sink %12.0f steps/s  (%.1f%% of untraced)\n",
+              disabled, 100.0 * ratio);
+  if (untraced <= 0.0 || disabled <= 0.0) {
+    std::fprintf(stderr, "error: a variant measured zero throughput\n");
+    return 2;
+  }
+  if (ratio < 1.0 - kBudget) {
+    std::fprintf(stderr,
+                 "FAIL: disabled tracing costs %.1f%% > %.0f%% budget\n",
+                 100.0 * (1.0 - ratio), 100.0 * kBudget);
+    return 1;
+  }
+  std::printf("ok: within the %.0f%% budget\n", 100.0 * kBudget);
+  return 0;
+}

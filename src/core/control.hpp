@@ -11,7 +11,13 @@ namespace ftbar::core {
 /// kRepeat exists only in the distributed refinements (RB/MB): a process
 /// that was detectably corrupted, or that observes the instance has failed,
 /// propagates `repeat` toward the decision process instead of `success`.
-enum class Cp : std::uint8_t {
+///
+/// The underlying type is int-width so that the process structs embedding a
+/// Cp next to int fields (RbProc, CbProc, MbProc) have no padding bytes and
+/// admit unique object representations — the record/replay layer digests
+/// and serialises raw state bytes, which padding garbage would poison.
+/// Wire encodings that want one byte cast explicitly (WireState).
+enum class Cp : std::int32_t {
   kReady = 0,    ///< ready to execute the current phase
   kExecute = 1,  ///< executing the current phase
   kSuccess = 2,  ///< completed the current phase

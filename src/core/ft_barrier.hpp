@@ -159,6 +159,11 @@ class FaultTolerantBarrier {
   /// Network fault-injection statistics (for tests and examples).
   [[nodiscard]] runtime::Network::Stats network_stats() const;
 
+  /// Attaches a trace sink to the barrier's internal network so the
+  /// message traffic of a barrier run (sends, deliveries, injected faults)
+  /// is observable; pass nullptr to detach. The sink must be thread-safe.
+  void set_trace_sink(trace::Sink* sink) noexcept { net_->set_trace_sink(sink); }
+
   /// Diagnostic snapshot of a participant's protocol state. Only
   /// meaningful when the owning thread is quiescent (deadlock analysis).
   [[nodiscard]] WireState debug_state(int tid) const {

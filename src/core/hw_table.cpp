@@ -16,7 +16,7 @@ int apply_ph(PhOp op, int self_ph, int neighbor_ph, const PhaseRing& ring) {
 RbUpdate follower_update(CpPh self, CpPh prev, const PhaseRing& ring) {
   const Entry& e = kFollowerTable[static_cast<std::size_t>(self.cp)]
                                  [static_cast<std::size_t>(prev.cp)];
-  return RbUpdate{CpPh{e.next_cp, apply_ph(e.ph_op, self.ph, prev.ph, ring)}, e.event};
+  return RbUpdate{CpPh{e.next_cp(), apply_ph(e.ph_op(), self.ph, prev.ph, ring)}, e.event()};
 }
 
 RbUpdate root_update(CpPh self, bool leaves_ready_aligned,
@@ -25,8 +25,8 @@ RbUpdate root_update(CpPh self, bool leaves_ready_aligned,
   const Entry& e = kRootTable[static_cast<std::size_t>(self.cp)]
                              [leaves_ready_aligned ? 1 : 0]
                              [leaves_success_aligned ? 1 : 0];
-  return RbUpdate{CpPh{e.next_cp, apply_ph(e.ph_op, self.ph, first_leaf_ph, ring)},
-                  e.event};
+  return RbUpdate{CpPh{e.next_cp(), apply_ph(e.ph_op(), self.ph, first_leaf_ph, ring)},
+                  e.event()};
 }
 
 }  // namespace ftbar::core::hw

@@ -26,11 +26,26 @@ enum class PhOp : std::uint8_t {
 };
 
 /// One table entry: next control position, phase operation, event strobe.
-struct Entry {
-  Cp next_cp;
-  PhOp ph_op;
-  RbEvent event;
+/// Stored as three packed bytes — one narrow ROM word — independent of the
+/// in-memory width of the source enums.
+class Entry {
+ public:
+  constexpr Entry() = default;
+  constexpr Entry(Cp next_cp, PhOp ph_op, RbEvent event)
+      : next_cp_(static_cast<std::uint8_t>(next_cp)),
+        ph_op_(static_cast<std::uint8_t>(ph_op)),
+        event_(static_cast<std::uint8_t>(event)) {}
+
+  [[nodiscard]] constexpr Cp next_cp() const { return static_cast<Cp>(next_cp_); }
+  [[nodiscard]] constexpr PhOp ph_op() const { return static_cast<PhOp>(ph_op_); }
+  [[nodiscard]] constexpr RbEvent event() const { return static_cast<RbEvent>(event_); }
+
   friend constexpr bool operator==(const Entry&, const Entry&) = default;
+
+ private:
+  std::uint8_t next_cp_ = 0;
+  std::uint8_t ph_op_ = 0;
+  std::uint8_t event_ = 0;
 };
 
 inline constexpr int kCpCount = 5;

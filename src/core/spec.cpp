@@ -14,6 +14,15 @@ SpecMonitor::SpecMonitor(int num_procs, int num_phases)
 
 void SpecMonitor::violate(std::string what) { violations_.push_back(std::move(what)); }
 
+void SpecMonitor::emit_event(ftbar::trace::Kind kind, int proc, long long a, long long b,
+                        long long c) noexcept {
+  ++events_seen_;
+  if (sink_ != nullptr) {
+    sink_->emit(ftbar::trace::make_event(kind, static_cast<double>(events_seen_),
+                                         proc, a, b, c));
+  }
+}
+
 void SpecMonitor::open_instance(int ph) {
   instance_open_ = true;
   instance_phase_ = ph;
@@ -41,6 +50,8 @@ std::size_t SpecMonitor::successful_phases() const noexcept {
 }
 
 void SpecMonitor::on_start(int proc, int ph, bool new_instance) {
+  emit_event(ftbar::trace::Kind::kPhaseStart, proc, ph, new_instance ? 1 : 0,
+        desynced_ ? 1 : 0);
   if (desynced_) return;
   const auto p = static_cast<std::size_t>(proc);
 
@@ -102,6 +113,7 @@ void SpecMonitor::on_start(int proc, int ph, bool new_instance) {
 }
 
 void SpecMonitor::on_complete(int proc, int ph) {
+  emit_event(ftbar::trace::Kind::kPhaseComplete, proc, ph);
   if (desynced_) return;
   const auto p = static_cast<std::size_t>(proc);
   if (!instance_open_ || ph != instance_phase_) {
@@ -127,17 +139,20 @@ void SpecMonitor::on_complete(int proc, int ph) {
 }
 
 void SpecMonitor::on_abort(int proc) {
+  emit_event(ftbar::trace::Kind::kPhaseAbort, proc);
   if (desynced_ || !instance_open_) return;
   const auto p = static_cast<std::size_t>(proc);
   if (started_[p] && !completed_[p]) aborted_[p] = 1;
 }
 
 void SpecMonitor::on_undetectable_fault() {
+  emit_event(ftbar::trace::Kind::kSpecDesync, -1);
   if (instance_open_) close_failed();
   desynced_ = true;
 }
 
 void SpecMonitor::resync(int current_phase) {
+  emit_event(ftbar::trace::Kind::kSpecResync, -1, current_phase);
   desynced_ = false;
   instance_open_ = false;
   last_successful_ = false;

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/sink.hpp"
+
 namespace ftbar::core {
 
 class SpecMonitor {
@@ -35,6 +37,15 @@ class SpecMonitor {
   /// @param num_procs   number of processes.
   /// @param num_phases  cyclic phase count n (phase ids are 0..n-1).
   SpecMonitor(int num_procs, int num_phases);
+
+  /// Attaches a trace sink: every observed event is mirrored as a trace
+  /// event (kPhaseStart/kPhaseComplete/kPhaseAbort/kSpecDesync/kSpecResync),
+  /// emitted BEFORE the desync early-returns so a trace witnesses the
+  /// phases started during recovery — exactly what the offline bound-m
+  /// checker (trace::check_trace) needs. Event time is the monitor's own
+  /// event ordinal.
+  void set_sink(trace::Sink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] trace::Sink* sink() const noexcept { return sink_; }
 
   // ---- events -------------------------------------------------------------
   /// Process `proc` transitions ready -> execute in phase `ph`.
@@ -82,6 +93,8 @@ class SpecMonitor {
   void violate(std::string what);
   void open_instance(int ph);
   void close_failed();
+  void emit_event(ftbar::trace::Kind kind, int proc, long long a = 0, long long b = 0,
+             long long c = 0) noexcept;
   [[nodiscard]] bool executing(int proc) const noexcept {
     return started_[static_cast<std::size_t>(proc)] &&
            !completed_[static_cast<std::size_t>(proc)] &&
@@ -104,6 +117,9 @@ class SpecMonitor {
   std::size_t total_instances_ = 0;
   std::size_t failed_instances_ = 0;
   std::vector<std::string> violations_;
+
+  trace::Sink* sink_ = nullptr;
+  std::size_t events_seen_ = 0;  ///< logical clock for emitted trace events
 };
 
 }  // namespace ftbar::core

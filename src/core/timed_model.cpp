@@ -34,10 +34,17 @@ PhaseStats TimedRbModel::run_phase() {
     ++stats.instances;
     const double start = now_;
     const double end = start + seg_end.back();
+    if (sink_ != nullptr) {
+      sink_->emit(trace::make_event(trace::Kind::kInstanceBegin, start, -1,
+                                    stats.instances));
+    }
     if (next_fault_ >= end) {
       // No fault during this instance: it succeeds.
       now_ = end;
       stats.elapsed += now_ - start;
+      if (sink_ != nullptr) {
+        sink_->emit(trace::make_event(trace::Kind::kInstanceCommit, now_, -1));
+      }
       return stats;
     }
     // A fault lands in some segment; the instance is abandoned at that
@@ -45,14 +52,19 @@ PhaseStats TimedRbModel::run_phase() {
     // indication to the root, which then restarts with a fresh ready wave).
     const double offset = next_fault_ - start;
     double abort_at = end;
-    for (double e : seg_end) {
-      if (offset < e) {
-        abort_at = start + e;
+    std::int64_t segment = static_cast<std::int64_t>(seg_end.size()) - 1;
+    for (std::size_t i = 0; i < seg_end.size(); ++i) {
+      if (offset < seg_end[i]) {
+        abort_at = start + seg_end[i];
+        segment = static_cast<std::int64_t>(i);
         break;
       }
     }
     now_ = abort_at;
     stats.elapsed += now_ - start;
+    if (sink_ != nullptr) {
+      sink_->emit(trace::make_event(trace::Kind::kInstanceAbort, now_, -1, segment));
+    }
     consume_faults_until(now_);
   }
 }
@@ -71,21 +83,30 @@ double timed_intolerant_phase_time(const TimedParams& params) noexcept {
   return 1.0 + 2.0 * params.h * params.c;
 }
 
-double measure_recovery(int h, double c, util::Rng& rng) {
+double measure_recovery(int h, double c, util::Rng& rng, trace::Sink* sink,
+                        SpecMonitor* monitor) {
   const int num_procs = (1 << (h + 1)) - 1;  // full binary tree of height h
   const auto opt = rb_tree_options(num_procs, 2);
-  SpecMonitor* no_monitor = nullptr;
-  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, no_monitor),
+  sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, monitor),
                               rng.fork(0x7ec0u), sim::Semantics::kMaxParallel);
-  auto perturb = rb_undetectable_fault(opt);
+  eng.set_sink(sink);
+  auto perturb = rb_undetectable_fault(opt, monitor);
   util::Rng fault_rng = rng.fork(0xfa17u);
   for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
     perturb(j, eng.mutable_state()[j], fault_rng);
+    if (sink != nullptr) {
+      sink->emit(trace::make_event(trace::Kind::kFaultUndetectable, 0.0,
+                                   static_cast<std::int32_t>(j), 0,
+                                   eng.state()[j].ph));
+    }
   }
   std::size_t steps = 0;
   while (!rb_is_start_state(eng.state()) && steps < 1'000'000) {
     if (eng.step() == 0) break;
     ++steps;
+  }
+  if (monitor != nullptr && rb_is_start_state(eng.state())) {
+    monitor->resync(eng.state()[0].ph);
   }
   // Advance the caller's generator so successive calls differ.
   (void)rng();

@@ -24,9 +24,12 @@
 
 #include <cstddef>
 
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 
 namespace ftbar::core {
+
+class SpecMonitor;
 
 struct TimedParams {
   int h = 5;        ///< tree height
@@ -43,6 +46,12 @@ struct PhaseStats {
 class TimedRbModel {
  public:
   TimedRbModel(TimedParams params, util::Rng rng);
+
+  /// Attaches a trace sink: each instance attempt emits kInstanceBegin
+  /// (a = attempt ordinal within the phase), and its outcome emits
+  /// kInstanceAbort (a = wave segment the fault landed in: 0 ready,
+  /// 1 execute, 2 work, 3 success) or kInstanceCommit, at simulated time.
+  void set_sink(trace::Sink* sink) noexcept { sink_ = sink; }
 
   /// Simulates until one phase executes successfully.
   PhaseStats run_phase();
@@ -62,6 +71,7 @@ class TimedRbModel {
   double fault_rate_;     ///< -ln(1-f); 0 disables faults
   double now_ = 0.0;
   double next_fault_;     ///< absolute time of the next pending fault
+  trace::Sink* sink_ = nullptr;
 };
 
 /// Phase time of the fault-intolerant tree barrier, 1 + 2hc: one wave to
@@ -71,6 +81,14 @@ class TimedRbModel {
 /// Figure 7 experiment: corrupt every process of RB on a binary tree of
 /// height h undetectably, run under maximal parallelism, and report the
 /// recovery time (steps until a start state is reached, times c).
-[[nodiscard]] double measure_recovery(int h, double c, util::Rng& rng);
+///
+/// With a sink, the run is traced end to end: one kFaultUndetectable per
+/// corrupted process (b = post-fault phase), every engine action firing,
+/// and — when `monitor` is also given — the phase/desync/resync events the
+/// monitor observes (wire the monitor's own sink beforehand). The same
+/// random choices are made with and without tracing.
+[[nodiscard]] double measure_recovery(int h, double c, util::Rng& rng,
+                                      trace::Sink* sink = nullptr,
+                                      SpecMonitor* monitor = nullptr);
 
 }  // namespace ftbar::core

@@ -19,7 +19,14 @@ std::optional<Recvd> Communicator::recv(int src, int tag,
     if (left <= std::chrono::milliseconds::zero()) return std::nullopt;
     auto m = net_->recv(rank_, left);
     if (!m) return std::nullopt;  // timeout or shutdown
-    if (!runtime::Network::verify(*m)) continue;  // detectable corruption
+    if (!runtime::Network::verify(*m)) {  // detectable corruption: discard
+      if (trace::Sink* sink = net_->trace_sink()) {
+        sink->emit(trace::make_event(trace::Kind::kMsgDrop, trace::mono_us(),
+                                     m->src, rank_, m->tag,
+                                     2));  // reason 2: checksum mismatch
+      }
+      continue;
+    }
     Recvd r{m->src, m->tag, std::move(m->payload)};
     if (matches(r, src, tag)) return r;
     pending_.push_back(std::move(r));

@@ -31,12 +31,34 @@ void Network::set_link_faults(int src, int dst, const LinkFaults& faults) {
   links_[link_index(src, dst)].faults = faults;
 }
 
+void Network::trace(trace::Kind kind, int proc, std::int64_t a, std::int64_t b,
+                    std::int64_t c) const noexcept {
+  trace::Sink* sink = sink_.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink->emit(trace::make_event(kind, trace::mono_us(), proc, a, b, c));
+  }
+}
+
 void Network::deliver(Message m) {
+  const int src = m.src, dst = m.dst, tag = m.tag;
+  const auto seq = static_cast<std::int64_t>(m.link_seq);
   // try_push: a full inbox drops the message (buffer exhaustion fault).
-  if (inboxes_[static_cast<std::size_t>(m.dst)]->try_push(std::move(m))) {
-    ++stats_.delivered;
+  const bool pushed =
+      inboxes_[static_cast<std::size_t>(m.dst)]->try_push(std::move(m));
+  {
+    // deliver() runs outside send()'s critical section (concurrent sender
+    // threads), so the stats update needs its own lock acquisition.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pushed) {
+      ++stats_.delivered;
+    } else {
+      ++stats_.dropped;
+    }
+  }
+  if (pushed) {
+    trace(trace::Kind::kMsgDeliver, dst, src, tag, seq);
   } else {
-    ++stats_.dropped;
+    trace(trace::Kind::kMsgDrop, src, dst, tag, 1);  // reason 1: inbox full
   }
 }
 
@@ -49,15 +71,19 @@ void Network::send(int src, int dst, int tag, std::span<const std::byte> bytes) 
   m.checksum = fnv1a(bytes);
 
   std::vector<Message> out;
+  std::int64_t seq = 0;
+  bool lost = false, corrupted = false, duplicated = false, held_back = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Link& link = links_[link_index(src, dst)];
     m.link_seq = link.next_seq++;
+    seq = static_cast<std::int64_t>(m.link_seq);
     const LinkFaults faults = link.faults.value_or(default_faults_);
     ++stats_.sent;
 
     if (rng_.bernoulli(faults.drop)) {
       ++stats_.dropped;
+      lost = true;
       // A dropped message still releases any held-back message so reorder
       // holdbacks cannot be starved forever.
       if (link.held) {
@@ -67,10 +93,14 @@ void Network::send(int src, int dst, int tag, std::span<const std::byte> bytes) 
     } else {
       if (rng_.bernoulli(faults.corrupt) && !m.payload.empty()) {
         ++stats_.corrupted;
+        corrupted = true;
         m.payload[0] ^= std::byte{0xFF};  // checksum now fails: detectable
       }
       const bool dup = rng_.bernoulli(faults.duplicate);
-      if (dup) ++stats_.duplicated;
+      if (dup) {
+        ++stats_.duplicated;
+        duplicated = true;
+      }
 
       if (link.held) {
         // The held message is released AFTER this one: the swap is the reorder.
@@ -80,6 +110,7 @@ void Network::send(int src, int dst, int tag, std::span<const std::byte> bytes) 
         link.held.reset();
       } else if (rng_.bernoulli(faults.reorder)) {
         ++stats_.reordered;
+        held_back = true;
         link.held = m;
         if (dup) out.push_back(std::move(m));  // the duplicate goes out now
       } else {
@@ -88,15 +119,24 @@ void Network::send(int src, int dst, int tag, std::span<const std::byte> bytes) 
       }
     }
   }
+  trace(trace::Kind::kMsgSend, src, dst, tag, seq);
+  if (lost) trace(trace::Kind::kMsgDrop, src, dst, tag, 0);  // reason 0: loss
+  if (corrupted) trace(trace::Kind::kMsgCorrupt, src, dst, tag, seq);
+  if (duplicated) trace(trace::Kind::kMsgDup, src, dst, tag, seq);
+  if (held_back) trace(trace::Kind::kMsgReorder, src, dst, tag, seq);
   for (auto& msg : out) deliver(std::move(msg));
 }
 
 std::optional<Message> Network::recv(int rank, std::chrono::milliseconds timeout) {
-  return inboxes_[static_cast<std::size_t>(rank)]->pop_wait_for(timeout);
+  auto m = inboxes_[static_cast<std::size_t>(rank)]->pop_wait_for(timeout);
+  if (m) trace(trace::Kind::kMsgRecv, rank, m->src, m->tag, 0);
+  return m;
 }
 
 std::optional<Message> Network::try_recv(int rank) {
-  return inboxes_[static_cast<std::size_t>(rank)]->try_pop();
+  auto m = inboxes_[static_cast<std::size_t>(rank)]->try_pop();
+  if (m) trace(trace::Kind::kMsgRecv, rank, m->src, m->tag, 0);
+  return m;
 }
 
 bool Network::verify(const Message& m) noexcept {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "runtime/channel.hpp"
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 
 namespace ftbar::runtime {
@@ -48,6 +49,17 @@ class Network {
   Network(int num_ranks, std::uint64_t seed, std::size_t inbox_capacity = 1024);
 
   [[nodiscard]] int size() const noexcept { return num_ranks_; }
+
+  /// Attaches a trace sink: sends, deliveries, consumed receives and every
+  /// injected fault emit message events (kMsgSend/kMsgDeliver/kMsgRecv/
+  /// kMsgDrop/kMsgCorrupt/kMsgDup/kMsgReorder) stamped with wall-clock
+  /// microseconds. The sink must be thread-safe and outlive the network.
+  void set_trace_sink(trace::Sink* sink) noexcept {
+    sink_.store(sink, std::memory_order_release);
+  }
+  [[nodiscard]] trace::Sink* trace_sink() const noexcept {
+    return sink_.load(std::memory_order_acquire);
+  }
 
   /// Applies to every link without an explicit per-link setting.
   void set_default_faults(const LinkFaults& faults);
@@ -110,8 +122,11 @@ class Network {
            static_cast<std::size_t>(dst);
   }
   void deliver(Message m);
+  void trace(trace::Kind kind, int proc, std::int64_t a, std::int64_t b,
+             std::int64_t c) const noexcept;
 
   int num_ranks_;
+  std::atomic<trace::Sink*> sink_{nullptr};
   std::vector<std::unique_ptr<Channel<Message>>> inboxes_;
   mutable std::mutex mutex_;  ///< guards links_, default_faults_, rng_, stats_
   std::vector<Link> links_;

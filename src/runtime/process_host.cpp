@@ -11,6 +11,13 @@ ProcessHost::ProcessHost(int num_ranks, RankMain main)
 
 ProcessHost::~ProcessHost() { shutdown(); }
 
+void ProcessHost::trace(trace::Kind kind, int rank, int generation) const noexcept {
+  trace::Sink* sink = sink_.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink->emit(trace::make_event(kind, trace::mono_us(), rank, generation));
+  }
+}
+
 void ProcessHost::launch(int rank) {
   auto& slot = slots_[static_cast<std::size_t>(rank)];
   ++slot.generation;
@@ -20,6 +27,7 @@ void ProcessHost::launch(int rank) {
   slot.thread = std::thread([this, rank, generation, alive] {
     main_(rank, generation, *alive);
   });
+  trace(trace::Kind::kRankStart, rank, generation);
 }
 
 void ProcessHost::start() {
@@ -31,14 +39,17 @@ void ProcessHost::start() {
 
 void ProcessHost::kill(int rank) {
   std::thread victim;
+  int generation = -1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = slots_[static_cast<std::size_t>(rank)];
     if (!slot.thread.joinable()) return;
     slot.alive->store(false, std::memory_order_release);
     victim = std::move(slot.thread);
+    generation = slot.generation;
   }
   victim.join();
+  trace(trace::Kind::kRankKill, rank, generation);
 }
 
 void ProcessHost::restart(int rank) {
@@ -47,6 +58,7 @@ void ProcessHost::restart(int rank) {
   if (slot.thread.joinable()) {
     throw std::logic_error("ProcessHost::restart: rank is still running");
   }
+  trace(trace::Kind::kRankRestart, rank, slot.generation + 1);
   launch(rank);
 }
 

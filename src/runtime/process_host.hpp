@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/sink.hpp"
+
 namespace ftbar::runtime {
 
 class ProcessHost {
@@ -26,6 +28,12 @@ class ProcessHost {
 
   ProcessHost(const ProcessHost&) = delete;
   ProcessHost& operator=(const ProcessHost&) = delete;
+
+  /// Attaches a trace sink: launches, kills and restarts emit
+  /// kRankStart/kRankKill/kRankRestart with the rank's generation.
+  void set_trace_sink(trace::Sink* sink) noexcept {
+    sink_.store(sink, std::memory_order_release);
+  }
 
   /// Launches every rank (generation 0).
   void start();
@@ -50,8 +58,10 @@ class ProcessHost {
   };
 
   void launch(int rank);
+  void trace(trace::Kind kind, int rank, int generation) const noexcept;
 
   int num_ranks_;
+  std::atomic<trace::Sink*> sink_{nullptr};
   RankMain main_;
   mutable std::mutex mutex_;
   std::vector<Slot> slots_;

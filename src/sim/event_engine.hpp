@@ -12,11 +12,19 @@
 #include <queue>
 #include <vector>
 
+#include "trace/sink.hpp"
+
 namespace ftbar::sim {
 
 class EventEngine {
  public:
   using EventFn = std::function<void()>;
+
+  /// Attaches a trace sink: each dispatched event emits kEventDispatch
+  /// (time = simulated time, a = queue sequence number), which pins the
+  /// dispatch order of a DES run for determinism checks.
+  void set_sink(trace::Sink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] trace::Sink* sink() const noexcept { return sink_; }
 
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
@@ -38,6 +46,10 @@ class EventEngine {
     queue_.pop();
     now_ = e.time;
     ++processed_;
+    if (sink_ != nullptr) {
+      sink_->emit(trace::make_event(trace::Kind::kEventDispatch, now_, -1,
+                                    static_cast<std::int64_t>(e.seq)));
+    }
     e.fn();
     return true;
   }
@@ -82,6 +94,7 @@ class EventEngine {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
+  trace::Sink* sink_ = nullptr;
 };
 
 }  // namespace ftbar::sim

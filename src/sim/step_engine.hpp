@@ -35,6 +35,16 @@
 // (candidates are always collected in ascending action-index order), so
 // state trajectories are bit-identical to the reference implementation —
 // tests/sim_step_engine_test.cpp asserts this for CB, RB and MB.
+//
+// Tracing. set_sink() attaches a trace::Sink; each executed action then
+// emits a kActionFired event (time = step ordinal, a = action index) and,
+// when trace_guards(true) is also set, every guard (re)evaluation emits
+// kGuardEval. Emission sits behind a null check of the sink pointer; the
+// TraceCapable template parameter additionally lets a caller compile the
+// instrumentation out altogether (StepEngine<P, false>), which is the
+// baseline the trace-overhead guard in bench/ compares against. Tracing
+// never touches the RNG, so traced, trace-disabled and trace-incapable
+// engines all follow bit-identical trajectories.
 #pragma once
 
 #include <algorithm>
@@ -45,13 +55,14 @@
 #include <vector>
 
 #include "sim/action.hpp"
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 
 namespace ftbar::sim {
 
 enum class Semantics { kInterleaving, kMaxParallel };
 
-template <class P>
+template <class P, bool TraceCapable = true>
 class StepEngine {
  public:
   using State = std::vector<P>;
@@ -75,6 +86,20 @@ class StepEngine {
   [[nodiscard]] const std::vector<Action<P>>& actions() const noexcept { return actions_; }
   [[nodiscard]] Semantics semantics() const noexcept { return semantics_; }
   [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
+
+  /// Attaches (or detaches, with nullptr) a trace sink. No-op when the
+  /// engine was instantiated with TraceCapable = false.
+  void set_sink(trace::Sink* sink) noexcept {
+    if constexpr (TraceCapable) sink_ = sink;
+  }
+  [[nodiscard]] trace::Sink* sink() const noexcept {
+    if constexpr (TraceCapable) return sink_;
+    return nullptr;
+  }
+  /// Also emit kGuardEval events (high volume; off by default).
+  void trace_guards(bool on) noexcept {
+    if constexpr (TraceCapable) trace_guards_ = on;
+  }
 
   /// Indices of currently enabled actions. Evaluates every guard against
   /// the current state — an inspection helper, not the engine's hot path.
@@ -117,6 +142,40 @@ class StepEngine {
   }
 
  private:
+  /// kActionFired for `i`, executed in the step currently numbered steps_.
+  /// Only the null test lives inline; event construction is outlined so the
+  /// disabled-tracing hot loops stay as tight as the untraced instantiation.
+  void emit_fired(std::size_t i) noexcept {
+    if constexpr (TraceCapable) {
+      if (sink_ != nullptr) [[unlikely]] emit_fired_slow(i);
+    }
+  }
+
+  [[gnu::noinline]] void emit_fired_slow(std::size_t i) noexcept {
+    if constexpr (TraceCapable) {
+      sink_->emit(trace::make_event(
+          trace::Kind::kActionFired, static_cast<double>(steps_),
+          actions_[i].process, static_cast<std::int64_t>(i), 0, 0,
+          actions_[i].name.c_str()));
+    }
+  }
+
+  /// kGuardEval for `i` (only when guard tracing is opted in).
+  void emit_guard(std::size_t i, bool now) noexcept {
+    if constexpr (TraceCapable) {
+      if (sink_ != nullptr) [[unlikely]] emit_guard_slow(i, now);
+    }
+  }
+
+  [[gnu::noinline]] void emit_guard_slow(std::size_t i, bool now) noexcept {
+    if constexpr (TraceCapable) {
+      if (!trace_guards_) return;
+      sink_->emit(trace::make_event(
+          trace::Kind::kGuardEval, static_cast<double>(steps_),
+          actions_[i].process, static_cast<std::int64_t>(i), now ? 1 : 0));
+    }
+  }
+
   /// Inverts declared read-sets into deps_by_proc_, collects actions
   /// without one (or with out-of-range entries) into the full-scan list,
   /// and builds the flat proc -> own-actions index used by the
@@ -173,6 +232,7 @@ class StepEngine {
       std::fill(proc_enabled_count_.begin(), proc_enabled_count_.end(), 0);
       for (std::size_t i = 0; i < actions_.size(); ++i) {
         const char now = actions_[i].enabled(state_) ? 1 : 0;
+        emit_guard(i, now != 0);
         enabled_flag_[i] = now;
         proc_enabled_count_[static_cast<std::size_t>(actions_[i].process)] += now;
       }
@@ -200,6 +260,7 @@ class StepEngine {
   /// Re-evaluates one guard, keeping the owner's enabled count in sync.
   void update_flag(std::size_t i) {
     const char now = actions_[i].enabled(state_) ? 1 : 0;
+    emit_guard(i, now != 0);
     if (now != enabled_flag_[i]) {
       enabled_flag_[i] = now;
       proc_enabled_count_[static_cast<std::size_t>(actions_[i].process)] +=
@@ -215,6 +276,7 @@ class StepEngine {
     }
     if (enabled_scratch_.empty()) return 0;
     const auto pick = enabled_scratch_[rng_.uniform(enabled_scratch_.size())];
+    emit_fired(pick);
     actions_[pick].apply(state_);
     dirty_procs_.push_back(static_cast<std::size_t>(actions_[pick].process));
     ++steps_;
@@ -251,6 +313,7 @@ class StepEngine {
       // the pre-state value so later statements of this step still read the
       // state at the start of the step.
       P saved = state_[p];
+      emit_fired(pick);
       actions_[pick].apply(state_);
       next_[p] = state_[p];
       state_[p] = std::move(saved);
@@ -288,6 +351,11 @@ class StepEngine {
 
   // Reusable per-step scratch (allocation-free steady state).
   std::vector<std::size_t> enabled_scratch_;
+
+  // Tracing (dormant — one null check per fired action — unless a sink is
+  // installed; absent from the hot path entirely when !TraceCapable).
+  trace::Sink* sink_ = nullptr;
+  bool trace_guards_ = false;
 };
 
 }  // namespace ftbar::sim

@@ -1,0 +1,112 @@
+// Typed trace events — the unit of observation of the trace subsystem.
+//
+// Every execution layer of the repo (the untimed step engine, the
+// discrete-event engine, the threads network/process-host runtime and the
+// mini-MPI communicator) can report what it does as a stream of TraceEvent
+// records through a trace::Sink. The event is a fixed-size POD so that the
+// per-thread ring buffers of trace::TraceRecorder never allocate on the
+// hot path; the short textual label (action name, log line) is copied into
+// an inline truncated buffer rather than referenced, so events stay valid
+// after their producer dies.
+//
+// Field conventions per kind (a/b/c are kind-specific payload slots):
+//   kActionFired       proc=owner, a=action index, time=step, label=name
+//   kGuardEval         proc=owner, a=action index, b=enabled?1:0, time=step
+//   kFaultDetectable   proc=victim, a=phase after reset, time=producer clock
+//   kFaultUndetectable proc=victim, b=phase after corruption
+//   kPhaseStart        proc, a=phase, b=new_instance?1:0, c=desynced?1:0
+//   kPhaseComplete     proc, a=phase
+//   kPhaseAbort        proc
+//   kSpecDesync        (monitor suspends safety checking)
+//   kSpecResync        a=phase the system converged to
+//   kMsgSend           proc=src, a=dst, b=tag, c=link_seq
+//   kMsgDeliver        proc=dst, a=src, b=tag, c=link_seq (pushed to inbox)
+//   kMsgRecv           proc=rank, a=src, b=tag (consumed by the rank)
+//   kMsgDrop           proc=src, a=dst, b=tag, c=reason (0 link loss,
+//                      1 inbox full, 2 checksum mismatch on receive)
+//   kMsgCorrupt        proc=src, a=dst, b=tag, c=link_seq
+//   kMsgDup            proc=src, a=dst, b=tag, c=link_seq
+//   kMsgReorder        proc=src, a=dst, b=tag, c=link_seq (held back)
+//   kRankStart         proc=rank, a=generation
+//   kRankKill          proc=rank, a=generation
+//   kRankRestart       proc=rank, a=generation about to launch
+//   kEventDispatch     a=queue seq, time=simulated time
+//   kInstanceBegin     a=instance ordinal within the phase, time=sim time
+//   kInstanceAbort     a=segment index the fault landed in, time=sim time
+//   kInstanceCommit    time=sim time
+//   kLog               a=util::LogLevel, label=message (truncated)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ftbar::trace {
+
+enum class Kind : std::uint8_t {
+  kActionFired = 0,
+  kGuardEval,
+  kFaultDetectable,
+  kFaultUndetectable,
+  kPhaseStart,
+  kPhaseComplete,
+  kPhaseAbort,
+  kSpecDesync,
+  kSpecResync,
+  kMsgSend,
+  kMsgDeliver,
+  kMsgRecv,
+  kMsgDrop,
+  kMsgCorrupt,
+  kMsgDup,
+  kMsgReorder,
+  kRankStart,
+  kRankKill,
+  kRankRestart,
+  kEventDispatch,
+  kInstanceBegin,
+  kInstanceAbort,
+  kInstanceCommit,
+  kLog,
+};
+
+/// Stable lowercase identifier used by the exporters ("action_fired", ...).
+[[nodiscard]] const char* kind_name(Kind kind) noexcept;
+
+struct TraceEvent {
+  static constexpr std::size_t kLabelCapacity = 40;
+
+  std::uint64_t seq = 0;  ///< global order, stamped by the recorder
+  double time = 0.0;      ///< producer clock: steps, sim time, or wall µs
+  Kind kind = Kind::kActionFired;
+  std::int32_t proc = -1;        ///< process / rank the event concerns
+  std::int64_t a = 0, b = 0, c = 0;  ///< kind-specific payload (see above)
+  char label[kLabelCapacity] = {};   ///< truncated copy, always NUL-terminated
+
+  void set_label(const char* text) noexcept {
+    if (text == nullptr) {
+      label[0] = '\0';
+      return;
+    }
+    std::strncpy(label, text, kLabelCapacity - 1);
+    label[kLabelCapacity - 1] = '\0';
+  }
+};
+
+/// Terse event factory for producer call sites.
+inline TraceEvent make_event(Kind kind, double time, std::int32_t proc,
+                             std::int64_t a = 0, std::int64_t b = 0,
+                             std::int64_t c = 0,
+                             const char* label = nullptr) noexcept {
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.proc = proc;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.set_label(label);
+  return e;
+}
+
+}  // namespace ftbar::trace

@@ -1,0 +1,224 @@
+#include "trace/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "trace/sink.hpp"
+
+namespace ftbar::trace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::ostream& os, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  os << buf;
+}
+
+void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
+  os << "{\"seq\":" << e.seq << ",\"kind\":\"" << kind_name(e.kind)
+     << "\",\"t\":";
+  write_number(os, e.time);
+  os << ",\"proc\":" << e.proc << ",\"a\":" << e.a << ",\"b\":" << e.b
+     << ",\"c\":" << e.c;
+  if (e.label[0] != '\0') {
+    os << ",\"label\":\"" << json_escape(e.label) << "\"";
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const std::vector<TraceEvent>& events) {
+  for (const auto& e : events) write_event_jsonl(os, e);
+}
+
+namespace {
+
+/// Emits one Chrome trace_event record; `first` tracks comma placement.
+class ChromeWriter {
+ public:
+  ChromeWriter(std::ostream& os, double scale) : os_(os), scale_(scale) {
+    os_ << "{\"traceEvents\":[";
+  }
+
+  void record(const std::string& name, const char* ph, double ts, int tid,
+              const std::string& extra_args) {
+    if (!first_) os_ << ",";
+    first_ = false;
+    os_ << "\n{\"name\":\"" << json_escape(name) << "\",\"ph\":\"" << ph
+        << "\",\"ts\":";
+    write_number(os_, ts * scale_);
+    os_ << ",\"pid\":0,\"tid\":" << tid;
+    if (ph[0] == 'X') os_ << ",\"dur\":" << scale_;
+    if (ph[0] == 'i') os_ << ",\"s\":\"t\"";
+    if (!extra_args.empty()) os_ << ",\"args\":{" << extra_args << "}";
+    os_ << "}";
+  }
+
+  void finish() { os_ << "\n]}\n"; }
+
+ private:
+  std::ostream& os_;
+  double scale_;
+  bool first_ = true;
+};
+
+std::string int_arg(const char* key, long long value) {
+  return std::string("\"") + key + "\":" + std::to_string(value);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        double time_scale) {
+  ChromeWriter w(os, time_scale);
+  // Per-tid open "B" phase slice, so the B/E stream always balances.
+  std::map<int, bool> open_phase;
+
+  auto close_phase = [&](int tid, double ts, const char* why) {
+    if (open_phase[tid]) {
+      w.record("phase", "E", ts, tid, std::string("\"end\":\"") + why + "\"");
+      open_phase[tid] = false;
+    }
+  };
+
+  for (const auto& e : events) {
+    const int tid = e.proc < 0 ? 0 : e.proc;
+    switch (e.kind) {
+      case Kind::kActionFired:
+        w.record(e.label[0] != '\0' ? e.label : "action", "X", e.time, tid,
+                 int_arg("action", e.a) + "," + int_arg("step",
+                                                        static_cast<long long>(e.time)));
+        break;
+      case Kind::kPhaseStart:
+        close_phase(tid, e.time, "restart");
+        w.record("phase " + std::to_string(e.a), "B", e.time, tid,
+                 int_arg("phase", e.a) + "," + int_arg("new_instance", e.b) +
+                     "," + int_arg("desynced", e.c));
+        open_phase[tid] = true;
+        break;
+      case Kind::kPhaseComplete:
+        close_phase(tid, e.time, "complete");
+        break;
+      case Kind::kPhaseAbort:
+        close_phase(tid, e.time, "abort");
+        break;
+      case Kind::kGuardEval:
+      case Kind::kFaultDetectable:
+      case Kind::kFaultUndetectable:
+      case Kind::kSpecDesync:
+      case Kind::kSpecResync:
+      case Kind::kMsgSend:
+      case Kind::kMsgDeliver:
+      case Kind::kMsgRecv:
+      case Kind::kMsgDrop:
+      case Kind::kMsgCorrupt:
+      case Kind::kMsgDup:
+      case Kind::kMsgReorder:
+      case Kind::kRankStart:
+      case Kind::kRankKill:
+      case Kind::kRankRestart:
+      case Kind::kEventDispatch:
+      case Kind::kInstanceBegin:
+      case Kind::kInstanceAbort:
+      case Kind::kInstanceCommit:
+      case Kind::kLog: {
+        std::string args = int_arg("a", e.a) + "," + int_arg("b", e.b) + "," +
+                           int_arg("c", e.c);
+        if (e.label[0] != '\0') {
+          args += ",\"label\":\"" + json_escape(e.label) + "\"";
+        }
+        w.record(kind_name(e.kind), "i", e.time, tid, args);
+        break;
+      }
+    }
+  }
+  // Balance any phases still open at the end of the capture window.
+  for (const auto& [tid, open] : open_phase) {
+    if (open) {
+      w.record("phase", "E",
+               events.empty() ? 0.0 : events.back().time, tid,
+               "\"end\":\"capture_end\"");
+    }
+  }
+  w.finish();
+}
+
+std::optional<std::string> json_string_field(const std::string& line,
+                                             const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const auto begin = at + needle.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(begin, end - begin);
+}
+
+std::optional<long long> json_int_field(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  auto begin = at + needle.size();
+  if (begin >= line.size()) return std::nullopt;
+  if (line[begin] == '"') return std::nullopt;  // string field, not int
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(line.substr(begin), &consumed);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (consumed == 0) return std::nullopt;
+  return value;
+}
+
+bool write_trace_file(const std::string& path, const std::string& format,
+                      const std::vector<TraceEvent>& events, double time_scale) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot open trace file " << path << "\n";
+    return false;
+  }
+  if (format == "chrome") {
+    write_chrome_trace(os, events, time_scale);
+  } else if (format == "jsonl") {
+    write_jsonl(os, events);
+  } else {
+    std::cerr << "error: unknown trace format " << format
+              << " (expected jsonl or chrome)\n";
+    return false;
+  }
+  return os.good();
+}
+
+}  // namespace ftbar::trace

@@ -1,0 +1,49 @@
+// Trace exporters: JSONL (one JSON object per line, greppable and easy to
+// post-process) and the Chrome trace_event format (a `{"traceEvents":[...]}`
+// object that chrome://tracing and Perfetto load directly).
+//
+// The Chrome writer maps the repo's events onto the viewer's model:
+//   * action firings become "X" (complete) slices on track tid=process;
+//   * phase start/complete become "B"/"E" slices (an abort or a new start
+//     with a slice still open auto-closes it, so the stream always
+//     balances and the viewer never rejects the file);
+//   * faults, message traffic, rank kill/restart and log lines become
+//     instant events carrying their payload in args.
+// Timestamps are event.time scaled by `time_scale` (use e.g. 1000.0 to
+// spread untimed engine steps 1 ms apart on the viewer's µs axis).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace ftbar::trace {
+
+/// One JSON object per event, in stream order.
+void write_jsonl(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Chrome trace_event JSON (chrome://tracing / Perfetto "load trace").
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        double time_scale = 1.0);
+
+/// Convenience one-shot: writes `events` to `path` as "jsonl" or "chrome".
+/// Returns false (after a line on stderr) on an unknown format or I/O error.
+bool write_trace_file(const std::string& path, const std::string& format,
+                      const std::vector<TraceEvent>& events, double time_scale = 1.0);
+
+/// JSON string escaping for the writers above (exposed for the tools that
+/// append their own JSONL records next to the exported events).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Minimal field extraction from a single-line JSON object produced by this
+/// library (string values must not contain escaped quotes). Used by the
+/// replay loader; not a general JSON parser.
+[[nodiscard]] std::optional<std::string> json_string_field(const std::string& line,
+                                                           const std::string& key);
+[[nodiscard]] std::optional<long long> json_int_field(const std::string& line,
+                                                      const std::string& key);
+
+}  // namespace ftbar::trace

@@ -1,0 +1,111 @@
+#include "trace/monitor.hpp"
+
+#include <set>
+#include <string>
+
+#include "core/spec.hpp"
+
+namespace ftbar::trace {
+
+SpecCheckResult check_trace(const std::vector<TraceEvent>& events,
+                            int num_procs, int num_phases) {
+  SpecCheckResult result;
+  if (num_procs <= 0 || num_phases <= 0) {
+    result.ok = false;
+    result.violations.emplace_back("invalid num_procs/num_phases");
+    return result;
+  }
+
+  core::SpecMonitor spec(num_procs, num_phases);
+
+  bool burst_open = false;
+  std::set<long long> perturbed;  ///< distinct fault phases of the open burst
+  std::set<long long> started;    ///< distinct phases started while desynced
+
+  auto close_burst = [&]() {
+    if (!burst_open) return;
+    RecoveryBurst burst;
+    burst.m = perturbed.size();
+    burst.started_phases = started.size();
+    burst.within_bound = burst.started_phases <= burst.m + 1;
+    if (!burst.within_bound) {
+      result.m_bound_ok = false;
+      result.violations.push_back(
+          "recovery burst started " + std::to_string(burst.started_phases) +
+          " distinct phases but only m=" + std::to_string(burst.m) +
+          " were perturbed (bound m+1 exceeded)");
+    }
+    result.bursts.push_back(burst);
+    burst_open = false;
+    perturbed.clear();
+    started.clear();
+  };
+
+  auto bad = [&](std::string what) {
+    result.safety_ok = false;
+    result.violations.push_back(std::move(what));
+  };
+
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case Kind::kPhaseStart:
+        ++result.phase_events;
+        if (e.proc < 0 || e.proc >= num_procs) {
+          bad("phase start with out-of-range process " + std::to_string(e.proc));
+          break;
+        }
+        if (burst_open) started.insert(e.a);
+        spec.on_start(e.proc, static_cast<int>(e.a), e.b != 0);
+        break;
+      case Kind::kPhaseComplete:
+        ++result.phase_events;
+        if (e.proc < 0 || e.proc >= num_procs) {
+          bad("phase complete with out-of-range process " + std::to_string(e.proc));
+          break;
+        }
+        spec.on_complete(e.proc, static_cast<int>(e.a));
+        break;
+      case Kind::kPhaseAbort:
+        ++result.phase_events;
+        if (e.proc < 0 || e.proc >= num_procs) {
+          bad("phase abort with out-of-range process " + std::to_string(e.proc));
+          break;
+        }
+        spec.on_abort(e.proc);
+        break;
+      case Kind::kFaultUndetectable:
+        // The fault harness emits one per victim BEFORE notifying the
+        // monitor, so the fault itself opens (or extends) the burst.
+        ++result.phase_events;
+        burst_open = true;
+        perturbed.insert(e.b);
+        break;
+      case Kind::kSpecDesync:
+        ++result.phase_events;
+        burst_open = true;
+        spec.on_undetectable_fault();
+        break;
+      case Kind::kSpecResync:
+        ++result.phase_events;
+        close_burst();
+        spec.resync(static_cast<int>(e.a));
+        break;
+      default:
+        break;  // engine/runtime events are not the spec's concern
+    }
+  }
+  // A burst still open at the end of the capture is checked as-is: the
+  // trace witnessed the perturbation, so the phases it saw start while
+  // desynced must already respect the bound.
+  close_burst();
+
+  result.safety_ok = result.safety_ok && spec.safety_ok();
+  for (const auto& v : spec.violations()) result.violations.push_back(v);
+  result.successful_phases = spec.successful_phases();
+  result.total_instances = spec.total_instances();
+  result.failed_instances = spec.failed_instances();
+  result.ok = result.safety_ok && result.m_bound_ok;
+  return result;
+}
+
+}  // namespace ftbar::trace

@@ -1,0 +1,55 @@
+// Offline spec monitoring: feed a recorded trace back through the
+// executable specification of Section 2 (core::SpecMonitor) and check the
+// stabilization bound of Lemma 3.4 / 4.1.4 on each recovery burst.
+//
+// check_trace() consumes the phase-level events a traced run emits
+// (kPhaseStart/kPhaseComplete/kPhaseAbort from the barrier program,
+// kFaultUndetectable from the fault harness, kSpecDesync/kSpecResync from
+// the monitor driving the run) and re-derives the verdicts from the trace
+// alone — so a trace file is a complete, independently checkable witness
+// of a run, and a tampered or truncated trace is caught as a violation.
+//
+// Bound m: a recovery burst opens at the first undetectable fault (or at
+// kSpecDesync) and closes at kSpecResync. Within a burst, m is the number
+// of DISTINCT phases the faults perturbed processes into (event field b),
+// and the burst's started-phase count is the number of distinct phases any
+// process started while desynced. Lemma 4.1.4 bounds the latter by m plus
+// at most one phase entered correctly through the increment — started <=
+// m + 1 — and check_trace() reports a violation for any burst exceeding it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace ftbar::trace {
+
+/// One desync..resync window and its Lemma 4.1.4 accounting.
+struct RecoveryBurst {
+  std::size_t m = 0;               ///< distinct perturbed phases
+  std::size_t started_phases = 0;  ///< distinct phases started while desynced
+  bool within_bound = true;        ///< started_phases <= m + 1
+};
+
+struct SpecCheckResult {
+  bool ok = true;  ///< safety_ok && m_bound_ok && !malformed
+  bool safety_ok = true;
+  bool m_bound_ok = true;
+  std::vector<std::string> violations;
+  std::vector<RecoveryBurst> bursts;
+  // Section 6 metrics re-derived from the trace.
+  std::size_t successful_phases = 0;
+  std::size_t total_instances = 0;
+  std::size_t failed_instances = 0;
+  std::size_t phase_events = 0;  ///< events the checker consumed
+};
+
+/// Replays the phase-level events of `events` (any other kinds are
+/// ignored) through a fresh core::SpecMonitor for `num_procs` processes
+/// and `num_phases` cyclic phases, and checks the recovery bound m.
+[[nodiscard]] SpecCheckResult check_trace(const std::vector<TraceEvent>& events,
+                                          int num_procs, int num_phases);
+
+}  // namespace ftbar::trace

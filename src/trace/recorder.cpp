@@ -1,0 +1,103 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+namespace ftbar::trace {
+
+namespace {
+std::atomic<std::uint64_t> g_recorder_ids{1};
+
+/// Per-thread cache of the last (recorder, ring) pair so the common path
+/// never touches the registration mutex. The recorder id (never reused)
+/// guards against a stale pointer after a recorder at the same address was
+/// destroyed and another constructed.
+struct ThreadCache {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadCache t_cache;
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_per_thread)
+    : id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(std::max<std::size_t>(capacity_per_thread, 1)) {}
+
+TraceRecorder::Ring& TraceRecorder::local_ring() {
+  if (t_cache.recorder_id == id_) {
+    return *static_cast<Ring*>(t_cache.ring);
+  }
+  // Cache miss: this thread may still own a ring here (it emitted into
+  // another recorder in between) — reuse it rather than registering twice.
+  const auto me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Ring* ring = nullptr;
+  for (const auto& r : rings_) {
+    if (r->owner == me) {
+      ring = r.get();
+      break;
+    }
+  }
+  if (ring == nullptr) {
+    rings_.push_back(std::make_unique<Ring>());
+    ring = rings_.back().get();
+    ring->owner = me;
+    ring->buf.resize(capacity_);
+  }
+  t_cache.recorder_id = id_;
+  t_cache.ring = ring;
+  return *ring;
+}
+
+void TraceRecorder::emit(const TraceEvent& event) noexcept {
+  Ring& ring = local_ring();
+  TraceEvent& slot = ring.buf[ring.count % capacity_];
+  slot = event;
+  slot.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ++ring.count;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t retained = std::min<std::uint64_t>(ring->count, capacity_);
+      const std::uint64_t first = ring->count - retained;
+      for (std::uint64_t i = first; i < ring->count; ++i) {
+        out.push_back(ring->buf[i % capacity_]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->count;
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    if (ring->count > capacity_) total += ring->count - capacity_;
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::threads_seen() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& ring : rings_) ring->count = 0;
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ftbar::trace

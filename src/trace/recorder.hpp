@@ -1,0 +1,67 @@
+// TraceRecorder — a low-overhead, bounded, multi-producer event recorder.
+//
+// Each producing thread writes into its OWN fixed-capacity ring buffer
+// (registered lazily on first emit), so concurrent ranks never contend on
+// event storage; the only shared write is the global sequence counter that
+// totally orders the merged stream. When a ring wraps, the oldest events
+// are overwritten and counted — dropped() is EXACT, so a consumer always
+// knows whether it is looking at a complete run or the most recent window.
+//
+// snapshot() merges all rings in sequence order. It is meant to be called
+// when producers are quiescent (after join/shutdown, or between engine
+// steps); events emitted concurrently with a snapshot may be torn and are
+// the caller's race to avoid, exactly like reading any other statistics of
+// a running system.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace ftbar::trace {
+
+class TraceRecorder final : public Sink {
+ public:
+  /// `capacity_per_thread` events are retained per producing thread
+  /// (rounded up to 1); older events are overwritten and counted.
+  explicit TraceRecorder(std::size_t capacity_per_thread = std::size_t{1} << 14);
+
+  void emit(const TraceEvent& event) noexcept override;
+
+  /// All retained events of every producer, sorted by global sequence.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever emitted into this recorder.
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  /// Events lost to ring wraparound, summed over producers — exact.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Number of distinct producing threads seen so far.
+  [[nodiscard]] std::size_t threads_seen() const noexcept;
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+  /// Discards all retained events and resets the counters. Producers must
+  /// be quiescent (their cached ring pointers stay valid afterwards).
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    std::uint64_t count = 0;  ///< total writes; buf[count % cap] is next slot
+    std::thread::id owner;    ///< producing thread (single writer per ring)
+  };
+
+  [[nodiscard]] Ring& local_ring();
+
+  const std::uint64_t id_;    ///< distinguishes recorders in the thread cache
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< guards rings_ registration and snapshot
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+}  // namespace ftbar::trace

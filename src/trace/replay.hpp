@@ -1,0 +1,432 @@
+// Deterministic record/replay of step-engine executions, plus a greedy
+// fault-schedule shrinker.
+//
+// A ScheduleRecording is a self-contained reproducer: the initial state,
+// and per engine step (a) the out-of-band fault writes applied before the
+// step (victim process + its full post-fault record) and (b) the indices
+// of the actions that fired, in engine order, followed by a digest of the
+// post-step state. Replaying needs NO random numbers — the statements are
+// re-executed from the recorded choices under the recorded semantics, and
+// the digest pins the trajectory bit-for-bit at every step (the replay
+// test additionally compares full states against a live engine).
+//
+// The schedule serializes to a line-oriented text form (hex-encoded
+// process records, P must be trivially copyable), embeddable in the JSONL
+// trace files that `ftbar_sim --trace` writes and `--replay` consumes.
+//
+// shrink_fault_plan() is ddmin-style delta debugging over a list of
+// planned fault injections: it repeatedly removes chunks (then single
+// faults) while the caller's oracle still reports the run as failing,
+// returning a 1-minimal failing plan — the small reproducer a randomized
+// stress campaign owes its investigator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/step_engine.hpp"
+#include "trace/sink.hpp"
+
+namespace ftbar::trace {
+
+/// FNV-1a over raw memory; the per-step state digest.
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(const void* data,
+                                               std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <class P>
+[[nodiscard]] std::uint64_t state_digest(const std::vector<P>& state) noexcept {
+  static_assert(std::is_trivially_copyable_v<P>,
+                "schedule recording requires trivially copyable process records");
+  static_assert(std::has_unique_object_representations_v<P>,
+                "schedule recording digests raw bytes; P must have no padding "
+                "(pad the struct explicitly or widen small members)");
+  return fnv1a_bytes(state.data(), state.size() * sizeof(P));
+}
+
+template <class P>
+struct FaultWrite {
+  std::uint32_t proc = 0;
+  P value{};  ///< full post-fault process record
+};
+
+template <class P>
+struct StepRecord {
+  std::vector<FaultWrite<P>> faults;  ///< applied before the step
+  std::vector<std::uint32_t> fired;   ///< action indices, engine order
+  std::uint64_t digest = 0;           ///< state digest AFTER the step
+};
+
+template <class P>
+struct ScheduleRecording {
+  sim::Semantics semantics = sim::Semantics::kInterleaving;
+  std::vector<P> initial;
+  std::vector<StepRecord<P>> steps;
+};
+
+/// Wraps a live StepEngine and records its schedule. Installs itself as the
+/// engine's sink (forwarding every event to `downstream`, so a
+/// TraceRecorder can observe the same run); the caller must drive the run
+/// through step() and report out-of-band fault injections with
+/// note_fault(proc) AFTER writing the corrupted value into the state.
+template <class P>
+class ScheduleRecorder final : public Sink {
+ public:
+  explicit ScheduleRecorder(sim::StepEngine<P>& engine, Sink* downstream = nullptr)
+      : engine_(engine), downstream_(downstream) {
+    recording_.semantics = engine.semantics();
+    recording_.initial = engine.state();
+    engine_.set_sink(this);
+  }
+
+  ~ScheduleRecorder() override { engine_.set_sink(downstream_); }
+
+  void emit(const TraceEvent& event) noexcept override {
+    if (event.kind == Kind::kActionFired) {
+      pending_fired_.push_back(static_cast<std::uint32_t>(event.a));
+    }
+    if (downstream_ != nullptr) downstream_->emit(event);
+  }
+
+  /// Records that `proc`'s CURRENT record was just written out-of-band.
+  void note_fault(std::size_t proc) {
+    pending_faults_.push_back(
+        {static_cast<std::uint32_t>(proc), engine_.state()[proc]});
+  }
+
+  /// Steps the engine, appending a StepRecord. A quiescent step (nothing
+  /// fired) is still recorded when faults were injected, so a replay
+  /// applies them; otherwise it is elided. Returns engine's step() result.
+  std::size_t step() {
+    pending_fired_.clear();
+    const std::size_t executed = engine_.step();
+    if (executed == 0 && pending_faults_.empty()) return 0;
+    recording_.steps.push_back({std::move(pending_faults_), pending_fired_,
+                                state_digest(engine_.state())});
+    pending_faults_.clear();
+    return executed;
+  }
+
+  [[nodiscard]] const ScheduleRecording<P>& recording() const noexcept {
+    return recording_;
+  }
+  [[nodiscard]] ScheduleRecording<P> take() { return std::move(recording_); }
+
+ private:
+  sim::StepEngine<P>& engine_;
+  Sink* downstream_;
+  ScheduleRecording<P> recording_;
+  std::vector<FaultWrite<P>> pending_faults_;
+  std::vector<std::uint32_t> pending_fired_;
+};
+
+struct ReplayReport {
+  bool ok = true;
+  std::size_t steps_replayed = 0;
+  std::size_t diverged_step = 0;  ///< valid when !ok
+  std::string message;
+};
+
+/// Re-executes a recorded schedule against the given action system and
+/// verifies the state digest after every step. The actions must be the
+/// SAME system the recording was made from (same builder, same options) —
+/// replay checks each recorded action's guard against the pre-state and
+/// reports divergence if a guard no longer holds or a digest mismatches.
+template <class P>
+[[nodiscard]] ReplayReport replay_schedule(const ScheduleRecording<P>& rec,
+                                           const std::vector<sim::Action<P>>& actions) {
+  ReplayReport report;
+  auto diverge = [&](std::size_t step, std::string message) {
+    report.ok = false;
+    report.diverged_step = step;
+    report.message = std::move(message);
+    return report;
+  };
+
+  std::vector<P> state = rec.initial;
+  std::vector<P> next;
+  for (std::size_t si = 0; si < rec.steps.size(); ++si) {
+    const auto& sr = rec.steps[si];
+    for (const auto& f : sr.faults) {
+      if (f.proc >= state.size()) return diverge(si, "fault victim out of range");
+      state[f.proc] = f.value;
+    }
+    if (rec.semantics == sim::Semantics::kMaxParallel) {
+      next = state;
+      for (const std::uint32_t ai : sr.fired) {
+        if (ai >= actions.size()) return diverge(si, "action index out of range");
+        const auto& act = actions[ai];
+        if (!act.enabled(state)) {
+          return diverge(si, "recorded action '" + act.name +
+                                 "' is not enabled on replay");
+        }
+        // Maximal-parallel semantics: the statement reads the pre-state and
+        // writes only its owner's slot (the engine's write-ownership
+        // contract); harvest that slot and restore the pre-state value.
+        const auto p = static_cast<std::size_t>(act.process);
+        P saved = state[p];
+        act.apply(state);
+        next[p] = state[p];
+        state[p] = saved;
+      }
+      state.swap(next);
+    } else {
+      for (const std::uint32_t ai : sr.fired) {
+        if (ai >= actions.size()) return diverge(si, "action index out of range");
+        const auto& act = actions[ai];
+        if (!act.enabled(state)) {
+          return diverge(si, "recorded action '" + act.name +
+                                 "' is not enabled on replay");
+        }
+        act.apply(state);
+      }
+    }
+    if (state_digest(state) != sr.digest) {
+      return diverge(si, "state digest mismatch after step " + std::to_string(si));
+    }
+    ++report.steps_replayed;
+  }
+  return report;
+}
+
+// ---- text serialization -----------------------------------------------------
+
+namespace detail {
+
+inline void hex_encode(const void* data, std::size_t size, std::string& out) {
+  static const char* digits = "0123456789abcdef";
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(digits[bytes[i] >> 4]);
+    out.push_back(digits[bytes[i] & 0xF]);
+  }
+}
+
+inline bool hex_decode(const std::string& text, void* data, std::size_t size) {
+  if (text.size() != size * 2) return false;
+  auto nibble = [](char ch) -> int {
+    if (ch >= '0' && ch <= '9') return ch - '0';
+    if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+    if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+    return -1;
+  };
+  auto* bytes = static_cast<unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    const int hi = nibble(text[2 * i]);
+    const int lo = nibble(text[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes[i] = static_cast<unsigned char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+template <class P>
+std::string hex_of(const P& value) {
+  std::string out;
+  hex_encode(&value, sizeof(P), out);
+  return out;
+}
+
+inline std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// The recording as a list of plain-text lines:
+///   semantics maxpar|interleaving
+///   procs <N> bytes <sizeof(P)>
+///   init <hexP> <hexP> ...
+///   step
+///   f <proc> <hexP>          (zero or more per step)
+///   a <idx> <idx> ...        (omitted when nothing fired)
+///   d <digest>
+template <class P>
+[[nodiscard]] std::vector<std::string> schedule_lines(const ScheduleRecording<P>& rec) {
+  static_assert(std::is_trivially_copyable_v<P>);
+  std::vector<std::string> out;
+  out.push_back(std::string("semantics ") +
+                (rec.semantics == sim::Semantics::kMaxParallel ? "maxpar"
+                                                               : "interleaving"));
+  out.push_back("procs " + std::to_string(rec.initial.size()) + " bytes " +
+                std::to_string(sizeof(P)));
+  std::string init = "init";
+  for (const auto& p : rec.initial) {
+    init += ' ';
+    init += detail::hex_of(p);
+  }
+  out.push_back(std::move(init));
+  for (const auto& sr : rec.steps) {
+    out.push_back("step");
+    for (const auto& f : sr.faults) {
+      out.push_back("f " + std::to_string(f.proc) + " " + detail::hex_of(f.value));
+    }
+    if (!sr.fired.empty()) {
+      std::string fired = "a";
+      for (const auto ai : sr.fired) {
+        fired += ' ';
+        fired += std::to_string(ai);
+      }
+      out.push_back(std::move(fired));
+    }
+    out.push_back("d " + std::to_string(sr.digest));
+  }
+  return out;
+}
+
+/// Inverse of schedule_lines(); nullopt on any malformed line.
+template <class P>
+[[nodiscard]] std::optional<ScheduleRecording<P>> parse_schedule_lines(
+    const std::vector<std::string>& lines) {
+  static_assert(std::is_trivially_copyable_v<P>);
+  ScheduleRecording<P> rec;
+  bool saw_init = false;
+  StepRecord<P>* open_step = nullptr;
+  for (const auto& line : lines) {
+    const auto tok = detail::split_ws(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "semantics" && tok.size() == 2) {
+      if (tok[1] == "maxpar") {
+        rec.semantics = sim::Semantics::kMaxParallel;
+      } else if (tok[1] == "interleaving") {
+        rec.semantics = sim::Semantics::kInterleaving;
+      } else {
+        return std::nullopt;
+      }
+    } else if (tok[0] == "procs" && tok.size() == 4) {
+      if (tok[3] != std::to_string(sizeof(P))) return std::nullopt;  // wrong P
+    } else if (tok[0] == "init") {
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        P value;
+        if (!detail::hex_decode(tok[i], &value, sizeof(P))) return std::nullopt;
+        rec.initial.push_back(value);
+      }
+      saw_init = true;
+    } else if (tok[0] == "step") {
+      rec.steps.emplace_back();
+      open_step = &rec.steps.back();
+    } else if (tok[0] == "f" && tok.size() == 3) {
+      if (open_step == nullptr) return std::nullopt;
+      FaultWrite<P> f;
+      f.proc = static_cast<std::uint32_t>(std::stoul(tok[1]));
+      if (!detail::hex_decode(tok[2], &f.value, sizeof(P))) return std::nullopt;
+      open_step->faults.push_back(f);
+    } else if (tok[0] == "a") {
+      if (open_step == nullptr) return std::nullopt;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        open_step->fired.push_back(static_cast<std::uint32_t>(std::stoul(tok[i])));
+      }
+    } else if (tok[0] == "d" && tok.size() == 2) {
+      if (open_step == nullptr) return std::nullopt;
+      open_step->digest = std::stoull(tok[1]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_init) return std::nullopt;
+  return rec;
+}
+
+template <class P>
+void save_schedule(std::ostream& os, const ScheduleRecording<P>& rec) {
+  for (const auto& line : schedule_lines(rec)) os << line << "\n";
+}
+
+template <class P>
+[[nodiscard]] std::optional<ScheduleRecording<P>> load_schedule(std::istream& is) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return parse_schedule_lines<P>(lines);
+}
+
+// ---- fault-schedule shrinking ----------------------------------------------
+
+/// A fault injection planned at a specific engine step (before the step).
+template <class P>
+struct PlannedFault {
+  std::size_t step = 0;
+  std::uint32_t proc = 0;
+  P value{};
+};
+
+/// Extracts the fault plan of a recording (for re-running the same fault
+/// sequence against a live engine, e.g. as the shrinker's starting point).
+template <class P>
+[[nodiscard]] std::vector<PlannedFault<P>> fault_plan_of(
+    const ScheduleRecording<P>& rec) {
+  std::vector<PlannedFault<P>> plan;
+  for (std::size_t si = 0; si < rec.steps.size(); ++si) {
+    for (const auto& f : rec.steps[si].faults) {
+      plan.push_back({si, f.proc, f.value});
+    }
+  }
+  return plan;
+}
+
+/// ddmin-style greedy minimization: removes chunks (halving granularity
+/// down to single faults) while `still_fails(candidate)` holds. The input
+/// plan must fail; the result is a failing plan where removing any single
+/// remaining fault makes the failure disappear (1-minimal).
+template <class P>
+[[nodiscard]] std::vector<PlannedFault<P>> shrink_fault_plan(
+    std::vector<PlannedFault<P>> plan,
+    const std::function<bool(const std::vector<PlannedFault<P>>&)>& still_fails) {
+  if (plan.empty() || !still_fails(plan)) return plan;
+
+  auto without_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<PlannedFault<P>> candidate;
+    candidate.reserve(plan.size() - (end - begin));
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (i < begin || i >= end) candidate.push_back(plan[i]);
+    }
+    return candidate;
+  };
+
+  std::size_t chunk = std::max<std::size_t>(1, plan.size() / 2);
+  while (!plan.empty()) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < plan.size()) {
+      const std::size_t end = std::min(begin + chunk, plan.size());
+      auto candidate = without_range(begin, end);
+      if (still_fails(candidate)) {
+        plan = std::move(candidate);
+        removed_any = true;  // same begin now addresses the next chunk
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk = (chunk + 1) / 2;
+    } else if (!removed_any) {
+      break;  // single-fault fixpoint: 1-minimal
+    }
+  }
+  return plan;
+}
+
+}  // namespace ftbar::trace

@@ -1,0 +1,64 @@
+#include "trace/sink.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace ftbar::trace {
+
+namespace {
+std::atomic<Sink*> g_log_sink{nullptr};
+
+std::chrono::steady_clock::time_point mono_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
+double mono_us() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - mono_epoch();
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void set_log_sink(Sink* sink) noexcept {
+  g_log_sink.store(sink, std::memory_order_release);
+}
+
+Sink* log_sink() noexcept { return g_log_sink.load(std::memory_order_acquire); }
+
+void log_to_sink(int level, const char* message) noexcept {
+  Sink* sink = log_sink();
+  if (sink == nullptr) return;
+  sink->emit(make_event(Kind::kLog, mono_us(), -1, level, 0, 0, message));
+}
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kActionFired: return "action_fired";
+    case Kind::kGuardEval: return "guard_eval";
+    case Kind::kFaultDetectable: return "fault_detectable";
+    case Kind::kFaultUndetectable: return "fault_undetectable";
+    case Kind::kPhaseStart: return "phase_start";
+    case Kind::kPhaseComplete: return "phase_complete";
+    case Kind::kPhaseAbort: return "phase_abort";
+    case Kind::kSpecDesync: return "spec_desync";
+    case Kind::kSpecResync: return "spec_resync";
+    case Kind::kMsgSend: return "msg_send";
+    case Kind::kMsgDeliver: return "msg_deliver";
+    case Kind::kMsgRecv: return "msg_recv";
+    case Kind::kMsgDrop: return "msg_drop";
+    case Kind::kMsgCorrupt: return "msg_corrupt";
+    case Kind::kMsgDup: return "msg_dup";
+    case Kind::kMsgReorder: return "msg_reorder";
+    case Kind::kRankStart: return "rank_start";
+    case Kind::kRankKill: return "rank_kill";
+    case Kind::kRankRestart: return "rank_restart";
+    case Kind::kEventDispatch: return "event_dispatch";
+    case Kind::kInstanceBegin: return "instance_begin";
+    case Kind::kInstanceAbort: return "instance_abort";
+    case Kind::kInstanceCommit: return "instance_commit";
+    case Kind::kLog: return "log";
+  }
+  return "unknown";
+}
+
+}  // namespace ftbar::trace

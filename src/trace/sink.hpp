@@ -1,0 +1,54 @@
+// trace::Sink — the interface every instrumented layer emits through.
+//
+// A producer holds a `Sink*` that is null by default: tracing disabled
+// costs one predictable branch per would-be event (and the step engine can
+// compile the branch out entirely, see sim/step_engine.hpp's TraceCapable
+// parameter). Installing a sink — usually a trace::TraceRecorder — turns
+// the same run into a machine-readable event stream.
+//
+// Sinks must tolerate concurrent emit() calls when they are shared between
+// threads (the runtime/mpi layers emit from every rank thread);
+// TraceRecorder does so with per-thread ring buffers.
+#pragma once
+
+#include "trace/event.hpp"
+
+namespace ftbar::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void emit(const TraceEvent& event) noexcept = 0;
+};
+
+/// Fan-out to two sinks; used to observe a run while a schedule recorder
+/// is also attached to the engine.
+class TeeSink final : public Sink {
+ public:
+  TeeSink(Sink* first, Sink* second) noexcept : first_(first), second_(second) {}
+  void emit(const TraceEvent& event) noexcept override {
+    if (first_ != nullptr) first_->emit(event);
+    if (second_ != nullptr) second_->emit(event);
+  }
+
+ private:
+  Sink* first_;
+  Sink* second_;
+};
+
+/// Monotonic wall-clock in microseconds since the first call; the time
+/// base the runtime/mpi producers stamp events with (simulation layers use
+/// their own logical clocks instead).
+[[nodiscard]] double mono_us() noexcept;
+
+/// Process-global sink for util::log routing: when set, every log_line()
+/// is mirrored into the sink as a kLog event (stderr output is unchanged).
+/// The pointer is atomic; install/clear around the traced region and keep
+/// the sink alive until cleared.
+void set_log_sink(Sink* sink) noexcept;
+[[nodiscard]] Sink* log_sink() noexcept;
+
+/// Emits a kLog event to the global log sink, if one is installed.
+void log_to_sink(int level, const char* message) noexcept;
+
+}  // namespace ftbar::trace

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "trace/sink.hpp"
+
 namespace ftbar::util {
 
 namespace {
@@ -28,6 +30,7 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_o
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
+  trace::log_to_sink(static_cast<int>(level), message.c_str());
   std::lock_guard<std::mutex> lock(g_mutex);
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
 }

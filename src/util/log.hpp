@@ -9,11 +9,14 @@ namespace ftbar::util {
 
 enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
-/// Global log level; not synchronized — set it before spawning threads.
+/// Global log level. The level is an atomic: it may be raised or lowered
+/// at any time, including while rank threads are logging concurrently.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 /// Emits a line to stderr if `level` is enabled. Thread-safe per line.
+/// When a trace sink is installed (trace::set_log_sink), the line is also
+/// mirrored into the active trace as a kLog event.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -112,6 +112,14 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
       cli.threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       cli.threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      cli.trace = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      cli.trace = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace-format") == 0 && i + 1 < argc) {
+      cli.trace_format = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      cli.trace_format = argv[i] + 15;
     } else {
       cli.positional.emplace_back(argv[i]);
     }

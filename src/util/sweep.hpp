@@ -13,8 +13,8 @@
 //    --threads 8.
 //
 // Drivers accept a --threads N flag (0 or absent = hardware_concurrency),
-// parsed by parse_sweep_cli alongside the pre-existing --csv flag and
-// positional budget arguments.
+// parsed by parse_sweep_cli alongside the pre-existing --csv flag, the
+// --trace/--trace-format options and positional budget arguments.
 #pragma once
 
 #include <cstddef>
@@ -67,10 +67,16 @@ class Sweep {
 };
 
 /// Common command line of the sweep-based drivers:
-///   [--csv] [--threads N] [positional...]
+///   [--csv] [--threads N] [--trace FILE [--trace-format jsonl|chrome]]
+///   [positional...]
+/// `--trace` asks the driver to record one representative grid cell (which
+/// cell is driver-defined) and write it to FILE; the sweep results are
+/// unaffected because tracing never touches an item's RNG stream.
 struct SweepCli {
   bool csv = false;
   int threads = 0;  ///< 0 = hardware_concurrency
+  std::string trace;                  ///< empty = tracing off
+  std::string trace_format = "jsonl"; ///< "jsonl" or "chrome"
   std::vector<std::string> positional;
 
   /// Positional argument `i` parsed as unsigned, or `fallback` if absent.

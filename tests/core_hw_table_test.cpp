@@ -68,10 +68,10 @@ TEST(HwTable, RootTableEquivalentToStatementExhaustively) {
 }
 
 TEST(HwTable, TablesAreConstexpr) {
-  static_assert(kFollowerTable[0][1].next_cp == Cp::kExecute);  // ready<-execute
-  static_assert(kFollowerTable[0][1].event == RbEvent::kStart);
-  static_assert(kRootTable[0][1][0].next_cp == Cp::kExecute);   // ready, aligned
-  static_assert(kRootTable[1][0][0].next_cp == Cp::kSuccess);   // execute
+  static_assert(kFollowerTable[0][1].next_cp() == Cp::kExecute);  // ready<-execute
+  static_assert(kFollowerTable[0][1].event() == RbEvent::kStart);
+  static_assert(kRootTable[0][1][0].next_cp() == Cp::kExecute);   // ready, aligned
+  static_assert(kRootTable[1][0][0].next_cp() == Cp::kSuccess);   // execute
   SUCCEED();
 }
 

@@ -1,7 +1,14 @@
 // Long-horizon stress campaigns mixing fault classes, exercising the
 // masking/stabilizing machinery far past the short unit-test runs.
+//
+// Every campaign records into a bounded trace window; when a test fails,
+// the window and a seed/parameter reproducer line are dumped next to the
+// test binary, so a flaky long run leaves an investigable artifact instead
+// of just an assertion message.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iostream>
 #include <thread>
 #include <vector>
 
@@ -9,18 +16,58 @@
 #include "core/mb.hpp"
 #include "core/rb.hpp"
 #include "sim/step_engine.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 
 namespace ftbar::core {
 namespace {
+
+/// Bounded trace window + reproducer dump, written only when the enclosing
+/// test has a failure by the time this object dies. The recorder keeps the
+/// most recent events per producing thread (older ones are overwritten),
+/// so even a multi-million-step campaign leaves a readable tail.
+class FailureDump {
+ public:
+  FailureDump(std::string name, std::string repro)
+      : name_(std::move(name)),
+        repro_(std::move(repro)),
+        recorder_(std::size_t{1} << 16) {}
+
+  [[nodiscard]] trace::TraceRecorder* sink() { return &recorder_; }
+
+  ~FailureDump() {
+    if (!::testing::Test::HasFailure()) return;
+    const std::string trace_path = name_ + ".fail.jsonl";
+    const std::string repro_path = name_ + ".fail.repro";
+    trace::write_trace_file(trace_path, "jsonl", recorder_.snapshot());
+    std::ofstream repro(repro_path);
+    repro << repro_ << "\n";
+    std::cerr << "[stress] " << name_ << " FAILED; last "
+              << recorder_.snapshot().size() << " trace events ("
+              << recorder_.dropped() << " older dropped) -> " << trace_path
+              << ", reproducer -> " << repro_path << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::string repro_;
+  trace::TraceRecorder recorder_;
+};
 
 /// Alternates masked segments (detectable faults only; safety must hold
 /// throughout) with undetectable strikes (monitor desyncs, system must
 /// restabilize), for many rounds.
 TEST(Stress, RbMixedFaultCampaign) {
+  FailureDump dump("stress_rb_mixed",
+                   "Stress.RbMixedFaultCampaign: rb_tree_options(15,2,4) "
+                   "engine_seed=0x57e55 fault_seed=0xfa57 interleaving "
+                   "detectable_p=0.003 rounds=12 phases_per_round=6");
   const auto opt = rb_tree_options(15, 2, 4);
   SpecMonitor monitor(15, 4);
+  monitor.set_sink(dump.sink());
   sim::StepEngine<RbProc> eng(rb_start_state(opt), make_rb_actions(opt, &monitor),
                               util::Rng(0x57e55ULL), sim::Semantics::kInterleaving);
+  eng.set_sink(dump.sink());
   util::Rng fault_rng(0xfa57ULL);
   const auto detectable = rb_detectable_fault(opt, &monitor);
   const auto undetectable = rb_undetectable_fault(opt, &monitor);
@@ -62,10 +109,16 @@ TEST(Stress, RbMixedFaultCampaign) {
 }
 
 TEST(Stress, MbLongDetectableCampaign) {
+  FailureDump dump("stress_mb_detectable",
+                   "Stress.MbLongDetectableCampaign: MbOptions{6,4,0} "
+                   "engine_seed=0xabc fault_seed=0xdef interleaving "
+                   "detectable_p=0.002 goal=60 phases");
   const MbOptions opt{6, 4, 0};
   SpecMonitor monitor(opt.num_procs, opt.num_phases);
+  monitor.set_sink(dump.sink());
   sim::StepEngine<MbProc> eng(mb_start_state(opt), make_mb_actions(opt, &monitor),
                               util::Rng(0xabcULL), sim::Semantics::kInterleaving);
+  eng.set_sink(dump.sink());
   util::Rng fault_rng(0xdefULL);
   const auto perturb = mb_detectable_fault(opt, &monitor);
   std::size_t steps = 0;
@@ -93,7 +146,12 @@ TEST(Stress, BarrierManyPhasesEveryFaultClassAtOnce) {
   opt.link_faults = runtime::LinkFaults{.drop = 0.08, .duplicate = 0.08,
                                         .corrupt = 0.05, .reorder = 0.08};
   opt.seed = 0x600dULL;
+  FailureDump dump("stress_barrier_all_faults",
+                   "Stress.BarrierManyPhasesEveryFaultClassAtOnce: threads=5 "
+                   "seed=0x600d drop=0.08 dup=0.08 corrupt=0.05 reorder=0.08 "
+                   "state_loss_p=0.04 phases=25");
   FaultTolerantBarrier bar(kThreads, opt);
+  bar.set_trace_sink(dump.sink());
   std::vector<std::vector<PhaseTicket>> logs(kThreads);
   std::vector<std::thread> threads;
   for (int tid = 0; tid < kThreads; ++tid) {
@@ -139,7 +197,11 @@ TEST(Stress, RebootOutageStallsThenRecovers) {
   // phase the reboot interrupted.
   constexpr int kThreads = 3;
   constexpr auto kOutage = std::chrono::milliseconds(150);
+  FailureDump dump("stress_reboot_outage",
+                   "Stress.RebootOutageStallsThenRecovers: threads=3 "
+                   "outage_ms=150 reboot_thread=1 at_phase=3 phases=6");
   FaultTolerantBarrier bar(kThreads);
+  bar.set_trace_sink(dump.sink());
   std::vector<std::vector<std::chrono::steady_clock::time_point>> commit_times(
       kThreads);
   std::vector<std::vector<PhaseTicket>> logs(kThreads);

@@ -1,0 +1,135 @@
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace ftbar::trace {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+std::size_t count_of(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> sample_events() {
+  std::vector<TraceEvent> events;
+  auto add = [&](TraceEvent e) {
+    e.seq = events.size();
+    events.push_back(e);
+  };
+  add(make_event(Kind::kActionFired, 1.0, 0, 7, 0, 0, "follower@0"));
+  add(make_event(Kind::kPhaseStart, 2.0, 1, 0, 1));
+  add(make_event(Kind::kMsgSend, 3.0, 0, 1, 42, 5));
+  add(make_event(Kind::kPhaseComplete, 4.0, 1, 0));
+  add(make_event(Kind::kLog, 5.0, -1, 2, 0, 0, "hello \"world\"\n"));
+  return events;
+}
+
+TEST(ExportJsonl, OneParsableObjectPerEventInOrder) {
+  const auto events = sample_events();
+  std::ostringstream os;
+  write_jsonl(os, events);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), events.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(json_int_field(lines[i], "seq"), static_cast<long long>(i));
+    EXPECT_EQ(json_string_field(lines[i], "kind"),
+              std::string(kind_name(events[i].kind)));
+    EXPECT_EQ(json_int_field(lines[i], "proc"),
+              static_cast<long long>(events[i].proc));
+    EXPECT_EQ(json_int_field(lines[i], "a"), events[i].a);
+    EXPECT_EQ(json_int_field(lines[i], "b"), events[i].b);
+    EXPECT_EQ(json_int_field(lines[i], "c"), events[i].c);
+  }
+}
+
+TEST(ExportJsonl, LabelsAreEscaped) {
+  const auto events = sample_events();
+  std::ostringstream os;
+  write_jsonl(os, events);
+  const auto lines = lines_of(os.str());
+  EXPECT_NE(lines.back().find("hello \\\"world\\\"\\n"), std::string::npos);
+}
+
+TEST(ExportChrome, PhaseSlicesBalance) {
+  std::vector<TraceEvent> events;
+  auto add = [&](TraceEvent e) {
+    e.seq = events.size();
+    events.push_back(e);
+  };
+  // Start/complete pair, a dangling start (auto-closed), and an abort that
+  // closes an open slice.
+  add(make_event(Kind::kPhaseStart, 1.0, 0, 0, 1));
+  add(make_event(Kind::kPhaseComplete, 2.0, 0, 0));
+  add(make_event(Kind::kPhaseStart, 3.0, 1, 1, 1));
+  add(make_event(Kind::kPhaseAbort, 4.0, 1));
+  add(make_event(Kind::kPhaseStart, 5.0, 2, 0, 1));  // never closed
+
+  std::ostringstream os;
+  write_chrome_trace(os, events, 1000.0);
+  const std::string out = os.str();
+  EXPECT_EQ(count_of(out, "\"ph\":\"B\""), count_of(out, "\"ph\":\"E\""))
+      << "B/E slices must balance or the viewer rejects the stream:\n"
+      << out;
+  EXPECT_EQ(count_of(out, "\"ph\":\"B\""), 3u);
+}
+
+TEST(ExportChrome, WrapsEventsInATraceEventsObject) {
+  const auto events = sample_events();
+  std::ostringstream os;
+  write_chrome_trace(os, events, 1000.0);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("]}"), std::string::npos);
+  // Action firings are complete ("X") slices; instants carry s scope.
+  EXPECT_GE(count_of(out, "\"ph\":\"X\""), 1u);
+  EXPECT_GE(count_of(out, "\"ph\":\"i\""), 1u);
+  // Balanced braces/brackets — a cheap structural validity check.
+  EXPECT_EQ(count_of(out, "{"), count_of(out, "}"));
+  EXPECT_EQ(count_of(out, "["), count_of(out, "]"));
+}
+
+TEST(ExportFile, WritesAndRejectsUnknownFormat) {
+  const auto events = sample_events();
+  const std::string path = "trace_export_test_tmp.jsonl";
+  EXPECT_TRUE(write_trace_file(path, "jsonl", events));
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string first;
+  std::getline(is, first);
+  EXPECT_EQ(json_int_field(first, "seq"), 0);
+  is.close();
+  EXPECT_FALSE(write_trace_file(path, "protobuf", events));
+  std::remove(path.c_str());
+}
+
+TEST(ExportJson, FieldExtractionHandlesMissingAndStringValues) {
+  const std::string line = "{\"kind\":\"msg_send\",\"a\":-3,\"t\":1.5}";
+  EXPECT_EQ(json_string_field(line, "kind"), std::string("msg_send"));
+  EXPECT_EQ(json_int_field(line, "a"), -3);
+  EXPECT_FALSE(json_int_field(line, "kind").has_value());
+  EXPECT_FALSE(json_string_field(line, "missing").has_value());
+  EXPECT_FALSE(json_int_field(line, "missing").has_value());
+}
+
+}  // namespace
+}  // namespace ftbar::trace

@@ -1,0 +1,175 @@
+#include "trace/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/timed_model.hpp"
+#include "trace/event.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::trace {
+namespace {
+
+TraceEvent at(std::vector<TraceEvent>& events, TraceEvent e) {
+  e.seq = events.size();
+  e.time = static_cast<double>(events.size());
+  events.push_back(e);
+  return e;
+}
+
+TEST(CheckTrace, CleanPhaseHistoryPasses) {
+  // Two processes run two phases in lockstep: start, complete, next phase.
+  std::vector<TraceEvent> events;
+  for (int ph = 0; ph < 2; ++ph) {
+    for (int p = 0; p < 2; ++p) {
+      at(events, make_event(Kind::kPhaseStart, 0, p, ph, p == 0 ? 1 : 0));
+    }
+    for (int p = 0; p < 2; ++p) {
+      at(events, make_event(Kind::kPhaseComplete, 0, p, ph));
+    }
+  }
+  const auto result = check_trace(events, 2, 2);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? ""
+                                 : result.violations.front());
+  EXPECT_TRUE(result.safety_ok);
+  EXPECT_TRUE(result.m_bound_ok);
+  EXPECT_TRUE(result.bursts.empty());
+  EXPECT_EQ(result.successful_phases, 2u);
+}
+
+TEST(CheckTrace, RecoveryBurstWithinBoundPasses) {
+  std::vector<TraceEvent> events;
+  // Two victims perturbed into the same phase: m = 1.
+  at(events, make_event(Kind::kFaultUndetectable, 0, 0, 0, 1));
+  at(events, make_event(Kind::kFaultUndetectable, 0, 1, 0, 1));
+  at(events, make_event(Kind::kSpecDesync, 0, -1));
+  // Recovery starts m + 1 = 2 distinct phases before converging.
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 1, 1, 1));
+  at(events, make_event(Kind::kPhaseStart, 0, 1, 0, 1, 1));
+  at(events, make_event(Kind::kSpecResync, 0, -1, 0));
+  const auto result = check_trace(events, 2, 2);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? ""
+                                 : result.violations.front());
+  ASSERT_EQ(result.bursts.size(), 1u);
+  EXPECT_EQ(result.bursts[0].m, 1u);
+  EXPECT_EQ(result.bursts[0].started_phases, 2u);
+  EXPECT_TRUE(result.bursts[0].within_bound);
+}
+
+TEST(CheckTrace, TamperedTraceViolatesTheMBound) {
+  // Same burst (m = 1) but a forged trace claims THREE distinct phases
+  // started during recovery — more than m + 1, which Lemma 3.4 forbids.
+  std::vector<TraceEvent> events;
+  at(events, make_event(Kind::kFaultUndetectable, 0, 0, 0, 1));
+  at(events, make_event(Kind::kSpecDesync, 0, -1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 0, 1, 1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 1, 1, 1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 2, 1, 1));
+  at(events, make_event(Kind::kSpecResync, 0, -1, 0));
+  const auto result = check_trace(events, 2, 4);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.m_bound_ok);
+  ASSERT_EQ(result.bursts.size(), 1u);
+  EXPECT_EQ(result.bursts[0].m, 1u);
+  EXPECT_EQ(result.bursts[0].started_phases, 3u);
+  EXPECT_FALSE(result.bursts[0].within_bound);
+  ASSERT_FALSE(result.violations.empty());
+}
+
+TEST(CheckTrace, BurstStillOpenAtCaptureEndIsChecked) {
+  std::vector<TraceEvent> events;
+  at(events, make_event(Kind::kFaultUndetectable, 0, 0, 0, 0));
+  at(events, make_event(Kind::kSpecDesync, 0, -1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 0, 1, 1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 1, 1, 1));
+  at(events, make_event(Kind::kPhaseStart, 0, 0, 2, 1, 1));
+  // No resync: the capture ends mid-recovery, the burst is closed as-is.
+  const auto result = check_trace(events, 2, 4);
+  ASSERT_EQ(result.bursts.size(), 1u);
+  EXPECT_EQ(result.bursts[0].started_phases, 3u);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(CheckTrace, MalformedProcessIdsAreViolations) {
+  std::vector<TraceEvent> events;
+  at(events, make_event(Kind::kPhaseStart, 0, 7, 0, 1));  // only 2 procs
+  const auto result = check_trace(events, 2, 2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.safety_ok);
+}
+
+TEST(CheckTrace, ValidatesARealFig7RecoveryTrace) {
+  // The Figure 7 experiment end to end: every process of RB on a binary
+  // tree is undetectably corrupted, the run is traced with a live
+  // SpecMonitor, and the offline checker must confirm the recovery bound.
+  constexpr int kHeight = 3;
+  constexpr int kProcs = (1 << (kHeight + 1)) - 1;
+  TraceRecorder recorder(std::size_t{1} << 18);
+  core::SpecMonitor monitor(kProcs, 2);
+  monitor.set_sink(&recorder);
+  util::Rng rng(0xf167u);
+  const double recovery =
+      core::measure_recovery(kHeight, 0.01, rng, &recorder, &monitor);
+  EXPECT_GE(recovery, 0.0);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const auto events = recorder.snapshot();
+  ASSERT_FALSE(events.empty());
+  const auto result = check_trace(events, kProcs, 2);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? ""
+                                 : result.violations.front());
+  ASSERT_GE(result.bursts.size(), 1u);
+  for (const auto& burst : result.bursts) {
+    EXPECT_TRUE(burst.within_bound)
+        << "recovery started " << burst.started_phases
+        << " phases with m = " << burst.m;
+  }
+}
+
+TEST(CheckTrace, TamperedFig7TraceIsRejected) {
+  // Take the real recovery trace and forge extra phase starts into the
+  // burst until the bound breaks — the checker must notice.
+  constexpr int kHeight = 2;
+  constexpr int kProcs = (1 << (kHeight + 1)) - 1;
+  TraceRecorder recorder(std::size_t{1} << 18);
+  core::SpecMonitor monitor(kProcs, 2);
+  monitor.set_sink(&recorder);
+  util::Rng rng(0xf167u);
+  (void)core::measure_recovery(kHeight, 0.01, rng, &recorder, &monitor);
+  auto events = recorder.snapshot();
+  ASSERT_FALSE(events.empty());
+  const auto honest = check_trace(events, kProcs, 2);
+  ASSERT_TRUE(honest.ok);
+  ASSERT_GE(honest.bursts.size(), 1u);
+
+  // Insert forged distinct-phase starts right after the first undetectable
+  // fault; phase ids beyond m+1 distinct values break the bound.
+  std::size_t fault_at = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == Kind::kFaultUndetectable) {
+      fault_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(fault_at, events.size());
+  std::vector<TraceEvent> forged(events.begin(),
+                                 events.begin() + static_cast<std::ptrdiff_t>(fault_at) + 1);
+  for (int ph = 0; ph < static_cast<int>(honest.bursts[0].m) + 2; ++ph) {
+    forged.push_back(make_event(Kind::kPhaseStart, 0.0, 0, ph, 1, 1));
+  }
+  forged.insert(forged.end(),
+                events.begin() + static_cast<std::ptrdiff_t>(fault_at) + 1,
+                events.end());
+  const auto result = check_trace(forged, kProcs, 2);
+  EXPECT_FALSE(result.m_bound_ok);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace ftbar::trace

@@ -1,0 +1,122 @@
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace ftbar::trace {
+namespace {
+
+TraceEvent tagged(std::int64_t a) {
+  return make_event(Kind::kActionFired, 0.0, 0, a);
+}
+
+TEST(TraceRecorder, RetainsEverythingBelowCapacity) {
+  TraceRecorder rec(16);
+  for (int i = 0; i < 10; ++i) rec.emit(tagged(i));
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestAndCountsDropsExactly) {
+  constexpr std::size_t kCap = 8;
+  constexpr int kEmitted = 27;
+  TraceRecorder rec(kCap);
+  for (int i = 0; i < kEmitted; ++i) rec.emit(tagged(i));
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kEmitted));
+  EXPECT_EQ(rec.dropped(), static_cast<std::uint64_t>(kEmitted) - kCap);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), kCap);
+  // The retained window is exactly the newest kCap events, in order.
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(events[i].a, static_cast<std::int64_t>(kEmitted - kCap + i));
+  }
+}
+
+TEST(TraceRecorder, SnapshotIsSequenceSortedAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  TraceRecorder rec(kPerThread + 16);  // no ring may overflow
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.emit(tagged(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.threads_seen(), static_cast<std::size_t>(kThreads));
+
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& x, const TraceEvent& y) {
+                               return x.seq < y.seq;
+                             }));
+  // Sequence numbers are globally unique.
+  std::set<std::uint64_t> seqs;
+  for (const auto& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size());
+  // Every payload arrived exactly once.
+  std::set<std::int64_t> payloads;
+  for (const auto& e : events) payloads.insert(e.a);
+  EXPECT_EQ(payloads.size(), events.size());
+}
+
+TEST(TraceRecorder, DropCountSumsOverThreads) {
+  constexpr std::size_t kCap = 32;
+  constexpr int kThreads = 3;
+  constexpr int kOver = 10;  // each thread overflows its ring by kOver
+  TraceRecorder rec(kCap);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec] {
+      for (std::size_t i = 0; i < kCap + kOver; ++i) rec.emit(tagged(0));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(rec.dropped(), static_cast<std::uint64_t>(kThreads * kOver));
+  EXPECT_EQ(rec.snapshot().size(), static_cast<std::size_t>(kThreads) * kCap);
+}
+
+TEST(TraceRecorder, ClearResetsCountersAndRetainedEvents) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 9; ++i) rec.emit(tagged(i));
+  EXPECT_GT(rec.dropped(), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+  // The producer's cached ring stays usable after clear().
+  rec.emit(tagged(42));
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].a, 42);
+}
+
+TEST(TraceRecorder, LabelIsCopiedAndTruncated) {
+  TraceRecorder rec(4);
+  const std::string longer(2 * TraceEvent::kLabelCapacity, 'x');
+  rec.emit(make_event(Kind::kLog, 0.0, -1, 0, 0, 0, longer.c_str()));
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].label),
+            std::string(TraceEvent::kLabelCapacity - 1, 'x'));
+}
+
+}  // namespace
+}  // namespace ftbar::trace

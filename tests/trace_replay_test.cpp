@@ -1,0 +1,274 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/mb.hpp"
+#include "core/rb.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/step_engine.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::trace {
+namespace {
+
+// Drives `engine` for `steps` steps under a per-step detectable-fault
+// environment, recording the schedule; a twin engine with identical seeds
+// and faults runs beside it WITHOUT any tracing, and the states must agree
+// at every step — tracing and recording never perturb an execution.
+template <class P, class PerturbFn>
+ScheduleRecording<P> record_with_faults(sim::StepEngine<P>& engine,
+                                        sim::StepEngine<P>& twin,
+                                        const PerturbFn& perturb,
+                                        double fault_prob, std::size_t steps,
+                                        util::Rng fault_rng) {
+  util::Rng twin_fault_rng = fault_rng;
+  ScheduleRecorder<P> recorder(engine);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t j = 0; j < engine.state().size(); ++j) {
+      if (fault_rng.bernoulli(fault_prob)) {
+        perturb(j, engine.mutable_state()[j], fault_rng);
+        recorder.note_fault(j);
+      }
+      if (twin_fault_rng.bernoulli(fault_prob)) {
+        perturb(j, twin.mutable_state()[j], twin_fault_rng);
+      }
+    }
+    recorder.step();
+    twin.step();
+    EXPECT_EQ(engine.state(), twin.state())
+        << "recording changed the trajectory at step " << s;
+  }
+  return recorder.take();
+}
+
+TEST(Replay, RbMaxParallelWithFaultsIsBitIdentical) {
+  const auto opt = core::rb_tree_options(255, 2);
+  const auto actions = core::make_rb_actions(opt);
+  sim::StepEngine<core::RbProc> engine(core::rb_start_state(opt), actions,
+                                       util::Rng(11), sim::Semantics::kMaxParallel);
+  sim::StepEngine<core::RbProc> twin(core::rb_start_state(opt), actions,
+                                     util::Rng(11), sim::Semantics::kMaxParallel);
+  const auto rec = record_with_faults(engine, twin, core::rb_detectable_fault(opt),
+                                      0.0005, 120, util::Rng(77));
+  ASSERT_FALSE(rec.steps.empty());
+  std::size_t faults = 0;
+  for (const auto& sr : rec.steps) faults += sr.faults.size();
+  ASSERT_GT(faults, 0u) << "test needs f > 0; raise the fault probability";
+
+  const auto report = replay_schedule(rec, actions);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.steps_replayed, rec.steps.size());
+}
+
+TEST(Replay, RbInterleavingWithFaultsIsBitIdentical) {
+  const auto opt = core::rb_ring_options(9, 2);
+  const auto actions = core::make_rb_actions(opt);
+  sim::StepEngine<core::RbProc> engine(core::rb_start_state(opt), actions,
+                                       util::Rng(5));
+  sim::StepEngine<core::RbProc> twin(core::rb_start_state(opt), actions,
+                                     util::Rng(5));
+  const auto rec = record_with_faults(engine, twin, core::rb_detectable_fault(opt),
+                                      0.01, 300, util::Rng(6));
+  const auto report = replay_schedule(rec, actions);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.steps_replayed, rec.steps.size());
+}
+
+TEST(Replay, MbWithUndetectableFaultsIsBitIdentical) {
+  core::MbOptions opt;
+  opt.num_procs = 8;
+  const auto actions = core::make_mb_actions(opt);
+  sim::StepEngine<core::MbProc> engine(core::mb_start_state(opt), actions,
+                                       util::Rng(21), sim::Semantics::kMaxParallel);
+  sim::StepEngine<core::MbProc> twin(core::mb_start_state(opt), actions,
+                                     util::Rng(21), sim::Semantics::kMaxParallel);
+  const auto rec =
+      record_with_faults(engine, twin, core::mb_undetectable_fault(opt), 0.005,
+                         200, util::Rng(22));
+  const auto report = replay_schedule(rec, actions);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.steps_replayed, rec.steps.size());
+}
+
+TEST(Replay, TamperedDigestDiverges) {
+  const auto opt = core::rb_ring_options(5, 2);
+  const auto actions = core::make_rb_actions(opt);
+  sim::StepEngine<core::RbProc> engine(core::rb_start_state(opt), actions,
+                                       util::Rng(3), sim::Semantics::kMaxParallel);
+  ScheduleRecorder<core::RbProc> recorder(engine);
+  for (int s = 0; s < 10; ++s) recorder.step();
+  auto rec = recorder.take();
+  ASSERT_GE(rec.steps.size(), 3u);
+  rec.steps[2].digest ^= 1;
+  const auto report = replay_schedule(rec, actions);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.diverged_step, 2u);
+}
+
+TEST(Replay, TextSerializationRoundTrips) {
+  const auto opt = core::rb_ring_options(6, 2);
+  const auto actions = core::make_rb_actions(opt);
+  sim::StepEngine<core::RbProc> engine(core::rb_start_state(opt), actions,
+                                       util::Rng(9), sim::Semantics::kMaxParallel);
+  sim::StepEngine<core::RbProc> twin(core::rb_start_state(opt), actions,
+                                     util::Rng(9), sim::Semantics::kMaxParallel);
+  const auto rec = record_with_faults(engine, twin, core::rb_detectable_fault(opt),
+                                      0.02, 60, util::Rng(10));
+  std::stringstream ss;
+  save_schedule(ss, rec);
+  const auto loaded = load_schedule<core::RbProc>(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->semantics, rec.semantics);
+  EXPECT_EQ(loaded->initial, rec.initial);
+  ASSERT_EQ(loaded->steps.size(), rec.steps.size());
+  for (std::size_t i = 0; i < rec.steps.size(); ++i) {
+    EXPECT_EQ(loaded->steps[i].fired, rec.steps[i].fired);
+    EXPECT_EQ(loaded->steps[i].digest, rec.steps[i].digest);
+  }
+  const auto report = replay_schedule(*loaded, actions);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(Replay, WrongRecordSizeIsRejected) {
+  // A schedule recorded for MbProc must not parse as RbProc.
+  core::MbOptions opt;
+  opt.num_procs = 4;
+  sim::StepEngine<core::MbProc> engine(core::mb_start_state(opt),
+                                       core::make_mb_actions(opt), util::Rng(1));
+  ScheduleRecorder<core::MbProc> recorder(engine);
+  recorder.step();
+  std::stringstream ss;
+  save_schedule(ss, recorder.take());
+  EXPECT_FALSE(load_schedule<core::RbProc>(ss).has_value());
+}
+
+TEST(Replay, EventEngineDispatchOrderIsDeterministic) {
+  auto run = [](TraceRecorder* rec) {
+    sim::EventEngine eng;
+    if (rec != nullptr) eng.set_sink(rec);
+    int fired = 0;
+    // Ties at t=1.0 must dispatch in schedule order (queue seq breaks ties).
+    for (int i = 0; i < 5; ++i) eng.schedule(1.0, [&fired] { ++fired; });
+    eng.schedule(0.5, [&eng, &fired] {
+      eng.schedule(0.1, [&fired] { ++fired; });
+      ++fired;
+    });
+    while (eng.step()) {
+    }
+    return fired;
+  };
+
+  TraceRecorder first(256);
+  TraceRecorder second(256);
+  EXPECT_EQ(run(&first), run(&second));
+  const auto a = first.snapshot();
+  const auto b = second.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 7u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, Kind::kEventDispatch);
+    EXPECT_EQ(a[i].a, b[i].a) << "dispatch order differs at event " << i;
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+// ---- shrinker ---------------------------------------------------------------
+
+using Plan = std::vector<PlannedFault<core::RbProc>>;
+
+Plan plan_of_procs(std::initializer_list<std::uint32_t> procs) {
+  Plan plan;
+  std::size_t step = 0;
+  for (const auto p : procs) plan.push_back({step++, p, core::RbProc{}});
+  return plan;
+}
+
+TEST(Shrink, ReducesToTheMinimalFailingSubset) {
+  // The run "fails" iff faults on BOTH proc 3 and proc 7 are present.
+  const auto fails = [](const Plan& plan) {
+    bool has3 = false;
+    bool has7 = false;
+    for (const auto& f : plan) {
+      has3 = has3 || f.proc == 3;
+      has7 = has7 || f.proc == 7;
+    }
+    return has3 && has7;
+  };
+  const auto shrunk = shrink_fault_plan<core::RbProc>(
+      plan_of_procs({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}), fails);
+  ASSERT_EQ(shrunk.size(), 2u);
+  EXPECT_TRUE(fails(shrunk)) << "shrinker must return a still-failing plan";
+  // 1-minimal: removing either remaining fault loses the failure.
+  for (std::size_t i = 0; i < shrunk.size(); ++i) {
+    Plan cand = shrunk;
+    cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(fails(cand));
+  }
+}
+
+TEST(Shrink, SingleFaultCauseReducesToOne) {
+  const auto fails = [](const Plan& plan) {
+    for (const auto& f : plan) {
+      if (f.proc == 5) return true;
+    }
+    return false;
+  };
+  const auto shrunk = shrink_fault_plan<core::RbProc>(
+      plan_of_procs({9, 8, 7, 6, 5, 4, 3, 2, 1}), fails);
+  ASSERT_EQ(shrunk.size(), 1u);
+  EXPECT_EQ(shrunk[0].proc, 5u);
+}
+
+TEST(Shrink, NonFailingPlanIsReturnedUnchanged) {
+  const auto plan = plan_of_procs({1, 2, 3});
+  const auto shrunk = shrink_fault_plan<core::RbProc>(
+      plan, [](const Plan&) { return false; });
+  EXPECT_EQ(shrunk.size(), plan.size());
+}
+
+TEST(Shrink, ShrinksARealFaultRecordingToOneFault) {
+  // Record a faulty run, extract its fault plan, then shrink it against an
+  // oracle that RE-EXECUTES the engine from scratch applying the candidate
+  // plan and reports failure when any process was detectably corrupted.
+  // The minimal reproducer of that failure is a single fault.
+  const auto opt = core::rb_ring_options(6, 2);
+  const auto actions = core::make_rb_actions(opt);
+  sim::StepEngine<core::RbProc> engine(core::rb_start_state(opt), actions,
+                                       util::Rng(13), sim::Semantics::kMaxParallel);
+  sim::StepEngine<core::RbProc> twin(core::rb_start_state(opt), actions,
+                                     util::Rng(13), sim::Semantics::kMaxParallel);
+  const auto rec = record_with_faults(engine, twin, core::rb_detectable_fault(opt),
+                                      0.03, 80, util::Rng(14));
+  const std::size_t total_steps = rec.steps.size();
+  const auto full_plan = fault_plan_of(rec);
+  ASSERT_GT(full_plan.size(), 1u) << "test needs several faults; raise the rate";
+
+  const auto fails = [&](const Plan& plan) {
+    sim::StepEngine<core::RbProc> probe(core::rb_start_state(opt), actions,
+                                        util::Rng(13),
+                                        sim::Semantics::kMaxParallel);
+    std::size_t next = 0;
+    bool corrupted = false;
+    for (std::size_t s = 0; s < total_steps; ++s) {
+      while (next < plan.size() && plan[next].step == s) {
+        probe.mutable_state()[plan[next].proc] = plan[next].value;
+        ++next;
+      }
+      for (const auto& p : probe.state()) corrupted |= p.cp == core::Cp::kError;
+      probe.step();
+    }
+    return corrupted;
+  };
+  ASSERT_TRUE(fails(full_plan));
+
+  const auto shrunk = shrink_fault_plan<core::RbProc>(full_plan, fails);
+  ASSERT_EQ(shrunk.size(), 1u);
+  EXPECT_TRUE(fails(shrunk));
+}
+
+}  // namespace
+}  // namespace ftbar::trace

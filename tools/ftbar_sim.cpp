@@ -8,6 +8,7 @@
 //   ftbar_sim timed         wave-granularity timed model (Figures 5/6)
 //   ftbar_sim des           asynchronous discrete-event model
 //   ftbar_sim recovery      Figure 7 recovery-time measurement
+//   ftbar_sim replay        re-execute a run recorded with --trace
 //
 // Common options (defaults in parentheses):
 //   --procs N (8)            processes / ring size
@@ -15,6 +16,13 @@
 //   --num-phases n (4)       phase ring modulus
 //   --seed S (1)             RNG seed
 //   --csv                    machine-readable output
+//   --trace FILE             write a trace of the run to FILE
+//   --trace-format jsonl|chrome (jsonl)
+//                            jsonl traces embed the recorded schedule and
+//                            are replayable; chrome traces load in
+//                            chrome://tracing / Perfetto (view-only)
+//   --replay FILE            (replay command) the jsonl trace to re-execute;
+//                            exits 5 if the replay diverges
 // cb/rb/mb:
 //   --semantics interleaving|maxpar (interleaving)
 //   --detectable F (0)       per-process per-step detectable fault prob
@@ -25,7 +33,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/model.hpp"
@@ -35,6 +45,10 @@
 #include "core/rb.hpp"
 #include "core/timed_model.hpp"
 #include "sim/step_engine.hpp"
+#include "trace/export.hpp"
+#include "trace/monitor.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -58,11 +72,14 @@ struct Args {
   double f = 0.0;
   int height = 5;
   int reps = 20;
+  std::string trace;                  ///< output trace path; empty = off
+  std::string trace_format = "jsonl";
+  std::string replay;                 ///< input trace path (replay command)
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s cb|rb|mb|timed|des|recovery [options]\n"
+               "usage: %s cb|rb|mb|timed|des|recovery|replay [options]\n"
                "see the header of tools/ftbar_sim.cpp for the option list\n",
                argv0);
   std::exit(2);
@@ -113,6 +130,15 @@ Args parse(int argc, char** argv) {
       args.height = std::atoi(value());
     } else if (flag == "--reps") {
       args.reps = std::atoi(value());
+    } else if (flag == "--trace") {
+      args.trace = value();
+    } else if (flag == "--trace-format") {
+      args.trace_format = value();
+      if (args.trace_format != "jsonl" && args.trace_format != "chrome") {
+        usage(argv[0]);
+      }
+    } else if (flag == "--replay") {
+      args.replay = value();
     } else {
       usage(argv[0]);
     }
@@ -128,6 +154,58 @@ void emit(const Args& args, util::Table& table) {
   }
 }
 
+/// The self-describing first line of a jsonl trace file; replay uses it to
+/// rebuild the same program and action system.
+std::string meta_line(const Args& args) {
+  return std::string("{\"meta\":1,\"program\":\"") + args.command +
+         "\",\"procs\":" + std::to_string(args.procs) +
+         ",\"num_phases\":" + std::to_string(args.num_phases) +
+         ",\"topology\":\"" + args.topology +
+         "\",\"arity\":" + std::to_string(args.arity) + ",\"semantics\":\"" +
+         (args.semantics == sim::Semantics::kMaxParallel ? "maxpar"
+                                                         : "interleaving") +
+         "\",\"seed\":" + std::to_string(args.seed) + "}";
+}
+
+/// Writes the recorded events (and, for jsonl, the embedded replayable
+/// schedule) to args.trace. Returns false on I/O failure.
+template <class P>
+bool write_trace_file(const Args& args, const trace::TraceRecorder& recorder,
+                      const trace::ScheduleRecording<P>* schedule) {
+  std::ofstream os(args.trace);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write trace file %s\n", args.trace.c_str());
+    return false;
+  }
+  const auto events = recorder.snapshot();
+  if (args.trace_format == "chrome") {
+    // Engine steps are unitless; spread them 1 ms apart on the viewer's
+    // microsecond axis so slices stay visible.
+    trace::write_chrome_trace(os, events, 1000.0);
+  } else {
+    os << meta_line(args) << "\n";
+    trace::write_jsonl(os, events);
+    if (schedule != nullptr) {
+      for (const auto& line : trace::schedule_lines(*schedule)) {
+        os << "{\"sched\":\"" << trace::json_escape(line) << "\"}\n";
+      }
+    }
+  }
+  if (recorder.dropped() > 0) {
+    std::fprintf(stderr,
+                 "warning: trace ring overflowed, %llu oldest events lost\n",
+                 static_cast<unsigned long long>(recorder.dropped()));
+  }
+  return os.good();
+}
+
+/// Events-only trace (no replayable schedule): timed/recovery commands.
+bool write_trace_file(const Args& args, const trace::TraceRecorder& recorder) {
+  return write_trace_file(
+      args, recorder,
+      static_cast<const trace::ScheduleRecording<core::RbProc>*>(nullptr));
+}
+
 /// Shared driver for the three guarded-command programs.
 template <class P>
 int run_program(const Args& args, std::vector<P> start,
@@ -137,6 +215,10 @@ int run_program(const Args& args, std::vector<P> start,
                 const std::function<bool(const P&)>& sn_intact,
                 const std::function<bool(const std::vector<P>&)>& recovered,
                 const std::function<int(const std::vector<P>&)>& phase_of) {
+  const bool tracing = !args.trace.empty();
+  trace::TraceRecorder recorder(std::size_t{1} << 20);
+  if (tracing) monitor.set_sink(&recorder);
+
   sim::StepEngine<P> eng(std::move(start), std::move(actions), util::Rng(args.seed),
                          args.semantics);
   util::Rng fault_rng(args.seed ^ 0xfa0117ULL);
@@ -146,6 +228,11 @@ int run_program(const Args& args, std::vector<P> start,
     monitor.on_undetectable_fault();
     for (std::size_t j = 0; j < eng.mutable_state().size(); ++j) {
       undetectable(j, eng.mutable_state()[j], fault_rng);
+      if (tracing) {
+        recorder.emit(trace::make_event(trace::Kind::kFaultUndetectable, 0.0,
+                                        static_cast<std::int32_t>(j), 0,
+                                        eng.state()[j].ph));
+      }
     }
     const auto steps = eng.run_until(recovered, 10'000'000);
     if (!steps) {
@@ -155,6 +242,11 @@ int run_program(const Args& args, std::vector<P> start,
     recovery_steps = *steps;
     monitor.resync(phase_of(eng.state()));
   }
+
+  // The schedule recording starts here — after any stabilization prefix —
+  // so its initial state is the state replay re-executes from.
+  std::optional<trace::ScheduleRecorder<P>> schedule;
+  if (tracing) schedule.emplace(eng, &recorder);
 
   std::size_t steps = 0;
   std::size_t faults = 0;
@@ -171,11 +263,23 @@ int run_program(const Args& args, std::vector<P> start,
         if (intact > 0) {
           detectable(j, state[j], fault_rng);
           ++faults;
+          if (tracing) {
+            schedule->note_fault(j);
+            recorder.emit(trace::make_event(
+                trace::Kind::kFaultDetectable, static_cast<double>(steps),
+                static_cast<std::int32_t>(j), state[j].ph));
+          }
         }
       }
     }
-    if (eng.step() == 0) break;
+    if ((schedule ? schedule->step() : eng.step()) == 0) break;
     ++steps;
+  }
+
+  if (tracing) {
+    monitor.set_sink(nullptr);
+    const auto& recording = schedule->recording();
+    if (!write_trace_file(args, recorder, &recording)) return 2;
   }
 
   util::Table table({"metric", "value"});
@@ -214,20 +318,25 @@ int run_cb(const Args& args) {
       [](const core::CbState& s) { return s.front().ph; });
 }
 
-int run_rb(const Args& args) {
+std::shared_ptr<const topology::Topology> make_topology(const Args& args) {
   using topology::Topology;
-  std::shared_ptr<const Topology> topo;
   if (args.topology == "ring") {
-    topo = std::make_shared<const Topology>(Topology::ring(args.procs));
-  } else if (args.topology == "tworing") {
-    topo = std::make_shared<const Topology>(Topology::two_ring(args.procs));
-  } else if (args.topology == "tree") {
-    topo = std::make_shared<const Topology>(
-        Topology::kary_tree(args.procs, args.arity));
-  } else {
-    std::fprintf(stderr, "unknown topology %s\n", args.topology.c_str());
-    return 2;
+    return std::make_shared<const Topology>(Topology::ring(args.procs));
   }
+  if (args.topology == "tworing") {
+    return std::make_shared<const Topology>(Topology::two_ring(args.procs));
+  }
+  if (args.topology == "tree") {
+    return std::make_shared<const Topology>(
+        Topology::kary_tree(args.procs, args.arity));
+  }
+  std::fprintf(stderr, "unknown topology %s\n", args.topology.c_str());
+  return nullptr;
+}
+
+int run_rb(const Args& args) {
+  const auto topo = make_topology(args);
+  if (!topo) return 2;
   const core::RbOptions opt{topo, args.num_phases, 0};
   core::SpecMonitor monitor(args.procs, args.num_phases);
   return run_program<core::RbProc>(
@@ -252,8 +361,11 @@ int run_mb(const Args& args) {
 }
 
 int run_timed(const Args& args) {
+  trace::TraceRecorder recorder(std::size_t{1} << 20);
   core::TimedRbModel model({args.height, args.c, args.f}, util::Rng(args.seed));
+  if (!args.trace.empty()) model.set_sink(&recorder);
   const auto stats = model.run_phases(args.phases_goal);
+  if (!args.trace.empty() && !write_trace_file(args, recorder)) return 2;
   const analysis::Params ap{args.height, args.c, args.f};
 
   util::Table table({"metric", "value"});
@@ -302,11 +414,23 @@ int run_des(const Args& args) {
 }
 
 int run_recovery(const Args& args) {
+  const bool tracing = !args.trace.empty();
+  trace::TraceRecorder recorder(std::size_t{1} << 20);
+  const int num_procs = (1 << (args.height + 1)) - 1;
+  core::SpecMonitor monitor(num_procs, 2);
+  if (tracing) monitor.set_sink(&recorder);
+
   util::Rng rng(args.seed);
   util::Accumulator acc;
   for (int i = 0; i < args.reps; ++i) {
-    acc.add(core::measure_recovery(args.height, args.c, rng));
+    // The first repetition of a traced run is recorded end to end; the
+    // remaining repetitions run untraced (same RNG stream either way).
+    const bool record = tracing && i == 0;
+    acc.add(core::measure_recovery(args.height, args.c, rng,
+                                   record ? &recorder : nullptr,
+                                   record ? &monitor : nullptr));
   }
+
   util::Table table({"metric", "value"});
   table.set_precision(5);
   table.add_row({std::string("height"), static_cast<long long>(args.height)});
@@ -316,8 +440,124 @@ int run_recovery(const Args& args) {
   table.add_row({std::string("max recovery"), acc.max()});
   table.add_row({std::string("analytic bound 5hc"),
                  analysis::recovery_bound({args.height, args.c, 0.0})});
+
+  bool spec_ok = true;
+  if (tracing) {
+    if (!write_trace_file(args, recorder)) return 2;
+    // Offline validation: the trace alone must witness a safe recovery
+    // within the Lemma 4.1.4 bound.
+    const auto check = trace::check_trace(recorder.snapshot(), num_procs, 2);
+    spec_ok = check.ok;
+    table.add_row({std::string("trace events"),
+                   static_cast<long long>(recorder.recorded())});
+    table.add_row({std::string("recovery bursts"),
+                   static_cast<long long>(check.bursts.size())});
+    if (!check.bursts.empty()) {
+      table.add_row({std::string("burst m"),
+                     static_cast<long long>(check.bursts.front().m)});
+      table.add_row({std::string("burst phases started"),
+                     static_cast<long long>(check.bursts.front().started_phases)});
+    }
+    table.add_row({std::string("trace spec check"),
+                   std::string(check.ok ? "ok" : "VIOLATED")});
+    for (const auto& v : check.violations) {
+      std::fprintf(stderr, "trace spec violation: %s\n", v.c_str());
+    }
+  }
   emit(args, table);
+  return spec_ok ? 0 : 1;
+}
+
+template <class P>
+int do_replay(const Args& args, int procs,
+              const std::vector<sim::Action<P>>& actions,
+              const std::vector<std::string>& sched) {
+  const auto rec = trace::parse_schedule_lines<P>(sched);
+  if (!rec) {
+    std::fprintf(stderr, "error: malformed schedule in %s\n", args.replay.c_str());
+    return 2;
+  }
+  if (rec->initial.size() != static_cast<std::size_t>(procs)) {
+    std::fprintf(stderr, "error: schedule process count %zu != meta procs %d\n",
+                 rec->initial.size(), procs);
+    return 2;
+  }
+  const auto report = trace::replay_schedule(*rec, actions);
+  util::Table table({"metric", "value"});
+  table.add_row({std::string("steps replayed"),
+                 static_cast<long long>(report.steps_replayed)});
+  table.add_row({std::string("replay"),
+                 std::string(report.ok ? "ok" : "DIVERGED")});
+  emit(args, table);
+  if (!report.ok) {
+    std::fprintf(stderr, "replay diverged at step %zu: %s\n",
+                 report.diverged_step, report.message.c_str());
+    return 5;
+  }
   return 0;
+}
+
+int run_replay(const Args& args) {
+  if (args.replay.empty()) {
+    std::fprintf(stderr, "error: replay requires --replay FILE\n");
+    return 2;
+  }
+  std::ifstream is(args.replay);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot open %s\n", args.replay.c_str());
+    return 2;
+  }
+  Args meta = args;
+  std::vector<std::string> sched;
+  bool saw_meta = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!saw_meta && line.find("\"meta\":1") != std::string::npos) {
+      const auto program = trace::json_string_field(line, "program");
+      const auto procs = trace::json_int_field(line, "procs");
+      const auto num_phases = trace::json_int_field(line, "num_phases");
+      if (!program || !procs || !num_phases) continue;
+      meta.command = *program;
+      meta.procs = static_cast<int>(*procs);
+      meta.num_phases = static_cast<int>(*num_phases);
+      if (const auto topo = trace::json_string_field(line, "topology")) {
+        meta.topology = *topo;
+      }
+      if (const auto arity = trace::json_int_field(line, "arity")) {
+        meta.arity = static_cast<int>(*arity);
+      }
+      saw_meta = true;
+    } else if (const auto s = trace::json_string_field(line, "sched")) {
+      // Schedule lines contain no JSON-escaped characters by construction.
+      sched.push_back(*s);
+    }
+  }
+  if (!saw_meta || sched.empty()) {
+    std::fprintf(stderr,
+                 "error: %s has no replayable schedule (jsonl traces of "
+                 "cb/rb/mb runs embed one; chrome traces do not)\n",
+                 args.replay.c_str());
+    return 2;
+  }
+  if (meta.command == "cb") {
+    const core::CbOptions opt{meta.procs, meta.num_phases};
+    return do_replay<core::CbProc>(args, meta.procs,
+                                   core::make_cb_actions(opt, nullptr), sched);
+  }
+  if (meta.command == "rb") {
+    const auto topo = make_topology(meta);
+    if (!topo) return 2;
+    const core::RbOptions opt{topo, meta.num_phases, 0};
+    return do_replay<core::RbProc>(args, meta.procs,
+                                   core::make_rb_actions(opt, nullptr), sched);
+  }
+  if (meta.command == "mb") {
+    const core::MbOptions opt{meta.procs, meta.num_phases, 0};
+    return do_replay<core::MbProc>(args, meta.procs,
+                                   core::make_mb_actions(opt, nullptr), sched);
+  }
+  std::fprintf(stderr, "error: cannot replay program '%s'\n", meta.command.c_str());
+  return 2;
 }
 
 }  // namespace
@@ -330,5 +570,6 @@ int main(int argc, char** argv) {
   if (args.command == "timed") return run_timed(args);
   if (args.command == "des") return run_des(args);
   if (args.command == "recovery") return run_recovery(args);
+  if (args.command == "replay") return run_replay(args);
   usage(argv[0]);
 }

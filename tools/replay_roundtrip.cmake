@@ -1,0 +1,34 @@
+# Record → replay round-trip driver for the cli_replay_* tests.
+#
+# Usage (via add_test):
+#   cmake -DSIM=<ftbar_sim> -DTRACE=<file> "-DARGS=rb;--procs;15;..."
+#         [-DTAMPER=1] -P replay_roundtrip.cmake
+#
+# Records a run with --trace, then replays it and requires exit 0 — the
+# recorded schedule is bit-identically reproducible. With TAMPER=1 every
+# per-step state digest in the file is overwritten first and the replay
+# must FAIL, proving divergence detection is live end to end.
+
+execute_process(COMMAND ${SIM} ${ARGS} --trace ${TRACE}
+                RESULT_VARIABLE record_rc OUTPUT_QUIET)
+if(NOT record_rc EQUAL 0)
+  message(FATAL_ERROR "record run exited ${record_rc}")
+endif()
+
+if(TAMPER)
+  file(READ ${TRACE} content)
+  string(REGEX REPLACE "\"sched\":\"d [0-9]+\"" "\"sched\":\"d 1\"" content "${content}")
+  file(WRITE ${TRACE} "${content}")
+endif()
+
+execute_process(COMMAND ${SIM} replay --replay ${TRACE}
+                RESULT_VARIABLE replay_rc OUTPUT_QUIET ERROR_QUIET)
+if(TAMPER)
+  if(replay_rc EQUAL 0)
+    message(FATAL_ERROR "replay of a tampered trace unexpectedly succeeded")
+  endif()
+else()
+  if(NOT replay_rc EQUAL 0)
+    message(FATAL_ERROR "replay diverged or failed: exit ${replay_rc}")
+  endif()
+endif()
