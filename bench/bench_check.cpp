@@ -1,0 +1,145 @@
+// Throughput of the check/ subsystem vs the seed sim::Explorer on the
+// acceptance workload: exhausting the undetectable-fault neighbourhood of
+// RB on the ring at N = 4 (`ftbar_check --program rb --n 4`).
+//
+// `bench-check-json` records this as BENCH_check.json. Every Checker entry
+// carries two counters:
+//   states           — reachable states interned per run
+//   speedup_vs_seed  — this entry's states/sec divided by the seed
+//                      Explorer's states/sec (digest hash, measured once at
+//                      startup on the same workload); the acceptance
+//                      criterion reads Checker/interleaving/threads:8.
+//
+// Thread-count entries above the machine's core count measure oversubscription,
+// not scaling: on a single-core container threads:8 ≈ threads:1, and the
+// criterion's 3× is only observable on a machine with ≥ 8 hardware threads.
+// The JSON's num_cpus field says which case a given record is.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/programs.hpp"
+#include "core/rb.hpp"
+#include "sim/model_check.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using ftbar::core::RbProc;
+using ftbar::core::RbState;
+
+// The digest the checker shards on — byte-serial FNV over the whole state.
+struct DigestHash {
+  std::size_t operator()(const RbState& s) const {
+    return static_cast<std::size_t>(ftbar::trace::state_digest(s));
+  }
+};
+
+// The per-field mix the repo's tests historically handed the seed Explorer
+// (tests/core_rb_test.cpp) — benchmarked so the seed baseline is the seed
+// as actually used, not a strawman.
+struct FieldHash {
+  std::size_t operator()(const RbState& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& p : s) {
+      h ^= (static_cast<std::size_t>(p.sn + 3) * 131u) ^
+           (static_cast<std::size_t>(p.cp) * 31u) ^ static_cast<std::size_t>(p.ph);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+const ftbar::check::ProgramBundle<RbProc>& workload() {
+  static const auto bundle = ftbar::check::make_rb_bundle(4);
+  return bundle;
+}
+
+bool always_true(const std::vector<RbProc>&) { return true; }
+
+// Seed states/sec on the same workload, measured once: the denominator of
+// every speedup_vs_seed counter.
+double seed_states_per_sec() {
+  static const double rate = [] {
+    const auto& b = workload();
+    ftbar::sim::Explorer<RbProc, DigestHash> warm(b.actions, DigestHash{});
+    warm.explore(b.perturbed_roots, always_true);
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 25;
+    std::size_t states = 0;
+    for (int i = 0; i < kReps; ++i) {
+      ftbar::sim::Explorer<RbProc, DigestHash> seed(b.actions, DigestHash{});
+      states += seed.explore(b.perturbed_roots, always_true).states_visited;
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return static_cast<double>(states) / dt.count();
+  }();
+  return rate;
+}
+
+template <class Hash>
+void BM_SeedExplorer(benchmark::State& state) {
+  const auto& b = workload();
+  std::size_t states = 0;
+  for (auto _ : state) {
+    ftbar::sim::Explorer<RbProc, Hash> seed(b.actions, Hash{});
+    const auto res = seed.explore(b.perturbed_roots, always_true);
+    states = res.states_visited;
+    benchmark::DoNotOptimize(res.states_visited);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["states"] = static_cast<double>(states);
+}
+
+void BM_Checker(benchmark::State& state, ftbar::sim::Semantics semantics) {
+  const auto& b = workload();
+  ftbar::check::CheckOptions opt;
+  opt.semantics = semantics;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    ftbar::check::Checker<RbProc> checker(b.actions, b.procs, opt);
+    const auto res = checker.run(b.perturbed_roots, always_true);
+    states = res.states_visited;
+    benchmark::DoNotOptimize(res.states_visited);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["states"] = static_cast<double>(states);
+  // kIsRate divides by elapsed time, so the reported value is
+  // (states/sec of this entry) / (states/sec of the seed Explorer).
+  state.counters["speedup_vs_seed"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()) /
+          seed_states_per_sec(),
+      benchmark::Counter::kIsRate);
+}
+
+// UseRealTime throughout: the checker runs its own worker pool, so CPU-time
+// of the calling thread (the default clock) would misreport its rate.
+BENCHMARK_TEMPLATE(BM_SeedExplorer, FieldHash)
+    ->Name("SeedExplorer/rb_n4/field_hash")
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_SeedExplorer, DigestHash)
+    ->Name("SeedExplorer/rb_n4/digest_hash")
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Checker, interleaving, ftbar::sim::Semantics::kInterleaving)
+    ->Name("Checker/rb_n4/interleaving")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Checker, maxpar, ftbar::sim::Semantics::kMaxParallel)
+    ->Name("Checker/rb_n4/maxpar")
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

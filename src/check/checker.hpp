@@ -1,0 +1,377 @@
+// Parallel explicit-state bounded model checker for guarded-command
+// programs — the promotion of sim::Explorer into a subsystem.
+//
+// Differences from the seed Explorer it supersedes as the verification
+// workhorse (the seed stays on as a differential oracle in the tests):
+//
+//  * states are interned compactly in a sharded concurrent StateStore
+//    keyed by FNV state digests — no per-state std::vector<P> copies, no
+//    per-state heap allocation;
+//  * exploration is a level-synchronized parallel BFS: worker threads
+//    claim frontier batches from an atomic cursor, intern successors
+//    concurrently, and join at a level barrier (which is also the
+//    synchronization point making store metadata safely readable);
+//  * both execution semantics are checked, via check/semantics.hpp —
+//    interleaving AND maximal-parallel — closing the gap between what the
+//    simulator runs and what the checker verifies;
+//  * every interned state carries parent/fired back-pointers, so an
+//    invariant violation yields a full Counterexample path from a root
+//    (minimal-length, by BFS level order) ready for schedule replay.
+//
+// Determinism: on a clean exhaustive run the visited-state set — and hence
+// states_visited and sorted_digests() — is independent of thread count and
+// scheduling (the reachable set is unique). When a violation is found with
+// threads > 1, WHICH violation is reported may vary run to run; use
+// threads = 1 where a deterministic counterexample matters (the CLI and
+// tests do). The transition graph handed to the convergence queries is
+// complete only for clean exhaustive runs; the queries abort on truncated
+// results rather than answer from a partial graph.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "check/counterexample.hpp"
+#include "check/semantics.hpp"
+#include "check/state_store.hpp"
+#include "sim/action.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::check {
+
+struct CheckOptions {
+  sim::Semantics semantics = sim::Semantics::kInterleaving;
+  std::size_t max_states = 2'000'000;
+  std::size_t threads = 1;
+  /// Record the transition graph for legit_reachable_from_all() /
+  /// converges_outside(). Off by default: violation hunting and state-count
+  /// oracles don't need edges, and the edge list dwarfs the state store.
+  bool record_edges = false;
+};
+
+template <class P>
+struct CheckResult {
+  std::size_t states_visited = 0;
+  std::size_t levels = 0;  ///< BFS depth reached (diameter on clean runs)
+  bool truncated = false;
+  std::optional<Counterexample<P>> violation;
+
+  [[nodiscard]] bool ok() const noexcept { return !violation && !truncated; }
+};
+
+template <class P>
+class Checker {
+ public:
+  using Id = typename StateStore<P>::Id;
+  using State = std::vector<P>;
+  using Invariant = std::function<bool(const State&)>;
+
+  Checker(std::vector<sim::Action<P>> actions, std::size_t procs,
+          CheckOptions options = {})
+      : actions_(std::move(actions)), procs_(procs), options_(options) {}
+
+  /// Explores everything reachable from `roots` under the configured
+  /// semantics, stopping at the first state violating `invariant` (pass an
+  /// always-true predicate to just collect the reachable set).
+  CheckResult<P> run(const std::vector<State>& roots, const Invariant& invariant) {
+    store_.emplace(procs_, options_.max_states, options_.threads > 1);
+    edges_.clear();
+    stop_.store(false, std::memory_order_relaxed);
+    truncated_.store(false, std::memory_order_relaxed);
+    violation_id_ = StateStore<P>::kNoId;
+
+    CheckResult<P> result;
+    std::vector<Id> frontier;
+    for (const auto& root : roots) {
+      if (root.size() != procs_) std::abort();  // bundle/options mismatch
+      const auto digest = store_->digest(root.data());
+      const auto res = store_->intern(root.data(), digest, StateStore<P>::kNoId, {});
+      if (!res.inserted) continue;
+      if (!invariant(root)) {
+        Counterexample<P> cx;
+        cx.path.push_back(root);
+        cx.semantics = options_.semantics;
+        cx.violated_by = "<initial>";
+        result.violation = std::move(cx);
+        result.states_visited = store_->size();
+        return result;
+      }
+      frontier.push_back(res.id);
+    }
+
+    const std::size_t nthreads = options_.threads == 0 ? 1 : options_.threads;
+    std::vector<Worker> workers(nthreads);
+    if (nthreads == 1) {
+      while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
+        ++result.levels;
+        cursor_.store(0, std::memory_order_relaxed);
+        workers[0].next.clear();
+        workers[0].edges.clear();
+        expand_level(frontier, invariant, workers[0]);
+        merge_level(frontier, workers);
+      }
+    } else {
+      // Persistent worker pool, one spawn per run(): each BFS level is a
+      // barrier round (spawning per level would cost more than the level
+      // itself on small instances). The main thread owns the workers'
+      // buffers and the frontier while they are parked at `sync`.
+      std::barrier sync(static_cast<std::ptrdiff_t>(nthreads) + 1);
+      std::atomic<bool> done{false};
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads);
+      for (auto& w : workers) {
+        pool.emplace_back([&] {
+          for (;;) {
+            sync.arrive_and_wait();  // level start
+            if (done.load(std::memory_order_acquire)) return;
+            expand_level(frontier, invariant, w);
+            sync.arrive_and_wait();  // level end: interns now visible
+          }
+        });
+      }
+      while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
+        ++result.levels;
+        cursor_.store(0, std::memory_order_relaxed);
+        for (auto& w : workers) {
+          w.next.clear();
+          w.edges.clear();
+        }
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+        merge_level(frontier, workers);
+      }
+      done.store(true, std::memory_order_release);
+      sync.arrive_and_wait();
+      for (auto& t : pool) t.join();
+    }
+
+    result.states_visited = store_->size();
+    result.truncated = truncated_.load(std::memory_order_relaxed);
+    if (violation_id_ != StateStore<P>::kNoId) {
+      result.violation = path_to(violation_id_);
+    }
+    return result;
+  }
+
+  /// The state store of the last run() (valid until the next run()).
+  [[nodiscard]] const StateStore<P>& store() const { return *store_; }
+
+  /// Sorted digests of the visited set — the cross-run/cross-implementation
+  /// fingerprint the differential tests compare.
+  [[nodiscard]] std::vector<std::uint64_t> sorted_digests() const {
+    return store_->sorted_digests();
+  }
+
+  /// True iff from every visited state some state satisfying `legit` is
+  /// reachable (possibility of convergence). Requires record_edges and a
+  /// clean exhaustive last run.
+  [[nodiscard]] bool legit_reachable_from_all(const Invariant& legit) const {
+    require_complete_graph();
+    const auto ids = store_->all_ids();
+    const auto dense = dense_index(ids);
+    const std::size_t n = ids.size();
+    std::vector<std::vector<std::size_t>> rev(n);
+    for (const auto& [from, to] : edges_) {
+      rev[dense.at(to)].push_back(dense.at(from));
+    }
+    std::vector<char> ok(n, 0);
+    std::deque<std::size_t> frontier;
+    State scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (legit(materialize(ids[i], scratch))) {
+        ok[i] = 1;
+        frontier.push_back(i);
+      }
+    }
+    while (!frontier.empty()) {
+      const auto v = frontier.front();
+      frontier.pop_front();
+      for (const auto u : rev[v]) {
+        if (!ok[u]) {
+          ok[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ok[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the transition graph restricted to non-legit states is
+  /// acyclic and no non-legit state is terminal — convergence under ANY
+  /// (even unfair) scheduling. Requires record_edges and a clean exhaustive
+  /// last run. Mirrors sim::Explorer::converges_outside so the two stay
+  /// cross-checkable.
+  [[nodiscard]] bool converges_outside(const Invariant& legit) const {
+    require_complete_graph();
+    const auto ids = store_->all_ids();
+    const auto dense = dense_index(ids);
+    const std::size_t n = ids.size();
+    std::vector<std::vector<std::size_t>> out(n);
+    for (const auto& [from, to] : edges_) {
+      out[dense.at(from)].push_back(dense.at(to));
+    }
+    std::vector<char> is_legit(n, 0);
+    State scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      is_legit[i] = legit(materialize(ids[i], scratch)) ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_legit[i] && out[i].empty()) return false;  // non-legit deadlock
+    }
+    std::vector<char> color(n, 0);  // 0 white, 1 gray, 2 black
+    for (std::size_t s = 0; s < n; ++s) {
+      if (is_legit[s] || color[s] != 0) continue;
+      std::vector<std::pair<std::size_t, std::size_t>> stack{{s, 0}};
+      color[s] = 1;
+      while (!stack.empty()) {
+        const auto v = stack.back().first;
+        if (stack.back().second < out[v].size()) {
+          const auto w = out[v][stack.back().second++];
+          if (is_legit[w]) continue;        // edges into legit states are fine
+          if (color[w] == 1) return false;  // back edge: cycle outside legit
+          if (color[w] == 0) {
+            color[w] = 1;
+            stack.emplace_back(w, 0);
+          }
+          continue;
+        }
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Worker {
+    std::vector<Id> next;
+    std::vector<std::pair<Id, Id>> edges;
+  };
+
+  /// Merges the per-worker successor/edge buffers, in worker order, into the
+  /// next frontier. Runs after the level barrier, so every intern of the
+  /// finished level is visible.
+  void merge_level(std::vector<Id>& frontier, std::vector<Worker>& workers) {
+    frontier.clear();
+    for (auto& w : workers) {
+      frontier.insert(frontier.end(), w.next.begin(), w.next.end());
+      if (options_.record_edges) {
+        edges_.insert(edges_.end(), w.edges.begin(), w.edges.end());
+      }
+    }
+  }
+
+  void expand_level(const std::vector<Id>& frontier, const Invariant& invariant,
+                    Worker& w) {
+    SuccessorGen<P> gen(actions_, procs_);
+    State current;
+    constexpr std::size_t kBatch = 16;
+    for (;;) {
+      const std::size_t begin = cursor_.fetch_add(kBatch, std::memory_order_relaxed);
+      if (begin >= frontier.size()) return;
+      const std::size_t end = std::min(begin + kBatch, frontier.size());
+      for (std::size_t fi = begin; fi < end; ++fi) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        const Id id = frontier[fi];
+        const auto span = store_->state(id);
+        current.assign(span.begin(), span.end());
+        gen.for_each_successor(current, options_.semantics, [&](const State& next,
+                                                                std::span<const std::uint32_t>
+                                                                    fired) {
+          if (stop_.load(std::memory_order_relaxed)) return;
+          if (store_->size() >= options_.max_states) {
+            truncated_.store(true, std::memory_order_relaxed);
+            stop_.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const auto digest = store_->digest(next.data());
+          const auto res = store_->intern(next.data(), digest, id, fired);
+          if (options_.record_edges) w.edges.emplace_back(id, res.id);
+          if (!res.inserted) return;
+          if (!invariant(next)) {
+            std::scoped_lock lock(violation_mu_);
+            if (violation_id_ == StateStore<P>::kNoId) violation_id_ = res.id;
+            stop_.store(true, std::memory_order_relaxed);
+            return;
+          }
+          w.next.push_back(res.id);
+        });
+      }
+    }
+  }
+
+  /// Walks parent pointers from `vid` back to a root and materializes the
+  /// Counterexample. Runs after all workers joined, so metadata is stable.
+  [[nodiscard]] Counterexample<P> path_to(Id vid) const {
+    std::vector<Id> ids;
+    for (Id id = vid; id != StateStore<P>::kNoId; id = store_->parent(id)) {
+      ids.push_back(id);
+    }
+    std::reverse(ids.begin(), ids.end());
+    Counterexample<P> cx;
+    cx.semantics = options_.semantics;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto span = store_->state(ids[i]);
+      cx.path.emplace_back(span.begin(), span.end());
+      if (i > 0) {
+        const auto fired = store_->fired(ids[i]);
+        cx.fired.emplace_back(fired.begin(), fired.end());
+      }
+    }
+    cx.violated_by =
+        cx.fired.empty() ? "<initial>" : actions_[cx.fired.back().back()].name;
+    return cx;
+  }
+
+  void require_complete_graph() const {
+    // Answering a convergence query from a partial graph would be a silent
+    // soundness hole; insist the caller recorded edges on a clean run.
+    if (!options_.record_edges || !store_ ||
+        truncated_.load(std::memory_order_relaxed) ||
+        violation_id_ != StateStore<P>::kNoId) {
+      std::abort();
+    }
+  }
+
+  [[nodiscard]] std::unordered_map<Id, std::size_t> dense_index(
+      const std::vector<Id>& ids) const {
+    std::unordered_map<Id, std::size_t> dense;
+    dense.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) dense.emplace(ids[i], i);
+    return dense;
+  }
+
+  [[nodiscard]] const State& materialize(Id id, State& scratch) const {
+    const auto span = store_->state(id);
+    scratch.assign(span.begin(), span.end());
+    return scratch;
+  }
+
+  std::vector<sim::Action<P>> actions_;
+  std::size_t procs_;
+  CheckOptions options_;
+  std::optional<StateStore<P>> store_;
+  std::vector<std::pair<Id, Id>> edges_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> truncated_{false};
+  std::mutex violation_mu_;
+  Id violation_id_ = StateStore<P>::kNoId;
+};
+
+}  // namespace ftbar::check

@@ -1,0 +1,152 @@
+// Counterexample paths and their bridge into the record/replay machinery.
+//
+// A checker-found invariant violation is only as useful as its reproducer.
+// This header turns a path of (state, fired-actions) pairs into a
+// trace::ScheduleRecording — the exact artifact `ftbar_sim replay` consumes
+// — so a model-checking counterexample re-executes in the live engine with
+// tracing on, digest-pinned at every step. It also shrinks counterexamples
+// ddmin-style (the shrink_fault_plan approach applied to schedule steps):
+// BFS counterexamples are already shortest, but swarm-mode violations come
+// from random walks hundreds of steps long, most of them irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/semantics.hpp"
+#include "sim/action.hpp"
+#include "sim/step_engine.hpp"
+#include "trace/replay.hpp"
+
+namespace ftbar::check {
+
+/// A violating execution: path[0] is a root, path.back() violates the
+/// invariant, and fired[i] (action indices, engine order) transitions
+/// path[i] into path[i+1]. fired.size() == path.size() - 1; a path of one
+/// state means a root itself violated.
+template <class P>
+struct Counterexample {
+  std::vector<std::vector<P>> path;
+  std::vector<std::vector<std::uint32_t>> fired;
+  sim::Semantics semantics = sim::Semantics::kInterleaving;
+  std::string violated_by;  ///< name of the last action fired ("<initial>" for roots)
+
+  [[nodiscard]] std::size_t length() const noexcept { return fired.size(); }
+};
+
+/// Executes one schedule step (the recorded semantics) in place. Returns
+/// false — leaving `state` partially advanced — if a fired action's guard
+/// does not hold, which replay would report as divergence.
+template <class P>
+[[nodiscard]] bool apply_fired(std::vector<P>& state,
+                               const std::vector<std::uint32_t>& fired,
+                               const std::vector<sim::Action<P>>& actions,
+                               sim::Semantics semantics) {
+  if (semantics == sim::Semantics::kMaxParallel) {
+    std::vector<P> next = state;
+    for (const std::uint32_t ai : fired) {
+      const auto& act = actions[ai];
+      if (!act.enabled(state)) return false;
+      const auto p = static_cast<std::size_t>(act.process);
+      P saved = state[p];
+      act.apply(state);
+      next[p] = state[p];
+      state[p] = saved;
+    }
+    state.swap(next);
+  } else {
+    for (const std::uint32_t ai : fired) {
+      const auto& act = actions[ai];
+      if (!act.enabled(state)) return false;
+      act.apply(state);
+    }
+  }
+  return true;
+}
+
+/// The counterexample as a replayable schedule: no faults, the recorded
+/// fired lists, and the post-step digest of every path state — byte-for-byte
+/// what ScheduleRecorder would have produced had the live engine happened to
+/// make these choices. Round-trips through schedule_lines / the jsonl trace
+/// embedding and replays with trace::replay_schedule or `ftbar_sim replay`.
+template <class P>
+[[nodiscard]] trace::ScheduleRecording<P> counterexample_schedule(
+    const Counterexample<P>& cx) {
+  trace::ScheduleRecording<P> rec;
+  rec.semantics = cx.semantics;
+  rec.initial = cx.path.front();
+  for (std::size_t i = 0; i < cx.fired.size(); ++i) {
+    rec.steps.push_back({{}, cx.fired[i], trace::state_digest(cx.path[i + 1])});
+  }
+  return rec;
+}
+
+/// ddmin-style minimization of a counterexample's step list (the
+/// shrink_fault_plan algorithm over schedule steps): removes chunks, then
+/// single steps, while the remaining steps still execute (every guard holds)
+/// AND the final state still violates the invariant. Returns a 1-minimal
+/// counterexample with its path states recomputed. The input must violate.
+template <class P>
+[[nodiscard]] Counterexample<P> shrink_counterexample(
+    const Counterexample<P>& cx, const std::vector<sim::Action<P>>& actions,
+    const std::function<bool(const std::vector<P>&)>& invariant) {
+  auto still_fails = [&](const std::vector<std::vector<std::uint32_t>>& steps) {
+    std::vector<P> state = cx.path.front();
+    for (const auto& fired : steps) {
+      if (!apply_fired(state, fired, actions, cx.semantics)) return false;
+    }
+    return !invariant(state);
+  };
+  std::vector<std::vector<std::uint32_t>> steps = cx.fired;
+  if (steps.empty() || !still_fails(steps)) return cx;
+
+  auto without_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::vector<std::uint32_t>> candidate;
+    candidate.reserve(steps.size() - (end - begin));
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (i < begin || i >= end) candidate.push_back(steps[i]);
+    }
+    return candidate;
+  };
+
+  std::size_t chunk = std::max<std::size_t>(1, steps.size() / 2);
+  while (!steps.empty()) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < steps.size()) {
+      const std::size_t end = std::min(begin + chunk, steps.size());
+      auto candidate = without_range(begin, end);
+      if (still_fails(candidate)) {
+        steps = std::move(candidate);
+        removed_any = true;  // same begin now addresses the next chunk
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk = (chunk + 1) / 2;
+    } else if (!removed_any) {
+      break;  // single-step fixpoint: 1-minimal
+    }
+  }
+
+  Counterexample<P> out;
+  out.semantics = cx.semantics;
+  out.violated_by = cx.violated_by;
+  out.fired = std::move(steps);
+  out.path.push_back(cx.path.front());
+  std::vector<P> state = cx.path.front();
+  for (const auto& fired : out.fired) {
+    const bool ok = apply_fired(state, fired, actions, cx.semantics);
+    (void)ok;  // still_fails vetted every surviving step
+    out.path.push_back(state);
+  }
+  if (!out.fired.empty()) {
+    out.violated_by = actions[out.fired.back().back()].name;
+  }
+  return out;
+}
+
+}  // namespace ftbar::check

@@ -1,0 +1,177 @@
+#include "check/programs.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "topology/topology.hpp"
+
+namespace ftbar::check {
+
+namespace {
+
+using core::Cp;
+
+/// Sequence-number domain of RB/MB: the valid values plus BOT and TOP.
+std::vector<int> sn_domain(int modulus) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(modulus) + 2);
+  for (int v = 0; v < modulus; ++v) out.push_back(v);
+  out.push_back(core::kSnBot);
+  out.push_back(core::kSnTop);
+  return out;
+}
+
+/// Control-position domain: the root excludes kRepeat (it is the decision
+/// process; repeat is not in its domain), matching the fault actions.
+std::vector<Cp> cp_domain(bool is_root, bool include_repeat_at_all = true) {
+  std::vector<Cp> out{Cp::kReady, Cp::kExecute, Cp::kSuccess, Cp::kError};
+  if (!is_root && include_repeat_at_all) out.push_back(Cp::kRepeat);
+  return out;
+}
+
+template <class P, class Corrupt>
+void add_single_proc_corruptions(std::vector<std::vector<P>>& roots,
+                                 const std::vector<P>& start, Corrupt&& corrupt) {
+  for (std::size_t j = 0; j < start.size(); ++j) {
+    corrupt(j, [&](const P& record) {
+      roots.push_back(start);
+      roots.back()[j] = record;
+    });
+  }
+}
+
+ProgramBundle<core::RbProc> make_rb_like_bundle(
+    std::shared_ptr<const topology::Topology> topo, int num_phases,
+    std::string meta_topology) {
+  const core::RbOptions opt{std::move(topo), num_phases, 0};
+  const int k = opt.k();
+  ProgramBundle<core::RbProc> b;
+  b.actions = core::make_rb_actions(opt);
+  b.procs = static_cast<std::size_t>(opt.topo->size());
+  b.num_phases = num_phases;
+  b.meta_program = "rb";
+  b.meta_topology = std::move(meta_topology);
+  b.start_roots = {core::rb_start_state(opt)};
+  b.perturbed_roots = b.start_roots;
+  // Whole-record single-process corruption: the undetectable fault's full
+  // domain (rb_undetectable_fault without the randomness).
+  add_single_proc_corruptions(
+      b.perturbed_roots, b.start_roots.front(), [&](std::size_t j, auto&& emit) {
+        for (const int sn : sn_domain(k)) {
+          for (const Cp cp : cp_domain(j == 0)) {
+            for (int ph = 0; ph < num_phases; ++ph) {
+              emit(core::RbProc{sn, cp, ph});
+            }
+          }
+        }
+      });
+  b.safe = [](const core::RbState& s) { return !core::rb_any_corrupt_sn(s); };
+  b.legit = [](const core::RbState& s) { return core::rb_is_start_state(s); };
+  return b;
+}
+
+}  // namespace
+
+ProgramBundle<core::CbProc> make_cb_bundle(int num_procs, int num_phases) {
+  const core::CbOptions opt{num_procs, num_phases};
+  ProgramBundle<core::CbProc> b;
+  b.actions = core::make_cb_actions(opt);
+  b.procs = static_cast<std::size_t>(num_procs);
+  b.num_phases = num_phases;
+  b.meta_program = "cb";
+  b.start_roots = {core::cb_start_state(opt)};
+  b.perturbed_roots = b.start_roots;
+  add_single_proc_corruptions(
+      b.perturbed_roots, b.start_roots.front(), [&](std::size_t, auto&& emit) {
+        for (const Cp cp : cp_domain(/*is_root=*/true)) {  // CB has no kRepeat
+          for (int ph = 0; ph < num_phases; ++ph) {
+            emit(core::CbProc{cp, ph});
+          }
+        }
+      });
+  b.safe = [num_phases](const core::CbState& s) {
+    return core::cb_legitimate(s, num_phases);
+  };
+  b.legit = b.safe;
+  return b;
+}
+
+ProgramBundle<core::RbProc> make_rb_bundle(int num_procs, int num_phases) {
+  auto topo = std::make_shared<const topology::Topology>(
+      topology::Topology::ring(num_procs));
+  const int k = num_procs + 1;
+  auto b = make_rb_like_bundle(std::move(topo), num_phases, "ring");
+  // On the ring the fault-free runs additionally keep exactly one token.
+  b.safe = [k](const core::RbState& s) {
+    return !core::rb_any_corrupt_sn(s) && core::rb_ring_token_count(s, k) == 1;
+  };
+  return b;
+}
+
+ProgramBundle<core::RbProc> make_rbp_bundle(int num_procs, int num_phases) {
+  auto topo = std::make_shared<const topology::Topology>(
+      topology::Topology::two_ring(num_procs));
+  return make_rb_like_bundle(std::move(topo), num_phases, "tworing");
+}
+
+ProgramBundle<core::MbProc> make_mb_bundle(int num_procs, int num_phases,
+                                           int seq_modulus) {
+  const core::MbOptions opt{num_procs, num_phases, seq_modulus};
+  const int l = opt.l();
+  ProgramBundle<core::MbProc> b;
+  b.actions = core::make_mb_actions(opt);
+  b.procs = static_cast<std::size_t>(num_procs);
+  b.num_phases = num_phases;
+  b.meta_program = "mb";
+  b.replayable_by_sim = seq_modulus == 0;  // replay rebuilds with default L
+  b.start_roots = {core::mb_start_state(opt)};
+  b.perturbed_roots = b.start_roots;
+  // Single-VARIABLE corruption (see programs.hpp for why not whole-record):
+  // each of the seven fields of one process swept over its domain.
+  add_single_proc_corruptions(
+      b.perturbed_roots, b.start_roots.front(), [&](std::size_t j, auto&& emit) {
+        const auto start = b.start_roots.front()[j];
+        for (const int sn : sn_domain(l)) {
+          auto p = start;
+          p.sn = sn;
+          emit(p);
+          p = start;
+          p.c_sn = sn;
+          emit(p);
+          p = start;
+          p.c_next = sn;
+          emit(p);
+        }
+        for (int ph = 0; ph < num_phases; ++ph) {
+          auto p = start;
+          p.ph = ph;
+          emit(p);
+          p = start;
+          p.c_ph = ph;
+          emit(p);
+        }
+        for (const Cp cp : cp_domain(j == 0)) {
+          auto p = start;
+          p.cp = cp;
+          emit(p);
+        }
+        for (const Cp cp : cp_domain(/*is_root=*/false)) {  // copy cells follow
+          auto p = start;
+          p.c_cp = cp;
+          emit(p);
+        }
+      });
+  b.safe = [](const core::MbState& s) {
+    for (const auto& p : s) {
+      if (!core::mb_sn_valid(p.sn) || !core::mb_sn_valid(p.c_sn) ||
+          !core::mb_sn_valid(p.c_next)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  b.legit = [](const core::MbState& s) { return core::mb_is_start_state(s); };
+  return b;
+}
+
+}  // namespace ftbar::check

@@ -1,0 +1,72 @@
+// Concrete checking bundles for the paper's four programs.
+//
+// The checker core is program-agnostic; this header packages each program
+// (CB, RB on the ring, RB' on the two intersecting rings of Fig 2(b), MB)
+// with exactly what a verification run needs:
+//
+//  * the action system and process count;
+//  * root sets per fault class — fault-free start states, and the
+//    single-process corruption neighbourhood of a start state (the
+//    paper's undetectable-fault model: one process's variables set to
+//    arbitrary domain values). CB/RB enumerate the WHOLE corrupted record
+//    domain; MB's record has seven fields whose product is combinatorially
+//    heavy, so MB enumerates single-VARIABLE corruptions instead — the
+//    coarser classes are reachable from these via further faults, and the
+//    reduction is stated here rather than applied silently;
+//  * `safe`, a closure invariant that holds in every fault-free reachable
+//    state (checked with fault class kNone), and `legit`, the legitimacy
+//    predicate convergence is measured against (the target of
+//    legit_reachable_from_all / converges_outside after perturbation);
+//  * the metadata needed to emit an `ftbar_sim replay`-compatible trace
+//    header for counterexample schedules. Replay rebuilds options with the
+//    DEFAULT sequence modulus, so bundles built with a non-default
+//    `seq_modulus` are flagged replayable_by_sim = false.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "core/mb.hpp"
+#include "core/rb.hpp"
+#include "sim/action.hpp"
+
+namespace ftbar::check {
+
+enum class FaultClass { kNone, kUndetectable };
+
+template <class P>
+struct ProgramBundle {
+  std::vector<sim::Action<P>> actions;
+  std::size_t procs = 0;
+  std::vector<std::vector<P>> start_roots;
+  std::vector<std::vector<P>> perturbed_roots;  ///< includes start_roots
+  std::function<bool(const std::vector<P>&)> safe;   ///< fault-free closure invariant
+  std::function<bool(const std::vector<P>&)> legit;  ///< convergence target
+
+  // `ftbar_sim replay` meta-line fields.
+  std::string meta_program;
+  std::string meta_topology = "ring";
+  int arity = 2;
+  int num_phases = 2;
+  bool replayable_by_sim = true;
+
+  [[nodiscard]] const std::vector<std::vector<P>>& roots(FaultClass fc) const {
+    return fc == FaultClass::kNone ? start_roots : perturbed_roots;
+  }
+};
+
+[[nodiscard]] ProgramBundle<core::CbProc> make_cb_bundle(int num_procs,
+                                                         int num_phases = 2);
+[[nodiscard]] ProgramBundle<core::RbProc> make_rb_bundle(int num_procs,
+                                                         int num_phases = 2);
+/// RB' — RB over the two intersecting rings of Figure 2(b).
+[[nodiscard]] ProgramBundle<core::RbProc> make_rbp_bundle(int num_procs,
+                                                          int num_phases = 2);
+/// seq_modulus 0 selects MbOptions' default L = 2 * num_procs.
+[[nodiscard]] ProgramBundle<core::MbProc> make_mb_bundle(int num_procs,
+                                                         int num_phases = 2,
+                                                         int seq_modulus = 0);
+
+}  // namespace ftbar::check

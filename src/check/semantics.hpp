@@ -1,0 +1,131 @@
+// Semantics plugins for the explicit-state checker: successor enumeration
+// under both execution models the paper uses.
+//
+// The live StepEngine picks ONE step per semantics (randomized weak
+// fairness); the checker instead needs EVERY possible step:
+//
+//  - kInterleaving: one successor per enabled action (the classic
+//    explicit-state transition relation);
+//  - kMaxParallel:  one successor per element of the cartesian product of
+//    the per-process enabled-action choices — every process with at least
+//    one enabled action fires exactly one of them (paper, Section 6). The
+//    per-step execution mirrors StepEngine::step_max_parallel /
+//    replay_schedule's maxpar block: each chosen statement reads the
+//    pre-state and writes only its owner's slot, which is harvested into
+//    the successor buffer and restored, so a statement violating
+//    write-ownership is caught by the same contract the engine enforces.
+//
+// Fired-action lists are reported in ascending process order (interleaving:
+// a single index), exactly the order StepEngine emits kActionFired events —
+// so a path of (state, fired) pairs IS a valid ScheduleRecording step
+// sequence and replays through trace::replay_schedule unchanged.
+//
+// A SuccessorGen is per-worker scratch: no successor state or choice vector
+// is heap-allocated in steady state, and for_each_successor hands out
+// references into reused buffers (callees must copy what they keep).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/step_engine.hpp"
+
+namespace ftbar::check {
+
+template <class P>
+class SuccessorGen {
+ public:
+  using State = std::vector<P>;
+
+  SuccessorGen(const std::vector<sim::Action<P>>& actions, std::size_t procs)
+      : actions_(actions), choices_(procs) {}
+
+  /// Invokes `fn(next, fired)` once per successor of `current` under
+  /// `semantics`. `next` is a State reference and `fired` a span of action
+  /// indices, both valid only for the duration of the call. A state with no
+  /// enabled action has no successors (quiescence is not a self-loop,
+  /// matching the seed Explorer and the engine's step() == 0).
+  template <class Fn>
+  void for_each_successor(const State& current, sim::Semantics semantics, Fn&& fn) {
+    if (semantics == sim::Semantics::kInterleaving) {
+      interleaving(current, fn);
+    } else {
+      max_parallel(current, fn);
+    }
+  }
+
+ private:
+  template <class Fn>
+  void interleaving(const State& current, Fn&& fn) {
+    next_ = current;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (!actions_[i].enabled(current)) continue;
+      const auto p = static_cast<std::size_t>(actions_[i].process);
+      // next_ equals current here, so the statement reads the pre-state;
+      // write-ownership means only slot p changed — restore just it.
+      P saved = next_[p];
+      actions_[i].apply(next_);
+      fired_one_[0] = static_cast<std::uint32_t>(i);
+      fn(next_, std::span<const std::uint32_t>{fired_one_, 1});
+      next_[p] = saved;
+    }
+  }
+
+  template <class Fn>
+  void max_parallel(const State& current, Fn&& fn) {
+    // Per-process enabled-action choices, ascending action index within a
+    // process (the order the engine's counting-sorted index walks them).
+    for (auto& c : choices_) c.clear();
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled(current)) {
+        choices_[static_cast<std::size_t>(actions_[i].process)].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+    firing_procs_.clear();
+    for (std::size_t p = 0; p < choices_.size(); ++p) {
+      if (!choices_[p].empty()) firing_procs_.push_back(p);
+    }
+    if (firing_procs_.empty()) return;
+
+    // Odometer over the cartesian product. Every combination fires the same
+    // process set, so successive combinations overwrite exactly the slots
+    // the previous one wrote — next_ needs no per-combination reset.
+    odometer_.assign(firing_procs_.size(), 0);
+    state_ = current;
+    next_ = current;
+    fired_.resize(firing_procs_.size());
+    for (;;) {
+      for (std::size_t k = 0; k < firing_procs_.size(); ++k) {
+        const std::size_t p = firing_procs_[k];
+        const std::uint32_t ai = choices_[p][odometer_[k]];
+        // Save/apply/harvest/restore — the engine's maxpar step.
+        P saved = state_[p];
+        actions_[ai].apply(state_);
+        next_[p] = state_[p];
+        state_[p] = saved;
+        fired_[k] = ai;
+      }
+      fn(next_, std::span<const std::uint32_t>{fired_});
+      std::size_t k = 0;
+      for (; k < firing_procs_.size(); ++k) {
+        if (++odometer_[k] < choices_[firing_procs_[k]].size()) break;
+        odometer_[k] = 0;
+      }
+      if (k == firing_procs_.size()) return;  // odometer wrapped: done
+    }
+  }
+
+  const std::vector<sim::Action<P>>& actions_;
+  std::vector<std::vector<std::uint32_t>> choices_;  ///< per-proc enabled actions
+  std::vector<std::size_t> firing_procs_;
+  std::vector<std::size_t> odometer_;
+  std::vector<std::uint32_t> fired_;
+  std::uint32_t fired_one_[1] = {0};
+  State state_;  ///< maxpar pre-state work buffer
+  State next_;   ///< successor buffer handed to the callback
+};
+
+}  // namespace ftbar::check

@@ -1,0 +1,196 @@
+// Sharded, concurrent interned-state storage for the explicit-state checker.
+//
+// The seed sim::Explorer kept every visited state as a whole
+// std::vector<P> (one heap allocation per state) in a single-threaded hash
+// map. This store replaces that with compact interning designed for the
+// parallel explorer in check/checker.hpp:
+//
+//  * states are raw byte blobs — P must be trivially copyable with unique
+//    object representations (the same contract the trace/replay digests
+//    rely on) — appended into per-shard block arenas, so interning a state
+//    allocates nothing in steady state;
+//  * the dedup index is sharded 64 ways on the low bits of the FNV-1a
+//    state digest (trace::fnv1a_bytes, the digest record/replay
+//    introduced), one mutex per shard, so worker threads interning
+//    unrelated states never contend;
+//  * every interned state carries its BFS parent id and the action indices
+//    fired on the discovering edge, so any state — in particular an
+//    invariant violation — can be expanded into a full counterexample path
+//    back to a root without re-searching.
+//
+// Concurrency contract. intern() may be called from any number of threads.
+// state() may be called concurrently with intern() ONLY for ids published
+// to the caller before the current synchronization point (the checker's
+// level barrier): the block-pointer vector is reserved to its maximum size
+// up front so a concurrent append never reallocates the spine, and blob
+// bytes are written before the id escapes the shard mutex. Metadata
+// accessors (parent / fired / digest_of) are valid only after all
+// intern() calls have been joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/replay.hpp"
+
+namespace ftbar::check {
+
+template <class P>
+class StateStore {
+  static_assert(std::is_trivially_copyable_v<P>,
+                "the checker interns raw state bytes");
+  static_assert(std::has_unique_object_representations_v<P>,
+                "padding bytes would poison digests and byte-equality");
+
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNoId = 0xffffffffu;
+  static constexpr std::size_t kShardBits = 6;
+  static constexpr std::size_t kShards = std::size_t{1} << kShardBits;
+  static constexpr std::size_t kBlockStates = 1024;
+
+  /// `concurrent` = false elides the shard mutexes: valid only when every
+  /// intern() comes from one thread (the checker passes threads > 1).
+  StateStore(std::size_t procs, std::size_t max_states, bool concurrent = true)
+      : procs_(procs), state_bytes_(procs * sizeof(P)), concurrent_(concurrent) {
+    // Reserve every shard's block spine for the worst case (all states in
+    // one shard) so a concurrent reader never observes a reallocation.
+    const std::size_t spine = max_states / kBlockStates + 2;
+    for (auto& shard : shards_) shard.blocks.reserve(spine);
+  }
+
+  struct InternResult {
+    Id id = kNoId;
+    bool inserted = false;
+  };
+
+  /// Digest of a whole-system state, as the replay layer computes it.
+  [[nodiscard]] std::uint64_t digest(const P* s) const noexcept {
+    return trace::fnv1a_bytes(s, state_bytes_);
+  }
+
+  /// Interns `s` (byte-compared against digest collisions). On first
+  /// insertion the discovering edge (parent, fired action indices) is
+  /// recorded; later discoveries of the same state keep the first edge.
+  InternResult intern(const P* s, std::uint64_t digest, Id parent,
+                      std::span<const std::uint32_t> fired) {
+    Shard& shard = shards_[shard_of(digest)];
+    std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+    if (concurrent_) lock.lock();
+    auto [it, fresh] = shard.index.try_emplace(digest, kNoLocal);
+    for (std::uint32_t local = it->second; local != kNoLocal;
+         local = shard.collision_next[local]) {
+      if (std::memcmp(slot(shard, local), s, state_bytes_) == 0) {
+        return {make_id(shard_of(digest), local), false};
+      }
+    }
+    const auto local = static_cast<std::uint32_t>(shard.count);
+    if (local % kBlockStates == 0) {
+      shard.blocks.push_back(std::make_unique<P[]>(kBlockStates * procs_));
+    }
+    std::memcpy(slot(shard, local), s, state_bytes_);
+    shard.digests.push_back(digest);
+    shard.parents.push_back(parent);
+    shard.fired_offsets.push_back(static_cast<std::uint32_t>(shard.fired_arena.size()));
+    shard.fired_arena.push_back(static_cast<std::uint32_t>(fired.size()));
+    shard.fired_arena.insert(shard.fired_arena.end(), fired.begin(), fired.end());
+    shard.collision_next.push_back(fresh ? kNoLocal : it->second);
+    it->second = local;
+    ++shard.count;
+    total_.fetch_add(1, std::memory_order_relaxed);
+    return {make_id(shard_of(digest), local), true};
+  }
+
+  [[nodiscard]] std::span<const P> state(Id id) const {
+    const Shard& shard = shards_[id & (kShards - 1)];
+    return {slot(shard, id >> kShardBits), procs_};
+  }
+
+  [[nodiscard]] Id parent(Id id) const {
+    return shards_[id & (kShards - 1)].parents[id >> kShardBits];
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> fired(Id id) const {
+    const Shard& shard = shards_[id & (kShards - 1)];
+    const std::uint32_t ofs = shard.fired_offsets[id >> kShardBits];
+    return {shard.fired_arena.data() + ofs + 1, shard.fired_arena[ofs]};
+  }
+
+  [[nodiscard]] std::uint64_t digest_of(Id id) const {
+    return shards_[id & (kShards - 1)].digests[id >> kShardBits];
+  }
+
+  /// Total interned states. Relaxed: exact after a synchronization point,
+  /// approximate (monotone lower bound) while workers are interning.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t procs() const noexcept { return procs_; }
+
+  /// Every interned id, shard-major. Stable post-run enumeration order.
+  [[nodiscard]] std::vector<Id> all_ids() const {
+    std::vector<Id> out;
+    out.reserve(size());
+    for (std::size_t sh = 0; sh < kShards; ++sh) {
+      for (std::size_t local = 0; local < shards_[sh].count; ++local) {
+        out.push_back(make_id(sh, static_cast<std::uint32_t>(local)));
+      }
+    }
+    return out;
+  }
+
+  /// Sorted digests of every interned state — the canonical fingerprint
+  /// used to compare two explorations state-set for state-set.
+  [[nodiscard]] std::vector<std::uint64_t> sorted_digests() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(size());
+    for (const auto& shard : shards_) {
+      out.insert(out.end(), shard.digests.begin(), shard.digests.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoLocal = 0xffffffffu;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint32_t> index;  ///< digest -> newest local
+    std::vector<std::uint32_t> collision_next;  ///< older state, same digest
+    std::vector<std::unique_ptr<P[]>> blocks;
+    std::vector<std::uint64_t> digests;
+    std::vector<Id> parents;
+    std::vector<std::uint32_t> fired_offsets;  ///< into fired_arena: [count, a...]
+    std::vector<std::uint32_t> fired_arena;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] static constexpr std::size_t shard_of(std::uint64_t digest) noexcept {
+    return digest & (kShards - 1);
+  }
+  [[nodiscard]] static constexpr Id make_id(std::size_t shard,
+                                            std::uint32_t local) noexcept {
+    return (local << kShardBits) | static_cast<Id>(shard);
+  }
+  [[nodiscard]] P* slot(const Shard& shard, std::uint32_t local) const {
+    return shard.blocks[local / kBlockStates].get() +
+           (local % kBlockStates) * procs_;
+  }
+
+  std::size_t procs_;
+  std::size_t state_bytes_;
+  bool concurrent_;
+  std::atomic<std::size_t> total_{0};
+  Shard shards_[kShards];
+};
+
+}  // namespace ftbar::check

@@ -1,0 +1,128 @@
+// Swarm mode: budgeted random-walk checking for instances too large to
+// exhaust.
+//
+// Exhaustive BFS is the gold standard, but the reachable set of RB/MB
+// explodes well before the process counts the scaling experiments care
+// about. Swarm checking (in the SPIN "swarm verification" tradition) trades
+// completeness for budget: many independent random walks, each from a
+// (typically perturbed) root produced by a caller-supplied generator, each
+// driven by the REAL StepEngine under its own util::Rng stream — so a walk
+// is exactly a simulation run, and a violating walk is automatically a
+// replayable ScheduleRecording because every walk runs under a
+// ScheduleRecorder.
+//
+// Determinism: walk w draws all randomness from stream_rng(seed, w)
+// (root generation and engine scheduling), results are reduced in walk
+// order, and the reported violation is the lowest-indexed violating walk —
+// so the outcome is independent of thread count, per util::Sweep's
+// contract. Coverage is reported as the number of distinct state digests
+// touched across all walks: a cheap, comparable proxy for how much of the
+// space a budget reached (digest collisions can only undercount).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/step_engine.hpp"
+#include "trace/replay.hpp"
+#include "util/sweep.hpp"
+
+namespace ftbar::check {
+
+struct SwarmOptions {
+  sim::Semantics semantics = sim::Semantics::kInterleaving;
+  std::size_t walks = 256;
+  std::size_t depth = 256;  ///< max engine steps per walk
+  std::uint64_t seed = 1;
+  int threads = 1;  ///< util::Sweep pool size; <= 0 = hardware_concurrency
+};
+
+template <class P>
+struct SwarmResult {
+  std::size_t walks_run = 0;
+  std::size_t total_steps = 0;
+  std::size_t distinct_states = 0;  ///< coverage: merged digest-set size
+  std::size_t violating_walks = 0;
+  /// Recording of the lowest-indexed violating walk, root through the first
+  /// violating state — feed to shrink via counterexample machinery or
+  /// directly to `ftbar_sim replay`.
+  std::optional<trace::ScheduleRecording<P>> violation;
+  std::string violated_by;
+  std::size_t violating_walk = 0;  ///< valid when violation is set
+
+  [[nodiscard]] bool ok() const noexcept { return violating_walks == 0; }
+};
+
+/// Runs `opts.walks` random walks of at most `opts.depth` steps each.
+/// `make_root(rng)` produces each walk's start state (e.g. a start state
+/// with a few fault perturbations applied); `invariant` is checked on the
+/// root and after every step.
+template <class P>
+[[nodiscard]] SwarmResult<P> swarm_check(
+    const std::vector<sim::Action<P>>& actions,
+    const std::function<std::vector<P>(util::Rng&)>& make_root,
+    const std::function<bool(const std::vector<P>&)>& invariant,
+    const SwarmOptions& opts) {
+  struct WalkOutcome {
+    std::vector<std::uint64_t> digests;
+    std::size_t steps = 0;
+    bool violated = false;
+    std::optional<trace::ScheduleRecording<P>> recording;
+    std::string violated_by;
+  };
+
+  util::Sweep sweep(opts.threads);
+  auto outcomes = sweep.map<WalkOutcome>(opts.walks, [&](std::size_t w) {
+    WalkOutcome out;
+    util::Rng rng = util::stream_rng(opts.seed, w);
+    std::vector<P> root = make_root(rng);
+    sim::StepEngine<P> engine(std::move(root), actions, rng, opts.semantics);
+    trace::ScheduleRecorder<P> recorder(engine);
+    out.digests.push_back(trace::state_digest(engine.state()));
+    if (!invariant(engine.state())) {
+      out.violated = true;
+      out.violated_by = "<initial>";
+      out.recording = recorder.take();
+      return out;
+    }
+    while (out.steps < opts.depth) {
+      if (recorder.step() == 0) break;  // quiescent
+      ++out.steps;
+      out.digests.push_back(trace::state_digest(engine.state()));
+      if (!invariant(engine.state())) {
+        out.violated = true;
+        const auto& rec = recorder.recording();
+        out.violated_by = actions[rec.steps.back().fired.back()].name;
+        out.recording = recorder.take();
+        break;
+      }
+    }
+    return out;
+  });
+
+  SwarmResult<P> result;
+  result.walks_run = outcomes.size();
+  std::unordered_set<std::uint64_t> coverage;
+  for (std::size_t w = 0; w < outcomes.size(); ++w) {
+    auto& out = outcomes[w];
+    result.total_steps += out.steps;
+    coverage.insert(out.digests.begin(), out.digests.end());
+    if (out.violated) {
+      ++result.violating_walks;
+      if (!result.violation) {  // walk order == lowest index: deterministic
+        result.violation = std::move(out.recording);
+        result.violated_by = out.violated_by;
+        result.violating_walk = w;
+      }
+    }
+  }
+  result.distinct_states = coverage.size();
+  return result;
+}
+
+}  // namespace ftbar::check

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -67,14 +68,19 @@ class Explorer {
         if (!action.enabled(current)) continue;
         State next = current;
         action.apply(next);
+        // Intern and record the edge BEFORE the violation early-return, so
+        // the transition graph handed to legit_reachable_from_all() /
+        // converges_outside() contains the final (violating) transition
+        // instead of silently omitting it.
+        const auto nid = intern(next);
+        edges_[id].push_back(id_of(next));
         if (!invariant(next)) {
           result.violation = next;
           result.violated_by = action.name;
           result.states_visited = order_.size();
           return result;
         }
-        if (auto nid = intern(next)) frontier.push_back(*nid);
-        edges_[id].push_back(id_of(next));
+        if (nid) frontier.push_back(*nid);
       }
     }
     result.states_visited = order_.size();
@@ -175,10 +181,15 @@ class Explorer {
 
   std::size_t id_of(const State& s) const {
     const auto it = seen_.find(hash_(s));
-    for (auto id : it->second) {
-      if (order_[id] == s) return id;
+    if (it != seen_.end()) {
+      for (auto id : it->second) {
+        if (order_[id] == s) return id;
+      }
     }
-    return static_cast<std::size_t>(-1);  // unreachable by construction
+    // Every caller interns `s` first, so a miss means the store is
+    // corrupted; fail hard instead of returning a poisoned sentinel that
+    // would index out of bounds much later.
+    std::abort();
   }
 
   std::vector<Action<P>> actions_;

@@ -146,10 +146,20 @@ struct ReplayReport {
 /// SAME system the recording was made from (same builder, same options) —
 /// replay checks each recorded action's guard against the pre-state and
 /// reports divergence if a guard no longer holds or a digest mismatches.
+/// A non-null `sink` observes the re-execution: one kActionFired per fired
+/// action (time = step ordinal), the same events the live engine emits.
 template <class P>
 [[nodiscard]] ReplayReport replay_schedule(const ScheduleRecording<P>& rec,
-                                           const std::vector<sim::Action<P>>& actions) {
+                                           const std::vector<sim::Action<P>>& actions,
+                                           Sink* sink = nullptr) {
   ReplayReport report;
+  auto fired = [&](std::size_t step, std::uint32_t ai) {
+    if (sink != nullptr) {
+      sink->emit(make_event(Kind::kActionFired, static_cast<double>(step),
+                            actions[ai].process, static_cast<std::int64_t>(ai),
+                            0, 0, actions[ai].name.c_str()));
+    }
+  };
   auto diverge = [&](std::size_t step, std::string message) {
     report.ok = false;
     report.diverged_step = step;
@@ -182,6 +192,7 @@ template <class P>
         act.apply(state);
         next[p] = state[p];
         state[p] = saved;
+        fired(si, ai);
       }
       state.swap(next);
     } else {
@@ -193,6 +204,7 @@ template <class P>
                                  "' is not enabled on replay");
         }
         act.apply(state);
+        fired(si, ai);
       }
     }
     if (state_digest(state) != sr.digest) {

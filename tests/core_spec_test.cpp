@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "check/swarm.hpp"
+#include "core/rb.hpp"
+
 namespace ftbar::core {
 namespace {
 
@@ -183,6 +186,29 @@ TEST(SpecMonitor, AnyoneExecutingTracksLifecycle) {
   EXPECT_TRUE(m.anyone_executing());
   m.on_complete(1, 0);
   EXPECT_FALSE(m.anyone_executing());
+}
+
+TEST(SpecMonitor, StaysSafeAlongSwarmWalksOfFaultFreeRb) {
+  // The unit tests above feed the monitor hand-written event sequences;
+  // this drives it from the check/ subsystem's swarm walker instead: a
+  // fault-free random walk of RB (monitor superposed on the actions) must
+  // never trip a safety rule and must complete phases. One sequential walk:
+  // the monitor is shared mutable state, so no concurrent walks.
+  const auto opt = rb_ring_options(4, 4);
+  SpecMonitor monitor(4, 4);
+  const auto actions = make_rb_actions(opt, &monitor);
+  check::SwarmOptions sopt;
+  sopt.walks = 1;
+  sopt.depth = 400;
+  sopt.threads = 1;
+  const std::function<RbState(util::Rng&)> make_root =
+      [&](util::Rng&) { return rb_start_state(opt); };
+  const auto res = check::swarm_check<RbProc>(
+      actions, make_root, [](const RbState&) { return true; }, sopt);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.total_steps, 0u);
+  EXPECT_TRUE(monitor.safety_ok()) << monitor.violations().front();
+  EXPECT_GT(monitor.successful_phases(), 0u);
 }
 
 TEST(SpecMonitor, FailedInstanceBoundaryRequiresQuiescence) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/checker.hpp"
+
 namespace ftbar::sim {
 namespace {
 
@@ -116,6 +118,37 @@ TEST(Explorer, ConvergesOutsideRejectsNonLegitDeadlock) {
   ex.explore({State{Bit{0}}}, [](const State&) { return true; });
   EXPECT_FALSE(ex.converges_outside([](const State& s) { return s[0].v == 1; }));
   EXPECT_TRUE(ex.converges_outside([](const State& s) { return s[0].v == 0; }));
+}
+
+TEST(Explorer, ViolatingTransitionIsRecordedInTheGraph) {
+  // Regression: the edge INTO a violating state used to be dropped by the
+  // violation early-return, silently truncating the graph handed to the
+  // convergence queries. With 0 -> 1 -> 2 and the invariant failing at 2,
+  // state 1 reaches the violating state only through that final edge.
+  auto inc = make_action<Bit>(
+      "inc", 0, [](const State& s) { return s[0].v < 2; },
+      [](State& s) { ++s[0].v; });
+  Explorer<Bit, BitHash> ex({inc}, BitHash{});
+  const auto result =
+      ex.explore({State{Bit{0}}}, [](const State& s) { return s[0].v < 2; });
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_TRUE(ex.legit_reachable_from_all(
+      [](const State& s) { return s[0].v == 2; }));
+}
+
+TEST(Explorer, AgreesWithTheCheckSubsystem) {
+  // The seed Explorer stays on as the differential oracle for the check/
+  // subsystem that supersedes it (tests/check_fuzz_test.cpp runs the full
+  // 500-seed sweep; this pins the toy model both suites reason about).
+  const std::vector<Action<Bit>> actions{set_bit(0), set_bit(1)};
+  Explorer<Bit, BitHash> ex(actions, BitHash{});
+  const auto seed =
+      ex.explore({State{Bit{0}, Bit{0}}}, [](const State&) { return true; });
+  check::Checker<Bit> ck(actions, 2);
+  const auto res =
+      ck.run({State{Bit{0}, Bit{0}}}, [](const State&) { return true; });
+  EXPECT_EQ(res.states_visited, seed.states_visited);
+  EXPECT_FALSE(res.violation.has_value());
 }
 
 TEST(Explorer, StatesAccessorExposesAllStates) {

@@ -1,0 +1,37 @@
+# Model-checker counterexample → live-engine replay round trip.
+#
+# Usage (via add_test):
+#   cmake -DCHECK=<ftbar_check> -DSIM=<ftbar_sim> -DCX=<file>
+#         "-DARGS=--program;rb;--n;3;..." -P check_cx_roundtrip.cmake
+#
+# Runs ftbar_check with a deliberately weakened invariant so the checker
+# must produce a counterexample, shrink it, and write it as a replayable
+# jsonl schedule; then feeds that schedule to `ftbar_sim replay`, which
+# re-executes it in the live engine and verifies the per-step state digests.
+# Exit 0 on both sides proves the checker→trace bridge end to end.
+
+execute_process(COMMAND ${CHECK} ${ARGS} --weaken --cx-out ${CX}
+                RESULT_VARIABLE check_rc OUTPUT_QUIET)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "ftbar_check --weaken exited ${check_rc} "
+                      "(expected a replay-verified counterexample)")
+endif()
+
+if(NOT EXISTS ${CX})
+  message(FATAL_ERROR "counterexample file ${CX} was not written")
+endif()
+
+execute_process(COMMAND ${SIM} replay --replay ${CX} --trace ${CX}.trace.jsonl
+                RESULT_VARIABLE replay_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR "ftbar_sim replay of the counterexample diverged: "
+                      "exit ${replay_rc}")
+endif()
+
+# The --trace output embeds the schedule again, so it must replay too.
+execute_process(COMMAND ${SIM} replay --replay ${CX}.trace.jsonl
+                RESULT_VARIABLE rereplay_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rereplay_rc EQUAL 0)
+  message(FATAL_ERROR "replay of the re-recorded counterexample trace "
+                      "diverged: exit ${rereplay_rc}")
+endif()

@@ -22,7 +22,9 @@
 //                            are replayable; chrome traces load in
 //                            chrome://tracing / Perfetto (view-only)
 //   --replay FILE            (replay command) the jsonl trace to re-execute;
-//                            exits 5 if the replay diverges
+//                            exits 5 if the replay diverges. Combine with
+//                            --trace to record the re-execution (the output
+//                            embeds the schedule, so it replays again)
 // cb/rb/mb:
 //   --semantics interleaving|maxpar (interleaving)
 //   --detectable F (0)       per-process per-step detectable fault prob
@@ -469,7 +471,7 @@ int run_recovery(const Args& args) {
 }
 
 template <class P>
-int do_replay(const Args& args, int procs,
+int do_replay(const Args& args, const Args& meta, int procs,
               const std::vector<sim::Action<P>>& actions,
               const std::vector<std::string>& sched) {
   const auto rec = trace::parse_schedule_lines<P>(sched);
@@ -482,7 +484,17 @@ int do_replay(const Args& args, int procs,
                  rec->initial.size(), procs);
     return 2;
   }
-  const auto report = trace::replay_schedule(*rec, actions);
+  // --trace on replay: record the re-execution's kActionFired stream and
+  // write it with the schedule embedded, so the output is itself replayable.
+  const bool tracing = !args.trace.empty();
+  trace::TraceRecorder recorder(std::size_t{1} << 20);
+  const auto report =
+      trace::replay_schedule(*rec, actions, tracing ? &recorder : nullptr);
+  if (tracing) {
+    Args tmeta = meta;
+    tmeta.semantics = rec->semantics;
+    if (!write_trace_file(tmeta, recorder, &*rec)) return 2;
+  }
   util::Table table({"metric", "value"});
   table.add_row({std::string("steps replayed"),
                  static_cast<long long>(report.steps_replayed)});
@@ -541,19 +553,19 @@ int run_replay(const Args& args) {
   }
   if (meta.command == "cb") {
     const core::CbOptions opt{meta.procs, meta.num_phases};
-    return do_replay<core::CbProc>(args, meta.procs,
+    return do_replay<core::CbProc>(args, meta, meta.procs,
                                    core::make_cb_actions(opt, nullptr), sched);
   }
   if (meta.command == "rb") {
     const auto topo = make_topology(meta);
     if (!topo) return 2;
     const core::RbOptions opt{topo, meta.num_phases, 0};
-    return do_replay<core::RbProc>(args, meta.procs,
+    return do_replay<core::RbProc>(args, meta, meta.procs,
                                    core::make_rb_actions(opt, nullptr), sched);
   }
   if (meta.command == "mb") {
     const core::MbOptions opt{meta.procs, meta.num_phases, 0};
-    return do_replay<core::MbProc>(args, meta.procs,
+    return do_replay<core::MbProc>(args, meta, meta.procs,
                                    core::make_mb_actions(opt, nullptr), sched);
   }
   std::fprintf(stderr, "error: cannot replay program '%s'\n", meta.command.c_str());
