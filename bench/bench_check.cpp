@@ -14,6 +14,17 @@
 // not scaling: on a single-core container threads:8 ≈ threads:1, and the
 // criterion's 3× is only observable on a machine with ≥ 8 hardware threads.
 // The JSON's num_cpus field says which case a given record is.
+//
+// The `pr3_baseline` entry re-runs the checker with the incremental
+// successor generator and the lock-free duplicate fast path switched OFF —
+// the PR 3 algorithm inside the current code — and every other Checker
+// entry carries a `speedup_vs_pr3` counter against its single-thread rate,
+// so the per-state optimisation win is readable from one JSON regardless of
+// what machine or build type older records were taken on (the PR 3-era
+// BENCH_check.json carried no provenance at all — its only build-type-ish
+// field, `library_build_type`, describes the system google-benchmark
+// library, not this repo's flags; record_bench.cmake now stamps every
+// record with the repo's build type and git revision).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -96,14 +107,62 @@ void BM_SeedExplorer(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(states);
 }
 
-void BM_Checker(benchmark::State& state, ftbar::sim::Semantics semantics) {
-  const auto& b = workload();
+struct CheckerConfig {
+  ftbar::sim::Semantics semantics = ftbar::sim::Semantics::kInterleaving;
+  ftbar::check::Schedule schedule = ftbar::check::Schedule::kBfs;
+  bool incremental = true;
+  bool dedup_fast_path = true;
+  bool symmetry = false;
+};
+
+ftbar::check::CheckOptions to_options(const CheckerConfig& cfg, std::size_t threads) {
   ftbar::check::CheckOptions opt;
-  opt.semantics = semantics;
-  opt.threads = static_cast<std::size_t>(state.range(0));
+  opt.semantics = cfg.semantics;
+  opt.threads = threads;
+  opt.schedule = cfg.schedule;
+  opt.incremental = cfg.incremental;
+  opt.dedup_fast_path = cfg.dedup_fast_path;
+  opt.symmetry = cfg.symmetry;
+  // Budget sized to the ~1.3k-state workload: the store allocates its
+  // duplicate fast-path table (and spine reservation) from max_states, and
+  // the default 2M budget would turn each run() into an allocation
+  // benchmark rather than an exploration one.
+  opt.max_states = 1 << 14;
+  return opt;
+}
+
+// PR 3-equivalent single-thread states/sec (full guard rescans, mutex-only
+// dedup), measured once: the denominator of every speedup_vs_pr3 counter.
+double pr3_states_per_sec() {
+  static const double rate = [] {
+    const auto& b = workload();
+    CheckerConfig cfg;
+    cfg.incremental = false;
+    cfg.dedup_fast_path = false;
+    {  // warm-up
+      ftbar::check::Checker<RbProc> warm(b.actions, b.procs, to_options(cfg, 1));
+      warm.run(b.perturbed_roots, always_true);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 25;
+    std::size_t states = 0;
+    for (int i = 0; i < kReps; ++i) {
+      ftbar::check::Checker<RbProc> pr3(b.actions, b.procs, to_options(cfg, 1));
+      states += pr3.run(b.perturbed_roots, always_true).states_visited;
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return static_cast<double>(states) / dt.count();
+  }();
+  return rate;
+}
+
+void BM_Checker(benchmark::State& state, CheckerConfig cfg) {
+  const auto& b = workload();
+  const auto opt = to_options(cfg, static_cast<std::size_t>(state.range(0)));
   std::size_t states = 0;
   for (auto _ : state) {
-    ftbar::check::Checker<RbProc> checker(b.actions, b.procs, opt);
+    ftbar::check::Checker<RbProc> checker(b.actions, b.procs, opt, b.symmetry);
     const auto res = checker.run(b.perturbed_roots, always_true);
     states = res.states_visited;
     benchmark::DoNotOptimize(res.states_visited);
@@ -112,10 +171,14 @@ void BM_Checker(benchmark::State& state, ftbar::sim::Semantics semantics) {
                           static_cast<std::int64_t>(state.iterations()));
   state.counters["states"] = static_cast<double>(states);
   // kIsRate divides by elapsed time, so the reported value is
-  // (states/sec of this entry) / (states/sec of the seed Explorer).
+  // (states/sec of this entry) / (states/sec of the reference run).
   state.counters["speedup_vs_seed"] = benchmark::Counter(
       static_cast<double>(states) * static_cast<double>(state.iterations()) /
           seed_states_per_sec(),
+      benchmark::Counter::kIsRate);
+  state.counters["speedup_vs_pr3"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()) /
+          pr3_states_per_sec(),
       benchmark::Counter::kIsRate);
 }
 
@@ -127,17 +190,49 @@ BENCHMARK_TEMPLATE(BM_SeedExplorer, FieldHash)
 BENCHMARK_TEMPLATE(BM_SeedExplorer, DigestHash)
     ->Name("SeedExplorer/rb_n4/digest_hash")
     ->UseRealTime();
-BENCHMARK_CAPTURE(BM_Checker, interleaving, ftbar::sim::Semantics::kInterleaving)
+constexpr CheckerConfig kInterleaving{};
+constexpr CheckerConfig kMaxpar{ftbar::sim::Semantics::kMaxParallel};
+constexpr CheckerConfig kPr3Baseline{ftbar::sim::Semantics::kInterleaving,
+                                     ftbar::check::Schedule::kBfs,
+                                     /*incremental=*/false,
+                                     /*dedup_fast_path=*/false};
+constexpr CheckerConfig kWorkStealing{ftbar::sim::Semantics::kInterleaving,
+                                      ftbar::check::Schedule::kWorkStealing};
+constexpr CheckerConfig kSymmetry{ftbar::sim::Semantics::kInterleaving,
+                                  ftbar::check::Schedule::kBfs,
+                                  /*incremental=*/true,
+                                  /*dedup_fast_path=*/true,
+                                  /*symmetry=*/true};
+
+BENCHMARK_CAPTURE(BM_Checker, interleaving, kInterleaving)
     ->Name("Checker/rb_n4/interleaving")
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
-BENCHMARK_CAPTURE(BM_Checker, maxpar, ftbar::sim::Semantics::kMaxParallel)
+BENCHMARK_CAPTURE(BM_Checker, maxpar, kMaxpar)
     ->Name("Checker/rb_n4/maxpar")
     ->Arg(1)
     ->Arg(8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Checker, pr3_baseline, kPr3Baseline)
+    ->Name("Checker/rb_n4/interleaving/pr3_baseline")
+    ->Arg(1)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Checker, ws, kWorkStealing)
+    ->Name("Checker/rb_n4/interleaving/ws")
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime();
+// Symmetry on the undetectable workload mostly measures canonicalization
+// overhead: corruption roots pin the recovery transients to one phase, so
+// only the legitimate cycling region collapses (the `states` counter shows
+// the quotient size; check_perf_guard pins the full group-order reduction
+// on the phase-closed fault-free space).
+BENCHMARK_CAPTURE(BM_Checker, symmetry, kSymmetry)
+    ->Name("Checker/rb_n4/interleaving/symmetry")
+    ->Arg(1)
     ->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,99 @@
+// check-perf-guard — regression tripwire for the checker's symmetry
+// reduction (ctest label: bench-smoke).
+//
+// Workload: RB on the ring, N = 5, num_phases = 5, fault-free exploration
+// from the start state. The fault-free reachable set is closed under the
+// global phase rotation (the system cycles through all phases), and with a
+// prime phase count the Z_5 action is free on it, so quotient exploration
+// must store exactly |reachable| / 5 states — comfortably within the
+// guard's `reduced <= unreduced / (N-1)` bound. Both semantics are checked,
+// verdicts must agree between the reduced and unreduced runs, and the whole
+// guard must finish under a generous wall-clock ceiling so a reduction that
+// silently degrades into full exploration (or an exploration that stops
+// terminating) fails fast.
+//
+// The undetectable-fault workload is deliberately NOT used for the count
+// bound: its corruption roots pin recovery transients to a single phase, so
+// most orbits are only partially reachable and the quotient barely shrinks
+// (see DESIGN.md §9). It still must agree on verdicts, which the smoke
+// tests in tools/CMakeLists.txt pin.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/programs.hpp"
+#include "core/rb.hpp"
+
+using namespace ftbar;
+using core::RbProc;
+
+namespace {
+
+constexpr int kN = 5;
+constexpr int kPhases = 5;
+constexpr double kWallClockCeilingSec = 60.0;
+
+struct RunResult {
+  std::size_t states = 0;
+  bool violation = false;
+  bool truncated = false;
+};
+
+RunResult explore(const check::ProgramBundle<RbProc>& bundle,
+                  sim::Semantics semantics, bool symmetry) {
+  check::CheckOptions opt;
+  opt.semantics = semantics;
+  opt.symmetry = symmetry;
+  opt.max_states = 1 << 20;
+  check::Checker<RbProc> checker(bundle.actions, bundle.procs, opt,
+                                 bundle.symmetry);
+  const auto res =
+      checker.run(bundle.roots(check::FaultClass::kNone), bundle.safe);
+  return {res.states_visited, res.violation.has_value(), res.truncated};
+}
+
+}  // namespace
+
+int main() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto bundle = check::make_rb_bundle(kN, kPhases);
+  int failures = 0;
+
+  for (const auto semantics :
+       {sim::Semantics::kInterleaving, sim::Semantics::kMaxParallel}) {
+    const char* name =
+        semantics == sim::Semantics::kMaxParallel ? "maxpar" : "interleaving";
+    const auto full = explore(bundle, semantics, /*symmetry=*/false);
+    const auto reduced = explore(bundle, semantics, /*symmetry=*/true);
+
+    const std::size_t bound = full.states / (kN - 1);
+    std::printf("%-12s unreduced=%zu reduced=%zu bound=%zu (1/%d)\n", name,
+                full.states, reduced.states, bound, kN - 1);
+    if (full.truncated || reduced.truncated) {
+      std::printf("FAIL(%s): exploration truncated\n", name);
+      ++failures;
+    }
+    if (reduced.states > bound) {
+      std::printf("FAIL(%s): symmetry reduction regressed: %zu > %zu\n", name,
+                  reduced.states, bound);
+      ++failures;
+    }
+    if (full.violation != reduced.violation) {
+      std::printf("FAIL(%s): verdicts differ (unreduced=%d reduced=%d)\n",
+                  name, full.violation ? 1 : 0, reduced.violation ? 1 : 0);
+      ++failures;
+    }
+  }
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("wall clock: %.2fs (ceiling %.0fs)\n", secs, kWallClockCeilingSec);
+  if (secs > kWallClockCeilingSec) {
+    std::printf("FAIL: guard exceeded the wall-clock ceiling\n");
+    ++failures;
+  }
+  if (failures == 0) std::printf("check-perf-guard: OK\n");
+  return failures == 0 ? 0 : 1;
+}

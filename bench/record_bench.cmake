@@ -1,0 +1,56 @@
+# Guarded benchmark recording: refuse to overwrite a BENCH_*.json record
+# from a non-optimized build, and stamp the record with its provenance.
+#
+# The PR 3-era BENCH_check.json carried no provenance: nothing in the file
+# said what build type or revision produced it (the context's
+# `library_build_type` field describes the system google-benchmark library,
+# not this repo's flags), so a record from an unoptimized build would be
+# indistinguishable from a real one. This script is what the
+# `bench-check-json` / `bench-sim-json` targets run instead of the bare
+# binary:
+#
+#   cmake -DBENCH=<exe> -DOUT=<json> -DBUILD_TYPE=<CMAKE_BUILD_TYPE>
+#         -DSOURCE_DIR=<repo root> -P record_bench.cmake
+#
+#  * BUILD_TYPE must be Release or RelWithDebInfo, unless the caller sets
+#    FTBAR_ALLOW_DEBUG_BENCH=1 in the environment (for local smoke runs
+#    whose output is not meant to be committed);
+#  * the repo's git revision and the build type are injected into the JSON's
+#    context block via --benchmark_context, so a record always says where it
+#    came from.
+
+if(NOT BUILD_TYPE MATCHES "^(Release|RelWithDebInfo)$")
+  if(NOT "$ENV{FTBAR_ALLOW_DEBUG_BENCH}" STREQUAL "1")
+    message(FATAL_ERROR
+        "refusing to record ${OUT} from a '${BUILD_TYPE}' build: benchmark "
+        "records must come from Release or RelWithDebInfo (set "
+        "FTBAR_ALLOW_DEBUG_BENCH=1 to override for throwaway local runs)")
+  endif()
+  message(WARNING "recording ${OUT} from a '${BUILD_TYPE}' build "
+                  "(FTBAR_ALLOW_DEBUG_BENCH=1)")
+endif()
+
+execute_process(COMMAND git -C ${SOURCE_DIR} rev-parse --short HEAD
+                OUTPUT_VARIABLE git_sha
+                OUTPUT_STRIP_TRAILING_WHITESPACE
+                RESULT_VARIABLE git_rc)
+if(NOT git_rc EQUAL 0)
+  set(git_sha "unknown")
+endif()
+execute_process(COMMAND git -C ${SOURCE_DIR} status --porcelain
+                OUTPUT_VARIABLE git_dirty OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT git_dirty STREQUAL "")
+  set(git_sha "${git_sha}-dirty")
+endif()
+
+execute_process(COMMAND ${BENCH}
+                        --benchmark_format=json
+                        --benchmark_out=${OUT}
+                        --benchmark_out_format=json
+                        --benchmark_context=build_type=${BUILD_TYPE}
+                        --benchmark_context=git_sha=${git_sha}
+                RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited ${bench_rc}; ${OUT} not recorded")
+endif()
+message(STATUS "recorded ${OUT} (build_type=${BUILD_TYPE}, git=${git_sha})")

@@ -1,0 +1,165 @@
+// Symmetry reduction for the explicit-state checker: canonicalization under
+// a cyclic automorphism group of the program.
+//
+// A Symmetry declares a cyclic group G = <g> of order m acting on states
+// (and, via `action_perm`, on action indices). The checker may explore the
+// QUOTIENT space — interning only the lexicographically minimal element of
+// each orbit — which is sound for an invariant I when
+//
+//   (1) g is a transition automorphism: action a is enabled at s iff
+//       action_perm(a) is enabled at g(s), and
+//       g(apply(a, s)) = apply(action_perm(a), g(s));
+//   (2) I is G-invariant: I(s) <=> I(g(s));
+//   (3) the root set is explored orbit-wise (each root is canonicalized on
+//       entry; roots in the same orbit collapse, which only removes
+//       duplicates since their reachable orbits coincide by (1)).
+//
+// Under (1)-(3), a state violating I is reachable iff a state of its orbit
+// is reachable in the quotient (Clarke/Emerson/Jha). Reachability of a
+// G-invariant predicate (the convergence queries' `legit`) is likewise
+// preserved, so the graph queries remain valid on the quotient graph.
+//
+// What group do the paper's programs admit? NOT process rotation: CB
+// resolves nondeterminism to the lowest-index process and RB/MB single out
+// a root (process 0) whose control domain differs from the followers', so
+// rotating processes maps reachable states to states of a DIFFERENT
+// verification problem. What all four programs do admit is the GLOBAL PHASE
+// ROTATION ph := ph + 1 (mod num_phases) applied to every process (MB: the
+// local copy c_ph rotates too — it is a copy of a neighbour's ph). Phases
+// are only ever compared for equality, copied, incremented modulo
+// num_phases, or counted distinct, so every guard and statement commutes
+// with the rotation and action_perm is the identity (see DESIGN.md §9 for
+// the per-action argument, including CB4's arbitrary-phase fallback, whose
+// non-equivariant branch is unreachable from the bundles' root sets).
+// Bundles declare this group in check/programs.cpp.
+//
+// Counterexample lifting. The store records, per interned state, the
+// exponent e with canonical = g^e(raw-discovered). Walking a canonical path
+// c_0 .. c_k back to a concrete execution keeps a running exponent u
+// (u_0 = -e_0 mod m, so the lifted path starts at the RAW root):
+//   s_i      = g^{u_i}(c_i)
+//   F_{i+1}  = action_perm^{u_i}(fired_{i+1})   (identity for phase shift)
+//   u_{i+1}  = u_i - e_{i+1}  (mod m)
+// Equivariance (1) makes each F step transform s_i into s_{i+1}, so the
+// lifted schedule replays digest-for-digest in the live engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/action.hpp"
+
+namespace ftbar::check {
+
+/// A cyclic transition-automorphism group <g> of order `order`.
+/// order <= 1 (or a null generator) means the trivial group: the
+/// canonicalizer degenerates to the identity and reduces nothing.
+template <class P>
+struct Symmetry {
+  std::size_t order = 1;
+  std::function<void(std::span<P>)> generator;  ///< applies g once, in place
+  /// Image of each action index under g; empty = identity (g commutes with
+  /// every action, the phase-rotation case).
+  std::vector<std::uint32_t> action_perm;
+  std::string name = "identity";
+
+  [[nodiscard]] bool trivial() const noexcept {
+    return order <= 1 || !generator;
+  }
+};
+
+/// Per-worker canonicalization scratch. Maps a raw state to the
+/// lexicographically minimal (raw-byte memcmp, a total order because P has
+/// unique object representations) element of its orbit, remembering the
+/// group exponent that got there.
+template <class P>
+class Canonicalizer {
+ public:
+  Canonicalizer(const Symmetry<P>* sym, std::size_t procs)
+      : sym_(sym), procs_(procs), image_(procs), best_(procs) {}
+
+  [[nodiscard]] std::size_t order() const noexcept {
+    return sym_ == nullptr || sym_->trivial() ? 1 : sym_->order;
+  }
+  [[nodiscard]] bool trivial() const noexcept { return order() == 1; }
+
+  /// Writes the canonical form of `in` to `out` (both length procs) and
+  /// returns the smallest exponent e with out = g^e(in).
+  std::uint32_t canonicalize(const P* in, P* out) {
+    if (trivial()) {
+      std::memcpy(out, in, bytes());
+      return 0;
+    }
+    std::memcpy(best_.data(), in, bytes());
+    std::memcpy(image_.data(), in, bytes());
+    std::uint32_t best_e = 0;
+    for (std::uint32_t k = 1; k < order(); ++k) {
+      sym_->generator(std::span<P>{image_});
+      if (std::memcmp(image_.data(), best_.data(), bytes()) < 0) {
+        std::memcpy(best_.data(), image_.data(), bytes());
+        best_e = k;
+      }
+    }
+    std::memcpy(out, best_.data(), bytes());
+    return best_e;
+  }
+
+  /// Applies g^k in place.
+  void apply_pow(std::span<P> s, std::uint32_t k) const {
+    for (std::uint32_t i = 0; i < k; ++i) sym_->generator(s);
+  }
+
+  /// The exponent of g^{-e} in <g>.
+  [[nodiscard]] std::uint32_t inverse(std::uint32_t e) const noexcept {
+    return e == 0 ? 0 : static_cast<std::uint32_t>(order()) - e;
+  }
+
+  /// Composes exponents: g^a . g^b = g^{(a+b) mod m}.
+  [[nodiscard]] std::uint32_t compose(std::uint32_t a,
+                                      std::uint32_t b) const noexcept {
+    return static_cast<std::uint32_t>((a + b) % order());
+  }
+
+  /// Rewrites a fired-action list through action_perm^k, then restores the
+  /// ascending-process order replay schedules expect (a no-op for the
+  /// identity action permutation).
+  void permute_fired(std::vector<std::uint32_t>& fired, std::uint32_t k,
+                     const std::vector<sim::Action<P>>& actions) const {
+    if (trivial() || k == 0 || sym_->action_perm.empty()) return;
+    for (auto& ai : fired) {
+      for (std::uint32_t i = 0; i < k; ++i) ai = sym_->action_perm[ai];
+    }
+    std::stable_sort(fired.begin(), fired.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return actions[a].process < actions[b].process;
+                     });
+  }
+
+  /// Size of the orbit of `s`: the smallest t > 0 with g^t(s) = s. Always
+  /// divides the group order (cyclic group acting on a point).
+  [[nodiscard]] std::size_t orbit_size(const P* s) {
+    if (trivial()) return 1;
+    std::memcpy(image_.data(), s, bytes());
+    for (std::size_t t = 1;; ++t) {
+      sym_->generator(std::span<P>{image_});
+      if (std::memcmp(image_.data(), s, bytes()) == 0) return t;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return procs_ * sizeof(P);
+  }
+
+  const Symmetry<P>* sym_;
+  std::size_t procs_;
+  std::vector<P> image_;  ///< walking image g^k(in)
+  std::vector<P> best_;   ///< minimal image so far
+};
+
+}  // namespace ftbar::check

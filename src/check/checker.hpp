@@ -6,35 +6,54 @@
 //
 //  * states are interned compactly in a sharded concurrent StateStore
 //    keyed by FNV state digests — no per-state std::vector<P> copies, no
-//    per-state heap allocation;
-//  * exploration is a level-synchronized parallel BFS: worker threads
-//    claim frontier batches from an atomic cursor, intern successors
-//    concurrently, and join at a level barrier (which is also the
-//    synchronization point making store metadata safely readable);
-//  * both execution semantics are checked, via check/semantics.hpp —
-//    interleaving AND maximal-parallel — closing the gap between what the
-//    simulator runs and what the checker verifies;
+//    per-state heap allocation — fronted by a lock-free duplicate-hit fast
+//    path (the common case past the first few levels);
+//  * two schedulers: a level-synchronized parallel BFS (workers claim
+//    frontier batches from an atomic cursor and join at a level barrier),
+//    and a WORK-STEALING scheduler (per-worker Chase-Lev deques, owner
+//    takes FIFO from its own top, termination via a global pending
+//    counter) under which fast workers never idle at level boundaries.
+//    Work-stealing keeps depths exact anyway: every state's depth is
+//    CAS-min'ed and a state rediscovered shallower is re-expanded, so the
+//    reported diameter equals the BFS diameter on clean exhaustive runs;
+//  * successor enumeration is INCREMENTAL (check/semantics.hpp): guards are
+//    re-evaluated only where the expanded state differs from the previous
+//    one (declared read-set index shared with the simulation engine), and
+//    successor digests resume from slot-boundary FNV checkpoints instead of
+//    re-hashing whole states;
+//  * optional SYMMETRY REDUCTION (check/canon.hpp): states are
+//    canonicalized under the program's declared cyclic automorphism group
+//    before interning, shrinking the stored space by up to the group order;
+//    per-state exponents lift any counterexample back to a concrete,
+//    replayable schedule (sound only for group-invariant invariants — the
+//    bundles' are);
+//  * both execution semantics are checked — interleaving AND
+//    maximal-parallel — closing the gap between what the simulator runs
+//    and what the checker verifies;
 //  * every interned state carries parent/fired back-pointers, so an
 //    invariant violation yields a full Counterexample path from a root
-//    (minimal-length, by BFS level order) ready for schedule replay.
+//    (minimal-length under BFS order) ready for schedule replay.
 //
 // Determinism: on a clean exhaustive run the visited-state set — and hence
-// states_visited and sorted_digests() — is independent of thread count and
-// scheduling (the reachable set is unique). When a violation is found with
-// threads > 1, WHICH violation is reported may vary run to run; use
-// threads = 1 where a deterministic counterexample matters (the CLI and
-// tests do). The transition graph handed to the convergence queries is
-// complete only for clean exhaustive runs; the queries abort on truncated
-// results rather than answer from a partial graph.
+// states_visited, levels and sorted_digests() — is independent of thread
+// count, scheduler and scheduling (the reachable set is unique; depths are
+// CAS-min-corrected). When a violation is found with threads > 1, WHICH
+// violation is reported may vary run to run; use threads = 1 where a
+// deterministic counterexample matters (the CLI and tests do). The
+// transition graph handed to the convergence queries is complete only for
+// clean exhaustive runs; the queries abort on truncated results rather
+// than answer from a partial graph.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -43,13 +62,54 @@
 #include <utility>
 #include <vector>
 
+#include "check/canon.hpp"
 #include "check/counterexample.hpp"
 #include "check/semantics.hpp"
 #include "check/state_store.hpp"
+#include "check/worklist.hpp"
 #include "sim/action.hpp"
+#include "sim/read_index.hpp"
 #include "sim/step_engine.hpp"
 
 namespace ftbar::check {
+
+enum class Schedule { kBfs, kWorkStealing };
+
+/// Exploration counters, aggregated across workers at the end of run().
+struct CheckCounters {
+  std::uint64_t expanded = 0;     ///< states whose successors were enumerated
+  std::uint64_t transitions = 0;  ///< successor states enumerated
+  std::uint64_t interned = 0;     ///< fresh states (== states_visited)
+  std::uint64_t dup_fast = 0;     ///< duplicates resolved lock-free
+  std::uint64_t dup_slow = 0;     ///< duplicates resolved under a shard mutex
+  std::uint64_t steals = 0;       ///< successful steals from another deque
+  std::uint64_t reexpansions = 0;  ///< depth-improvement re-expansions (ws)
+  std::uint64_t guard_evals = 0;  ///< guard closures invoked
+  double seconds = 0;             ///< wall time of the exploration
+
+  [[nodiscard]] double dedup_hit_rate() const noexcept {
+    return transitions == 0
+               ? 0.0
+               : static_cast<double>(dup_fast + dup_slow) /
+                     static_cast<double>(transitions);
+  }
+  [[nodiscard]] double states_per_sec() const noexcept {
+    return seconds > 0 ? static_cast<double>(expanded) / seconds : 0.0;
+  }
+};
+
+/// Live counters a monitor thread may poll while run() is in flight (the
+/// CLI's --stats). Workers flush local deltas every few hundred states, so
+/// values lag slightly but never require synchronization.
+struct CheckStats {
+  std::atomic<std::uint64_t> expanded{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> states{0};    ///< store size snapshot
+  std::atomic<std::uint64_t> dup_fast{0};
+  std::atomic<std::uint64_t> dup_slow{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> frontier{0};  ///< queued, not yet expanded
+};
 
 struct CheckOptions {
   sim::Semantics semantics = sim::Semantics::kInterleaving;
@@ -59,6 +119,18 @@ struct CheckOptions {
   /// converges_outside(). Off by default: violation hunting and state-count
   /// oracles don't need edges, and the edge list dwarfs the state store.
   bool record_edges = false;
+  Schedule schedule = Schedule::kBfs;
+  /// Canonicalize states under the program's declared symmetry group
+  /// before interning (see canon.hpp). Off by default: the quotient space
+  /// has different digests, so differential comparisons against the seed
+  /// Explorer require it off.
+  bool symmetry = false;
+  /// Incremental guard re-evaluation + digest checkpointing. Off = the
+  /// PR 3 recompute-everything baseline (kept selectable for benchmarks).
+  bool incremental = true;
+  /// Lock-free duplicate fast path in the store. Off = PR 3 baseline.
+  bool dedup_fast_path = true;
+  CheckStats* live_stats = nullptr;  ///< optional --stats sink
 };
 
 template <class P>
@@ -67,6 +139,7 @@ struct CheckResult {
   std::size_t levels = 0;  ///< BFS depth reached (diameter on clean runs)
   bool truncated = false;
   std::optional<Counterexample<P>> violation;
+  CheckCounters counters;
 
   [[nodiscard]] bool ok() const noexcept { return !violation && !truncated; }
 };
@@ -78,89 +151,101 @@ class Checker {
   using State = std::vector<P>;
   using Invariant = std::function<bool(const State&)>;
 
+  /// `symmetry` is the program's transition-automorphism group; it is only
+  /// consulted when options.symmetry is set. The default (trivial) group
+  /// makes canonicalization the identity.
   Checker(std::vector<sim::Action<P>> actions, std::size_t procs,
-          CheckOptions options = {})
-      : actions_(std::move(actions)), procs_(procs), options_(options) {}
+          CheckOptions options = {}, Symmetry<P> symmetry = {})
+      : actions_(std::move(actions)),
+        procs_(procs),
+        options_(options),
+        symmetry_(std::move(symmetry)) {}
 
   /// Explores everything reachable from `roots` under the configured
   /// semantics, stopping at the first state violating `invariant` (pass an
-  /// always-true predicate to just collect the reachable set).
+  /// always-true predicate to just collect the reachable set). With
+  /// symmetry on, `invariant` (and any later graph-query predicate) must be
+  /// invariant under the declared group — the bundles' are by construction.
   CheckResult<P> run(const std::vector<State>& roots, const Invariant& invariant) {
-    store_.emplace(procs_, options_.max_states, options_.threads > 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    store_.emplace(procs_, options_.max_states, options_.threads > 1,
+                   options_.dedup_fast_path);
     edges_.clear();
     stop_.store(false, std::memory_order_relaxed);
     truncated_.store(false, std::memory_order_relaxed);
+    pending_.store(0, std::memory_order_relaxed);
     violation_id_ = StateStore<P>::kNoId;
-
-    CheckResult<P> result;
-    std::vector<Id> frontier;
-    for (const auto& root : roots) {
-      if (root.size() != procs_) std::abort();  // bundle/options mismatch
-      const auto digest = store_->digest(root.data());
-      const auto res = store_->intern(root.data(), digest, StateStore<P>::kNoId, {});
-      if (!res.inserted) continue;
-      if (!invariant(root)) {
-        Counterexample<P> cx;
-        cx.path.push_back(root);
-        cx.semantics = options_.semantics;
-        cx.violated_by = "<initial>";
-        result.violation = std::move(cx);
-        result.states_visited = store_->size();
-        return result;
-      }
-      frontier.push_back(res.id);
+    use_symmetry_ = options_.symmetry && !symmetry_.trivial();
+    if (options_.incremental) {
+      read_index_ = sim::build_read_index(actions_, procs_);
     }
 
     const std::size_t nthreads = options_.threads == 0 ? 1 : options_.threads;
     std::vector<Worker> workers(nthreads);
-    if (nthreads == 1) {
-      while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
-        ++result.levels;
-        cursor_.store(0, std::memory_order_relaxed);
-        workers[0].next.clear();
-        workers[0].edges.clear();
-        expand_level(frontier, invariant, workers[0]);
-        merge_level(frontier, workers);
-      }
-    } else {
-      // Persistent worker pool, one spawn per run(): each BFS level is a
-      // barrier round (spawning per level would cost more than the level
-      // itself on small instances). The main thread owns the workers'
-      // buffers and the frontier while they are parked at `sync`.
-      std::barrier sync(static_cast<std::ptrdiff_t>(nthreads) + 1);
-      std::atomic<bool> done{false};
-      std::vector<std::thread> pool;
-      pool.reserve(nthreads);
-      for (auto& w : workers) {
-        pool.emplace_back([&] {
-          for (;;) {
-            sync.arrive_and_wait();  // level start
-            if (done.load(std::memory_order_acquire)) return;
-            expand_level(frontier, invariant, w);
-            sync.arrive_and_wait();  // level end: interns now visible
-          }
-        });
-      }
-      while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
-        ++result.levels;
-        cursor_.store(0, std::memory_order_relaxed);
-        for (auto& w : workers) {
-          w.next.clear();
-          w.edges.clear();
+    for (auto& w : workers) {
+      w.gen = std::make_unique<SuccessorGen<P>>(
+          actions_, procs_, options_.incremental ? &read_index_ : nullptr,
+          options_.incremental);
+      w.canon = std::make_unique<Canonicalizer<P>>(&symmetry_, procs_);
+      w.canon_buf.resize(procs_);
+    }
+
+    CheckResult<P> result;
+    std::vector<Id> frontier;
+    {
+      Canonicalizer<P> canon(&symmetry_, procs_);
+      std::vector<P> buf(procs_);
+      for (const auto& root : roots) {
+        if (root.size() != procs_) std::abort();  // bundle/options mismatch
+        std::uint32_t exp = 0;
+        const P* data = root.data();
+        if (use_symmetry_) {
+          exp = canon.canonicalize(root.data(), buf.data());
+          data = buf.data();
         }
-        sync.arrive_and_wait();
-        sync.arrive_and_wait();
-        merge_level(frontier, workers);
+        const auto digest = store_->digest(data);
+        const auto res = store_->intern(data, digest, StateStore<P>::kNoId, {},
+                                        /*depth=*/0, exp);
+        if (!res.inserted) continue;  // duplicate root (or orbit-equivalent)
+        if (!invariant(use_symmetry_ ? buf : root)) {
+          result.violation = path_to(res.id);
+          result.states_visited = store_->size();
+          return result;
+        }
+        frontier.push_back(res.id);
       }
-      done.store(true, std::memory_order_release);
-      sync.arrive_and_wait();
-      for (auto& t : pool) t.join();
+    }
+
+    if (options_.schedule == Schedule::kWorkStealing) {
+      run_work_stealing(frontier, invariant, workers, result);
+    } else {
+      run_bfs(frontier, invariant, workers, result);
     }
 
     result.states_visited = store_->size();
     result.truncated = truncated_.load(std::memory_order_relaxed);
     if (violation_id_ != StateStore<P>::kNoId) {
       result.violation = path_to(violation_id_);
+    }
+    for (auto& w : workers) {
+      w.counters.guard_evals = w.gen->guard_evals();
+      flush_stats(w);
+      result.counters.expanded += w.counters.expanded;
+      result.counters.transitions += w.counters.transitions;
+      result.counters.interned += w.counters.interned;
+      result.counters.dup_fast += w.counters.dup_fast;
+      result.counters.dup_slow += w.counters.dup_slow;
+      result.counters.steals += w.counters.steals;
+      result.counters.reexpansions += w.counters.reexpansions;
+      result.counters.guard_evals += w.counters.guard_evals;
+    }
+    result.counters.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (options_.live_stats != nullptr) {
+      options_.live_stats->states.store(store_->size(),
+                                        std::memory_order_relaxed);
+      options_.live_stats->frontier.store(0, std::memory_order_relaxed);
     }
     return result;
   }
@@ -169,14 +254,17 @@ class Checker {
   [[nodiscard]] const StateStore<P>& store() const { return *store_; }
 
   /// Sorted digests of the visited set — the cross-run/cross-implementation
-  /// fingerprint the differential tests compare.
+  /// fingerprint the differential tests compare. With symmetry on these are
+  /// digests of canonical representatives.
   [[nodiscard]] std::vector<std::uint64_t> sorted_digests() const {
     return store_->sorted_digests();
   }
 
   /// True iff from every visited state some state satisfying `legit` is
   /// reachable (possibility of convergence). Requires record_edges and a
-  /// clean exhaustive last run.
+  /// clean exhaustive last run. With symmetry on, `legit` must be
+  /// group-invariant (the quotient preserves reachability of invariant
+  /// predicates).
   [[nodiscard]] bool legit_reachable_from_all(const Invariant& legit) const {
     require_complete_graph();
     const auto ids = store_->all_ids();
@@ -215,7 +303,9 @@ class Checker {
   /// acyclic and no non-legit state is terminal — convergence under ANY
   /// (even unfair) scheduling. Requires record_edges and a clean exhaustive
   /// last run. Mirrors sim::Explorer::converges_outside so the two stay
-  /// cross-checkable.
+  /// cross-checkable. (A quotient cycle lifts to a cycle through rotated
+  /// copies in the full graph and vice versa, so the answer is unchanged
+  /// by symmetry reduction for group-invariant `legit`.)
   [[nodiscard]] bool converges_outside(const Invariant& legit) const {
     require_complete_graph();
     const auto ids = store_->all_ids();
@@ -259,9 +349,73 @@ class Checker {
 
  private:
   struct Worker {
-    std::vector<Id> next;
+    std::vector<Id> next;                    ///< BFS: next-level frontier
     std::vector<std::pair<Id, Id>> edges;
+    std::unique_ptr<SuccessorGen<P>> gen;
+    std::unique_ptr<Canonicalizer<P>> canon;
+    std::vector<P> canon_buf;
+    State current;
+    CheckCounters counters;       ///< cumulative locals
+    CheckCounters flushed;        ///< portion already pushed to live_stats
+    std::uint32_t since_flush = 0;
   };
+
+  static constexpr std::uint32_t kFlushEvery = 256;
+
+  [[nodiscard]] static std::uint64_t pack(Id id, std::uint32_t depth) noexcept {
+    return (static_cast<std::uint64_t>(id) << 32) | depth;
+  }
+
+  void run_bfs(std::vector<Id>& frontier, const Invariant& invariant,
+               std::vector<Worker>& workers, CheckResult<P>& result) {
+    std::uint32_t depth = 0;
+    const std::size_t nthreads = workers.size();
+    if (nthreads == 1) {
+      while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
+        ++result.levels;
+        cursor_.store(0, std::memory_order_relaxed);
+        workers[0].next.clear();
+        workers[0].edges.clear();
+        expand_level(frontier, depth, invariant, workers[0]);
+        merge_level(frontier, workers);
+        ++depth;
+      }
+      return;
+    }
+    // Persistent worker pool, one spawn per run(): each BFS level is a
+    // barrier round (spawning per level would cost more than the level
+    // itself on small instances). The main thread owns the workers'
+    // buffers and the frontier while they are parked at `sync`.
+    std::barrier sync(static_cast<std::ptrdiff_t>(nthreads) + 1);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (auto& w : workers) {
+      pool.emplace_back([&] {
+        for (;;) {
+          sync.arrive_and_wait();  // level start
+          if (done.load(std::memory_order_acquire)) return;
+          expand_level(frontier, depth, invariant, w);
+          sync.arrive_and_wait();  // level end: interns now visible
+        }
+      });
+    }
+    while (!frontier.empty() && !stop_.load(std::memory_order_relaxed)) {
+      ++result.levels;
+      cursor_.store(0, std::memory_order_relaxed);
+      for (auto& w : workers) {
+        w.next.clear();
+        w.edges.clear();
+      }
+      sync.arrive_and_wait();
+      sync.arrive_and_wait();
+      merge_level(frontier, workers);
+      ++depth;
+    }
+    done.store(true, std::memory_order_release);
+    sync.arrive_and_wait();
+    for (auto& t : pool) t.join();
+  }
 
   /// Merges the per-worker successor/edge buffers, in worker order, into the
   /// next frontier. Runs after the level barrier, so every intern of the
@@ -276,10 +430,8 @@ class Checker {
     }
   }
 
-  void expand_level(const std::vector<Id>& frontier, const Invariant& invariant,
-                    Worker& w) {
-    SuccessorGen<P> gen(actions_, procs_);
-    State current;
+  void expand_level(const std::vector<Id>& frontier, std::uint32_t depth,
+                    const Invariant& invariant, Worker& w) {
     constexpr std::size_t kBatch = 16;
     for (;;) {
       const std::size_t begin = cursor_.fetch_add(kBatch, std::memory_order_relaxed);
@@ -287,36 +439,176 @@ class Checker {
       const std::size_t end = std::min(begin + kBatch, frontier.size());
       for (std::size_t fi = begin; fi < end; ++fi) {
         if (stop_.load(std::memory_order_relaxed)) return;
-        const Id id = frontier[fi];
-        const auto span = store_->state(id);
-        current.assign(span.begin(), span.end());
-        gen.for_each_successor(current, options_.semantics, [&](const State& next,
-                                                                std::span<const std::uint32_t>
-                                                                    fired) {
+        expand_state(frontier[fi], depth, invariant, w, /*own=*/nullptr);
+      }
+    }
+  }
+
+  void run_work_stealing(std::vector<Id>& frontier, const Invariant& invariant,
+                         std::vector<Worker>& workers, CheckResult<P>& result) {
+    const std::size_t nthreads = workers.size();
+    std::vector<std::unique_ptr<WorkDeque>> deques;
+    deques.reserve(nthreads);
+    for (std::size_t i = 0; i < nthreads; ++i) {
+      deques.push_back(std::make_unique<WorkDeque>());
+    }
+    // Seed round-robin so workers start on disjoint regions.
+    pending_.store(static_cast<std::int64_t>(frontier.size()),
+                   std::memory_order_relaxed);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      deques[i % nthreads]->push(pack(frontier[i], 0));
+    }
+    frontier.clear();
+    auto worker_loop = [&](std::size_t wi) {
+      Worker& w = workers[wi];
+      std::size_t idle_spins = 0;
+      for (;;) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        std::uint64_t e = 0;
+        bool got = deques[wi]->steal(e);  // own top: FIFO, near-BFS order
+        if (!got) {
+          for (std::size_t k = 1; k < nthreads && !got; ++k) {
+            if (deques[(wi + k) % nthreads]->steal(e)) {
+              got = true;
+              ++w.counters.steals;
+            }
+          }
+        }
+        if (got) {
+          idle_spins = 0;
+          const Id id = static_cast<Id>(e >> 32);
+          const auto depth = static_cast<std::uint32_t>(e & 0xffffffffu);
+          expand_state(id, depth, invariant, w, deques[wi].get());
+          pending_.fetch_sub(1, std::memory_order_release);
+          continue;
+        }
+        // All deques looked empty. pending > 0 means an item is in flight
+        // (being expanded, or pushed between our probes) — keep polling.
+        if (pending_.load(std::memory_order_acquire) == 0) return;
+        if (++idle_spins > 64) std::this_thread::yield();
+      }
+    };
+    if (nthreads == 1) {
+      worker_loop(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads);
+      for (std::size_t i = 0; i < nthreads; ++i) {
+        pool.emplace_back(worker_loop, i);
+      }
+      for (auto& t : pool) t.join();
+    }
+    if (options_.record_edges) {
+      for (auto& w : workers) {
+        edges_.insert(edges_.end(), w.edges.begin(), w.edges.end());
+        w.edges.clear();
+      }
+    }
+    // Depth-corrected exact diameter (see class comment): on clean runs
+    // every depth equals the true BFS depth, and the deepest state sits
+    // max_depth levels below the roots. Mirror the BFS level count (which
+    // counts waves 0..max_depth). On a violation, mirror BFS's "levels
+    // completed when the violation was interned".
+    if (violation_id_ != StateStore<P>::kNoId) {
+      result.levels = store_->depth(violation_id_);
+    } else if (store_->size() > 0) {
+      result.levels = static_cast<std::size_t>(store_->max_depth()) + 1;
+    }
+  }
+
+  /// Enumerates the successors of `id` (recorded at `depth`), interning
+  /// each — canonicalized when symmetry reduction is on — and routing fresh
+  /// states to the scheduler (`own` deque in work-stealing mode, the
+  /// worker's next-level buffer otherwise).
+  void expand_state(Id id, std::uint32_t depth, const Invariant& invariant,
+                    Worker& w, WorkDeque* own) {
+    const auto span = store_->state(id);
+    w.current.assign(span.begin(), span.end());
+    ++w.counters.expanded;
+    w.gen->for_each_successor(
+        w.current, options_.semantics,
+        [&](const State& next, std::span<const std::uint32_t> fired,
+            std::uint64_t digest) {
           if (stop_.load(std::memory_order_relaxed)) return;
+          ++w.counters.transitions;
           if (store_->size() >= options_.max_states) {
             truncated_.store(true, std::memory_order_relaxed);
             stop_.store(true, std::memory_order_relaxed);
             return;
           }
-          const auto digest = store_->digest(next.data());
-          const auto res = store_->intern(next.data(), digest, id, fired);
-          if (options_.record_edges) w.edges.emplace_back(id, res.id);
-          if (!res.inserted) return;
-          if (!invariant(next)) {
-            std::scoped_lock lock(violation_mu_);
-            if (violation_id_ == StateStore<P>::kNoId) violation_id_ = res.id;
-            stop_.store(true, std::memory_order_relaxed);
-            return;
+          const P* data = next.data();
+          std::uint32_t exp = 0;
+          if (use_symmetry_) {
+            exp = w.canon->canonicalize(next.data(), w.canon_buf.data());
+            data = w.canon_buf.data();
+            digest = store_->digest(data);
           }
-          w.next.push_back(res.id);
+          const auto res =
+              store_->intern(data, digest, id, fired, depth + 1, exp);
+          if (options_.record_edges) w.edges.emplace_back(id, res.id);
+          if (res.inserted) {
+            ++w.counters.interned;
+            if (!invariant(use_symmetry_ ? w.canon_buf : next)) {
+              std::scoped_lock lock(violation_mu_);
+              if (violation_id_ == StateStore<P>::kNoId) violation_id_ = res.id;
+              stop_.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (own != nullptr) {
+              pending_.fetch_add(1, std::memory_order_relaxed);
+              own->push(pack(res.id, depth + 1));
+            } else {
+              w.next.push_back(res.id);
+            }
+          } else {
+            if (res.fast_hit) {
+              ++w.counters.dup_fast;
+            } else {
+              ++w.counters.dup_slow;
+            }
+            // Out-of-order discovery may have recorded too deep a depth;
+            // fix it and re-expand so successors inherit the correction.
+            // Impossible under level order (own == nullptr skips the CAS).
+            if (own != nullptr &&
+                store_->try_improve_depth(res.id, depth + 1)) {
+              ++w.counters.reexpansions;
+              pending_.fetch_add(1, std::memory_order_relaxed);
+              own->push(pack(res.id, depth + 1));
+            }
+          }
         });
-      }
+    if (options_.live_stats != nullptr && ++w.since_flush >= kFlushEvery) {
+      flush_stats(w);
     }
   }
 
-  /// Walks parent pointers from `vid` back to a root and materializes the
-  /// Counterexample. Runs after all workers joined, so metadata is stable.
+  /// Pushes the delta since the last flush into the live-stats atomics.
+  void flush_stats(Worker& w) {
+    w.since_flush = 0;
+    CheckStats* s = options_.live_stats;
+    if (s == nullptr) return;
+    s->expanded.fetch_add(w.counters.expanded - w.flushed.expanded,
+                          std::memory_order_relaxed);
+    s->transitions.fetch_add(w.counters.transitions - w.flushed.transitions,
+                             std::memory_order_relaxed);
+    s->dup_fast.fetch_add(w.counters.dup_fast - w.flushed.dup_fast,
+                          std::memory_order_relaxed);
+    s->dup_slow.fetch_add(w.counters.dup_slow - w.flushed.dup_slow,
+                          std::memory_order_relaxed);
+    s->steals.fetch_add(w.counters.steals - w.flushed.steals,
+                        std::memory_order_relaxed);
+    w.flushed = w.counters;
+    s->states.store(store_->size(), std::memory_order_relaxed);
+    const auto pending = pending_.load(std::memory_order_relaxed);
+    s->frontier.store(pending > 0 ? static_cast<std::uint64_t>(pending) : 0,
+                      std::memory_order_relaxed);
+  }
+
+  /// Walks parent pointers from `vid` back to a root, lifting the stored
+  /// canonical states to a CONCRETE execution via the recorded group
+  /// exponents (see canon.hpp: running exponent u_i, conjugated fired
+  /// lists). With symmetry off every exponent is 0 and this reduces to
+  /// plain materialization. Runs after all workers joined.
   [[nodiscard]] Counterexample<P> path_to(Id vid) const {
     std::vector<Id> ids;
     for (Id id = vid; id != StateStore<P>::kNoId; id = store_->parent(id)) {
@@ -325,13 +617,21 @@ class Checker {
     std::reverse(ids.begin(), ids.end());
     Counterexample<P> cx;
     cx.semantics = options_.semantics;
+    Canonicalizer<P> canon(&symmetry_, procs_);
+    std::uint32_t u = 0;
     for (std::size_t i = 0; i < ids.size(); ++i) {
-      const auto span = store_->state(ids[i]);
-      cx.path.emplace_back(span.begin(), span.end());
       if (i > 0) {
         const auto fired = store_->fired(ids[i]);
-        cx.fired.emplace_back(fired.begin(), fired.end());
+        std::vector<std::uint32_t> f(fired.begin(), fired.end());
+        canon.permute_fired(f, u, actions_);  // conjugate by g^{u_{i-1}}
+        cx.fired.push_back(std::move(f));
       }
+      u = i == 0 ? canon.inverse(store_->exponent(ids[0]))
+                 : canon.compose(u, canon.inverse(store_->exponent(ids[i])));
+      const auto span = store_->state(ids[i]);
+      State s(span.begin(), span.end());
+      canon.apply_pow(std::span<P>{s}, u);
+      cx.path.push_back(std::move(s));
     }
     cx.violated_by =
         cx.fired.empty() ? "<initial>" : actions_[cx.fired.back().back()].name;
@@ -365,9 +665,13 @@ class Checker {
   std::vector<sim::Action<P>> actions_;
   std::size_t procs_;
   CheckOptions options_;
+  Symmetry<P> symmetry_;
+  bool use_symmetry_ = false;
+  sim::ReadIndex read_index_;
   std::optional<StateStore<P>> store_;
   std::vector<std::pair<Id, Id>> edges_;
   std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::int64_t> pending_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> truncated_{false};
   std::mutex violation_mu_;

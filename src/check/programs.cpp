@@ -40,6 +40,27 @@ void add_single_proc_corruptions(std::vector<std::vector<P>>& roots,
   }
 }
 
+/// The global phase rotation ph := ph + 1 (mod n) applied to every process
+/// — the cyclic automorphism group all four programs share. Every guard
+/// only compares phases for equality (or counts distinct values) and every
+/// statement only copies or increments them mod n, so the rotation commutes
+/// with each action as-is: the action permutation is the identity. The one
+/// textual exception, CB4's arbitrary-phase fallback (ph := 0 when no
+/// process is ready or success), requires every process to sit at cp=error
+/// — unreachable from the bundles' root sets, which corrupt a single
+/// process and contain no error-producing action. DESIGN.md §9 spells the
+/// argument out per action.
+template <class P, class Rotate>
+Symmetry<P> phase_rotation(int num_phases, Rotate&& rotate_one) {
+  Symmetry<P> sym;
+  sym.order = static_cast<std::size_t>(num_phases);
+  sym.name = "phase-rotation";
+  sym.generator = [num_phases, rotate_one](std::span<P> s) {
+    for (auto& p : s) rotate_one(p, num_phases);
+  };
+  return sym;
+}
+
 ProgramBundle<core::RbProc> make_rb_like_bundle(
     std::shared_ptr<const topology::Topology> topo, int num_phases,
     std::string meta_topology) {
@@ -67,6 +88,9 @@ ProgramBundle<core::RbProc> make_rb_like_bundle(
       });
   b.safe = [](const core::RbState& s) { return !core::rb_any_corrupt_sn(s); };
   b.legit = [](const core::RbState& s) { return core::rb_is_start_state(s); };
+  b.symmetry = phase_rotation<core::RbProc>(
+      num_phases,
+      [](core::RbProc& p, int n) { p.ph = (p.ph + 1) % n; });
   return b;
 }
 
@@ -93,6 +117,9 @@ ProgramBundle<core::CbProc> make_cb_bundle(int num_procs, int num_phases) {
     return core::cb_legitimate(s, num_phases);
   };
   b.legit = b.safe;
+  b.symmetry = phase_rotation<core::CbProc>(
+      num_phases,
+      [](core::CbProc& p, int n) { p.ph = (p.ph + 1) % n; });
   return b;
 }
 
@@ -171,6 +198,12 @@ ProgramBundle<core::MbProc> make_mb_bundle(int num_procs, int num_phases,
     return true;
   };
   b.legit = [](const core::MbState& s) { return core::mb_is_start_state(s); };
+  // MB's copy cell holds a neighbour's ph, so it rotates with the owner.
+  b.symmetry = phase_rotation<core::MbProc>(
+      num_phases, [](core::MbProc& p, int n) {
+        p.ph = (p.ph + 1) % n;
+        p.c_ph = (p.c_ph + 1) % n;
+      });
   return b;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "check/canon.hpp"
 #include "core/cb.hpp"
 #include "core/mb.hpp"
 #include "core/rb.hpp"
@@ -44,6 +45,11 @@ struct ProgramBundle {
   std::vector<std::vector<P>> perturbed_roots;  ///< includes start_roots
   std::function<bool(const std::vector<P>&)> safe;   ///< fault-free closure invariant
   std::function<bool(const std::vector<P>&)> legit;  ///< convergence target
+  /// The program's declared cyclic transition-automorphism group (the
+  /// global phase rotation for all four programs; see canon.hpp and
+  /// DESIGN.md §9 for the soundness argument). safe/legit above are
+  /// invariant under it, so CheckOptions::symmetry may quotient by it.
+  Symmetry<P> symmetry;
 
   // `ftbar_sim replay` meta-line fields.
   std::string meta_program;

@@ -15,6 +15,26 @@
 //    the successor buffer and restored, so a statement violating
 //    write-ownership is caught by the same contract the engine enforces.
 //
+// Two per-state costs are made incremental (both optional, so the PR 3
+// full-recompute behaviour remains available as a benchmark baseline):
+//
+//  * ENABLED-SET MAINTENANCE. A SuccessorGen remembers the last state it
+//    expanded and, via the shared sim::ReadIndex (the engine's declared
+//    read-set -> dependents inversion), re-evaluates only the guards whose
+//    read-set intersects the slots that differ — under BFS/work-stealing
+//    order consecutive expanded states are usually siblings differing in
+//    one or two slots, so this replaces |actions| guard closures per state
+//    with a handful. Actions without a usable read-set are re-evaluated
+//    every time (full-scan fallback), exactly like the engine.
+//
+//  * SUCCESSOR DIGESTS. FNV-1a is a byte-serial fold, so the generator
+//    checkpoints the hash at every slot boundary of the CURRENT state and
+//    digests a successor by resuming from the first modified slot —
+//    O(changed suffix) instead of O(state). The callback receives the
+//    digest (bit-identical to trace::state_digest) along with the
+//    successor, so the store never re-hashes what enumeration already
+//    hashed.
+//
 // Fired-action lists are reported in ascending process order (interleaving:
 // a single index), exactly the order StepEngine emits kActionFired events —
 // so a path of (state, fired) pairs IS a valid ScheduleRecording step
@@ -26,11 +46,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "sim/action.hpp"
+#include "sim/read_index.hpp"
 #include "sim/step_engine.hpp"
+#include "trace/replay.hpp"
 
 namespace ftbar::check {
 
@@ -39,16 +62,42 @@ class SuccessorGen {
  public:
   using State = std::vector<P>;
 
-  SuccessorGen(const std::vector<sim::Action<P>>& actions, std::size_t procs)
-      : actions_(actions), choices_(procs) {}
+  /// `index` may be shared, read-only, across workers; pass nullptr to have
+  /// the generator build (and own) one. `incremental` = false restores the
+  /// evaluate-every-guard-per-state baseline.
+  SuccessorGen(const std::vector<sim::Action<P>>& actions, std::size_t procs,
+               const sim::ReadIndex* index = nullptr, bool incremental = true)
+      : actions_(actions),
+        procs_(procs),
+        incremental_(incremental),
+        choices_(procs),
+        enabled_flag_(actions.size(), 0),
+        eval_epoch_(actions.size(), 0),
+        checkpoints_(procs + 1, 0) {
+    if (incremental_) {
+      if (index != nullptr) {
+        idx_ = index;
+      } else {
+        owned_idx_ = sim::build_read_index(actions, procs);
+        idx_ = &owned_idx_;
+      }
+    }
+  }
 
-  /// Invokes `fn(next, fired)` once per successor of `current` under
-  /// `semantics`. `next` is a State reference and `fired` a span of action
-  /// indices, both valid only for the duration of the call. A state with no
+  /// Guard closures invoked so far (a full-scan generator performs
+  /// |actions| per expanded state; the incremental one far fewer).
+  [[nodiscard]] std::size_t guard_evals() const noexcept { return guard_evals_; }
+
+  /// Invokes `fn(next, fired, digest)` once per successor of `current`
+  /// under `semantics`. `next` is a State reference and `fired` a span of
+  /// action indices, both valid only for the duration of the call; `digest`
+  /// is trace::state_digest(next), computed incrementally. A state with no
   /// enabled action has no successors (quiescence is not a self-loop,
   /// matching the seed Explorer and the engine's step() == 0).
   template <class Fn>
   void for_each_successor(const State& current, sim::Semantics semantics, Fn&& fn) {
+    refresh_enabled(current);
+    checkpoint_digests(current);
     if (semantics == sim::Semantics::kInterleaving) {
       interleaving(current, fn);
     } else {
@@ -57,18 +106,70 @@ class SuccessorGen {
   }
 
  private:
+  /// Brings enabled_flag_ up to date for `current`. Incremental mode diffs
+  /// against the previously expanded state slot-by-slot and re-evaluates
+  /// only dependent guards (plus the full-scan fallback list); otherwise —
+  /// or on the first call / a size change — every guard is evaluated.
+  void refresh_enabled(const State& current) {
+    if (!incremental_ || !last_valid_ || last_.size() != current.size()) {
+      for (std::size_t i = 0; i < actions_.size(); ++i) {
+        enabled_flag_[i] = actions_[i].enabled(current) ? 1 : 0;
+      }
+      guard_evals_ += actions_.size();
+      if (incremental_) {
+        last_ = current;
+        last_valid_ = true;
+      }
+      return;
+    }
+    ++epoch_;
+    for (const std::size_t i : idx_->fullscan_actions) {
+      eval_epoch_[i] = epoch_;
+      enabled_flag_[i] = actions_[i].enabled(current) ? 1 : 0;
+      ++guard_evals_;
+    }
+    for (std::size_t p = 0; p < procs_; ++p) {
+      if (std::memcmp(&last_[p], &current[p], sizeof(P)) == 0) continue;
+      last_[p] = current[p];
+      for (const std::size_t i : idx_->deps_by_proc[p]) {
+        if (eval_epoch_[i] == epoch_) continue;  // already re-evaluated
+        eval_epoch_[i] = epoch_;
+        enabled_flag_[i] = actions_[i].enabled(current) ? 1 : 0;
+        ++guard_evals_;
+      }
+    }
+  }
+
+  /// FNV-1a states at every slot boundary of `current`: checkpoints_[p] is
+  /// the hash of slots [0, p). A successor equal to `current` below slot p
+  /// digests as fnv1a_resume(checkpoints_[p], successor bytes from p on).
+  void checkpoint_digests(const State& current) {
+    std::uint64_t h = trace::kFnv1aOffsetBasis;
+    for (std::size_t p = 0; p < procs_; ++p) {
+      checkpoints_[p] = h;
+      h = trace::fnv1a_resume(h, &current[p], sizeof(P));
+    }
+    checkpoints_[procs_] = h;
+  }
+
+  [[nodiscard]] std::uint64_t digest_from(std::size_t first_changed,
+                                          const State& next) const noexcept {
+    return trace::fnv1a_resume(checkpoints_[first_changed], &next[first_changed],
+                               (procs_ - first_changed) * sizeof(P));
+  }
+
   template <class Fn>
   void interleaving(const State& current, Fn&& fn) {
     next_ = current;
     for (std::size_t i = 0; i < actions_.size(); ++i) {
-      if (!actions_[i].enabled(current)) continue;
+      if (!enabled_flag_[i]) continue;
       const auto p = static_cast<std::size_t>(actions_[i].process);
       // next_ equals current here, so the statement reads the pre-state;
       // write-ownership means only slot p changed — restore just it.
       P saved = next_[p];
       actions_[i].apply(next_);
       fired_one_[0] = static_cast<std::uint32_t>(i);
-      fn(next_, std::span<const std::uint32_t>{fired_one_, 1});
+      fn(next_, std::span<const std::uint32_t>{fired_one_, 1}, digest_from(p, next_));
       next_[p] = saved;
     }
   }
@@ -79,7 +180,7 @@ class SuccessorGen {
     // process (the order the engine's counting-sorted index walks them).
     for (auto& c : choices_) c.clear();
     for (std::size_t i = 0; i < actions_.size(); ++i) {
-      if (actions_[i].enabled(current)) {
+      if (enabled_flag_[i]) {
         choices_[static_cast<std::size_t>(actions_[i].process)].push_back(
             static_cast<std::uint32_t>(i));
       }
@@ -92,7 +193,9 @@ class SuccessorGen {
 
     // Odometer over the cartesian product. Every combination fires the same
     // process set, so successive combinations overwrite exactly the slots
-    // the previous one wrote — next_ needs no per-combination reset.
+    // the previous one wrote — next_ needs no per-combination reset, and
+    // every successor differs from `current` only at slots >=
+    // firing_procs_.front() (ascending), which is where the digest resumes.
     odometer_.assign(firing_procs_.size(), 0);
     state_ = current;
     next_ = current;
@@ -108,7 +211,8 @@ class SuccessorGen {
         state_[p] = saved;
         fired_[k] = ai;
       }
-      fn(next_, std::span<const std::uint32_t>{fired_});
+      fn(next_, std::span<const std::uint32_t>{fired_},
+         digest_from(firing_procs_.front(), next_));
       std::size_t k = 0;
       for (; k < firing_procs_.size(); ++k) {
         if (++odometer_[k] < choices_[firing_procs_[k]].size()) break;
@@ -119,7 +223,23 @@ class SuccessorGen {
   }
 
   const std::vector<sim::Action<P>>& actions_;
+  std::size_t procs_;
+  bool incremental_;
+  const sim::ReadIndex* idx_ = nullptr;
+  sim::ReadIndex owned_idx_;
+
+  // Incremental enabled-set state.
   std::vector<std::vector<std::uint32_t>> choices_;  ///< per-proc enabled actions
+  std::vector<char> enabled_flag_;
+  std::vector<std::size_t> eval_epoch_;
+  std::size_t epoch_ = 0;
+  std::size_t guard_evals_ = 0;
+  State last_;  ///< previously expanded state (diff base)
+  bool last_valid_ = false;
+
+  // Digest checkpoints of the current state (slot-boundary FNV states).
+  std::vector<std::uint64_t> checkpoints_;
+
   std::vector<std::size_t> firing_procs_;
   std::vector<std::size_t> odometer_;
   std::vector<std::uint32_t> fired_;

@@ -11,31 +11,43 @@
 //    allocates nothing in steady state;
 //  * the dedup index is sharded 64 ways on the low bits of the FNV-1a
 //    state digest (trace::fnv1a_bytes, the digest record/replay
-//    introduced), one mutex per shard, so worker threads interning
-//    unrelated states never contend;
-//  * every interned state carries its BFS parent id and the action indices
-//    fired on the discovering edge, so any state — in particular an
-//    invariant violation — can be expanded into a full counterexample path
-//    back to a root without re-searching.
+//    introduced), one mutex per shard — each shard padded to its own cache
+//    lines so worker threads interning unrelated states never contend, not
+//    even by false sharing;
+//  * a LOCK-FREE DUPLICATE FAST PATH fronts the shards: a fixed-size open
+//    table of atomic id slots, probed before any mutex is touched. Past the
+//    first few BFS levels >90% of interns are duplicate hits, and the fast
+//    path resolves them with one acquire load plus one byte-compare. Slots
+//    are advisory (a hash collision may overwrite one); the mutex-guarded
+//    shard index stays authoritative, so a fast-path miss is never wrong,
+//    just slower;
+//  * every interned state carries its discovering edge (parent id + fired
+//    action indices), its symmetry-group exponent (canonical = g^exp(raw),
+//    used to lift quotient-space counterexamples back to concrete runs —
+//    see canon.hpp), and an atomically CAS-min'able depth, which the
+//    work-stealing scheduler uses to keep BFS depths exact out of order.
 //
 // Concurrency contract. intern() may be called from any number of threads.
-// state() may be called concurrently with intern() ONLY for ids published
-// to the caller before the current synchronization point (the checker's
-// level barrier): the block-pointer vector is reserved to its maximum size
-// up front so a concurrent append never reallocates the spine, and blob
-// bytes are written before the id escapes the shard mutex. Metadata
-// accessors (parent / fired / digest_of) are valid only after all
-// intern() calls have been joined.
+// state(), depth() and try_improve_depth() may be called concurrently with
+// intern() ONLY for ids published to the caller (returned from intern(),
+// read from a fast-path slot, or handed across the checker's scheduler):
+// the block-pointer spines are reserved to their maximum size up front so
+// a concurrent append never reallocates them, and blob bytes/depths are
+// written before the id escapes the shard mutex or is release-stored into
+// a fast-path slot. Metadata accessors (parent / fired / digest_of /
+// exponent / max_depth) are valid only after all intern() calls joined.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <span>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/replay.hpp"
@@ -58,17 +70,46 @@ class StateStore {
 
   /// `concurrent` = false elides the shard mutexes: valid only when every
   /// intern() comes from one thread (the checker passes threads > 1).
-  StateStore(std::size_t procs, std::size_t max_states, bool concurrent = true)
+  /// `fast_path` = false disables the lock-free duplicate table (the PR 3
+  /// baseline, kept selectable for benchmarking).
+  StateStore(std::size_t procs, std::size_t max_states, bool concurrent = true,
+             bool fast_path = true)
       : procs_(procs), state_bytes_(procs * sizeof(P)), concurrent_(concurrent) {
     // Reserve every shard's block spine for the worst case (all states in
     // one shard) so a concurrent reader never observes a reallocation.
     const std::size_t spine = max_states / kBlockStates + 2;
-    for (auto& shard : shards_) shard.blocks.reserve(spine);
+    for (auto& shard : shards_) {
+      shard.blocks.reserve(spine);
+      shard.depth_blocks.reserve(spine);
+      shard.index_keys.resize(kInitialIndexSlots);
+      shard.index_vals.assign(kInitialIndexSlots, 0);
+      shard.index_mask = kInitialIndexSlots - 1;
+    }
+    if (fast_path) {
+      // ~2 slots per possible state, power of two, bounded: the table is a
+      // cache keyed by digest bits, so undersizing only costs extra slow
+      // paths. Value-initialized atomics are zero = empty.
+      std::size_t want = max_states < (std::size_t{1} << 22)
+                             ? 2 * max_states
+                             : (std::size_t{1} << 23);
+      fast_bits_ = 12;
+      while ((std::size_t{1} << fast_bits_) < want && fast_bits_ < 23) {
+        ++fast_bits_;
+      }
+      // calloc, not make_unique: value-initializing the slots would fault
+      // in every page of a table sized for max_states up front; the OS's
+      // lazy zero pages make an untouched (or read-only-touched) region
+      // free. Slots are plain uint32_t accessed through std::atomic_ref.
+      fast_.reset(static_cast<std::uint32_t*>(
+          std::calloc(std::size_t{1} << fast_bits_, sizeof(std::uint32_t))));
+      if (fast_ == nullptr) throw std::bad_alloc();
+    }
   }
 
   struct InternResult {
     Id id = kNoId;
     bool inserted = false;
+    bool fast_hit = false;  ///< duplicate resolved without touching a shard
   };
 
   /// Digest of a whole-system state, as the replay layer computes it.
@@ -77,35 +118,87 @@ class StateStore {
   }
 
   /// Interns `s` (byte-compared against digest collisions). On first
-  /// insertion the discovering edge (parent, fired action indices) is
-  /// recorded; later discoveries of the same state keep the first edge.
+  /// insertion the discovering edge (parent, fired action indices), the
+  /// symmetry exponent and the discovery depth are recorded; later
+  /// discoveries of the same state keep the first edge (depth may still
+  /// improve via try_improve_depth).
   InternResult intern(const P* s, std::uint64_t digest, Id parent,
-                      std::span<const std::uint32_t> fired) {
+                      std::span<const std::uint32_t> fired,
+                      std::uint32_t depth = 0, std::uint32_t exponent = 0) {
+    std::uint32_t* fast_slot = nullptr;
+    if (fast_ != nullptr) {
+      fast_slot = &fast_[fast_index(digest)];
+      const std::uint32_t cached =
+          std::atomic_ref<std::uint32_t>(*fast_slot).load(
+              std::memory_order_acquire);
+      if (cached != 0) {
+        const Id cand = cached - 1;
+        const Shard& shard = shards_[cand & (kShards - 1)];
+        if (std::memcmp(slot(shard, cand >> kShardBits), s, state_bytes_) == 0) {
+          return {cand, false, true};
+        }
+      }
+    }
     Shard& shard = shards_[shard_of(digest)];
     std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
     if (concurrent_) lock.lock();
-    auto [it, fresh] = shard.index.try_emplace(digest, kNoLocal);
-    for (std::uint32_t local = it->second; local != kNoLocal;
-         local = shard.collision_next[local]) {
+    // Open-addressing digest index (linear probing, power-of-two, grown at
+    // ~70% load): the hot intern path must not pay a node allocation and a
+    // bucket-chain walk per fresh state the way an unordered_map does.
+    std::size_t probe = index_slot(shard, digest);
+    while (shard.index_vals[probe] != 0) {
+      if (shard.index_keys[probe] == digest) break;
+      probe = (probe + 1) & shard.index_mask;
+    }
+    const bool fresh = shard.index_vals[probe] == 0;
+    for (std::uint32_t local =
+             fresh ? kNoLocal : shard.index_vals[probe] - 1;
+         local != kNoLocal; local = shard.collision_next[local]) {
       if (std::memcmp(slot(shard, local), s, state_bytes_) == 0) {
-        return {make_id(shard_of(digest), local), false};
+        const Id found = make_id(shard_of(digest), local);
+        if (fast_slot != nullptr) {
+          std::atomic_ref<std::uint32_t>(*fast_slot).store(
+              found + 1, std::memory_order_release);
+        }
+        return {found, false, false};
       }
     }
     const auto local = static_cast<std::uint32_t>(shard.count);
     if (local % kBlockStates == 0) {
-      shard.blocks.push_back(std::make_unique<P[]>(kBlockStates * procs_));
+      // for_overwrite: zero-filling a 48KB block would cost more than the
+      // ~20 states a shard typically holds on small instances. Every slot
+      // and depth is fully written before its id is published.
+      shard.blocks.push_back(
+          std::make_unique_for_overwrite<P[]>(kBlockStates * procs_));
+      shard.depth_blocks.push_back(
+          std::make_unique_for_overwrite<std::atomic<std::uint32_t>[]>(
+              kBlockStates));
     }
     std::memcpy(slot(shard, local), s, state_bytes_);
+    depth_slot(shard, local).store(depth, std::memory_order_relaxed);
     shard.digests.push_back(digest);
     shard.parents.push_back(parent);
+    shard.exponents.push_back(exponent);
     shard.fired_offsets.push_back(static_cast<std::uint32_t>(shard.fired_arena.size()));
     shard.fired_arena.push_back(static_cast<std::uint32_t>(fired.size()));
     shard.fired_arena.insert(shard.fired_arena.end(), fired.begin(), fired.end());
-    shard.collision_next.push_back(fresh ? kNoLocal : it->second);
-    it->second = local;
+    shard.collision_next.push_back(fresh ? kNoLocal
+                                         : shard.index_vals[probe] - 1);
+    shard.index_keys[probe] = digest;
+    shard.index_vals[probe] = local + 1;
+    if (fresh && ++shard.index_used * 10 >= shard.index_mask * 7) {
+      grow_index(shard);
+    }
     ++shard.count;
     total_.fetch_add(1, std::memory_order_relaxed);
-    return {make_id(shard_of(digest), local), true};
+    const Id id = make_id(shard_of(digest), local);
+    if (fast_slot != nullptr) {
+      // Publish AFTER the blob bytes and depth: the release pairs with the
+      // fast path's acquire, so a fast-path reader sees complete bytes.
+      std::atomic_ref<std::uint32_t>(*fast_slot).store(
+          id + 1, std::memory_order_release);
+    }
+    return {id, true, false};
   }
 
   [[nodiscard]] std::span<const P> state(Id id) const {
@@ -125,6 +218,46 @@ class StateStore {
 
   [[nodiscard]] std::uint64_t digest_of(Id id) const {
     return shards_[id & (kShards - 1)].digests[id >> kShardBits];
+  }
+
+  /// Symmetry-group exponent recorded at first insertion: the stored
+  /// canonical state is g^exponent(raw state discovered).
+  [[nodiscard]] std::uint32_t exponent(Id id) const {
+    return shards_[id & (kShards - 1)].exponents[id >> kShardBits];
+  }
+
+  /// Discovery depth (safe concurrently for published ids).
+  [[nodiscard]] std::uint32_t depth(Id id) const {
+    return depth_slot(shards_[id & (kShards - 1)], id >> kShardBits)
+        .load(std::memory_order_relaxed);
+  }
+
+  /// CAS-min on the recorded depth. Returns true iff `depth` was strictly
+  /// smaller and is now stored — the work-stealing scheduler re-expands the
+  /// state in that case, so final depths equal true BFS depths regardless
+  /// of discovery order.
+  bool try_improve_depth(Id id, std::uint32_t depth) {
+    auto& slot = depth_slot(shards_[id & (kShards - 1)], id >> kShardBits);
+    std::uint32_t cur = slot.load(std::memory_order_relaxed);
+    while (depth < cur) {
+      if (slot.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Largest recorded depth (post-join; the BFS diameter on clean runs).
+  [[nodiscard]] std::uint32_t max_depth() const {
+    std::uint32_t best = 0;
+    for (const auto& shard : shards_) {
+      for (std::size_t local = 0; local < shard.count; ++local) {
+        best = std::max(best,
+                        depth_slot(shard, static_cast<std::uint32_t>(local))
+                            .load(std::memory_order_relaxed));
+      }
+    }
+    return best;
   }
 
   /// Total interned states. Relaxed: exact after a synchronization point,
@@ -161,14 +294,23 @@ class StateStore {
 
  private:
   static constexpr std::uint32_t kNoLocal = 0xffffffffu;
+  static constexpr std::size_t kInitialIndexSlots = 64;
 
-  struct Shard {
+  /// Padded to cache lines: neighbouring shards' mutexes and hot counters
+  /// must not share a line, or uncontended interns ping-pong it.
+  struct alignas(64) Shard {
     std::mutex mu;
-    std::unordered_map<std::uint64_t, std::uint32_t> index;  ///< digest -> newest local
+    // digest -> newest local + 1 (0 = empty), open addressing.
+    std::vector<std::uint64_t> index_keys;
+    std::vector<std::uint32_t> index_vals;
+    std::size_t index_mask = 0;
+    std::size_t index_used = 0;
     std::vector<std::uint32_t> collision_next;  ///< older state, same digest
     std::vector<std::unique_ptr<P[]>> blocks;
+    std::vector<std::unique_ptr<std::atomic<std::uint32_t>[]>> depth_blocks;
     std::vector<std::uint64_t> digests;
     std::vector<Id> parents;
+    std::vector<std::uint32_t> exponents;
     std::vector<std::uint32_t> fired_offsets;  ///< into fired_arena: [count, a...]
     std::vector<std::uint32_t> fired_arena;
     std::size_t count = 0;
@@ -185,10 +327,49 @@ class StateStore {
     return shard.blocks[local / kBlockStates].get() +
            (local % kBlockStates) * procs_;
   }
+  [[nodiscard]] static std::atomic<std::uint32_t>& depth_slot(
+      const Shard& shard, std::uint32_t local) {
+    return shard.depth_blocks[local / kBlockStates][local % kBlockStates];
+  }
+  /// Home slot in the shard's open-addressing index. The shard id consumed
+  /// the digest's low bits; the multiply redistributes the rest.
+  [[nodiscard]] static std::size_t index_slot(const Shard& shard,
+                                              std::uint64_t digest) noexcept {
+    return (digest * 0x9e3779b97f4a7c15ULL >> 32) & shard.index_mask;
+  }
+  /// Doubles a shard's index and re-inserts every key (caller holds the
+  /// shard mutex in concurrent mode; the index is never read lock-free).
+  static void grow_index(Shard& shard) {
+    const std::size_t cap = 2 * (shard.index_mask + 1);
+    std::vector<std::uint64_t> keys(cap);
+    std::vector<std::uint32_t> vals(cap, 0);
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i <= shard.index_mask; ++i) {
+      if (shard.index_vals[i] == 0) continue;
+      std::size_t probe =
+          (shard.index_keys[i] * 0x9e3779b97f4a7c15ULL >> 32) & mask;
+      while (vals[probe] != 0) probe = (probe + 1) & mask;
+      keys[probe] = shard.index_keys[i];
+      vals[probe] = shard.index_vals[i];
+    }
+    shard.index_keys = std::move(keys);
+    shard.index_vals = std::move(vals);
+    shard.index_mask = mask;
+  }
+  /// Fibonacci-hash the digest into the fast table (the shard index already
+  /// consumed the low bits; the multiply redistributes the rest).
+  [[nodiscard]] std::size_t fast_index(std::uint64_t digest) const noexcept {
+    return (digest * 0x9e3779b97f4a7c15ULL) >> (64 - fast_bits_);
+  }
 
   std::size_t procs_;
   std::size_t state_bytes_;
   bool concurrent_;
+  unsigned fast_bits_ = 0;
+  struct FreeDeleter {
+    void operator()(void* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::uint32_t[], FreeDeleter> fast_;  ///< id+1 slots; 0 empty
   std::atomic<std::size_t> total_{0};
   Shard shards_[kShards];
 };

@@ -1,0 +1,138 @@
+// Chase-Lev work-stealing deque, the scheduler substrate replacing the
+// checker's level-synchronized BFS.
+//
+// One deque per worker. The owner push()es newly discovered states at the
+// bottom; any thread (including the owner) may steal() from the top. The
+// checker's owner TAKES from the top of its own deque too — making each
+// deque FIFO in practice — so a single-threaded work-stealing run expands
+// states in exactly global BFS order, and multi-threaded runs stay near
+// breadth-first (which keeps the incremental successor generator's
+// diff-against-previous-state small and the depth-correction re-expansions
+// rare). pop() (LIFO bottom end) is provided for completeness and tested,
+// but the checker does not use it.
+//
+// Memory model follows Lê/Pop/Cohen/Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13): bottom is owner-local
+// (relaxed loads suffice for the owner), top is contended under a seq_cst
+// CAS, and the array pointer is release-published on growth. Retired
+// arrays are kept alive until deque destruction — a stale thief may still
+// be reading a slot of an old array after the owner grew; reclaiming it
+// any earlier would need hazard pointers for no measurable gain (growth is
+// rare and geometric).
+//
+// Elements are uint64 payloads (the checker packs a state id and its BFS
+// depth); empty-vs-success is reported via the bool return, so any payload
+// value is valid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ftbar::check {
+
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t initial_capacity = 1024) {
+    std::size_t cap = 64;
+    while (cap < initial_capacity) cap <<= 1;
+    active_ = new Array(cap);
+    array_.store(active_, std::memory_order_relaxed);
+    retired_.emplace_back(active_);
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only: append at the bottom.
+  void push(std::uint64_t v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = active_;
+    if (b - t > static_cast<std::int64_t>(a->cap) - 1) {
+      a = grow(a, t, b);
+    }
+    a->slot(b).store(v, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: remove from the bottom (LIFO). Unused by the checker.
+  bool pop(std::uint64_t& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = active_;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = a->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: remove from the top (FIFO).
+  bool steal(std::uint64_t& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Array* a = array_.load(std::memory_order_acquire);
+    const std::uint64_t v = a->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race; caller retries elsewhere
+    }
+    out = v;
+    return true;
+  }
+
+  /// Approximate occupancy (racy; stats only).
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t c)
+        : cap(c), mask(c - 1), data(std::make_unique<std::atomic<std::uint64_t>[]>(c)) {}
+    [[nodiscard]] std::atomic<std::uint64_t>& slot(std::int64_t i) const noexcept {
+      return data[static_cast<std::size_t>(i) & mask];
+    }
+    std::size_t cap;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> data;
+  };
+
+  /// Owner only. Doubles the array, copying the live range [t, b).
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->cap * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    active_ = bigger;
+    array_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(bigger);  // retired_ owns every array ever active
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  Array* active_ = nullptr;  ///< owner's cached copy of array_
+  std::vector<std::unique_ptr<Array>> retired_;
+};
+
+}  // namespace ftbar::check

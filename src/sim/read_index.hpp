@@ -1,0 +1,85 @@
+// Declared-read-set dependency index over an action system — the inversion
+// that makes incremental guard evaluation possible.
+//
+// Built once per (action list, process count), the index answers two
+// questions every incremental evaluator asks:
+//
+//  * "process p changed — which guards could have flipped?"
+//    deps_by_proc[p] lists every action whose declared read-set contains p.
+//    Actions without a (usable) read-set land in fullscan_actions and must
+//    be re-evaluated on every refresh — unannotated programs stay correct,
+//    just slower.
+//  * "which actions does process p own?"  proc_actions[proc_action_offsets[p]
+//    .. proc_action_offsets[p+1]) — counting-sorted so indices stay
+//    ascending within a process, which the engine's RNG-parity contract and
+//    the checker's successor-enumeration order both rely on.
+//
+// The index is immutable after construction and holds no reference to the
+// actions, so one instance can be shared read-only across worker threads
+// (the checker builds it once and hands a pointer to every per-worker
+// SuccessorGen); StepEngine keeps a private copy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/action.hpp"
+
+namespace ftbar::sim {
+
+struct ReadIndex {
+  std::vector<std::vector<std::size_t>> deps_by_proc;  ///< proc -> dependent actions
+  std::vector<std::size_t> fullscan_actions;  ///< actions without a usable read-set
+  std::vector<std::size_t> proc_action_offsets;  ///< n+1 slice boundaries
+  std::vector<std::size_t> proc_actions;         ///< concatenated ascending slices
+  std::size_t num_actions = 0;
+  std::size_t num_procs = 0;
+};
+
+/// Inverts declared read-sets into deps_by_proc, collects actions without
+/// one (or with out-of-range entries) into the full-scan list, and builds
+/// the flat proc -> own-actions index.
+template <class P>
+[[nodiscard]] ReadIndex build_read_index(const std::vector<Action<P>>& actions,
+                                         std::size_t num_procs) {
+  ReadIndex idx;
+  idx.num_actions = actions.size();
+  idx.num_procs = num_procs;
+  idx.deps_by_proc.assign(num_procs, {});
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    bool indexed = actions[i].has_read_set();
+    if (indexed) {
+      for (const int p : actions[i].reads) {
+        if (p < 0 || static_cast<std::size_t>(p) >= num_procs) {
+          indexed = false;
+          break;
+        }
+      }
+    }
+    if (!indexed) {
+      idx.fullscan_actions.push_back(i);
+      continue;
+    }
+    for (const int p : actions[i].reads) {
+      idx.deps_by_proc[static_cast<std::size_t>(p)].push_back(i);
+    }
+  }
+  // Counting sort of action indices by owning process.
+  idx.proc_action_offsets.assign(num_procs + 1, 0);
+  for (const auto& a : actions) {
+    ++idx.proc_action_offsets[static_cast<std::size_t>(a.process) + 1];
+  }
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    idx.proc_action_offsets[p + 1] += idx.proc_action_offsets[p];
+  }
+  idx.proc_actions.resize(actions.size());
+  {
+    auto cursor = idx.proc_action_offsets;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      idx.proc_actions[cursor[static_cast<std::size_t>(actions[i].process)]++] = i;
+    }
+  }
+  return idx;
+}
+
+}  // namespace ftbar::sim

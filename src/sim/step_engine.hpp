@@ -12,7 +12,8 @@
 //
 // Performance model. The engine maintains the enabled set incrementally:
 // at construction it inverts the actions' declared read-sets into a
-// process -> dependent-actions index, and after each step re-evaluates only
+// process -> dependent-actions index (sim/read_index.hpp, shared with the
+// checker's successor generator), and after each step re-evaluates only
 // the guards whose read-set intersects the processes written in that step.
 // Actions without a declared read-set are re-evaluated every step (the
 // full-scan fallback), so unannotated programs remain correct, just slower.
@@ -55,6 +56,7 @@
 #include <vector>
 
 #include "sim/action.hpp"
+#include "sim/read_index.hpp"
 #include "trace/sink.hpp"
 #include "util/rng.hpp"
 
@@ -73,7 +75,11 @@ class StepEngine {
         actions_(std::move(actions)),
         rng_(rng),
         semantics_(semantics) {
-    build_read_index();
+    idx_ = build_read_index(actions_, state_.size());
+    enabled_flag_.assign(actions_.size(), 0);
+    eval_epoch_.assign(actions_.size(), 0);
+    proc_enabled_count_.assign(state_.size(), 0);
+    full_rescan_ = true;
   }
 
   [[nodiscard]] const State& state() const noexcept { return state_; }
@@ -176,54 +182,6 @@ class StepEngine {
     }
   }
 
-  /// Inverts declared read-sets into deps_by_proc_, collects actions
-  /// without one (or with out-of-range entries) into the full-scan list,
-  /// and builds the flat proc -> own-actions index used by the
-  /// maximal-parallel selection loop.
-  void build_read_index() {
-    const std::size_t n = state_.size();
-    deps_by_proc_.assign(n, {});
-    fullscan_actions_.clear();
-    for (std::size_t i = 0; i < actions_.size(); ++i) {
-      bool indexed = actions_[i].has_read_set();
-      if (indexed) {
-        for (const int p : actions_[i].reads) {
-          if (p < 0 || static_cast<std::size_t>(p) >= n) {
-            indexed = false;
-            break;
-          }
-        }
-      }
-      if (!indexed) {
-        fullscan_actions_.push_back(i);
-        continue;
-      }
-      for (const int p : actions_[i].reads) {
-        deps_by_proc_[static_cast<std::size_t>(p)].push_back(i);
-      }
-    }
-    // Counting sort of action indices by owning process. Within a process
-    // the indices stay ascending, which the RNG-parity contract relies on.
-    proc_action_offsets_.assign(n + 1, 0);
-    for (const auto& a : actions_) {
-      ++proc_action_offsets_[static_cast<std::size_t>(a.process) + 1];
-    }
-    for (std::size_t p = 0; p < n; ++p) {
-      proc_action_offsets_[p + 1] += proc_action_offsets_[p];
-    }
-    proc_actions_.resize(actions_.size());
-    {
-      auto cursor = proc_action_offsets_;
-      for (std::size_t i = 0; i < actions_.size(); ++i) {
-        proc_actions_[cursor[static_cast<std::size_t>(actions_[i].process)]++] = i;
-      }
-    }
-    enabled_flag_.assign(actions_.size(), 0);
-    eval_epoch_.assign(actions_.size(), 0);
-    proc_enabled_count_.assign(n, 0);
-    full_rescan_ = true;
-  }
-
   /// Brings enabled_flag_ (and the per-process enabled counts) up to date:
   /// full scan after external mutation, otherwise only full-scan-mode
   /// actions plus the dependents of the processes written last step.
@@ -242,12 +200,12 @@ class StepEngine {
       return;
     }
     ++epoch_;
-    for (const std::size_t i : fullscan_actions_) {
+    for (const std::size_t i : idx_.fullscan_actions) {
       update_flag(i);
       ++guard_evals_;
     }
     for (const std::size_t p : dirty_procs_) {
-      for (const std::size_t i : deps_by_proc_[p]) {
+      for (const std::size_t i : idx_.deps_by_proc[p]) {
         if (eval_epoch_[i] == epoch_) continue;  // already re-evaluated this step
         eval_epoch_[i] = epoch_;
         update_flag(i);
@@ -304,8 +262,8 @@ class StepEngine {
       // action index, matching a naive full scan — to the chosen one.
       auto r = rng_.uniform(static_cast<std::uint64_t>(enabled_here));
       std::size_t pick = 0;
-      for (std::size_t k = proc_action_offsets_[p];; ++k) {
-        pick = proc_actions_[k];
+      for (std::size_t k = idx_.proc_action_offsets[p];; ++k) {
+        pick = idx_.proc_actions[k];
         if (enabled_flag_[pick] && r-- == 0) break;
       }
       // The statement reads the pre-state buffer and writes only slot p:
@@ -334,20 +292,16 @@ class StepEngine {
   std::size_t steps_ = 0;
   std::size_t guard_evals_ = 0;
 
-  // Incremental enabled-set machinery.
-  std::vector<std::vector<std::size_t>> deps_by_proc_;  ///< proc -> dependent actions
-  std::vector<std::size_t> fullscan_actions_;  ///< actions without a usable read-set
-  std::vector<char> enabled_flag_;             ///< per-action cached guard value
-  std::vector<int> proc_enabled_count_;        ///< per-proc count of set flags
-  std::vector<std::size_t> dirty_procs_;       ///< processes written last step
-  std::vector<std::size_t> eval_epoch_;        ///< per-action dedup stamp
+  // Incremental enabled-set machinery (the dependency index itself lives in
+  // sim/read_index.hpp; ascending action index within each process's slice
+  // is what the RNG-parity contract relies on).
+  ReadIndex idx_;
+  std::vector<char> enabled_flag_;        ///< per-action cached guard value
+  std::vector<int> proc_enabled_count_;   ///< per-proc count of set flags
+  std::vector<std::size_t> dirty_procs_;  ///< processes written last step
+  std::vector<std::size_t> eval_epoch_;   ///< per-action dedup stamp
   std::size_t epoch_ = 0;
   bool full_rescan_ = true;
-
-  // Flat proc -> own-action-indices index (counting-sorted at construction;
-  // ascending action index within each process's slice).
-  std::vector<std::size_t> proc_action_offsets_;  ///< n+1 slice boundaries
-  std::vector<std::size_t> proc_actions_;         ///< concatenated slices
 
   // Reusable per-step scratch (allocation-free steady state).
   std::vector<std::size_t> enabled_scratch_;

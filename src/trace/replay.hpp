@@ -36,16 +36,26 @@
 
 namespace ftbar::trace {
 
-/// FNV-1a over raw memory; the per-step state digest.
-[[nodiscard]] inline std::uint64_t fnv1a_bytes(const void* data,
-                                               std::size_t size) noexcept {
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 1469598103934665603ULL;
+
+/// Continues an FNV-1a hash from intermediate state `h`. Because FNV-1a is
+/// a byte-serial fold, hashing a buffer equals resuming from the hash of
+/// any prefix — the checker's successor generator exploits this to digest
+/// a successor that shares a prefix with its parent in O(suffix) time.
+[[nodiscard]] inline std::uint64_t fnv1a_resume(std::uint64_t h, const void* data,
+                                                std::size_t size) noexcept {
   const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ULL;
   for (std::size_t i = 0; i < size; ++i) {
     h ^= bytes[i];
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+/// FNV-1a over raw memory; the per-step state digest.
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(const void* data,
+                                               std::size_t size) noexcept {
+  return fnv1a_resume(kFnv1aOffsetBasis, data, size);
 }
 
 template <class P>

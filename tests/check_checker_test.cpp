@@ -95,7 +95,9 @@ TEST(SuccessorGen, InterleavingEmitsOneSuccessorPerEnabledAction) {
   std::vector<BitState> nexts;
   std::vector<std::vector<std::uint32_t>> fireds;
   gen.for_each_successor(BitState{Bit{0}, Bit{0}}, sim::Semantics::kInterleaving,
-                         [&](const BitState& n, std::span<const std::uint32_t> f) {
+                         [&](const BitState& n, std::span<const std::uint32_t> f,
+                             std::uint64_t digest) {
+                           EXPECT_EQ(digest, trace::state_digest(n));
                            nexts.push_back(n);
                            fireds.emplace_back(f.begin(), f.end());
                          });
@@ -115,7 +117,9 @@ TEST(SuccessorGen, MaxParallelEnumeratesChoiceProduct) {
   std::vector<BitState> nexts;
   std::vector<std::vector<std::uint32_t>> fireds;
   gen.for_each_successor(BitState{Bit{0}, Bit{0}}, sim::Semantics::kMaxParallel,
-                         [&](const BitState& n, std::span<const std::uint32_t> f) {
+                         [&](const BitState& n, std::span<const std::uint32_t> f,
+                             std::uint64_t digest) {
+                           EXPECT_EQ(digest, trace::state_digest(n));
                            nexts.push_back(n);
                            fireds.emplace_back(f.begin(), f.end());
                          });
@@ -132,10 +136,11 @@ TEST(SuccessorGen, QuiescentStateHasNoSuccessors) {
   int calls = 0;
   for (const auto sem :
        {sim::Semantics::kInterleaving, sim::Semantics::kMaxParallel}) {
-    gen.for_each_successor(BitState{Bit{1}}, sem,
-                           [&](const BitState&, std::span<const std::uint32_t>) {
-                             ++calls;
-                           });
+    gen.for_each_successor(
+        BitState{Bit{1}}, sem,
+        [&](const BitState&, std::span<const std::uint32_t>, std::uint64_t) {
+          ++calls;
+        });
   }
   EXPECT_EQ(calls, 0);
 }
@@ -147,10 +152,11 @@ TEST(SuccessorGen, MaxParallelAgreesWithStepEngine) {
   const RbState from = b.perturbed_roots[b.perturbed_roots.size() / 2];
   std::set<RbState> successors;
   SuccessorGen<RbProc> gen(b.actions, b.procs);
-  gen.for_each_successor(from, sim::Semantics::kMaxParallel,
-                         [&](const RbState& n, std::span<const std::uint32_t>) {
-                           successors.insert(n);
-                         });
+  gen.for_each_successor(
+      from, sim::Semantics::kMaxParallel,
+      [&](const RbState& n, std::span<const std::uint32_t>, std::uint64_t) {
+        successors.insert(n);
+      });
   ASSERT_FALSE(successors.empty());
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     sim::StepEngine<RbProc> eng(from, b.actions, util::Rng(seed),
@@ -241,6 +247,65 @@ TEST(Checker, CounterexamplePathReplaysStepByStep) {
   const auto report = trace::replay_schedule(counterexample_schedule(cx), b.actions);
   EXPECT_TRUE(report.ok) << report.message;
   EXPECT_EQ(report.steps_replayed, cx.length());
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing schedule
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealing, MatchesBfsStateCountDiameterAndDigestsAcrossThreadCounts) {
+  const auto b = make_rb_bundle(4);
+  const auto always = [](const RbState&) { return true; };
+
+  Checker<RbProc> bfs(b.actions, b.procs);
+  const auto bfs_res = bfs.run(b.perturbed_roots, always);
+  ASSERT_TRUE(bfs_res.ok());
+  const auto bfs_digests = bfs.sorted_digests();
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    CheckOptions opt;
+    opt.schedule = Schedule::kWorkStealing;
+    opt.threads = threads;
+    Checker<RbProc> ws(b.actions, b.procs, opt);
+    const auto res = ws.run(b.perturbed_roots, always);
+    ASSERT_TRUE(res.ok()) << threads << " threads";
+    EXPECT_EQ(res.states_visited, bfs_res.states_visited)
+        << threads << " threads";
+    EXPECT_EQ(res.levels, bfs_res.levels) << threads << " threads";
+    EXPECT_EQ(ws.sorted_digests(), bfs_digests) << threads << " threads";
+  }
+}
+
+TEST(WorkStealing, FindsTheViolationWheneverBfsDoesAndItReplays) {
+  const auto b = make_rb_bundle(3);
+  const std::function<bool(const RbState&)> no_success =
+      [](const RbState& s) { return s.front().cp != core::Cp::kSuccess; };
+
+  Checker<RbProc> bfs(b.actions, b.procs);
+  const bool bfs_violates =
+      bfs.run(b.start_roots, no_success).violation.has_value();
+  ASSERT_TRUE(bfs_violates);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    CheckOptions opt;
+    opt.schedule = Schedule::kWorkStealing;
+    opt.threads = threads;
+    Checker<RbProc> ws(b.actions, b.procs, opt);
+    const auto res = ws.run(b.start_roots, no_success);
+    ASSERT_EQ(res.violation.has_value(), bfs_violates) << threads << " threads";
+
+    // A work-stealing-discovered counterexample shrinks and replays exactly
+    // like a BFS one (which violation is found may differ run to run with
+    // threads > 1, so only the pipeline is pinned, not the specific path).
+    const auto small = shrink_counterexample(*res.violation, b.actions,
+                                             no_success);
+    ASSERT_GT(small.path.size(), 0u);
+    EXPECT_FALSE(no_success(small.path.back()));
+    const auto report =
+        trace::replay_schedule(counterexample_schedule(small), b.actions);
+    EXPECT_TRUE(report.ok) << report.message;
+    EXPECT_EQ(report.steps_replayed, small.length());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -60,12 +60,16 @@ struct MbVerdict {
 
 /// Exhausts MB(S, L) from `roots` under interleaving and reports both
 /// convergence queries against the doubled ring's one-token legitimacy.
-MbVerdict check_mb(int procs, int seq_modulus, const std::vector<MbState>& roots) {
+/// With `symmetry` the exploration runs on the phase-rotation quotient
+/// (sound here: the legitimacy predicate only reads sequence numbers).
+MbVerdict check_mb(int procs, int seq_modulus, const std::vector<MbState>& roots,
+                   bool symmetry = false) {
   auto b = make_mb_bundle(procs, /*num_phases=*/2, seq_modulus);
   CheckOptions opt;
   opt.record_edges = true;
   opt.max_states = 5'000'000;
-  Checker<MbProc> ck(b.actions, b.procs, opt);
+  opt.symmetry = symmetry;
+  Checker<MbProc> ck(b.actions, b.procs, opt, b.symmetry);
   const auto res = ck.run(roots, [](const MbState&) { return true; });
   EXPECT_FALSE(res.truncated);
   auto legit = [seq_modulus](const MbState& s) {
@@ -228,6 +232,68 @@ TEST_P(CbMaxPar, LockstepPreservesPhaseDiscrepancyForever) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CbMaxPar, ::testing::Values(3, 4));
+
+// ---------------------------------------------------------------------------
+// Symmetry reduction preserves every pinned verdict.
+// ---------------------------------------------------------------------------
+//
+// The three property families above are this repo's acceptance pins for the
+// checker. Quotient exploration must reproduce each verdict bit-for-bit —
+// including the NEGATIVE ones, where a reduction bug could manufacture or
+// hide a recovery path.
+
+TEST(SymmetryVerdicts, CbMaxParNonRecoveryHoldsOnTheQuotient) {
+  const auto b = make_cb_bundle(3);
+  for (const bool symmetry : {false, true}) {
+    CheckOptions opt;
+    opt.semantics = sim::Semantics::kMaxParallel;
+    opt.record_edges = true;
+    opt.symmetry = symmetry;
+    Checker<core::CbProc> ck(b.actions, b.procs, opt, b.symmetry);
+    const auto res =
+        ck.run(b.perturbed_roots, [](const core::CbState&) { return true; });
+    ASSERT_TRUE(res.ok()) << "symmetry " << symmetry;
+    EXPECT_FALSE(ck.legit_reachable_from_all(b.legit)) << "symmetry " << symmetry;
+    EXPECT_FALSE(ck.converges_outside(b.legit)) << "symmetry " << symmetry;
+  }
+}
+
+TEST(SymmetryVerdicts, RbGuaranteedRecoveryHoldsOnTheQuotient) {
+  // The exhaustive backing of the Lemma 3.4 m-bound (see
+  // tests/core_rb_mbound_test.cpp): recovery guaranteed from the whole
+  // undetectable neighbourhood, both semantics.
+  const auto b = make_rb_bundle(4);
+  for (const auto sem :
+       {sim::Semantics::kInterleaving, sim::Semantics::kMaxParallel}) {
+    for (const bool symmetry : {false, true}) {
+      CheckOptions opt;
+      opt.semantics = sem;
+      opt.record_edges = true;
+      opt.symmetry = symmetry;
+      Checker<RbProc> ck(b.actions, b.procs, opt, b.symmetry);
+      const auto res =
+          ck.run(b.perturbed_roots, [](const RbState&) { return true; });
+      ASSERT_TRUE(res.ok());
+      EXPECT_TRUE(ck.legit_reachable_from_all(b.legit))
+          << "semantics " << static_cast<int>(sem) << " symmetry " << symmetry;
+      EXPECT_TRUE(ck.converges_outside(b.legit))
+          << "semantics " << static_cast<int>(sem) << " symmetry " << symmetry;
+    }
+  }
+}
+
+TEST(SymmetryVerdicts, MbSeqBoundaryHoldsOnTheQuotient) {
+  // L = 2N still admits the non-convergent cycle, L = 2N+1 still converges
+  // — from the same witness roots, explored on the quotient.
+  const auto v4 = check_mb(3, 4, {witness_root(3, 4, {0, 0, 3, 2, 1, 0})},
+                           /*symmetry=*/true);
+  EXPECT_FALSE(v4.converges);
+  EXPECT_TRUE(v4.possible);
+  const auto v5 = check_mb(3, 5, {witness_root(3, 5, {0, 0, 3, 2, 1, 0})},
+                           /*symmetry=*/true);
+  EXPECT_TRUE(v5.converges);
+  EXPECT_TRUE(v5.possible);
+}
 
 }  // namespace
 }  // namespace ftbar::check

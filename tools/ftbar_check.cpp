@@ -22,6 +22,19 @@
 //                     state reachable from every visited state AND no
 //                     cycle/deadlock outside the legitimate set
 //   --mode exhaust|swarm (exhaust)
+//   --schedule bfs|ws (bfs)  exhaust exploration order: level-synchronized
+//                            BFS or work-stealing deques (same visited set
+//                            and diameter; ws scales better across threads)
+//   --symmetry               canonicalize states under the program's declared
+//                            symmetry group (phase rotation) — explores the
+//                            quotient space, one state per orbit. Verdicts
+//                            are unchanged (the invariants are group-
+//                            invariant); state counts shrink by roughly the
+//                            group order. Incompatible with --oracle, whose
+//                            differential state-count comparison only holds
+//                            in the unreduced space.
+//   --stats                  periodic exploration progress on stderr and a
+//                            final counters line after each run
 //   --threads T (1)          checker worker threads / swarm pool size
 //   --max-states M (2000000)
 //   --walks W (256) --depth D (256) --seed S (1)      swarm budget
@@ -35,12 +48,15 @@
 //   --cx-out FILE            write the (weakened or real) counterexample as
 //                            a replayable jsonl trace for `ftbar_sim replay`
 //   --csv                    machine-readable one-line-per-run output
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/checker.hpp"
@@ -62,6 +78,9 @@ struct Args {
   std::string semantics = "both";
   std::string fault_class = "undetectable";
   std::string mode = "exhaust";
+  std::string schedule = "bfs";
+  bool symmetry = false;
+  bool stats = false;
   std::size_t threads = 1;
   std::size_t max_states = 2'000'000;
   std::size_t walks = 256;
@@ -79,7 +98,8 @@ void usage(const char* argv0) {
                "usage: %s --program cb|rb|rbp|mb [--n N] [--num-phases n]\n"
                "  [--semantics interleaving|maxpar|both] "
                "[--fault-class none|undetectable]\n"
-               "  [--mode exhaust|swarm] [--threads T] [--max-states M]\n"
+               "  [--mode exhaust|swarm] [--schedule bfs|ws] [--symmetry]\n"
+               "  [--stats] [--threads T] [--max-states M]\n"
                "  [--walks W] [--depth D] [--seed S] [--seq-modulus L]\n"
                "  [--oracle] [--weaken] [--cx-out FILE] [--csv]\n",
                argv0);
@@ -106,6 +126,12 @@ Args parse(int argc, char** argv) {
       args.fault_class = value();
     } else if (flag == "--mode") {
       args.mode = value();
+    } else if (flag == "--schedule") {
+      args.schedule = value();
+    } else if (flag == "--symmetry") {
+      args.symmetry = true;
+    } else if (flag == "--stats") {
+      args.stats = true;
     } else if (flag == "--threads") {
       args.threads = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--max-states") {
@@ -139,6 +165,13 @@ Args parse(int argc, char** argv) {
     usage(argv[0]);
   }
   if (args.mode != "exhaust" && args.mode != "swarm") usage(argv[0]);
+  if (args.schedule != "bfs" && args.schedule != "ws") usage(argv[0]);
+  if (args.symmetry && args.oracle) {
+    std::fprintf(stderr,
+                 "error: --oracle compares unreduced state counts against the "
+                 "seed Explorer and cannot run with --symmetry\n");
+    std::exit(2);
+  }
   return args;
 }
 
@@ -222,9 +255,18 @@ int run_exhaust(const Args& args, const check::ProgramBundle<P>& bundle,
   copt.semantics = semantics;
   copt.max_states = args.max_states;
   copt.threads = args.threads;
+  copt.schedule = args.schedule == "ws" ? check::Schedule::kWorkStealing
+                                        : check::Schedule::kBfs;
+  copt.symmetry = args.symmetry;
   // Convergence queries need the transition graph; plain invariant checking
   // (fault-free closure, weakened-invariant hunts) does not.
   copt.record_edges = fc == check::FaultClass::kUndetectable && !args.weaken;
+
+  std::unique_ptr<check::CheckStats> live;
+  if (args.stats) {
+    live = std::make_unique<check::CheckStats>();
+    copt.live_stats = live.get();
+  }
 
   typename check::Checker<P>::Invariant invariant;
   if (args.weaken) {
@@ -241,11 +283,68 @@ int run_exhaust(const Args& args, const check::ProgramBundle<P>& bundle,
   const auto& roots =
       args.weaken ? bundle.roots(check::FaultClass::kNone) : bundle.roots(fc);
 
-  check::Checker<P> checker(bundle.actions, bundle.procs, copt);
+  check::Checker<P> checker(bundle.actions, bundle.procs, copt, bundle.symmetry);
+
+  // Progress reporter: a stderr line every ~2s while exploration runs,
+  // fed by the checker's lock-free live counters. Short runs print nothing.
+  std::atomic<bool> run_done{false};
+  std::thread progress;
+  if (args.stats) {
+    progress = std::thread([&] {
+      const auto start = std::chrono::steady_clock::now();
+      int ticks = 0;
+      while (!run_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (++ticks % 20 != 0) continue;
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        const auto expanded = live->expanded.load(std::memory_order_relaxed);
+        const auto transitions = live->transitions.load(std::memory_order_relaxed);
+        const auto dups = live->dup_fast.load(std::memory_order_relaxed) +
+                          live->dup_slow.load(std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "[check] %s/%s: states=%llu expanded=%llu (%.0f/s) "
+                     "frontier=%llu steals=%llu dedup=%.1f%%\n",
+                     args.program.c_str(), semantics_name(semantics),
+                     static_cast<unsigned long long>(
+                         live->states.load(std::memory_order_relaxed)),
+                     static_cast<unsigned long long>(expanded),
+                     secs > 0 ? static_cast<double>(expanded) / secs : 0.0,
+                     static_cast<unsigned long long>(
+                         live->frontier.load(std::memory_order_relaxed)),
+                     static_cast<unsigned long long>(
+                         live->steals.load(std::memory_order_relaxed)),
+                     transitions > 0 ? 100.0 * static_cast<double>(dups) /
+                                           static_cast<double>(transitions)
+                                     : 0.0);
+      }
+    });
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = checker.run(roots, invariant);
   const auto t1 = std::chrono::steady_clock::now();
+  run_done.store(true, std::memory_order_relaxed);
+  if (progress.joinable()) progress.join();
   const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  if (args.stats) {
+    const auto& c = result.counters;
+    std::fprintf(args.csv ? stderr : stdout,
+                 "  counters: expanded=%llu transitions=%llu interned=%llu "
+                 "dup_fast=%llu dup_slow=%llu steals=%llu reexpansions=%llu "
+                 "guard_evals=%llu dedup_hit=%.1f%% rate=%.0f states/s\n",
+                 static_cast<unsigned long long>(c.expanded),
+                 static_cast<unsigned long long>(c.transitions),
+                 static_cast<unsigned long long>(c.interned),
+                 static_cast<unsigned long long>(c.dup_fast),
+                 static_cast<unsigned long long>(c.dup_slow),
+                 static_cast<unsigned long long>(c.steals),
+                 static_cast<unsigned long long>(c.reexpansions),
+                 static_cast<unsigned long long>(c.guard_evals),
+                 100.0 * c.dedup_hit_rate(), c.states_per_sec());
+  }
 
   if (semantics == sim::Semantics::kInterleaving) {
     outcome.interleaving_states = result.states_visited;
