@@ -1,0 +1,90 @@
+// audit_bundle: the contract auditor's top-level orchestration over one
+// checking bundle — harvest probe states (the bundle's perturbed root set
+// plus deterministic random walks), infer every action's effects by
+// differential probing over the bundle's record domain, then run the lint
+// battery and the symmetry audit. Pure function of (bundle, config): the
+// resulting ProgramAudit renders to byte-identical reports across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/effects.hpp"
+#include "audit/lints.hpp"
+#include "audit/report.hpp"
+#include "audit/symmetry.hpp"
+#include "check/programs.hpp"
+
+namespace ftbar::audit {
+
+struct AuditConfig {
+  std::string program = "program";  ///< label for the report
+  GranularityRule granularity;      ///< defaults to kCoarse (no constraint)
+  std::string granularity_name = "coarse";
+  bool check_symmetry = true;
+  /// Probe-state harvest: walks per perturbed root and their depth, capped
+  /// at max_probe_states distinct states. The perturbed root set is already
+  /// |record domain| * procs states, so a couple of walks per root covers
+  /// plenty of mid-execution structure.
+  std::size_t walks_per_root = 2;
+  std::size_t walk_depth = 24;
+  std::size_t max_probe_states = 4096;
+  EffectOptions effects;  ///< variant sampling, determinism reps, seed
+};
+
+/// `extra_probe_roots` supplements the bundle's perturbed root set with
+/// states its single-corruption reduction cannot reach but the fault model
+/// can (repeated faults) — e.g. the mid-recovery BOT/TOP wave states of
+/// presets.hpp, without which a multi-child T4 guard is never witnessed.
+template <class P>
+[[nodiscard]] ProgramAudit audit_bundle(
+    const check::ProgramBundle<P>& bundle, const AuditConfig& cfg,
+    const std::vector<std::vector<P>>& extra_probe_roots = {}) {
+  ProgramAudit audit;
+  audit.program = cfg.program;
+  audit.procs = bundle.procs;
+  audit.granularity = cfg.granularity_name;
+
+  auto roots = bundle.perturbed_roots;
+  roots.insert(roots.end(), extra_probe_roots.begin(), extra_probe_roots.end());
+  const auto probe_states =
+      collect_probe_states(bundle.actions, roots, cfg.walks_per_root,
+                           cfg.walk_depth, cfg.effects.seed,
+                           cfg.max_probe_states);
+  audit.probe_states = probe_states.size();
+
+  const auto fx = infer_effects(bundle.actions, bundle.procs, probe_states,
+                                bundle.record_domain, cfg.effects);
+
+  audit.actions.reserve(bundle.actions.size());
+  for (std::size_t i = 0; i < bundle.actions.size(); ++i) {
+    const auto& a = bundle.actions[i];
+    ActionSummary s;
+    s.name = a.name;
+    s.process = a.process;
+    s.has_declared_reads = a.has_read_set();
+    if (s.has_declared_reads) s.declared_reads = a.reads;
+    s.guard_reads = fx[i].guard_reads;
+    s.stmt_reads = fx[i].stmt_reads;
+    s.writes = fx[i].writes;
+    s.probes = fx[i].guard_probes + fx[i].stmt_probes;
+    audit.variant_probes += s.probes;
+    audit.actions.push_back(std::move(s));
+  }
+
+  lint_read_sets(bundle.actions, fx, audit.findings);
+  lint_write_locality(bundle.actions, fx, audit.findings);
+  lint_determinism(bundle.actions, fx, audit.findings);
+  lint_granularity(bundle.actions, fx, cfg.granularity, audit.findings);
+  if (cfg.check_symmetry && !bundle.symmetry.trivial()) {
+    audit.symmetry = bundle.symmetry.name;
+    audit_symmetry(bundle.actions, bundle.procs, bundle.symmetry, probe_states,
+                   bundle.safe, bundle.legit, audit.findings);
+  }
+  sort_findings(audit.findings);
+  return audit;
+}
+
+}  // namespace ftbar::audit

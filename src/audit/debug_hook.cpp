@@ -1,0 +1,46 @@
+#include "audit/debug_hook.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftbar::audit {
+
+namespace detail {
+
+int& audit_suspend_depth() noexcept {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace detail
+
+bool debug_audit_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FTBAR_AUDIT_DEBUG");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled && detail::audit_suspend_depth() == 0;
+}
+
+void debug_fail(const std::vector<Finding>& findings, const char* site) {
+  bool fatal = false;
+  for (const auto& f : findings) {
+    fatal = fatal || f.severity == Severity::kError;
+    std::fprintf(stderr, "[%s] FTBAR_AUDIT_DEBUG %s: %s action '%s'%s: %s\n",
+                 site, f.severity == Severity::kError ? "error" : "warning",
+                 f.lint.c_str(), f.action.c_str(),
+                 f.slot >= 0 ? (" slot " + std::to_string(f.slot)).c_str() : "",
+                 f.message.c_str());
+  }
+  if (fatal) {
+    std::fprintf(stderr,
+                 "[%s] FTBAR_AUDIT_DEBUG: aborting on contract violation "
+                 "(unset FTBAR_AUDIT_DEBUG to skip construction-time "
+                 "auditing)\n",
+                 site);
+    std::abort();
+  }
+}
+
+}  // namespace ftbar::audit

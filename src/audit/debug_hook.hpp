@@ -1,0 +1,98 @@
+// Opt-in construction-time contract validation for debug builds: when the
+// environment variable FTBAR_AUDIT_DEBUG is set (non-empty, not "0"),
+// sim::StepEngine and the ftbar_check driver validate the action system
+// they were just handed — generic differential probing (no bundle domain
+// available here, so generic_record_domain's observed-records + byte-poke
+// variants) followed by the definite-error lints only:
+// read-set-soundness, write-locality, determinism. Tightness and
+// granularity are NOT enforced — the generic domain under-observes by
+// construction, and no program-class rule is known at this layer.
+//
+// On a violation the process writes the findings to stderr and aborts:
+// the contract bugs this traps (a guard reading an undeclared slot, a
+// statement writing a foreign slot) otherwise surface as silently wrong
+// simulation results. Debug builds only; the hook is compiled out under
+// NDEBUG and costs Release nothing.
+//
+// This header sits BELOW sim/step_engine.hpp in the include graph — it
+// depends only on sim/action.hpp, trace/digest.hpp and util/rng.hpp (via
+// audit/effects.hpp), so the engine constructor can call it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/effects.hpp"
+#include "audit/lints.hpp"
+
+namespace ftbar::audit {
+
+/// Cached FTBAR_AUDIT_DEBUG lookup (set and neither "" nor "0"); false
+/// while a DebugAuditSuspend is live on this thread.
+[[nodiscard]] bool debug_audit_enabled();
+
+namespace detail {
+/// Per-thread suspension depth for DebugAuditSuspend (nesting allowed).
+[[nodiscard]] int& audit_suspend_depth() noexcept;
+}  // namespace detail
+
+/// RAII suppression of construction-time auditing for action systems that
+/// carry an OBSERVER SIDE CHANNEL — e.g. ftbar_sim's actions notify a
+/// SpecMonitor from their statements. Differential probing would fire
+/// thousands of spurious monitor events (tripping safety verdicts that
+/// have nothing to do with the state), so drivers that attach monitors
+/// construct their engines under this guard and audit a monitor-free twin
+/// of the action system instead (effects.hpp's "monitor side channels must
+/// be detached" requirement, made enforceable).
+class DebugAuditSuspend {
+ public:
+  DebugAuditSuspend() noexcept { ++detail::audit_suspend_depth(); }
+  ~DebugAuditSuspend() { --detail::audit_suspend_depth(); }
+  DebugAuditSuspend(const DebugAuditSuspend&) = delete;
+  DebugAuditSuspend& operator=(const DebugAuditSuspend&) = delete;
+};
+
+/// Writes findings to stderr (prefixed with `site`) and, if any is an
+/// error, aborts. Defined in debug_hook.cpp to keep aborting out of line.
+void debug_fail(const std::vector<Finding>& findings, const char* site);
+
+/// Generic definite-error validation of an action system against the
+/// declared contracts, probing around `state` (the engine's initial
+/// state): short deterministic walks for probe states, observed records +
+/// byte pokes for variants (capped, so construction stays cheap).
+template <class P>
+[[nodiscard]] std::vector<Finding> quick_validate(
+    const std::vector<sim::Action<P>>& actions, std::size_t procs,
+    const std::vector<P>& state) {
+  std::vector<Finding> findings;
+  if (actions.empty() || state.size() != procs || procs == 0) return findings;
+  const auto probe_states = collect_probe_states(
+      actions, {state}, /*walks_per_root=*/2, /*depth=*/8,
+      /*seed=*/0x5eedau, /*max_states=*/32);
+  EffectOptions opt;
+  opt.max_variants_per_slot = 16;
+  opt.determinism_reps = 1;
+  opt.seed = 0x5eedau;
+  const auto fx = infer_effects(actions, procs, probe_states,
+                                generic_record_domain<P>(state), opt);
+  lint_read_sets(actions, fx, findings);
+  lint_write_locality(actions, fx, findings);
+  lint_determinism(actions, fx, findings);
+  // Definite errors only: drop the (expectedly noisy) tightness warnings.
+  std::erase_if(findings,
+                [](const Finding& f) { return f.severity != Severity::kError; });
+  sort_findings(findings);
+  return findings;
+}
+
+/// The one-liner call sites use: validate and abort on any definite error.
+template <class P>
+void debug_enforce(const std::vector<sim::Action<P>>& actions,
+                   std::size_t procs, const std::vector<P>& state,
+                   const char* site) {
+  const auto findings = quick_validate(actions, procs, state);
+  if (!findings.empty()) debug_fail(findings, site);
+}
+
+}  // namespace ftbar::audit

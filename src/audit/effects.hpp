@@ -1,0 +1,265 @@
+// Effect inference for guarded-command actions — the measurement half of
+// the contract auditor (the lint half lives in audit/lints.hpp).
+//
+// Three performance-critical consumers trust hand-written action metadata:
+// the incremental enabled-set maintenance in sim::StepEngine and
+// check::SuccessorGen trusts each declared `Action::reads`, the copy-free
+// max-parallel merge trusts the "statements write only slot `process`"
+// convention, and the symmetry-reduced checker trusts declared
+// automorphisms. None of those contracts is visible in the types — guards
+// and statements are opaque std::function closures — so this header infers
+// them experimentally by DIFFERENTIAL PROBING:
+//
+//   for every probe state s, slot p and alternative record v of the slot's
+//   domain, compare the action's behaviour on s against its behaviour on
+//   s[p := v]. A guard value that differs witnesses a guard read of p; a
+//   post-state slot q != p whose value differs witnesses a statement read
+//   of p; a post-state slot that differs from its input witnesses a write.
+//
+// The inferred sets are UNDER-approximations of the true semantic effect
+// sets (a dependence that no probe exercises is not observed), which fixes
+// the lint polarity: an inferred read OUTSIDE the declaration is a definite
+// contract violation, while a declared-but-never-observed read is only a
+// tightness warning. Probe quality therefore matters; callers feed the
+// checker bundles' perturbed root sets plus deterministic random-walk
+// states (collect_probe_states), and per-slot alternatives come from the
+// bundle's record domain — exhaustively for small domains, fuzz-sampled
+// (seeded) for large ones via EffectOptions::max_variants_per_slot.
+//
+// Requirements on P: copyable and equality-comparable. Statements may be
+// probed from any state whose guard holds — monitor side channels
+// (SpecMonitor et al.) must be detached (bundles are built monitor-free).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "trace/digest.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::audit {
+
+/// Enumerates the domain of alternatives for one process record: invoked as
+/// domain(j, base, emit), it emits every record the auditor may substitute
+/// for slot j whose current value is `base`. Emitting `base` itself is
+/// harmless (self-variants are skipped). For combinatorially heavy records
+/// a reduced enumeration (e.g. single-field sweeps around `base`, the same
+/// reduction MB's perturbed roots use) is acceptable — inference is an
+/// under-approximation by design.
+template <class P>
+using RecordDomain = std::function<void(
+    std::size_t, const P&, const std::function<void(const P&)>&)>;
+
+/// What differential probing observed about one action.
+struct ActionEffects {
+  std::vector<int> guard_reads;  ///< slots the guard observably depends on
+  std::vector<int> stmt_reads;   ///< slots a written value observably depends on
+  std::vector<int> writes;       ///< slots the statement observably wrote
+  bool guard_deterministic = true;  ///< same state -> same guard value, always
+  bool stmt_deterministic = true;   ///< same state -> same post-state, always
+  std::size_t guard_probes = 0;  ///< guard closure invocations charged to this action
+  std::size_t stmt_probes = 0;   ///< statement closure invocations
+};
+
+struct EffectOptions {
+  /// Per-(state, slot) cap on domain alternatives: 0 = exhaustive, else a
+  /// seeded uniform sample of this many (fuzz mode for large domains).
+  std::size_t max_variants_per_slot = 0;
+  /// Extra same-state re-evaluations hunting nondeterminism / hidden state.
+  std::size_t determinism_reps = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic probe-state harvesting: interleaved random walks through
+/// the action system from each root (weakly-fair uniform choice, the live
+/// engine's scheduler), deduplicated by state digest. Returns the roots
+/// plus every distinct state the walks visit, capped at `max_states`.
+/// Implemented standalone (not via sim::StepEngine) so harvesting works
+/// unchanged on deliberately contract-violating action systems — the
+/// mutation self-tests feed those in on purpose.
+template <class P>
+[[nodiscard]] std::vector<std::vector<P>> collect_probe_states(
+    const std::vector<sim::Action<P>>& actions,
+    const std::vector<std::vector<P>>& roots, std::size_t walks_per_root,
+    std::size_t depth, std::uint64_t seed, std::size_t max_states) {
+  std::vector<std::vector<P>> out;
+  std::unordered_set<std::uint64_t> seen;
+  auto keep = [&](const std::vector<P>& s) {
+    if (out.size() >= max_states) return false;
+    if (seen.insert(trace::state_digest(s)).second) out.push_back(s);
+    return out.size() < max_states;
+  };
+  for (const auto& root : roots) {
+    if (!keep(root)) return out;
+  }
+  util::Rng rng(seed);
+  std::vector<std::size_t> enabled;
+  for (const auto& root : roots) {
+    for (std::size_t w = 0; w < walks_per_root; ++w) {
+      std::vector<P> s = root;
+      for (std::size_t d = 0; d < depth; ++d) {
+        enabled.clear();
+        for (std::size_t i = 0; i < actions.size(); ++i) {
+          if (actions[i].guard(s)) enabled.push_back(i);
+        }
+        if (enabled.empty()) break;
+        actions[enabled[rng.uniform(enabled.size())]].apply(s);
+        if (!keep(s)) return out;
+      }
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+inline std::vector<int> flags_to_slots(const std::vector<char>& flags) {
+  std::vector<int> out;
+  for (std::size_t p = 0; p < flags.size(); ++p) {
+    if (flags[p]) out.push_back(static_cast<int>(p));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Runs differential probing of every action over `probe_states`,
+/// substituting per-slot alternatives drawn from `domain`. Deterministic
+/// for a fixed (actions, probe_states, domain, options) tuple — byte-equal
+/// reports across runs with the same seed are a tested property.
+template <class P>
+[[nodiscard]] std::vector<ActionEffects> infer_effects(
+    const std::vector<sim::Action<P>>& actions, std::size_t procs,
+    const std::vector<std::vector<P>>& probe_states,
+    const RecordDomain<P>& domain, const EffectOptions& opt = {}) {
+  const std::size_t num_actions = actions.size();
+  std::vector<ActionEffects> fx(num_actions);
+  std::vector<std::vector<char>> guard_reads(num_actions,
+                                             std::vector<char>(procs, 0));
+  std::vector<std::vector<char>> stmt_reads(num_actions,
+                                            std::vector<char>(procs, 0));
+  std::vector<std::vector<char>> writes(num_actions, std::vector<char>(procs, 0));
+
+  util::Rng rng(opt.seed);
+  std::vector<char> g0(num_actions, 0);
+  std::vector<std::vector<P>> post0(num_actions);
+  std::vector<P> variants;        // per-(state, slot) domain scratch
+  std::vector<P> probe, post1;    // perturbed state / post-state scratch
+
+  auto observe_writes = [&](std::size_t i, const std::vector<P>& pre,
+                            const std::vector<P>& post) {
+    for (std::size_t q = 0; q < procs; ++q) {
+      if (!(post[q] == pre[q])) writes[i][q] = 1;
+    }
+  };
+
+  for (const auto& s : probe_states) {
+    if (s.size() != procs) continue;  // defensive: foreign-sized probe state
+    // Baseline pass: guard values, post-states, determinism re-checks.
+    for (std::size_t i = 0; i < num_actions; ++i) {
+      g0[i] = actions[i].guard(s) ? 1 : 0;
+      ++fx[i].guard_probes;
+      for (std::size_t r = 0; r < opt.determinism_reps; ++r) {
+        ++fx[i].guard_probes;
+        if ((actions[i].guard(s) ? 1 : 0) != g0[i]) fx[i].guard_deterministic = false;
+      }
+      if (g0[i] != 0) {
+        post0[i] = s;
+        actions[i].apply(post0[i]);
+        ++fx[i].stmt_probes;
+        observe_writes(i, s, post0[i]);
+        for (std::size_t r = 0; r < opt.determinism_reps; ++r) {
+          post1 = s;
+          actions[i].apply(post1);
+          ++fx[i].stmt_probes;
+          if (!(post1 == post0[i])) fx[i].stmt_deterministic = false;
+        }
+      }
+    }
+    // Differential pass: one perturbed slot at a time.
+    for (std::size_t p = 0; p < procs; ++p) {
+      variants.clear();
+      domain(p, s[p], [&](const P& v) { variants.push_back(v); });
+      if (opt.max_variants_per_slot != 0 &&
+          variants.size() > opt.max_variants_per_slot) {
+        // Seeded partial Fisher-Yates: the first k entries become a uniform
+        // sample, order-deterministic for a fixed seed.
+        for (std::size_t k = 0; k < opt.max_variants_per_slot; ++k) {
+          const auto j = k + rng.uniform(variants.size() - k);
+          std::swap(variants[k], variants[j]);
+        }
+        variants.resize(opt.max_variants_per_slot);
+      }
+      for (const P& v : variants) {
+        if (v == s[p]) continue;  // self-variant: no differential signal
+        probe = s;
+        probe[p] = v;
+        for (std::size_t i = 0; i < num_actions; ++i) {
+          const char g1 = actions[i].guard(probe) ? 1 : 0;
+          ++fx[i].guard_probes;
+          if (g1 != g0[i]) guard_reads[i][p] = 1;
+          if (g1 == 0) continue;
+          post1 = probe;
+          actions[i].apply(post1);
+          ++fx[i].stmt_probes;
+          observe_writes(i, probe, post1);
+          if (g0[i] == 0) continue;  // no baseline post-state to compare with
+          // A written value at q != p that differs between the runs can
+          // only come from the statement reading slot p (the inputs agree
+          // everywhere but p).
+          for (std::size_t q = 0; q < procs; ++q) {
+            if (q != p && !(post1[q] == post0[i][q])) {
+              stmt_reads[i][p] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Late same-state re-evaluation: a guard with hidden mutable state that
+    // drifted during the differential pass is caught here.
+    for (std::size_t i = 0; i < num_actions; ++i) {
+      ++fx[i].guard_probes;
+      if ((actions[i].guard(s) ? 1 : 0) != g0[i]) fx[i].guard_deterministic = false;
+    }
+  }
+
+  for (std::size_t i = 0; i < num_actions; ++i) {
+    fx[i].guard_reads = detail::flags_to_slots(guard_reads[i]);
+    fx[i].stmt_reads = detail::flags_to_slots(stmt_reads[i]);
+    fx[i].writes = detail::flags_to_slots(writes[i]);
+  }
+  return fx;
+}
+
+/// A domain-oblivious RecordDomain for generic validation (the
+/// FTBAR_AUDIT_DEBUG construction-time hook, where no bundle domain is
+/// available): substitutes the records observed at OTHER slots of the
+/// sample pool, plus every single-byte increment of the base record.
+/// Byte increments can fabricate values outside a field's semantic domain
+/// (e.g. an out-of-range enumerator); guards only compare and copy such
+/// values, so this is safe for the repo's programs, but domain-aware
+/// auditing via the bundle's own domain is strictly better.
+template <class P>
+[[nodiscard]] RecordDomain<P> generic_record_domain(std::vector<P> pool) {
+  return [pool = std::move(pool)](std::size_t, const P& base,
+                                  const std::function<void(const P&)>& emit) {
+    for (const P& r : pool) {
+      if (!(r == base)) emit(r);
+    }
+    for (std::size_t off = 0; off < sizeof(P); ++off) {
+      P v = base;
+      // Canonical byte poke; P is required to be trivially copyable by the
+      // record/replay layer's raw-byte digesting, so this is well-defined.
+      auto* bytes = reinterpret_cast<unsigned char*>(&v);
+      bytes[off] = static_cast<unsigned char>(bytes[off] + 1);
+      emit(v);
+    }
+  };
+}
+
+}  // namespace ftbar::audit

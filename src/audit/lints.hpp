@@ -1,0 +1,216 @@
+// The contract lint battery: checks inferred action effects (audit/
+// effects.hpp) against every declaration a performance-critical consumer
+// trusts. Which lint guards which consumer:
+//
+//   read-set-soundness   — Action::reads vs inferred guard reads. An
+//                          undeclared read means sim::StepEngine /
+//                          check::SuccessorGen skip a guard re-evaluation
+//                          they must not skip: wrong enabled sets, wrong
+//                          simulations, wrong state spaces. Error.
+//   read-set-tightness   — declared-but-never-observed reads. Correct but
+//                          wasteful (spurious invalidations); also the
+//                          worklist for honest annotation. Warning, because
+//                          inference under-approximates: the slot may be
+//                          read only in a region no probe reaches.
+//   write-locality       — inferred writes vs {owner}. A foreign write is
+//                          dropped (or worse, leaked a step later) by the
+//                          copy-free max-parallel merge and desyncs the
+//                          engines' dirty-slot tracking. Error.
+//   determinism          — guard/statement must be pure functions of the
+//                          state. A stateful or randomized closure breaks
+//                          cached enabled flags and record/replay. Error.
+//   granularity          — program-class conformance (paper §3/§4.1/§5):
+//                          CB may read everything; RB/RB' actions may read
+//                          beyond their owner only along declared topology
+//                          links; MB actions obey the read-XOR-write shape:
+//                          they either touch a single ring neighbour or
+//                          only their own slot. Error.
+//
+// Slot granularity: process records are the unit of observation, so the MB
+// rule is checked as "foreign footprint is at most one ring neighbour" —
+// the sub-record half of §5 (copy actions write only copy cells) is not
+// separable without a field map and is argued in DESIGN.md instead.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "audit/effects.hpp"
+#include "sim/action.hpp"
+
+namespace ftbar::audit {
+
+enum class Severity { kWarning, kError };
+
+/// One lint hit. `lint` is a stable slug (the JSON contract):
+/// read-set-soundness | read-set-tightness | write-locality | determinism |
+/// granularity | mb-read-xor-write | symmetry.
+struct Finding {
+  std::string lint;
+  Severity severity = Severity::kError;
+  std::string action;  ///< offending action name ("(group)" for symmetry-global)
+  int slot = -1;       ///< offending process slot, -1 when not slot-specific
+  std::string message;
+};
+
+/// How a program class constrains action footprints.
+enum class GranularityClass {
+  kCoarse,  ///< CB: any guard may read any slot
+  kLocal,   ///< RB/RB': foreign effects only along allowed_foreign links
+  kMbReadXorWrite,  ///< MB: foreign footprint empty or one allowed neighbour
+};
+
+struct GranularityRule {
+  GranularityClass klass = GranularityClass::kCoarse;
+  /// Per-owner allowed foreign slots (topology neighbours); indexed by the
+  /// action's owning process. Unused for kCoarse.
+  std::vector<std::vector<int>> allowed_foreign;
+  /// Cap on distinct foreign slots per action; -1 = no cap (RB' roots
+  /// legitimately read one leaf per ring). kMbReadXorWrite forces 1.
+  int max_foreign = -1;
+};
+
+namespace detail {
+
+inline bool contains(const std::vector<int>& xs, int x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+/// Foreign (non-owner) union of guard and statement reads.
+inline std::vector<int> foreign_reads(const ActionEffects& fx, int owner) {
+  std::vector<int> out;
+  for (const int p : fx.guard_reads) {
+    if (p != owner) out.push_back(p);
+  }
+  for (const int p : fx.stmt_reads) {
+    if (p != owner && !contains(out, p)) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace detail
+
+/// Read-set soundness (error) and tightness (warning). Actions without a
+/// declared read-set are full-scan by contract — nothing to check, but the
+/// auditor's per-action summary still reports what they actually read,
+/// which is the annotation worklist.
+template <class P>
+void lint_read_sets(const std::vector<sim::Action<P>>& actions,
+                    const std::vector<ActionEffects>& fx,
+                    std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const auto& a = actions[i];
+    if (!a.has_read_set()) continue;
+    for (const int p : fx[i].guard_reads) {
+      if (!detail::contains(a.reads, p)) {
+        out.push_back({"read-set-soundness", Severity::kError, a.name, p,
+                       "guard observably reads slot " + std::to_string(p) +
+                           " which is not in the declared read-set; "
+                           "incremental enabled-set maintenance will skip a "
+                           "required re-evaluation"});
+      }
+    }
+    for (const int p : a.reads) {
+      if (!detail::contains(fx[i].guard_reads, p)) {
+        out.push_back({"read-set-tightness", Severity::kWarning, a.name, p,
+                       "declared read of slot " + std::to_string(p) +
+                           " was never observed by any probe; if genuinely "
+                           "unread it costs spurious invalidations"});
+      }
+    }
+  }
+}
+
+/// Writes must stay inside the owner's slot (the max-parallel merge's hard
+/// requirement; also what dirty-slot tracking assumes under interleaving).
+template <class P>
+void lint_write_locality(const std::vector<sim::Action<P>>& actions,
+                         const std::vector<ActionEffects>& fx,
+                         std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    for (const int q : fx[i].writes) {
+      if (q != actions[i].process) {
+        out.push_back({"write-locality", Severity::kError, actions[i].name, q,
+                       "statement wrote foreign slot " + std::to_string(q) +
+                           " (owner is " + std::to_string(actions[i].process) +
+                           "); the max-parallel merge drops or leaks such "
+                           "writes"});
+      }
+    }
+  }
+}
+
+template <class P>
+void lint_determinism(const std::vector<sim::Action<P>>& actions,
+                      const std::vector<ActionEffects>& fx,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (!fx[i].guard_deterministic) {
+      out.push_back({"determinism", Severity::kError, actions[i].name, -1,
+                     "guard returned different values for the same state; "
+                     "guards must be pure functions of the state"});
+    }
+    if (!fx[i].stmt_deterministic) {
+      out.push_back({"determinism", Severity::kError, actions[i].name, -1,
+                     "statement produced different post-states from the same "
+                     "state; statements must be deterministic"});
+    }
+  }
+}
+
+/// Program-class granularity conformance; see the header comment for the
+/// per-class rules.
+template <class P>
+void lint_granularity(const std::vector<sim::Action<P>>& actions,
+                      const std::vector<ActionEffects>& fx,
+                      const GranularityRule& rule, std::vector<Finding>& out) {
+  if (rule.klass == GranularityClass::kCoarse) return;
+  const bool mb = rule.klass == GranularityClass::kMbReadXorWrite;
+  const char* slug = mb ? "mb-read-xor-write" : "granularity";
+  const int max_foreign = mb ? 1 : rule.max_foreign;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const int owner = actions[i].process;
+    const auto foreign = detail::foreign_reads(fx[i], owner);
+    const auto& allowed =
+        static_cast<std::size_t>(owner) < rule.allowed_foreign.size()
+            ? rule.allowed_foreign[static_cast<std::size_t>(owner)]
+            : std::vector<int>{};
+    for (const int p : foreign) {
+      if (!detail::contains(allowed, p)) {
+        out.push_back(
+            {slug, Severity::kError, actions[i].name, p,
+             mb ? "action reads slot " + std::to_string(p) +
+                      " which is not a ring neighbour of its owner; MB "
+                      "actions read at most one neighbour (paper section 5)"
+                : "action reads slot " + std::to_string(p) +
+                      " which is not a topology neighbour of its owner "
+                      "(paper section 4.1 fine-grain locality)"});
+      }
+    }
+    if (max_foreign >= 0 && static_cast<int>(foreign.size()) > max_foreign) {
+      out.push_back(
+          {slug, Severity::kError, actions[i].name, -1,
+           "action touches " + std::to_string(foreign.size()) +
+               " foreign slots; the " + (mb ? "read-XOR-write" : "fine-grain") +
+               " rule allows at most " + std::to_string(max_foreign)});
+    }
+  }
+}
+
+/// Stable ordering for reports: by action name, then lint slug, then slot.
+/// (Action order in the system is not recoverable from a Finding alone;
+/// name order is deterministic for a fixed action system, which is what
+/// byte-identical reports need.)
+inline void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.action != b.action) return a.action < b.action;
+              if (a.lint != b.lint) return a.lint < b.lint;
+              if (a.slot != b.slot) return a.slot < b.slot;
+              return a.message < b.message;
+            });
+}
+
+}  // namespace ftbar::audit

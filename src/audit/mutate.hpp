@@ -1,0 +1,161 @@
+// Deliberate contract breakage for the auditor's self-tests: each mutation
+// plants one specific violation in a healthy bundle, and the tests assert
+// the auditor flags exactly that action. A linter that has never been seen
+// to fail is not evidence of anything.
+//
+//   under-declare    — drop the last slot from the first multi-slot declared
+//                      read-set (RB: drops T1@0's leaf / T2's parent) =>
+//                      read-set-soundness must fire.
+//   over-declare     — add the smallest unread slot to the first declared
+//                      read-set that misses one => read-set-tightness (a
+//                      warning: callers use --strict to make it fatal).
+//   foreign-write    — wrap the first action's statement to also overwrite
+//                      a non-owner slot (first domain record that differs)
+//                      => write-locality must fire; this is the same bug the
+//                      StepEngine debug assert traps live.
+//   bad-automorphism — replace the declared symmetry with the PROCESS
+//                      rotation, the historically tempting unsound group for
+//                      rooted programs (canon.hpp) => symmetry equivariance
+//                      must fire.
+//   mb-xor           — make the first action's guard observably depend on a
+//                      distance-2 slot and declare that read honestly =>
+//                      only the granularity lint (MB: mb-read-xor-write)
+//                      fires, isolating it from soundness. Needs procs >= 4
+//                      so distance 2 is not also a ring neighbour.
+//   nondeterminism   — give the first action's guard a hidden toggle =>
+//                      determinism must fire.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/programs.hpp"
+
+namespace ftbar::audit {
+
+enum class Mutation {
+  kUnderDeclare,
+  kOverDeclare,
+  kForeignWrite,
+  kBadAutomorphism,
+  kMbXor,
+  kNondeterminism,
+};
+
+[[nodiscard]] inline std::optional<Mutation> parse_mutation(
+    const std::string& name) {
+  if (name == "under-declare") return Mutation::kUnderDeclare;
+  if (name == "over-declare") return Mutation::kOverDeclare;
+  if (name == "foreign-write") return Mutation::kForeignWrite;
+  if (name == "bad-automorphism") return Mutation::kBadAutomorphism;
+  if (name == "mb-xor") return Mutation::kMbXor;
+  if (name == "nondeterminism") return Mutation::kNondeterminism;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kUnderDeclare: return "under-declare";
+    case Mutation::kOverDeclare: return "over-declare";
+    case Mutation::kForeignWrite: return "foreign-write";
+    case Mutation::kBadAutomorphism: return "bad-automorphism";
+    case Mutation::kMbXor: return "mb-xor";
+    case Mutation::kNondeterminism: return "nondeterminism";
+  }
+  return "?";
+}
+
+/// Plants `m` in the bundle and returns the name of the action (or
+/// "(group)" for the symmetry mutation) the auditor is expected to name;
+/// empty string if the bundle has no suitable target (caller should treat
+/// that as a test setup error).
+template <class P>
+[[nodiscard]] std::string apply_mutation(check::ProgramBundle<P>& b,
+                                         Mutation m) {
+  switch (m) {
+    case Mutation::kUnderDeclare:
+      for (auto& a : b.actions) {
+        if (a.reads.size() >= 2) {
+          a.reads.pop_back();
+          return a.name;
+        }
+      }
+      return "";
+    case Mutation::kOverDeclare:
+      for (auto& a : b.actions) {
+        if (!a.has_read_set()) continue;
+        for (int slot = 0; slot < static_cast<int>(b.procs); ++slot) {
+          if (std::find(a.reads.begin(), a.reads.end(), slot) ==
+              a.reads.end()) {
+            a.reads.push_back(slot);
+            return a.name;
+          }
+        }
+      }
+      return "";
+    case Mutation::kForeignWrite: {
+      if (b.actions.empty() || b.procs < 2 || !b.record_domain) return "";
+      auto& a = b.actions.front();
+      const auto victim =
+          static_cast<std::size_t>(a.process + 1) % b.procs;
+      a.apply = [inner = std::move(a.apply), domain = b.record_domain,
+                 victim](std::vector<P>& s) {
+        inner(s);
+        // Overwrite the victim with the first domain record that actually
+        // differs from its current value, so the write is observable.
+        bool done = false;
+        domain(victim, s[victim], [&](const P& v) {
+          if (!done && !(v == s[victim])) {
+            s[victim] = v;
+            done = true;
+          }
+        });
+      };
+      return a.name;
+    }
+    case Mutation::kBadAutomorphism: {
+      // The rooted-ring trap: rotating PROCESSES looks like a symmetry of
+      // the ring but moves the root's special control state onto a
+      // follower, so it does not commute with the transition relation.
+      b.symmetry.order = b.procs;
+      b.symmetry.name = "process-rotation";
+      b.symmetry.action_perm.clear();  // claims g commutes with each action
+      b.symmetry.generator = [](std::span<P> s) {
+        if (!s.empty()) std::rotate(s.begin(), s.begin() + 1, s.end());
+      };
+      return "(group)";
+    }
+    case Mutation::kMbXor: {
+      if (b.actions.empty() || b.procs < 4 || b.start_roots.empty()) return "";
+      auto& a = b.actions.front();
+      const auto far = static_cast<std::size_t>(a.process + 2) % b.procs;
+      // Honest declaration (no soundness finding) of a genuinely observable
+      // distance-2 dependence: guard XOR "slot far left its start record".
+      if (a.has_read_set()) a.reads.push_back(static_cast<int>(far));
+      a.guard = [inner = std::move(a.guard), far,
+                 ref = b.start_roots.front()[far]](const std::vector<P>& s) {
+        return inner(s) != !(s[far] == ref);
+      };
+      return a.name;
+    }
+    case Mutation::kNondeterminism: {
+      if (b.actions.empty()) return "";
+      auto& a = b.actions.front();
+      a.guard = [inner = std::move(a.guard),
+                 flip = std::make_shared<bool>(false)](const std::vector<P>& s) {
+        *flip = !*flip;
+        return *flip ? inner(s) : !inner(s);
+      };
+      return a.name;
+    }
+  }
+  return "";
+}
+
+}  // namespace ftbar::audit

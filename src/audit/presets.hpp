@@ -1,0 +1,115 @@
+// Per-program audit presets: the granularity rule each paper program class
+// is held to, derived from the same topology its bundle was built over.
+//
+//   cb  — coarse-grain (§3): any guard may read the whole state. No
+//         footprint constraint; only soundness/locality/determinism apply.
+//   rb  — fine-grain on the rooted ring (§4.1): an action's foreign
+//         footprint must stay on its tree links — parent, children, and
+//         (for the root) the leaves it polls — and no action may touch
+//         more than one foreign slot (every ring node has one parent XOR
+//         is the root, and at most one child).
+//   rbp — RB over the two intersecting rings of Fig 2(b): same link rule;
+//         the root legitimately polls one leaf and drives one child PER
+//         RING, so the per-action foreign cap is lifted (the allowed-set
+//         check still pins every touched slot to a declared link).
+//   mb  — §5's read-XOR-write rule at process-record granularity: an
+//         action either touches exactly one ring neighbour or only its own
+//         slot (lint_granularity forces the cap to 1 for this class).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "core/rb.hpp"
+#include "topology/topology.hpp"
+
+namespace ftbar::audit {
+
+/// Foreign slots an action owned by j may touch on a rooted tree with
+/// leaf->root feedback: its parent, its children, and — for the root —
+/// the leaves whose completion it polls.
+inline std::vector<std::vector<int>> tree_allowed_foreign(
+    const topology::Topology& topo) {
+  std::vector<std::vector<int>> allowed(static_cast<std::size_t>(topo.size()));
+  for (int j = 0; j < topo.size(); ++j) {
+    auto& slots = allowed[static_cast<std::size_t>(j)];
+    if (topo.parent(j) >= 0) slots.push_back(topo.parent(j));
+    for (const int c : topo.children(j)) slots.push_back(c);
+    if (j == topo.root()) {
+      for (const int l : topo.leaves()) slots.push_back(l);
+    }
+  }
+  return allowed;
+}
+
+/// Ring neighbours {j-1, j+1} (mod n) — MB's communication structure.
+inline std::vector<std::vector<int>> ring_allowed_foreign(std::size_t procs) {
+  const int n = static_cast<int>(procs);
+  std::vector<std::vector<int>> allowed(procs);
+  for (int j = 0; j < n; ++j) {
+    allowed[static_cast<std::size_t>(j)] = {(j + n - 1) % n, (j + 1) % n};
+  }
+  return allowed;
+}
+
+/// Extra probe roots for the tree-barrier programs: the mid-recovery
+/// BOT/TOP wave states — a non-leaf at BOT with every child already TOP.
+/// The bundle's perturbed root set corrupts ONE slot, and no action
+/// produces BOT, so a multi-child T4 guard (RB' root) is never within one
+/// substitution of flipping there and its read-set would go un-witnessed
+/// (a spurious tightness warning). These states are reachable under the
+/// paper's fault model via repeated faults; only the checker's root
+/// reduction excludes them. Returns {} for non-RB record types.
+template <class P>
+[[nodiscard]] std::vector<std::vector<P>> make_extra_probe_roots(
+    const std::string& program, const check::ProgramBundle<P>& bundle) {
+  std::vector<std::vector<P>> roots;
+  if constexpr (std::is_same_v<P, core::RbProc>) {
+    if ((program == "rb" || program == "rbp") && !bundle.start_roots.empty()) {
+      const auto n = static_cast<int>(bundle.procs);
+      const auto topo = program == "rb" ? topology::Topology::ring(n)
+                                        : topology::Topology::two_ring(n);
+      for (int j = 0; j < topo.size(); ++j) {
+        if (topo.is_leaf(j)) continue;
+        auto s = bundle.start_roots.front();
+        s[static_cast<std::size_t>(j)].sn = core::kSnBot;
+        for (const int c : topo.children(j)) {
+          s[static_cast<std::size_t>(c)].sn = core::kSnTop;
+        }
+        roots.push_back(std::move(s));
+      }
+    }
+  } else {
+    (void)program;
+    (void)bundle;
+  }
+  return roots;
+}
+
+/// The audit configuration for one of the seed programs ("cb" | "rb" |
+/// "rbp" | "mb") at the given size. Unknown keys get the coarse rule.
+inline AuditConfig make_audit_config(const std::string& program,
+                                     std::size_t procs) {
+  AuditConfig cfg;
+  cfg.program = program;
+  if (program == "rb" || program == "rbp") {
+    const auto topo = program == "rb"
+                          ? topology::Topology::ring(static_cast<int>(procs))
+                          : topology::Topology::two_ring(static_cast<int>(procs));
+    cfg.granularity.klass = GranularityClass::kLocal;
+    cfg.granularity.allowed_foreign = tree_allowed_foreign(topo);
+    cfg.granularity.max_foreign = program == "rb" ? 1 : -1;
+    cfg.granularity_name =
+        program == "rb" ? "fine-grain(ring)" : "fine-grain(two-ring)";
+  } else if (program == "mb") {
+    cfg.granularity.klass = GranularityClass::kMbReadXorWrite;
+    cfg.granularity.allowed_foreign = ring_allowed_foreign(procs);
+    cfg.granularity_name = "read-xor-write(ring)";
+  }
+  return cfg;
+}
+
+}  // namespace ftbar::audit

@@ -1,0 +1,147 @@
+#include "audit/report.hpp"
+
+#include <sstream>
+
+#include "trace/export.hpp"
+
+namespace ftbar::audit {
+namespace {
+
+std::size_t count(const std::vector<Finding>& findings, Severity sev) {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == sev) ++n;
+  }
+  return n;
+}
+
+void append_slots(std::ostringstream& os, const std::vector<int>& slots) {
+  os << '{';
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i != 0) os << ',';
+    os << slots[i];
+  }
+  os << '}';
+}
+
+void append_json_slots(std::ostringstream& os, const std::vector<int>& slots) {
+  os << '[';
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i != 0) os << ',';
+    os << slots[i];
+  }
+  os << ']';
+}
+
+const char* severity_name(Severity sev) {
+  return sev == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::size_t ProgramAudit::num_errors() const {
+  return count(findings, Severity::kError);
+}
+std::size_t ProgramAudit::num_warnings() const {
+  return count(findings, Severity::kWarning);
+}
+
+std::size_t AuditReport::num_errors() const {
+  std::size_t n = 0;
+  for (const auto& p : programs) n += p.num_errors();
+  return n;
+}
+std::size_t AuditReport::num_warnings() const {
+  std::size_t n = 0;
+  for (const auto& p : programs) n += p.num_warnings();
+  return n;
+}
+
+std::string render_text(const AuditReport& report, bool verbose_actions) {
+  std::ostringstream os;
+  for (const auto& prog : report.programs) {
+    os << "== audit " << prog.program << " (procs=" << prog.procs
+       << ", probe_states=" << prog.probe_states
+       << ", closure_calls=" << prog.variant_probes
+       << ", granularity=" << prog.granularity;
+    if (!prog.symmetry.empty()) os << ", symmetry=" << prog.symmetry;
+    os << ") ==\n";
+    if (prog.findings.empty()) {
+      os << "  clean: all declared contracts agree with inferred effects\n";
+    }
+    for (const auto& f : prog.findings) {
+      os << "  [" << severity_name(f.severity) << "] " << f.lint << " "
+         << f.action;
+      if (f.slot >= 0) os << " slot " << f.slot;
+      os << ": " << f.message << '\n';
+    }
+    if (verbose_actions) {
+      for (const auto& a : prog.actions) {
+        os << "  action " << a.name << " @" << a.process << "  declared=";
+        if (a.has_declared_reads) {
+          append_slots(os, a.declared_reads);
+        } else {
+          os << "(full-scan)";
+        }
+        os << " guard_reads=";
+        append_slots(os, a.guard_reads);
+        os << " stmt_reads=";
+        append_slots(os, a.stmt_reads);
+        os << " writes=";
+        append_slots(os, a.writes);
+        os << " probes=" << a.probes << '\n';
+      }
+    }
+  }
+  os << "audit: " << report.num_errors() << " error(s), "
+     << report.num_warnings() << " warning(s)\n";
+  return os.str();
+}
+
+std::string render_json(const AuditReport& report) {
+  std::ostringstream os;
+  os << "{\"programs\":[";
+  for (std::size_t pi = 0; pi < report.programs.size(); ++pi) {
+    const auto& prog = report.programs[pi];
+    if (pi != 0) os << ',';
+    os << "{\"program\":\"" << trace::json_escape(prog.program)
+       << "\",\"procs\":" << prog.procs
+       << ",\"probe_states\":" << prog.probe_states
+       << ",\"closure_calls\":" << prog.variant_probes << ",\"granularity\":\""
+       << trace::json_escape(prog.granularity) << "\",\"symmetry\":\""
+       << trace::json_escape(prog.symmetry) << "\",\"actions\":[";
+    for (std::size_t ai = 0; ai < prog.actions.size(); ++ai) {
+      const auto& a = prog.actions[ai];
+      if (ai != 0) os << ',';
+      os << "{\"name\":\"" << trace::json_escape(a.name)
+         << "\",\"process\":" << a.process << ",\"declared_reads\":";
+      if (a.has_declared_reads) {
+        append_json_slots(os, a.declared_reads);
+      } else {
+        os << "null";
+      }
+      os << ",\"guard_reads\":";
+      append_json_slots(os, a.guard_reads);
+      os << ",\"stmt_reads\":";
+      append_json_slots(os, a.stmt_reads);
+      os << ",\"writes\":";
+      append_json_slots(os, a.writes);
+      os << ",\"probes\":" << a.probes << '}';
+    }
+    os << "],\"findings\":[";
+    for (std::size_t fi = 0; fi < prog.findings.size(); ++fi) {
+      const auto& f = prog.findings[fi];
+      if (fi != 0) os << ',';
+      os << "{\"lint\":\"" << trace::json_escape(f.lint) << "\",\"severity\":\""
+         << severity_name(f.severity) << "\",\"action\":\""
+         << trace::json_escape(f.action) << "\",\"slot\":" << f.slot
+         << ",\"message\":\"" << trace::json_escape(f.message) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "],\"errors\":" << report.num_errors()
+     << ",\"warnings\":" << report.num_warnings() << '}';
+  return os.str();
+}
+
+}  // namespace ftbar::audit

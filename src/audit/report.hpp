@@ -1,0 +1,58 @@
+// Report model for the contract auditor: per-action effect summaries plus
+// lint findings, rendered as a human-readable text report or a single JSON
+// object. Both renderings are deterministic for a fixed audit input —
+// actions appear in system order, findings in sort_findings() order — so
+// "same seed => byte-identical report" is a testable property (and a test).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/lints.hpp"
+
+namespace ftbar::audit {
+
+/// One action's declared vs inferred footprint, in action-system order.
+struct ActionSummary {
+  std::string name;
+  int process = 0;
+  bool has_declared_reads = false;
+  std::vector<int> declared_reads;  ///< empty + !has_declared_reads = full-scan
+  std::vector<int> guard_reads;     ///< inferred
+  std::vector<int> stmt_reads;      ///< inferred
+  std::vector<int> writes;          ///< inferred
+  std::size_t probes = 0;           ///< guard + statement closure invocations
+};
+
+/// The audit of one program bundle.
+struct ProgramAudit {
+  std::string program;  ///< "cb" | "rb" | "rbp" | "mb" | ad-hoc names in tests
+  std::size_t procs = 0;
+  std::size_t probe_states = 0;
+  std::size_t variant_probes = 0;  ///< total closure invocations
+  std::string granularity;         ///< human name of the rule applied
+  std::string symmetry;            ///< name of the audited group ("" = none)
+  std::vector<ActionSummary> actions;
+  std::vector<Finding> findings;  ///< sort_findings() order
+
+  [[nodiscard]] std::size_t num_errors() const;
+  [[nodiscard]] std::size_t num_warnings() const;
+};
+
+struct AuditReport {
+  std::vector<ProgramAudit> programs;
+
+  [[nodiscard]] std::size_t num_errors() const;
+  [[nodiscard]] std::size_t num_warnings() const;
+  [[nodiscard]] bool clean() const { return num_errors() == 0; }
+};
+
+/// Human-readable report; one block per program, findings before summaries.
+[[nodiscard]] std::string render_text(const AuditReport& report,
+                                      bool verbose_actions = true);
+
+/// Single JSON object: {"programs": [...], "errors": N, "warnings": N}.
+[[nodiscard]] std::string render_json(const AuditReport& report);
+
+}  // namespace ftbar::audit

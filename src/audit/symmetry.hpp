@@ -1,0 +1,117 @@
+// Symmetry audit: mechanically verifies that a declared automorphism group
+// (check/canon.hpp) satisfies the soundness obligations the quotient
+// checker relies on, on the concrete probe states at hand:
+//
+//   (order)        g^m(s) = s — the generator really has the declared order;
+//   (equivariance) enabled(a, s) = enabled(perm(a), g(s)) and
+//                  g(apply(a, s)) = apply(perm(a), g(s)) for every action;
+//   (invariance)   safe(s) <=> safe(g(s)) and legit(s) <=> legit(g(s)).
+//
+// These are exactly conditions (1)-(2) of canon.hpp, checked by enumeration
+// instead of by hand. A state-level counterexample is definitive: quotient
+// exploration with this group would merge states with different futures
+// (the rooted-ring process-rotation bug was precisely such a violation —
+// rotating a root start state yields a state where the root's control value
+// is held by a non-root process, flipping T1's enabledness). Passing is, as
+// everywhere in the auditor, only as strong as the probe set.
+//
+// Findings are deduplicated per (check, action): one witness state per
+// broken obligation is a report, a thousand is noise.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/lints.hpp"
+#include "check/canon.hpp"
+#include "sim/action.hpp"
+
+namespace ftbar::audit {
+
+template <class P>
+void audit_symmetry(
+    const std::vector<sim::Action<P>>& actions, std::size_t procs,
+    const check::Symmetry<P>& sym,
+    const std::vector<std::vector<P>>& probe_states,
+    const std::function<bool(const std::vector<P>&)>& safe,
+    const std::function<bool(const std::vector<P>&)>& legit,
+    std::vector<Finding>& out) {
+  if (sym.trivial()) return;
+  const auto perm = [&](std::size_t a) {
+    return sym.action_perm.empty() ? a
+                                   : static_cast<std::size_t>(sym.action_perm[a]);
+  };
+  if (!sym.action_perm.empty() && sym.action_perm.size() != actions.size()) {
+    out.push_back({"symmetry", Severity::kError, "(group)", -1,
+                   "action_perm has " + std::to_string(sym.action_perm.size()) +
+                       " entries for " + std::to_string(actions.size()) +
+                       " actions"});
+    return;
+  }
+
+  std::unordered_set<std::string> reported;
+  auto report = [&](const std::string& key, const std::string& action,
+                    std::string message) {
+    if (reported.insert(key).second) {
+      out.push_back(
+          {"symmetry", Severity::kError, action, -1, std::move(message)});
+    }
+  };
+
+  std::vector<P> gs, lhs, rhs;
+  for (const auto& s : probe_states) {
+    if (s.size() != procs) continue;
+    // (order): applying the generator `order` times must be the identity.
+    gs = s;
+    for (std::size_t k = 0; k < sym.order; ++k) sym.generator(std::span<P>{gs});
+    if (!(gs == s)) {
+      report("order", "(group)",
+             "generator '" + sym.name + "' does not have order " +
+                 std::to_string(sym.order) + ": g^" +
+                 std::to_string(sym.order) + "(s) != s on a probe state");
+    }
+    gs = s;
+    sym.generator(std::span<P>{gs});
+    // (invariance): the predicates the quotient checker evaluates must not
+    // distinguish orbit members.
+    if (safe && safe(s) != safe(gs)) {
+      report("safe", "(group)",
+             "safe(s) != safe(g(s)) — the invariant is not '" + sym.name +
+                 "'-invariant, so quotient checking may miss violations");
+    }
+    if (legit && legit(s) != legit(gs)) {
+      report("legit", "(group)",
+             "legit(s) != legit(g(s)) — the legitimacy predicate is not '" +
+                 sym.name + "'-invariant");
+    }
+    // (equivariance), per action.
+    for (std::size_t a = 0; a < actions.size(); ++a) {
+      const std::size_t pa = perm(a);
+      const bool en = actions[a].guard(s);
+      if (en != actions[pa].guard(gs)) {
+        report("enabled:" + actions[a].name, actions[a].name,
+               "enabled(" + actions[a].name + ", s) != enabled(" +
+                   actions[pa].name + ", g(s)) under '" + sym.name +
+                   "' — the group does not commute with the transition "
+                   "relation");
+        continue;
+      }
+      if (!en) continue;
+      lhs = s;
+      actions[a].apply(lhs);
+      sym.generator(std::span<P>{lhs});  // g(apply(a, s))
+      rhs = gs;
+      actions[pa].apply(rhs);  // apply(perm(a), g(s))
+      if (!(lhs == rhs)) {
+        report("commute:" + actions[a].name, actions[a].name,
+               "g(apply(" + actions[a].name + ", s)) != apply(" +
+                   actions[pa].name + ", g(s)) under '" + sym.name +
+                   "' — successors computed in the quotient are wrong");
+      }
+    }
+  }
+}
+
+}  // namespace ftbar::audit

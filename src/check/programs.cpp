@@ -29,13 +29,15 @@ std::vector<Cp> cp_domain(bool is_root, bool include_repeat_at_all = true) {
   return out;
 }
 
-template <class P, class Corrupt>
-void add_single_proc_corruptions(std::vector<std::vector<P>>& roots,
-                                 const std::vector<P>& start, Corrupt&& corrupt) {
+/// Derives the perturbed root set from the bundle's record domain: for each
+/// process slot, every domain record substituted into the start state.
+template <class P>
+void add_single_proc_corruptions(ProgramBundle<P>& b) {
+  const auto& start = b.start_roots.front();
   for (std::size_t j = 0; j < start.size(); ++j) {
-    corrupt(j, [&](const P& record) {
-      roots.push_back(start);
-      roots.back()[j] = record;
+    b.record_domain(j, start[j], [&](const P& record) {
+      b.perturbed_roots.push_back(start);
+      b.perturbed_roots.back()[j] = record;
     });
   }
 }
@@ -74,18 +76,19 @@ ProgramBundle<core::RbProc> make_rb_like_bundle(
   b.meta_topology = std::move(meta_topology);
   b.start_roots = {core::rb_start_state(opt)};
   b.perturbed_roots = b.start_roots;
-  // Whole-record single-process corruption: the undetectable fault's full
-  // domain (rb_undetectable_fault without the randomness).
-  add_single_proc_corruptions(
-      b.perturbed_roots, b.start_roots.front(), [&](std::size_t j, auto&& emit) {
-        for (const int sn : sn_domain(k)) {
-          for (const Cp cp : cp_domain(j == 0)) {
-            for (int ph = 0; ph < num_phases; ++ph) {
-              emit(core::RbProc{sn, cp, ph});
-            }
-          }
+  // Whole-record domain: the undetectable fault's full corruption domain
+  // (rb_undetectable_fault without the randomness); `base` is ignored.
+  b.record_domain = [k, num_phases](std::size_t j, const core::RbProc&,
+                                    const std::function<void(const core::RbProc&)>& emit) {
+    for (const int sn : sn_domain(k)) {
+      for (const Cp cp : cp_domain(j == 0)) {
+        for (int ph = 0; ph < num_phases; ++ph) {
+          emit(core::RbProc{sn, cp, ph});
         }
-      });
+      }
+    }
+  };
+  add_single_proc_corruptions(b);
   b.safe = [](const core::RbState& s) { return !core::rb_any_corrupt_sn(s); };
   b.legit = [](const core::RbState& s) { return core::rb_is_start_state(s); };
   b.symmetry = phase_rotation<core::RbProc>(
@@ -105,14 +108,15 @@ ProgramBundle<core::CbProc> make_cb_bundle(int num_procs, int num_phases) {
   b.meta_program = "cb";
   b.start_roots = {core::cb_start_state(opt)};
   b.perturbed_roots = b.start_roots;
-  add_single_proc_corruptions(
-      b.perturbed_roots, b.start_roots.front(), [&](std::size_t, auto&& emit) {
-        for (const Cp cp : cp_domain(/*is_root=*/true)) {  // CB has no kRepeat
-          for (int ph = 0; ph < num_phases; ++ph) {
-            emit(core::CbProc{cp, ph});
-          }
-        }
-      });
+  b.record_domain = [num_phases](std::size_t, const core::CbProc&,
+                                 const std::function<void(const core::CbProc&)>& emit) {
+    for (const Cp cp : cp_domain(/*is_root=*/true)) {  // CB has no kRepeat
+      for (int ph = 0; ph < num_phases; ++ph) {
+        emit(core::CbProc{cp, ph});
+      }
+    }
+  };
+  add_single_proc_corruptions(b);
   b.safe = [num_phases](const core::CbState& s) {
     return core::cb_legitimate(s, num_phases);
   };
@@ -153,41 +157,41 @@ ProgramBundle<core::MbProc> make_mb_bundle(int num_procs, int num_phases,
   b.replayable_by_sim = seq_modulus == 0;  // replay rebuilds with default L
   b.start_roots = {core::mb_start_state(opt)};
   b.perturbed_roots = b.start_roots;
-  // Single-VARIABLE corruption (see programs.hpp for why not whole-record):
-  // each of the seven fields of one process swept over its domain.
-  add_single_proc_corruptions(
-      b.perturbed_roots, b.start_roots.front(), [&](std::size_t j, auto&& emit) {
-        const auto start = b.start_roots.front()[j];
-        for (const int sn : sn_domain(l)) {
-          auto p = start;
-          p.sn = sn;
-          emit(p);
-          p = start;
-          p.c_sn = sn;
-          emit(p);
-          p = start;
-          p.c_next = sn;
-          emit(p);
-        }
-        for (int ph = 0; ph < num_phases; ++ph) {
-          auto p = start;
-          p.ph = ph;
-          emit(p);
-          p = start;
-          p.c_ph = ph;
-          emit(p);
-        }
-        for (const Cp cp : cp_domain(j == 0)) {
-          auto p = start;
-          p.cp = cp;
-          emit(p);
-        }
-        for (const Cp cp : cp_domain(/*is_root=*/false)) {  // copy cells follow
-          auto p = start;
-          p.c_cp = cp;
-          emit(p);
-        }
-      });
+  // Single-VARIABLE domain (see programs.hpp for why not whole-record):
+  // each of the seven fields of `base` swept over its domain in turn.
+  b.record_domain = [l, num_phases](std::size_t j, const core::MbProc& base,
+                                    const std::function<void(const core::MbProc&)>& emit) {
+    for (const int sn : sn_domain(l)) {
+      auto p = base;
+      p.sn = sn;
+      emit(p);
+      p = base;
+      p.c_sn = sn;
+      emit(p);
+      p = base;
+      p.c_next = sn;
+      emit(p);
+    }
+    for (int ph = 0; ph < num_phases; ++ph) {
+      auto p = base;
+      p.ph = ph;
+      emit(p);
+      p = base;
+      p.c_ph = ph;
+      emit(p);
+    }
+    for (const Cp cp : cp_domain(j == 0)) {
+      auto p = base;
+      p.cp = cp;
+      emit(p);
+    }
+    for (const Cp cp : cp_domain(/*is_root=*/false)) {  // copy cells follow
+      auto p = base;
+      p.c_cp = cp;
+      emit(p);
+    }
+  };
+  add_single_proc_corruptions(b);
   b.safe = [](const core::MbState& s) {
     for (const auto& p : s) {
       if (!core::mb_sn_valid(p.sn) || !core::mb_sn_valid(p.c_sn) ||

@@ -45,6 +45,15 @@ struct ProgramBundle {
   std::vector<std::vector<P>> perturbed_roots;  ///< includes start_roots
   std::function<bool(const std::vector<P>&)> safe;   ///< fault-free closure invariant
   std::function<bool(const std::vector<P>&)> legit;  ///< convergence target
+  /// Enumerates the per-process record domain: record_domain(j, base, emit)
+  /// emits every record slot j may hold — the corruption domain of the
+  /// undetectable fault model, and the substitution domain the contract
+  /// auditor perturbs slots with. CB/RB enumerate the full record domain
+  /// (base is ignored); MB emits single-field sweeps around `base`, the
+  /// same single-variable reduction its perturbed_roots use (programs.hpp
+  /// header comment). perturbed_roots is derived from this.
+  std::function<void(std::size_t, const P&, const std::function<void(const P&)>&)>
+      record_domain;
   /// The program's declared cyclic transition-automorphism group (the
   /// global phase rotation for all four programs; see canon.hpp and
   /// DESIGN.md §9 for the soundness argument). safe/legit above are

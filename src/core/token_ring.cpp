@@ -16,8 +16,10 @@ std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt) {
   std::vector<sim::Action<TrProc>> actions;
   const auto last = static_cast<std::size_t>(s - 1);
 
+  // Honest read-sets throughout (the contract auditor's worklist made
+  // explicit): each guard names exactly the slots it compares.
   actions.push_back(sim::make_action<TrProc>(
-      "T1@0", 0,
+      "T1@0", 0, {0, s - 1},
       [last](const TrState& st) {
         return tr_valid(st[last].sn) && (st[0].sn == st[last].sn || !tr_valid(st[0].sn));
       },
@@ -26,7 +28,7 @@ std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt) {
   for (int j = 1; j < s; ++j) {
     const auto uj = static_cast<std::size_t>(j);
     actions.push_back(sim::make_action<TrProc>(
-        "T2@" + std::to_string(j), j,
+        "T2@" + std::to_string(j), j, {j - 1, j},
         [uj](const TrState& st) {
           return tr_valid(st[uj - 1].sn) && st[uj].sn != st[uj - 1].sn;
         },
@@ -34,14 +36,14 @@ std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt) {
   }
 
   actions.push_back(sim::make_action<TrProc>(
-      "T3@" + std::to_string(s - 1), s - 1,
+      "T3@" + std::to_string(s - 1), s - 1, {s - 1},
       [last](const TrState& st) { return st[last].sn == kTrBot; },
       [last](TrState& st) { st[last].sn = kTrTop; }));
 
   for (int j = 0; j < s - 1; ++j) {
     const auto uj = static_cast<std::size_t>(j);
     actions.push_back(sim::make_action<TrProc>(
-        "T4@" + std::to_string(j), j,
+        "T4@" + std::to_string(j), j, {j, j + 1},
         [uj](const TrState& st) {
           return st[uj].sn == kTrBot && st[uj + 1].sn == kTrTop;
         },
@@ -49,7 +51,7 @@ std::vector<sim::Action<TrProc>> make_tr_actions(const TrOptions& opt) {
   }
 
   actions.push_back(sim::make_action<TrProc>(
-      "T5@0", 0, [](const TrState& st) { return st[0].sn == kTrTop; },
+      "T5@0", 0, {0}, [](const TrState& st) { return st[0].sn == kTrTop; },
       [](TrState& st) { st[0].sn = 0; }));
 
   return actions;

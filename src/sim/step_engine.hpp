@@ -29,7 +29,12 @@
 // reallocated. This tightens the write-ownership convention into a hard
 // requirement: a statement that writes a slot other than `process` is
 // undefined behaviour under kMaxParallel (the seed engine silently
-// discarded such writes).
+// discarded such writes). Debug builds trap the violation instead of
+// discarding it — each apply is checked against a pre-state snapshot and
+// the engine aborts naming the action and the foreign slot; Release keeps
+// the copy-free fast path untouched. Setting FTBAR_AUDIT_DEBUG=1 in a
+// debug build additionally audits the whole action system's declared
+// contracts at construction (audit/debug_hook.hpp).
 //
 // Determinism: for a given action list, seed and semantics, the engine
 // consumes randomness exactly like a naive full-scan/full-copy engine
@@ -60,6 +65,13 @@
 #include "trace/sink.hpp"
 #include "util/rng.hpp"
 
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+
+#include "audit/debug_hook.hpp"
+#endif
+
 namespace ftbar::sim {
 
 enum class Semantics { kInterleaving, kMaxParallel };
@@ -80,6 +92,14 @@ class StepEngine {
     eval_epoch_.assign(actions_.size(), 0);
     proc_enabled_count_.assign(state_.size(), 0);
     full_rescan_ = true;
+#ifndef NDEBUG
+    // Opt-in construction-time contract audit (FTBAR_AUDIT_DEBUG=1): catch
+    // an unsound read-set, foreign write or impure guard before it becomes
+    // a silently wrong trajectory. See audit/debug_hook.hpp.
+    if (audit::debug_audit_enabled()) {
+      audit::debug_enforce(actions_, state_.size(), state_, "sim::StepEngine");
+    }
+#endif
   }
 
   [[nodiscard]] const State& state() const noexcept { return state_; }
@@ -235,7 +255,17 @@ class StepEngine {
     if (enabled_scratch_.empty()) return 0;
     const auto pick = enabled_scratch_[rng_.uniform(enabled_scratch_.size())];
     emit_fired(pick);
+#ifndef NDEBUG
+    debug_pre_ = state_;
+#endif
     actions_[pick].apply(state_);
+#ifndef NDEBUG
+    // A foreign write under interleaving desyncs dirty-slot tracking (only
+    // the owner is marked dirty below), so trap it here too, not just in
+    // the max-parallel merge.
+    debug_check_foreign_writes(pick,
+                               static_cast<std::size_t>(actions_[pick].process));
+#endif
     dirty_procs_.push_back(static_cast<std::size_t>(actions_[pick].process));
     ++steps_;
     return 1;
@@ -253,6 +283,9 @@ class StepEngine {
       for (const std::size_t p : dirty_procs_) next_[p] = state_[p];
     }
     refresh_enabled();
+#ifndef NDEBUG
+    debug_pre_ = state_;
+#endif
     std::size_t executed = 0;
     for (std::size_t p = 0; p < proc_enabled_count_.size(); ++p) {
       const int enabled_here = proc_enabled_count_[p];
@@ -273,6 +306,12 @@ class StepEngine {
       P saved = state_[p];
       emit_fired(pick);
       actions_[pick].apply(state_);
+#ifndef NDEBUG
+      // The merge below harvests only slot p: a write anywhere else would
+      // be silently dropped (or leak into a later step through the reused
+      // next_ buffer). Trap it instead of discarding it.
+      debug_check_foreign_writes(pick, p);
+#endif
       next_[p] = state_[p];
       state_[p] = std::move(saved);
       dirty_procs_.push_back(p);
@@ -283,6 +322,23 @@ class StepEngine {
     ++steps_;
     return executed;
   }
+
+#ifndef NDEBUG
+  /// Compares every non-owner slot against the pre-apply snapshot
+  /// (debug_pre_) and aborts, naming the action and slot, on a mismatch —
+  /// the write-locality convention turned into a debug-build trap.
+  void debug_check_foreign_writes(std::size_t pick, std::size_t owner) {
+    for (std::size_t q = 0; q < state_.size(); ++q) {
+      if (q == owner || state_[q] == debug_pre_[q]) continue;
+      std::fprintf(stderr,
+                   "StepEngine: action '%s' (owner %zu) wrote foreign slot "
+                   "%zu; statements must write only their own process's "
+                   "variables\n",
+                   actions_[pick].name.c_str(), owner, q);
+      std::abort();
+    }
+  }
+#endif
 
   State state_;
   State next_;  ///< kMaxParallel double buffer; swapped with state_ each step
@@ -305,6 +361,10 @@ class StepEngine {
 
   // Reusable per-step scratch (allocation-free steady state).
   std::vector<std::size_t> enabled_scratch_;
+
+#ifndef NDEBUG
+  State debug_pre_;  ///< pre-apply snapshot for the foreign-write trap
+#endif
 
   // Tracing (dormant — one null check per fired action — unless a sink is
   // installed; absent from the hot path entirely when !TraceCapable).

@@ -1,0 +1,46 @@
+// FNV-1a state digesting, split out of trace/replay.hpp so headers that
+// sit BELOW sim/step_engine.hpp in the include graph (the audit debug hook
+// the engine constructor calls in debug builds) can digest states without
+// pulling the engine in. replay.hpp re-exports everything here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ftbar::trace {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 1469598103934665603ULL;
+
+/// Continues an FNV-1a hash from intermediate state `h`. Because FNV-1a is
+/// a byte-serial fold, hashing a buffer equals resuming from the hash of
+/// any prefix — the checker's successor generator exploits this to digest
+/// a successor that shares a prefix with its parent in O(suffix) time.
+[[nodiscard]] inline std::uint64_t fnv1a_resume(std::uint64_t h, const void* data,
+                                                std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over raw memory; the per-step state digest.
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(const void* data,
+                                               std::size_t size) noexcept {
+  return fnv1a_resume(kFnv1aOffsetBasis, data, size);
+}
+
+template <class P>
+[[nodiscard]] std::uint64_t state_digest(const std::vector<P>& state) noexcept {
+  static_assert(std::is_trivially_copyable_v<P>,
+                "schedule recording requires trivially copyable process records");
+  static_assert(std::has_unique_object_representations_v<P>,
+                "schedule recording digests raw bytes; P must have no padding "
+                "(pad the struct explicitly or widen small members)");
+  return fnv1a_bytes(state.data(), state.size() * sizeof(P));
+}
+
+}  // namespace ftbar::trace

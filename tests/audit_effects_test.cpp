@@ -1,0 +1,250 @@
+// Tests for the contract auditor's effect-inference engine (audit/
+// effects.hpp, audit/audit.hpp): a toy system with known semantics is
+// recovered exactly; fuzz sampling equals exhaustive enumeration when the
+// sample covers the domain and under-approximates (never over-reports)
+// when it does not; identical seeds render byte-identical reports; and all
+// four seed bundles audit clean under their presets, with the RB root's
+// footprint pinned value-for-value.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/effects.hpp"
+#include "audit/presets.hpp"
+#include "audit/report.hpp"
+#include "check/programs.hpp"
+
+namespace ftbar::audit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A two-process toy with hand-derivable effects
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  int v = 0;
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+constexpr int kCellDomain = 4;  // records take values {0, 1, 2, 3}
+
+RecordDomain<Cell> cell_domain() {
+  return [](std::size_t, const Cell&,
+            const std::function<void(const Cell&)>& emit) {
+    for (int v = 0; v < kCellDomain; ++v) emit(Cell{v});
+  };
+}
+
+// bump@0: guard reads {0}, writes {0}, statement reads nothing foreign.
+// copy@1: guard reads {0, 1}; the written value at slot 1 tracks slot 0, so
+// the statement observably reads {0} and writes {1}.
+std::vector<sim::Action<Cell>> toy_actions() {
+  std::vector<sim::Action<Cell>> actions;
+  auto& bump = actions.emplace_back();
+  bump.name = "bump@0";
+  bump.process = 0;
+  bump.reads = {0};
+  bump.guard = [](const std::vector<Cell>& s) { return s[0].v < kCellDomain - 1; };
+  bump.apply = [](std::vector<Cell>& s) { s[0].v += 1; };
+  auto& copy = actions.emplace_back();
+  copy.name = "copy@1";
+  copy.process = 1;
+  copy.reads = {0, 1};
+  copy.guard = [](const std::vector<Cell>& s) { return s[0].v != s[1].v; };
+  copy.apply = [](std::vector<Cell>& s) { s[1].v = s[0].v; };
+  return actions;
+}
+
+// Every state of the toy's 4 x 4 space, so inference has perfect coverage.
+std::vector<std::vector<Cell>> toy_all_states() {
+  std::vector<std::vector<Cell>> states;
+  for (int a = 0; a < kCellDomain; ++a) {
+    for (int b = 0; b < kCellDomain; ++b) states.push_back({Cell{a}, Cell{b}});
+  }
+  return states;
+}
+
+TEST(InferEffectsTest, ToyEffectsRecoveredExactly) {
+  const auto actions = toy_actions();
+  const auto fx =
+      infer_effects(actions, 2, toy_all_states(), cell_domain());
+  ASSERT_EQ(fx.size(), 2u);
+
+  EXPECT_EQ(fx[0].guard_reads, (std::vector<int>{0}));
+  EXPECT_TRUE(fx[0].stmt_reads.empty());
+  EXPECT_EQ(fx[0].writes, (std::vector<int>{0}));
+  EXPECT_TRUE(fx[0].guard_deterministic);
+  EXPECT_TRUE(fx[0].stmt_deterministic);
+  EXPECT_GT(fx[0].guard_probes, 0u);
+  EXPECT_GT(fx[0].stmt_probes, 0u);
+
+  EXPECT_EQ(fx[1].guard_reads, (std::vector<int>{0, 1}));
+  EXPECT_EQ(fx[1].stmt_reads, (std::vector<int>{0}));
+  EXPECT_EQ(fx[1].writes, (std::vector<int>{1}));
+  EXPECT_TRUE(fx[1].guard_deterministic);
+  EXPECT_TRUE(fx[1].stmt_deterministic);
+}
+
+TEST(InferEffectsTest, CoveringFuzzSampleMatchesExhaustive) {
+  const auto actions = toy_actions();
+  const auto states = toy_all_states();
+  const auto exhaustive =
+      infer_effects(actions, 2, states, cell_domain());
+  EffectOptions opt;
+  opt.max_variants_per_slot = kCellDomain;  // covers the whole domain
+  opt.seed = 99;
+  const auto fuzz = infer_effects(actions, 2, states, cell_domain(), opt);
+  ASSERT_EQ(fuzz.size(), exhaustive.size());
+  for (std::size_t i = 0; i < fuzz.size(); ++i) {
+    EXPECT_EQ(fuzz[i].guard_reads, exhaustive[i].guard_reads) << actions[i].name;
+    EXPECT_EQ(fuzz[i].stmt_reads, exhaustive[i].stmt_reads) << actions[i].name;
+    EXPECT_EQ(fuzz[i].writes, exhaustive[i].writes) << actions[i].name;
+  }
+}
+
+bool subset_of(const std::vector<int>& sub, const std::vector<int>& super) {
+  return std::all_of(sub.begin(), sub.end(), [&](int p) {
+    return std::find(super.begin(), super.end(), p) != super.end();
+  });
+}
+
+TEST(InferEffectsTest, UndersizedFuzzSampleUnderApproximates) {
+  const auto actions = toy_actions();
+  const auto states = toy_all_states();
+  const auto exhaustive =
+      infer_effects(actions, 2, states, cell_domain());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EffectOptions opt;
+    opt.max_variants_per_slot = 1;  // genuinely partial sample
+    opt.seed = seed;
+    const auto fuzz =
+        infer_effects(actions, 2, states, cell_domain(), opt);
+    for (std::size_t i = 0; i < fuzz.size(); ++i) {
+      EXPECT_TRUE(subset_of(fuzz[i].guard_reads, exhaustive[i].guard_reads));
+      EXPECT_TRUE(subset_of(fuzz[i].stmt_reads, exhaustive[i].stmt_reads));
+      EXPECT_TRUE(subset_of(fuzz[i].writes, exhaustive[i].writes));
+      EXPECT_TRUE(fuzz[i].guard_deterministic);
+      EXPECT_TRUE(fuzz[i].stmt_deterministic);
+    }
+  }
+}
+
+TEST(InferEffectsTest, CollectProbeStatesDedupsAndHonoursCap) {
+  const auto actions = toy_actions();
+  const std::vector<Cell> root = {Cell{0}, Cell{3}};
+  // The same root three times must be stored once; the walks only add
+  // distinct states on top.
+  const auto states = collect_probe_states(actions, {root, root, root},
+                                           /*walks_per_root=*/2, /*depth=*/8,
+                                           /*seed=*/7, /*max_states=*/64);
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.front(), root);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = i + 1; j < states.size(); ++j) {
+      EXPECT_NE(states[i], states[j]) << "duplicate probe state stored";
+    }
+  }
+  const auto capped = collect_probe_states(actions, {root}, 4, 16, 7,
+                                           /*max_states=*/3);
+  EXPECT_EQ(capped.size(), 3u);
+}
+
+TEST(InferEffectsTest, GenericRecordDomainEmitsOnlyDistinctVariants) {
+  const Cell base{1};
+  const auto domain = generic_record_domain<Cell>({Cell{1}, Cell{2}});
+  std::vector<Cell> emitted;
+  domain(0, base, [&](const Cell& v) { emitted.push_back(v); });
+  // Pool contributes only the record differing from base; byte pokes add
+  // one variant per byte of the record, each differing from base.
+  EXPECT_EQ(emitted.size(), 1 + sizeof(Cell));
+  for (const Cell& v : emitted) EXPECT_NE(v, base);
+}
+
+// ---------------------------------------------------------------------------
+// Seed bundles under their presets
+// ---------------------------------------------------------------------------
+
+template <class P>
+ProgramAudit audit_seed(const std::string& name,
+                        const check::ProgramBundle<P>& bundle,
+                        std::size_t samples = 0, std::uint64_t seed = 1) {
+  auto cfg = make_audit_config(name, bundle.procs);
+  cfg.effects.max_variants_per_slot = samples;
+  cfg.effects.seed = seed;
+  return audit_bundle(bundle, cfg, make_extra_probe_roots(name, bundle));
+}
+
+TEST(AuditBundleTest, SeedBundlesAuditCleanUnderStrict) {
+  const auto check_clean = [](const ProgramAudit& audit) {
+    EXPECT_EQ(audit.num_errors(), 0u) << audit.program;
+    EXPECT_EQ(audit.num_warnings(), 0u) << audit.program;
+    EXPECT_GT(audit.probe_states, 0u);
+    for (const auto& a : audit.actions) {
+      if (a.has_declared_reads) {
+        EXPECT_TRUE(subset_of(a.guard_reads, a.declared_reads)) << a.name;
+      }
+      // Write-locality: every action writes at most its own slot.
+      EXPECT_TRUE(subset_of(a.writes, {a.process})) << a.name;
+    }
+  };
+  check_clean(audit_seed("cb", check::make_cb_bundle(3)));
+  check_clean(audit_seed("rb", check::make_rb_bundle(3)));
+  check_clean(audit_seed("rbp", check::make_rbp_bundle(4)));
+  check_clean(audit_seed("mb", check::make_mb_bundle(3)));
+}
+
+TEST(AuditBundleTest, RbRootFootprintPinned) {
+  const auto audit = audit_seed("rb", check::make_rb_bundle(3));
+  const auto it = std::find_if(audit.actions.begin(), audit.actions.end(),
+                               [](const ActionSummary& a) {
+                                 return a.name == "T1@0";
+                               });
+  ASSERT_NE(it, audit.actions.end());
+  // The ring root's T1: guard polls itself and the leaf (slot n-1 = 2); the
+  // new sequence number it writes into slot 0 is derived from the leaf's.
+  EXPECT_EQ(it->process, 0);
+  EXPECT_TRUE(it->has_declared_reads);
+  EXPECT_EQ(it->declared_reads, (std::vector<int>{0, 2}));
+  EXPECT_EQ(it->guard_reads, (std::vector<int>{0, 2}));
+  EXPECT_EQ(it->stmt_reads, (std::vector<int>{2}));
+  EXPECT_EQ(it->writes, (std::vector<int>{0}));
+}
+
+TEST(AuditBundleTest, RbFuzzRunFindsNoFalseErrors) {
+  const auto bundle = check::make_rb_bundle(4);
+  const auto exhaustive = audit_seed("rb", bundle);
+  const auto fuzz = audit_seed("rb", bundle, /*samples=*/2, /*seed=*/3);
+  EXPECT_EQ(exhaustive.num_errors(), 0u);
+  EXPECT_EQ(fuzz.num_errors(), 0u);
+  // Sampling may under-observe (tightness warnings are allowed) but must
+  // never infer a read the exhaustive run did not.
+  ASSERT_EQ(fuzz.actions.size(), exhaustive.actions.size());
+  for (std::size_t i = 0; i < fuzz.actions.size(); ++i) {
+    EXPECT_TRUE(subset_of(fuzz.actions[i].guard_reads,
+                          exhaustive.actions[i].guard_reads))
+        << fuzz.actions[i].name;
+  }
+}
+
+TEST(AuditBundleTest, SameSeedRendersByteIdenticalReports) {
+  const auto render = [](std::uint64_t seed) {
+    AuditReport report;
+    report.programs.push_back(
+        audit_seed("rb", check::make_rb_bundle(3), /*samples=*/3, seed));
+    return std::pair{render_json(report), render_text(report)};
+  };
+  const auto [json_a, text_a] = render(42);
+  const auto [json_b, text_b] = render(42);
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_EQ(text_a, text_b);
+  EXPECT_NE(json_a.find("\"program\":\"rb\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftbar::audit

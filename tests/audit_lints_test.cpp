@@ -1,0 +1,175 @@
+// Mutation-driven tests for the auditor's lint battery (audit/lints.hpp,
+// audit/mutate.hpp): each planted contract violation is flagged by exactly
+// the expected lint naming the planted action, a healthy bundle stays
+// clean, the construction-time quick_validate hook catches the definite
+// errors it promises, and the StepEngine foreign-write trap aborts in
+// debug builds (skipped under NDEBUG, where it is compiled out).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/debug_hook.hpp"
+#include "audit/mutate.hpp"
+#include "audit/presets.hpp"
+#include "check/programs.hpp"
+#include "sim/step_engine.hpp"
+#include "util/rng.hpp"
+
+namespace ftbar::audit {
+namespace {
+
+bool has_finding(const std::vector<Finding>& findings, const std::string& lint,
+                 const std::string& action, Severity severity) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.lint == lint && f.action == action && f.severity == severity;
+  });
+}
+
+bool has_lint(const std::vector<Finding>& findings, const std::string& lint) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.lint == lint; });
+}
+
+// Audits an rb bundle (n = 3) with `m` planted; returns the audit and the
+// planted action's name through `planted`.
+ProgramAudit audit_mutated_rb(Mutation m, std::string& planted) {
+  auto bundle = check::make_rb_bundle(3);
+  planted = apply_mutation(bundle, m);
+  const auto cfg = make_audit_config("rb", bundle.procs);
+  return audit_bundle(bundle, cfg, make_extra_probe_roots("rb", bundle));
+}
+
+TEST(MutationTest, HealthyRbBundleIsClean) {
+  const auto bundle = check::make_rb_bundle(3);
+  const auto cfg = make_audit_config("rb", bundle.procs);
+  const auto audit =
+      audit_bundle(bundle, cfg, make_extra_probe_roots("rb", bundle));
+  EXPECT_EQ(audit.num_errors(), 0u);
+  EXPECT_EQ(audit.num_warnings(), 0u);
+  EXPECT_TRUE(audit.findings.empty());
+}
+
+TEST(MutationTest, UnderDeclareFlagsReadSetSoundness) {
+  std::string planted;
+  const auto audit = audit_mutated_rb(Mutation::kUnderDeclare, planted);
+  ASSERT_FALSE(planted.empty());
+  EXPECT_GT(audit.num_errors(), 0u);
+  EXPECT_TRUE(has_finding(audit.findings, "read-set-soundness", planted,
+                          Severity::kError));
+}
+
+TEST(MutationTest, OverDeclareFlagsReadSetTightnessAsWarningOnly) {
+  std::string planted;
+  const auto audit = audit_mutated_rb(Mutation::kOverDeclare, planted);
+  ASSERT_FALSE(planted.empty());
+  // Over-declaring is wasteful but sound: warnings only, never an error.
+  EXPECT_EQ(audit.num_errors(), 0u);
+  EXPECT_GT(audit.num_warnings(), 0u);
+  EXPECT_TRUE(has_finding(audit.findings, "read-set-tightness", planted,
+                          Severity::kWarning));
+}
+
+TEST(MutationTest, ForeignWriteFlagsWriteLocality) {
+  std::string planted;
+  const auto audit = audit_mutated_rb(Mutation::kForeignWrite, planted);
+  ASSERT_FALSE(planted.empty());
+  EXPECT_GT(audit.num_errors(), 0u);
+  EXPECT_TRUE(
+      has_finding(audit.findings, "write-locality", planted, Severity::kError));
+}
+
+TEST(MutationTest, BadAutomorphismFlagsSymmetry) {
+  std::string planted;
+  const auto audit = audit_mutated_rb(Mutation::kBadAutomorphism, planted);
+  EXPECT_EQ(planted, "(group)");
+  EXPECT_GT(audit.num_errors(), 0u);
+  EXPECT_TRUE(has_lint(audit.findings, "symmetry"));
+  // The process rotation is caught even though every read-set, write and
+  // guard is individually honest.
+  EXPECT_FALSE(has_lint(audit.findings, "read-set-soundness"));
+  EXPECT_FALSE(has_lint(audit.findings, "write-locality"));
+}
+
+TEST(MutationTest, MbXorFlagsGranularityNotSoundness) {
+  auto bundle = check::make_mb_bundle(4);
+  const std::string planted = apply_mutation(bundle, Mutation::kMbXor);
+  ASSERT_FALSE(planted.empty());
+  const auto cfg = make_audit_config("mb", bundle.procs);
+  const auto audit =
+      audit_bundle(bundle, cfg, make_extra_probe_roots("mb", bundle));
+  EXPECT_GT(audit.num_errors(), 0u);
+  EXPECT_TRUE(has_finding(audit.findings, "mb-read-xor-write", planted,
+                          Severity::kError));
+  // The distance-2 read is declared honestly, so only the program-class
+  // rule fires — granularity is separable from soundness.
+  EXPECT_FALSE(has_lint(audit.findings, "read-set-soundness"));
+}
+
+TEST(MutationTest, NondeterminismFlagsDeterminism) {
+  std::string planted;
+  const auto audit = audit_mutated_rb(Mutation::kNondeterminism, planted);
+  ASSERT_FALSE(planted.empty());
+  EXPECT_GT(audit.num_errors(), 0u);
+  EXPECT_TRUE(
+      has_finding(audit.findings, "determinism", planted, Severity::kError));
+}
+
+// ---------------------------------------------------------------------------
+// The construction-time debug hook (quick_validate / debug_enforce)
+// ---------------------------------------------------------------------------
+
+TEST(QuickValidateTest, HealthyBundlePasses) {
+  const auto bundle = check::make_rb_bundle(3);
+  ASSERT_FALSE(bundle.start_roots.empty());
+  const auto findings =
+      quick_validate(bundle.actions, bundle.procs, bundle.start_roots.front());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(QuickValidateTest, CatchesForeignWrite) {
+  auto bundle = check::make_rb_bundle(3);
+  const std::string planted = apply_mutation(bundle, Mutation::kForeignWrite);
+  ASSERT_FALSE(planted.empty());
+  const auto findings =
+      quick_validate(bundle.actions, bundle.procs, bundle.start_roots.front());
+  EXPECT_TRUE(
+      has_finding(findings, "write-locality", planted, Severity::kError));
+  // quick_validate promises definite errors only — no tightness noise from
+  // the generic (under-observing) record domain.
+  for (const auto& f : findings) EXPECT_EQ(f.severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------------
+// The StepEngine foreign-write trap (debug builds only)
+// ---------------------------------------------------------------------------
+
+#ifndef NDEBUG
+using StepEngineDebugTrapDeathTest = ::testing::Test;
+
+TEST(StepEngineDebugTrapDeathTest, ForeignWriteAborts) {
+  auto bundle = check::make_rb_bundle(3);
+  const std::string planted = apply_mutation(bundle, Mutation::kForeignWrite);
+  ASSERT_FALSE(planted.empty());
+  ASSERT_FALSE(bundle.start_roots.empty());
+  EXPECT_DEATH(
+      {
+        sim::StepEngine<core::RbProc> engine(bundle.start_roots.front(),
+                                             bundle.actions, util::Rng(1),
+                                             sim::Semantics::kInterleaving);
+        // The mutated action sits on the root; a few steps are plenty for
+        // the weakly-fair scheduler to fire it.
+        engine.run(64);
+      },
+      "wrote foreign slot");
+}
+#else
+TEST(StepEngineDebugTrapDeathTest, ForeignWriteAborts) {
+  GTEST_SKIP() << "foreign-write trap is compiled out under NDEBUG";
+}
+#endif
+
+}  // namespace
+}  // namespace ftbar::audit

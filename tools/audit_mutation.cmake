@@ -1,0 +1,45 @@
+# Mutation self-test driver for ftbar_audit (see tools/CMakeLists.txt).
+#
+# Runs the auditor with a planted contract violation (--mutate) and asserts
+# the three things the acceptance criteria demand:
+#   1. nonzero exit — the violation is fatal, not advisory;
+#   2. the report contains a finding of the expected lint (-DLINT=...);
+#   3. that finding names the planted action (the tool prints
+#      "mutation <kind> planted in action '<name>'" on stderr; "(group)"
+#      means a group-level symmetry mutation, where the equivariance
+#      findings name the non-commuting actions instead).
+#
+# Inputs: -DAUDIT=<ftbar_audit binary> -DLINT=<lint slug> -DARGS=<;-list>.
+
+execute_process(COMMAND ${AUDIT} ${ARGS}
+                RESULT_VARIABLE code
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+
+if(code EQUAL 0)
+  message(FATAL_ERROR
+          "mutated run exited 0 — the auditor missed the planted violation\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(REGEX MATCH "planted in action '([^']+)'" _planted_line "${err}")
+if(NOT _planted_line)
+  message(FATAL_ERROR
+          "no 'planted in action' line on stderr (mutation not applied?)\n"
+          "stderr:\n${err}")
+endif()
+set(planted "${CMAKE_MATCH_1}")
+
+if(NOT out MATCHES "\\[(error|warning)\\] ${LINT} ")
+  message(FATAL_ERROR
+          "expected a ${LINT} finding, report has none\n"
+          "stdout:\n${out}")
+endif()
+
+if(NOT planted STREQUAL "(group)")
+  if(NOT out MATCHES "${LINT} ${planted}")
+    message(FATAL_ERROR
+            "the ${LINT} finding does not name the planted action "
+            "'${planted}'\nstdout:\n${out}")
+  endif()
+endif()

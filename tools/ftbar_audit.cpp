@@ -1,0 +1,187 @@
+// ftbar_audit — contract auditor for the paper's guarded-command programs
+// (the static-analysis counterpart of ftbar_check: instead of exploring
+// the state space, it checks that every declared contract the fast engines
+// trust — read-sets, write-locality, purity, granularity class, symmetry —
+// agrees with the actions' actual, experimentally inferred effects).
+//
+//   ftbar_audit --program cb|rb|rbp|mb|all [options]
+//
+// Exit codes: 0 = clean (no errors; warnings allowed unless --strict),
+// 1 = contract violation found, 2 = usage error.
+//
+// Options (defaults in parentheses):
+//   --program cb|rb|rbp|mb|all   programs to audit (rbp needs --n >= 3)
+//   --n N (4)                    processes (ring size for mb)
+//   --num-phases n (2)           phase ring modulus
+//   --seq-modulus L (0)          mb only; 0 = default 2N
+//   --seed S (1)                 probe-walk + fuzz-sampling seed; the report
+//                                is byte-identical for identical seeds
+//   --samples K (0)              per-(state,slot) cap on domain variants;
+//                                0 = exhaustive, K > 0 = seeded fuzz sample
+//   --walks W (2) --depth D (24) probe walks per perturbed root
+//   --max-states M (4096)        probe-state cap
+//   --json                       machine-readable report on stdout
+//   --quiet                      findings only (suppress per-action table)
+//   --strict                     warnings also fail (exit 1)
+//   --no-symmetry                skip the automorphism audit
+//   --mutate KIND                plant a deliberate contract violation
+//                                first (self-test hook): under-declare |
+//                                over-declare | foreign-write |
+//                                bad-automorphism | mb-xor | nondeterminism
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "audit/mutate.hpp"
+#include "audit/presets.hpp"
+#include "audit/report.hpp"
+#include "check/programs.hpp"
+
+namespace {
+
+using namespace ftbar;
+
+struct Args {
+  std::string program;
+  int n = 4;
+  int num_phases = 2;
+  int seq_modulus = 0;
+  std::uint64_t seed = 1;
+  std::size_t samples = 0;
+  std::size_t walks = 2;
+  std::size_t depth = 24;
+  std::size_t max_states = 4096;
+  bool json = false;
+  bool quiet = false;
+  bool strict = false;
+  bool no_symmetry = false;
+  std::optional<audit::Mutation> mutate;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --program cb|rb|rbp|mb|all [--n N] [--num-phases n]\n"
+               "  [--seq-modulus L] [--seed S] [--samples K] [--walks W]\n"
+               "  [--depth D] [--max-states M] [--json] [--quiet] [--strict]\n"
+               "  [--no-symmetry] [--mutate under-declare|over-declare|\n"
+               "   foreign-write|bad-automorphism|mb-xor|nondeterminism]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--program") {
+      args.program = value();
+    } else if (flag == "--n") {
+      args.n = std::atoi(value());
+    } else if (flag == "--num-phases") {
+      args.num_phases = std::atoi(value());
+    } else if (flag == "--seq-modulus") {
+      args.seq_modulus = std::atoi(value());
+    } else if (flag == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (flag == "--samples") {
+      args.samples = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--walks") {
+      args.walks = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--depth") {
+      args.depth = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--max-states") {
+      args.max_states = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--strict") {
+      args.strict = true;
+    } else if (flag == "--no-symmetry") {
+      args.no_symmetry = true;
+    } else if (flag == "--mutate") {
+      args.mutate = audit::parse_mutation(value());
+      if (!args.mutate) usage(argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (args.program.empty()) usage(argv[0]);
+  if (args.program != "cb" && args.program != "rb" && args.program != "rbp" &&
+      args.program != "mb" && args.program != "all") {
+    usage(argv[0]);
+  }
+  if (args.mutate && args.program == "all") {
+    std::fprintf(stderr, "error: --mutate needs a single --program\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+template <class P>
+void audit_one(const Args& args, check::ProgramBundle<P> bundle,
+               const std::string& name, audit::AuditReport& report) {
+  auto cfg = audit::make_audit_config(name, bundle.procs);
+  cfg.check_symmetry = !args.no_symmetry;
+  cfg.walks_per_root = args.walks;
+  cfg.walk_depth = args.depth;
+  cfg.max_probe_states = args.max_states;
+  cfg.effects.seed = args.seed;
+  cfg.effects.max_variants_per_slot = args.samples;
+  if (args.mutate) {
+    const std::string planted = audit::apply_mutation(bundle, *args.mutate);
+    if (planted.empty()) {
+      std::fprintf(stderr,
+                   "error: mutation %s has no target in program %s "
+                   "(mb-xor and foreign-write need enough processes)\n",
+                   audit::mutation_name(*args.mutate), name.c_str());
+      std::exit(2);
+    }
+    std::fprintf(stderr, "mutation %s planted in action '%s'\n",
+                 audit::mutation_name(*args.mutate), planted.c_str());
+  }
+  report.programs.push_back(audit::audit_bundle(
+      bundle, cfg, audit::make_extra_probe_roots(name, bundle)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const bool all = args.program == "all";
+  audit::AuditReport report;
+  if (all || args.program == "cb") {
+    audit_one(args, check::make_cb_bundle(args.n, args.num_phases), "cb",
+              report);
+  }
+  if (all || args.program == "rb") {
+    audit_one(args, check::make_rb_bundle(args.n, args.num_phases), "rb",
+              report);
+  }
+  if (all || args.program == "rbp") {
+    audit_one(args, check::make_rbp_bundle(args.n, args.num_phases), "rbp",
+              report);
+  }
+  if (all || args.program == "mb") {
+    audit_one(args,
+              check::make_mb_bundle(args.n, args.num_phases, args.seq_modulus),
+              "mb", report);
+  }
+  if (args.json) {
+    std::printf("%s\n", audit::render_json(report).c_str());
+  } else {
+    std::fputs(audit::render_text(report, /*verbose_actions=*/!args.quiet).c_str(),
+               stdout);
+  }
+  const bool fail =
+      report.num_errors() > 0 || (args.strict && report.num_warnings() > 0);
+  return fail ? 1 : 0;
+}

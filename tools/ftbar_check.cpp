@@ -59,6 +59,9 @@
 #include <thread>
 #include <vector>
 
+#ifndef NDEBUG
+#include "audit/debug_hook.hpp"
+#endif
 #include "check/checker.hpp"
 #include "check/counterexample.hpp"
 #include "check/programs.hpp"
@@ -507,6 +510,15 @@ int run_swarm(const Args& args, const check::ProgramBundle<P>& bundle,
 
 template <class P>
 int run_bundle(const Args& args, const check::ProgramBundle<P>& bundle) {
+#ifndef NDEBUG
+  // Opt-in declared-contract validation before any exploration (debug
+  // builds with FTBAR_AUDIT_DEBUG=1): an unsound read-set or foreign write
+  // would make every verdict below meaningless. Aborts on a violation.
+  if (audit::debug_audit_enabled() && !bundle.start_roots.empty()) {
+    audit::debug_enforce(bundle.actions, bundle.procs,
+                         bundle.start_roots.front(), "ftbar_check");
+  }
+#endif
   std::vector<sim::Semantics> semantics;
   if (args.semantics != "maxpar") semantics.push_back(sim::Semantics::kInterleaving);
   if (args.semantics != "interleaving") {

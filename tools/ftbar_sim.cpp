@@ -41,6 +41,7 @@
 #include <string>
 
 #include "analysis/model.hpp"
+#include "audit/debug_hook.hpp"
 #include "core/cb.hpp"
 #include "core/des_model.hpp"
 #include "core/mb.hpp"
@@ -221,8 +222,15 @@ int run_program(const Args& args, std::vector<P> start,
   trace::TraceRecorder recorder(std::size_t{1} << 20);
   if (tracing) monitor.set_sink(&recorder);
 
-  sim::StepEngine<P> eng(std::move(start), std::move(actions), util::Rng(args.seed),
-                         args.semantics);
+  // These actions notify the SpecMonitor from their statements, so the
+  // engine's construction-time FTBAR_AUDIT_DEBUG probing would flood the
+  // monitor with spurious events; suspend it here — the cb/rb/mb drivers
+  // audit a monitor-free twin of the action system instead.
+  sim::StepEngine<P> eng = [&] {
+    const audit::DebugAuditSuspend suspend_audit;
+    return sim::StepEngine<P>(std::move(start), std::move(actions),
+                              util::Rng(args.seed), args.semantics);
+  }();
   util::Rng fault_rng(args.seed ^ 0xfa0117ULL);
 
   std::size_t recovery_steps = 0;
@@ -308,9 +316,29 @@ int run_program(const Args& args, std::vector<P> start,
   return 0;
 }
 
+/// FTBAR_AUDIT_DEBUG for the monitored drivers: the live action systems
+/// carry the SpecMonitor side channel (see run_program), so the declared
+/// contracts are validated against a freshly built monitor-FREE twin.
+/// `make_clean_actions` is only invoked when the audit actually runs.
+template <class MakeActions, class State>
+void debug_audit_twin(MakeActions&& make_clean_actions, const State& start,
+                      const char* site) {
+#ifndef NDEBUG
+  if (audit::debug_audit_enabled()) {
+    audit::debug_enforce(make_clean_actions(), start.size(), start, site);
+  }
+#else
+  (void)make_clean_actions;
+  (void)start;
+  (void)site;
+#endif
+}
+
 int run_cb(const Args& args) {
   const core::CbOptions opt{args.procs, args.num_phases};
   core::SpecMonitor monitor(args.procs, args.num_phases);
+  debug_audit_twin([&] { return core::make_cb_actions(opt); },
+                   core::cb_start_state(opt), "ftbar_sim cb");
   return run_program<core::CbProc>(
       args, core::cb_start_state(opt), core::make_cb_actions(opt, &monitor), monitor,
       core::cb_detectable_fault(opt, &monitor),
@@ -341,6 +369,8 @@ int run_rb(const Args& args) {
   if (!topo) return 2;
   const core::RbOptions opt{topo, args.num_phases, 0};
   core::SpecMonitor monitor(args.procs, args.num_phases);
+  debug_audit_twin([&] { return core::make_rb_actions(opt); },
+                   core::rb_start_state(opt), "ftbar_sim rb");
   return run_program<core::RbProc>(
       args, core::rb_start_state(opt), core::make_rb_actions(opt, &monitor), monitor,
       core::rb_detectable_fault(opt, &monitor),
@@ -353,6 +383,8 @@ int run_rb(const Args& args) {
 int run_mb(const Args& args) {
   const core::MbOptions opt{args.procs, args.num_phases, 0};
   core::SpecMonitor monitor(args.procs, args.num_phases);
+  debug_audit_twin([&] { return core::make_mb_actions(opt); },
+                   core::mb_start_state(opt), "ftbar_sim mb");
   return run_program<core::MbProc>(
       args, core::mb_start_state(opt), core::make_mb_actions(opt, &monitor), monitor,
       core::mb_detectable_fault(opt, &monitor),
