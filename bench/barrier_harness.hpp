@@ -1,0 +1,64 @@
+// Shared harness for the real-thread barrier microbenches: thread spawning,
+// an oversubscription guard, and the per-barrier counters every barrier
+// benchmark reports the same way, so BENCH_hwbar.json rows are directly
+// comparable across std::barrier, the fault-intolerant baselines and the
+// fault-tolerant hwbar variants.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ftbar::benchbar {
+
+/// Phases per benchmark iteration: enough that barrier cost dominates the
+/// thread spawn/join around it, small enough that one iteration stays fast.
+constexpr int kPhasesPerIteration = 32;
+
+template <class Run>
+void run_threads(int num_threads, Run&& run) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] { run(tid); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// Spin-barrier numbers from an oversubscribed box measure the scheduler,
+/// not the barrier, so thread counts above the hardware (floor 4, so the
+/// 2/4 points always record even on tiny CI machines) are skipped rather
+/// than run. SkipWithError keeps the row in the JSON with an explicit
+/// error_message instead of silently recording garbage.
+inline int max_bench_threads() {
+  return std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+inline bool skip_if_oversubscribed(benchmark::State& state, int n) {
+  if (n <= max_bench_threads()) return false;
+  const std::string why =
+      "skipped: " + std::to_string(n) + " threads would oversubscribe " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      " hardware threads";
+  state.SkipWithError(why.c_str());
+  return true;
+}
+
+/// items/sec = barrier episodes per second, plus an explicit ns_per_barrier
+/// counter (kIsRate|kInvert with the total scaled by 1e-9 yields
+/// elapsed_ns / episodes) — the number the overhead tables quote.
+inline void set_barrier_counters(benchmark::State& state,
+                                 int phases = kPhasesPerIteration) {
+  const double total =
+      static_cast<double>(state.iterations()) * static_cast<double>(phases);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["ns_per_barrier"] = benchmark::Counter(
+      total * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+}  // namespace ftbar::benchbar

@@ -3,13 +3,15 @@
 // "overhead of fault-tolerance" claim, measured on this machine instead of
 // the simulator). Each iteration constructs the barrier, spawns the
 // workers, runs a fixed number of phases, and joins; items processed =
-// phases, so compare items/sec across barrier types.
+// phases, so compare items/sec (or the ns_per_barrier counter) across
+// barrier types. Shares bench/barrier_harness.hpp with bench_hwbar so the
+// baseline rows recorded into BENCH_hwbar.json are measured identically.
 #include <benchmark/benchmark.h>
 
 #include <barrier>
-#include <thread>
-#include <vector>
+#include <chrono>
 
+#include "barrier_harness.hpp"
 #include "baseline/central_barrier.hpp"
 #include "baseline/dissemination_barrier.hpp"
 #include "baseline/tree_barrier.hpp"
@@ -17,66 +19,63 @@
 
 namespace {
 
-constexpr int kPhasesPerIteration = 32;
-
 using namespace ftbar;
-
-template <class Run>
-void run_threads(int num_threads, Run&& run) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(num_threads));
-  for (int tid = 0; tid < num_threads; ++tid) {
-    threads.emplace_back([&, tid] { run(tid); });
-  }
-  for (auto& t : threads) t.join();
-}
+using benchbar::kPhasesPerIteration;
+using benchbar::run_threads;
+using benchbar::set_barrier_counters;
+using benchbar::skip_if_oversubscribed;
 
 void BM_StdBarrier(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     std::barrier bar(n);
     run_threads(n, [&](int) {
       for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_CentralBarrier(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     baseline::CentralBarrier bar(n);
     run_threads(n, [&](int) {
       for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_TreeBarrier(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     baseline::TreeBarrier bar(n);
     run_threads(n, [&](int tid) {
       for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_DisseminationBarrier(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     baseline::DisseminationBarrier bar(n);
     run_threads(n, [&](int tid) {
       for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_FaultTolerantBarrier(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     core::FaultTolerantBarrier bar(n);
     run_threads(n, [&](int tid) {
@@ -86,11 +85,12 @@ void BM_FaultTolerantBarrier(benchmark::State& state) {
       bar.finalize(tid, std::chrono::milliseconds(500));
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_FaultTolerantBarrierLossyLinks(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   core::BarrierOptions opt;
   opt.link_faults.drop = 0.05;
   for (auto _ : state) {
@@ -102,11 +102,12 @@ void BM_FaultTolerantBarrierLossyLinks(benchmark::State& state) {
       bar.finalize(tid, std::chrono::milliseconds(500));
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 void BM_FaultTolerantBarrierWithProcessFaults(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
   for (auto _ : state) {
     core::FaultTolerantBarrier bar(n);
     run_threads(n, [&](int tid) {
@@ -120,7 +121,7 @@ void BM_FaultTolerantBarrierWithProcessFaults(benchmark::State& state) {
       bar.finalize(tid, std::chrono::milliseconds(500));
     });
   }
-  state.SetItemsProcessed(state.iterations() * kPhasesPerIteration);
+  set_barrier_counters(state);
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// ns/barrier of the native fault-tolerant hwbar variants vs std::barrier
+// and the three fault-intolerant src/baseline/ barriers, all on real
+// threads through the shared bench/barrier_harness.hpp — one JSON
+// (BENCH_hwbar.json via the bench-hwbar-json target) holds every row, so
+// the FT-overhead claim of the paper can be read off a single record. The
+// BM_HwbarFtOverheadVsStd rows additionally report the ratio directly
+// (counter ft_overhead_vs_std), and BM_HwbarCentralDegraded prices the
+// scan-path commit mode a run drops into after a death or retire.
+#include <benchmark/benchmark.h>
+
+#include <barrier>
+#include <chrono>
+
+#include "barrier_harness.hpp"
+#include "baseline/central_barrier.hpp"
+#include "baseline/dissemination_barrier.hpp"
+#include "baseline/tree_barrier.hpp"
+#include "hwbar/central.hpp"
+#include "hwbar/topo.hpp"
+#include "hwbar/tree.hpp"
+
+namespace {
+
+using namespace ftbar;
+using benchbar::kPhasesPerIteration;
+using benchbar::run_threads;
+using benchbar::set_barrier_counters;
+using benchbar::skip_if_oversubscribed;
+
+/// Bench options: the detector must never fire under benchmark scheduling
+/// noise (a false declaration would silently switch the run into degraded
+/// mode and corrupt the numbers).
+hwbar::Options bench_options() {
+  hwbar::Options opt;
+  opt.suspect_after = std::chrono::seconds(30);
+  return opt;
+}
+
+template <class Bar>
+void hwbar_loop(Bar& bar, int n) {
+  run_threads(n, [&](int tid) {
+    for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
+  });
+}
+
+void BM_StdBarrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    std::barrier bar(n);
+    run_threads(n, [&](int) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
+    });
+  }
+  set_barrier_counters(state);
+}
+
+void BM_BaselineCentral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    baseline::CentralBarrier bar(n);
+    run_threads(n, [&](int) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
+    });
+  }
+  set_barrier_counters(state);
+}
+
+void BM_BaselineTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    baseline::TreeBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
+    });
+  }
+  set_barrier_counters(state);
+}
+
+void BM_BaselineDissemination(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    baseline::DisseminationBarrier bar(n);
+    run_threads(n, [&](int tid) {
+      for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait(tid);
+    });
+  }
+  set_barrier_counters(state);
+}
+
+void BM_HwbarCentral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    hwbar::CentralHwBarrier bar(n, bench_options());
+    hwbar_loop(bar, n);
+  }
+  set_barrier_counters(state);
+}
+
+void BM_HwbarTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    hwbar::TreeHwBarrier bar(n, bench_options(), /*arity=*/2);
+    hwbar_loop(bar, n);
+  }
+  set_barrier_counters(state);
+}
+
+void BM_HwbarTopoPackageTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  for (auto _ : state) {
+    auto bar = hwbar::TopoHwBarrier::package_tree(
+        n, /*threads_per_package=*/4, bench_options());
+    hwbar_loop(*bar, n);
+  }
+  set_barrier_counters(state);
+}
+
+/// Degraded (post-fault) mode: one extra slot retires before the measured
+/// loop, so every commit goes through the scan path — the steady-state
+/// price a run pays after surviving a death.
+void BM_HwbarCentralDegraded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n + 1)) return;
+  for (auto _ : state) {
+    hwbar::CentralHwBarrier bar(n + 1, bench_options());
+    bar.retire(n);
+    hwbar_loop(bar, n);
+  }
+  set_barrier_counters(state);
+}
+
+/// The headline number: same workload through hwbar-central and
+/// std::barrier inside one benchmark, with the ratio reported directly.
+void BM_HwbarFtOverheadVsStd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  if (skip_if_oversubscribed(state, n)) return;
+  using clock = std::chrono::steady_clock;
+  double hw_ns = 0.0;
+  double std_ns = 0.0;
+  for (auto _ : state) {
+    {
+      hwbar::CentralHwBarrier bar(n, bench_options());
+      const auto t0 = clock::now();
+      hwbar_loop(bar, n);
+      hw_ns += std::chrono::duration<double, std::nano>(clock::now() - t0)
+                   .count();
+    }
+    {
+      std::barrier bar(n);
+      const auto t0 = clock::now();
+      run_threads(n, [&](int) {
+        for (int p = 0; p < kPhasesPerIteration; ++p) bar.arrive_and_wait();
+      });
+      std_ns += std::chrono::duration<double, std::nano>(clock::now() - t0)
+                    .count();
+    }
+  }
+  set_barrier_counters(state, 2 * kPhasesPerIteration);
+  state.counters["ft_overhead_vs_std"] =
+      benchmark::Counter(std_ns > 0.0 ? hw_ns / std_ns : 0.0);
+}
+
+}  // namespace
+
+#define FTBAR_HWBAR_ARGS \
+  ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_StdBarrier) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_BaselineCentral) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_BaselineTree) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_BaselineDissemination) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_HwbarCentral) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_HwbarTree) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_HwbarTopoPackageTree) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_HwbarCentralDegraded) FTBAR_HWBAR_ARGS;
+BENCHMARK(BM_HwbarFtOverheadVsStd) FTBAR_HWBAR_ARGS;
+
+BENCHMARK_MAIN();

@@ -10,7 +10,9 @@ SpecMonitor::SpecMonitor(int num_procs, int num_phases)
       num_phases_(num_phases),
       started_(static_cast<std::size_t>(num_procs), 0),
       completed_(static_cast<std::size_t>(num_procs), 0),
-      aborted_(static_cast<std::size_t>(num_procs), 0) {}
+      aborted_(static_cast<std::size_t>(num_procs), 0),
+      excluded_(static_cast<std::size_t>(num_procs), 0),
+      grace_(static_cast<std::size_t>(num_procs), 0) {}
 
 void SpecMonitor::violate(std::string what) { violations_.push_back(std::move(what)); }
 
@@ -54,6 +56,25 @@ void SpecMonitor::on_start(int proc, int ph, bool new_instance) {
         desynced_ ? 1 : 0);
   if (desynced_) return;
   const auto p = static_cast<std::size_t>(proc);
+
+  if (grace_[p] != 0) {
+    // A rejoined process re-enters checking at its first start that lines
+    // up with the monitor's view; anything earlier is a stale echo of the
+    // instance that was in flight when it rejoined, and is ignored.
+    const bool joins_open =
+        instance_open_ && ph == instance_phase_ && started_[p] == 0;
+    const bool opens_next =
+        !instance_open_ &&
+        (ph == expected_phase_ ||
+         (ph == (expected_phase_ + 1) % num_phases_ && last_successful_));
+    if (!joins_open && !opens_next) return;
+    grace_[p] = 0;
+    excluded_[p] = 0;
+  } else if (excluded_[p] != 0) {
+    violate("process " + std::to_string(proc) + " started phase " +
+            std::to_string(ph) + " after leaving the membership");
+    return;
+  }
 
   if (instance_open_) {
     // A fresh instance may legitimately be opened by several processes in
@@ -116,6 +137,12 @@ void SpecMonitor::on_complete(int proc, int ph) {
   emit_event(ftbar::trace::Kind::kPhaseComplete, proc, ph);
   if (desynced_) return;
   const auto p = static_cast<std::size_t>(proc);
+  if (grace_[p] != 0) return;  // unaligned rejoiner echo — ignored
+  if (excluded_[p] != 0) {
+    violate("process " + std::to_string(proc) + " completed phase " +
+            std::to_string(ph) + " after leaving the membership");
+    return;
+  }
   if (!instance_open_ || ph != instance_phase_) {
     violate("process " + std::to_string(proc) + " completed phase " +
             std::to_string(ph) + " with no matching open instance");
@@ -132,16 +159,54 @@ void SpecMonitor::on_complete(int proc, int ph) {
     return;
   }
   completed_[p] = 1;
-  if (std::all_of(completed_.begin(), completed_.end(), [](char c) { return c != 0; })) {
-    instance_open_ = false;
-    last_successful_ = true;  // the phase now counts as executed successfully
+  maybe_close_successful();
+}
+
+void SpecMonitor::maybe_close_successful() {
+  if (!instance_open_) return;
+  // The instance closes successfully when every process still in the
+  // membership completed — and at least one did (an instance everyone
+  // abandoned has nobody left to vouch for it).
+  bool any_member_completed = false;
+  for (int proc = 0; proc < num_procs_; ++proc) {
+    const auto p = static_cast<std::size_t>(proc);
+    if (excluded_[p] != 0) continue;
+    if (completed_[p] == 0) return;
+    any_member_completed = true;
   }
+  if (!any_member_completed) return;
+  instance_open_ = false;
+  last_successful_ = true;  // the phase now counts as executed successfully
+}
+
+void SpecMonitor::on_leave(int proc) {
+  emit_event(ftbar::trace::Kind::kRankKill, proc);
+  if (proc < 0 || proc >= num_procs_) return;
+  const auto p = static_cast<std::size_t>(proc);
+  excluded_[p] = 1;
+  grace_[p] = 0;
+  if (desynced_) return;
+  if (instance_open_ && started_[p] != 0 && completed_[p] == 0) {
+    aborted_[p] = 1;  // its partial execution died with it
+  }
+  // The leaver may have been the only process the open instance was still
+  // waiting on.
+  maybe_close_successful();
+}
+
+void SpecMonitor::on_join(int proc) {
+  emit_event(ftbar::trace::Kind::kRankRestart, proc);
+  if (proc < 0 || proc >= num_procs_) return;
+  // Still excluded until its first aligned start: the replacement must not
+  // block instances it is not yet executing in.
+  grace_[static_cast<std::size_t>(proc)] = 1;
 }
 
 void SpecMonitor::on_abort(int proc) {
   emit_event(ftbar::trace::Kind::kPhaseAbort, proc);
   if (desynced_ || !instance_open_) return;
   const auto p = static_cast<std::size_t>(proc);
+  if (excluded_[p] != 0) return;  // a zombie's abort orders nothing
   if (started_[p] && !completed_[p]) aborted_[p] = 1;
 }
 

@@ -66,6 +66,26 @@ class SpecMonitor {
   /// a legitimate state in phase `current_phase`.
   void resync(int current_phase);
 
+  /// Process `proc` leaves the membership (declared dead by a failure
+  /// detector, or voluntarily retired). Its partial execution in the open
+  /// instance is discarded, and from here on the instance-close predicate
+  /// — and therefore "executed successfully" — quantifies only over the
+  /// remaining members; any further start/complete from `proc` is a
+  /// violation (a zombie). Mirrored to the sink as kRankKill.
+  void on_leave(int proc);
+  /// A replacement for `proc` rejoins a running protocol. Because the
+  /// replacement cannot know exactly which instance was in flight when its
+  /// events race the survivors', it enters in a GRACE state: starts that
+  /// do not line up with the monitor's view are ignored as stale echoes,
+  /// and the first start that joins the open instance (or validly opens
+  /// the next) re-admits the process to full checking. Mirrored to the
+  /// sink as kRankRestart.
+  void on_join(int proc);
+  [[nodiscard]] bool is_excluded(int proc) const noexcept {
+    return proc >= 0 && proc < num_procs_ &&
+           excluded_[static_cast<std::size_t>(proc)] != 0;
+  }
+
   // ---- verdicts -----------------------------------------------------------
   [[nodiscard]] bool safety_ok() const noexcept { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
@@ -93,6 +113,9 @@ class SpecMonitor {
   void violate(std::string what);
   void open_instance(int ph);
   void close_failed();
+  /// Closes the open instance successfully iff every non-excluded process
+  /// completed (and at least one process is left to vouch for it).
+  void maybe_close_successful();
   void emit_event(ftbar::trace::Kind kind, int proc, long long a = 0, long long b = 0,
              long long c = 0) noexcept;
   [[nodiscard]] bool executing(int proc) const noexcept {
@@ -112,6 +135,8 @@ class SpecMonitor {
   std::vector<char> started_;
   std::vector<char> completed_;
   std::vector<char> aborted_;
+  std::vector<char> excluded_;  ///< left the membership (dead/retired)
+  std::vector<char> grace_;     ///< rejoined, first start not yet aligned
 
   bool desynced_ = false;
   std::size_t total_instances_ = 0;

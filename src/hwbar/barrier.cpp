@@ -1,0 +1,284 @@
+#include "hwbar/barrier.hpp"
+
+namespace ftbar::hwbar {
+
+namespace {
+using Clock = runtime::SuspectTracker::Clock;
+
+SlotState state_of(std::uint8_t raw) noexcept {
+  return static_cast<SlotState>(raw);
+}
+}  // namespace
+
+int hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+HwBarrier::HwBarrier(int num_threads, const Options& opt)
+    : opt_(opt), size_(num_threads), slots_(static_cast<std::size_t>(num_threads)) {
+  observers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    observers_.push_back(
+        std::make_unique<Observer>(num_threads, tid, opt_.suspect_after));
+  }
+}
+
+Stats HwBarrier::stats() const noexcept {
+  Stats s;
+  s.deaths = deaths_.load(std::memory_order_relaxed);
+  s.rejoins = rejoins_.load(std::memory_order_relaxed);
+  s.retires = retires_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.wave_commits = wave_commits_.load(std::memory_order_relaxed);
+  s.scan_commits = scan_commits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HwBarrier::emit(trace::Kind kind, int proc, long long a, long long b,
+                     long long c) noexcept {
+  if (opt_.sink != nullptr) {
+    opt_.sink->emit(trace::make_event(kind, trace::mono_us(), proc, a, b, c));
+  }
+}
+
+bool HwBarrier::poll_due(int tid) noexcept {
+  Observer& ob = *observers_[static_cast<std::size_t>(tid)];
+  const auto now = Clock::now();
+  if (now < ob.next_poll) return false;
+  ob.next_poll = now + opt_.poll_every;
+  return true;
+}
+
+bool HwBarrier::try_commit(int tid, std::uint64_t e, bool via_wave) {
+  if (epoch_.load(std::memory_order_acquire) != e) return false;
+  bool any_absent = false;
+  bool any_required = false;
+  for (int k = 0; k < size_; ++k) {
+    const Slot& s = slots_[static_cast<std::size_t>(k)];
+    const SlotState st = state_of(s.status.load(std::memory_order_acquire));
+    if (st != SlotState::kAlive) {
+      any_absent = true;
+      continue;
+    }
+    if (s.join_epoch.load(std::memory_order_acquire) > e) continue;
+    any_required = true;
+    if (s.arrived_epoch.load(std::memory_order_acquire) <= e) return false;
+  }
+  // An episode no live slot is required for has nobody to vouch for it;
+  // refusing it keeps episode() meaningful through full teardown.
+  if (!any_required) return false;
+  std::uint64_t expected = e;
+  if (!epoch_.compare_exchange_strong(expected, e + 1,
+                                      std::memory_order_acq_rel)) {
+    return false;
+  }
+  if (via_wave) {
+    wave_commits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    scan_commits_.fetch_add(1, std::memory_order_relaxed);
+    if (degraded_.load(std::memory_order_relaxed)) {
+      emit(trace::Kind::kBarrierRepair, tid, phase_of(e),
+           static_cast<long long>(e));
+    }
+  }
+  // Winner-only restore: the commit scan just observed every slot Alive, so
+  // the structured wave is viable again. A death declared concurrently with
+  // this store re-degrades on the declarer's side (and every poll tick
+  // re-asserts the flag while any slot is absent), so a lost store only
+  // costs speed, never safety.
+  if (!any_absent && degraded_.load(std::memory_order_relaxed)) {
+    degraded_.store(false, std::memory_order_release);
+  }
+  return true;
+}
+
+void HwBarrier::declare_dead(int victim, std::uint64_t e) {
+  auto expected = static_cast<std::uint8_t>(SlotState::kAlive);
+  if (slots_[static_cast<std::size_t>(victim)].status.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(SlotState::kDead),
+          std::memory_order_acq_rel)) {
+    degraded_.store(true, std::memory_order_release);
+    deaths_.fetch_add(1, std::memory_order_relaxed);
+    emit(trace::Kind::kRankKill, victim, static_cast<long long>(e));
+  }
+}
+
+bool HwBarrier::poll(int tid, std::uint64_t e) {
+  Slot& me = slots_[static_cast<std::size_t>(tid)];
+  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  if (state_of(me.status.load(std::memory_order_acquire)) !=
+      SlotState::kAlive) {
+    return false;
+  }
+  Observer& ob = *observers_[static_cast<std::size_t>(tid)];
+  const auto now = Clock::now();
+  bool any_absent = false;
+  for (int k = 0; k < size_; ++k) {
+    if (k == tid) continue;
+    const Slot& s = slots_[static_cast<std::size_t>(k)];
+    if (state_of(s.status.load(std::memory_order_acquire)) !=
+        SlotState::kAlive) {
+      any_absent = true;
+      continue;
+    }
+    // Progress is heartbeat + arrival count: either advancing is life.
+    ob.tracker.observe(k,
+                       s.heartbeat.load(std::memory_order_relaxed) +
+                           s.arrived_epoch.load(std::memory_order_acquire),
+                       now);
+  }
+  if (any_absent && !degraded_.load(std::memory_order_relaxed)) {
+    degraded_.store(true, std::memory_order_release);
+  }
+  for (const int suspect : ob.tracker.suspected(now)) {
+    const Slot& s = slots_[static_cast<std::size_t>(suspect)];
+    // Only a slot the in-flight episode is actually waiting on may be
+    // declared dead: required (Alive, member by e) and not arrived.
+    if (state_of(s.status.load(std::memory_order_acquire)) ==
+            SlotState::kAlive &&
+        s.join_epoch.load(std::memory_order_acquire) <= e &&
+        s.arrived_epoch.load(std::memory_order_acquire) <= e) {
+      declare_dead(suspect, e);
+    }
+  }
+  try_commit(tid, e, /*via_wave=*/false);
+  return true;
+}
+
+ArriveStatus HwBarrier::wait_scan(int tid, std::uint64_t e) {
+  try_commit(tid, e, /*via_wave=*/false);
+  const SpinExit ex =
+      spin_until(tid, e, /*exit_on_degraded=*/false, [] { return false; });
+  if (ex == SpinExit::kEvicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return ArriveStatus::kEvicted;
+  }
+  return ArriveStatus::kReleased;
+}
+
+Ticket HwBarrier::cut_died_ticket(std::uint64_t e) noexcept {
+  // Fail-stop: the victim leaves every published word as-is and goes
+  // silent. Survivors find out through the detector timeout.
+  return Ticket{e, phase_of(e), ArriveStatus::kDied, false};
+}
+
+Ticket HwBarrier::arrive_and_wait(int tid) {
+  Slot& me = slot(tid);
+  if (state_of(me.status.load(std::memory_order_acquire)) !=
+      SlotState::kAlive) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t now_e = epoch_.load(std::memory_order_acquire);
+    return Ticket{now_e, phase_of(now_e), ArriveStatus::kEvicted, false};
+  }
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  if (maybe_die(tid, e, KillPoint::kArriveEntry)) return cut_died_ticket(e);
+
+  // Trace: close the work interval that just finished. The start of the
+  // in-flight phase was emitted at the previous depart; if the thread
+  // drifted (rejoin races, missed episodes), re-align with an abort+start
+  // so the spec monitor sees a coherent stream. The complete is emitted
+  // BEFORE the arrival is published: any later kill point then leaves a
+  // trace in which this thread's phase was properly closed.
+  if (opt_.sink != nullptr) {
+    if (!me.started_emitted) {
+      emit(trace::Kind::kPhaseStart, tid, phase_of(e));
+    } else if (me.last_started_episode != e) {
+      emit(trace::Kind::kPhaseAbort, tid);
+      emit(trace::Kind::kPhaseStart, tid, phase_of(e));
+    }
+    emit(trace::Kind::kPhaseComplete, tid, phase_of(e));
+  }
+  me.started_emitted = true;
+  me.last_started_episode = e;
+
+  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  me.arrived_epoch.store(e + 1, std::memory_order_release);
+  if (maybe_die(tid, e, KillPoint::kAfterPublish)) return cut_died_ticket(e);
+
+  WaveResult w = WaveResult::kFellBack;
+  if (!degraded_.load(std::memory_order_acquire)) w = wave(tid, e);
+  switch (w) {
+    case WaveResult::kDied:
+      return cut_died_ticket(e);
+    case WaveResult::kEvicted:
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return Ticket{e, phase_of(e), ArriveStatus::kEvicted, false};
+    case WaveResult::kFellBack: {
+      const ArriveStatus st = wait_scan(tid, e);
+      if (st != ArriveStatus::kReleased) {
+        return Ticket{e, phase_of(e), st, false};
+      }
+      break;
+    }
+    case WaveResult::kReleased:
+      break;
+  }
+
+  if (maybe_die(tid, e, KillPoint::kBeforeDepart)) return cut_died_ticket(e);
+  const std::uint64_t next = e + 1;
+  emit(trace::Kind::kPhaseStart, tid, phase_of(next));
+  me.last_started_episode = next;
+  return Ticket{next, phase_of(next), ArriveStatus::kReleased, false};
+}
+
+Ticket HwBarrier::rejoin(int tid) {
+  Slot& me = slot(tid);
+  const std::uint64_t observed = epoch_.load(std::memory_order_acquire);
+  if (state_of(me.status.load(std::memory_order_acquire)) !=
+      SlotState::kDead) {
+    return Ticket{observed, phase_of(observed), ArriveStatus::kEvicted, false};
+  }
+  // Fresh start for the replacement's own failure detector: everything it
+  // knew about peer progress predates the crash.
+  observers_[static_cast<std::size_t>(tid)]->tracker.forgive_all(Clock::now());
+
+  // Pre-publish membership and the arrival for the in-flight episode, THEN
+  // flip the slot Alive (release): a commit scan that observes the slot
+  // Alive is guaranteed to also observe it arrived, so the flip can never
+  // stall or corrupt the episode it lands in. The crashed thread's work
+  // for that episode is forfeited (Ticket::recovered tells the caller).
+  me.join_epoch.store(observed, std::memory_order_relaxed);
+  me.arrived_epoch.store(observed + 1, std::memory_order_release);
+  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  me.status.store(static_cast<std::uint8_t>(SlotState::kAlive),
+                  std::memory_order_release);
+  rejoins_.fetch_add(1, std::memory_order_relaxed);
+  emit(trace::Kind::kRankRestart, tid, static_cast<long long>(observed));
+
+  // Ride out the episode we pre-arrived for; released together with the
+  // survivors, at which point the slot participates normally.
+  const SpinExit ex = spin_until(tid, observed, /*exit_on_degraded=*/false,
+                                 [] { return false; });
+  if (ex == SpinExit::kEvicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{observed, phase_of(observed), ArriveStatus::kEvicted, true};
+  }
+  const std::uint64_t now_e = epoch_.load(std::memory_order_acquire);
+  emit(trace::Kind::kPhaseStart, tid, phase_of(now_e));
+  me.started_emitted = true;
+  me.last_started_episode = now_e;
+  return Ticket{now_e, phase_of(now_e), ArriveStatus::kReleased, true};
+}
+
+void HwBarrier::retire(int tid) {
+  Slot& me = slot(tid);
+  if (state_of(me.status.load(std::memory_order_acquire)) !=
+      SlotState::kAlive) {
+    return;
+  }
+  // Discard the open phase and announce the withdrawal (b=1 marks it
+  // voluntary, vs the detector's kRankKill declarations).
+  emit(trace::Kind::kPhaseAbort, tid);
+  emit(trace::Kind::kRankKill, tid,
+       static_cast<long long>(epoch_.load(std::memory_order_acquire)), 1);
+  me.status.store(static_cast<std::uint8_t>(SlotState::kRetired),
+                  std::memory_order_release);
+  retires_.fetch_add(1, std::memory_order_relaxed);
+  // The wave would wait on this slot's signals; keep everyone on the scan
+  // path from here on, and unwedge any episode that was waiting only on us.
+  degraded_.store(true, std::memory_order_release);
+  try_commit(tid, epoch_.load(std::memory_order_acquire), /*via_wave=*/false);
+}
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,263 @@
+// Native shared-memory fault-tolerant barriers (std::thread level).
+//
+// The simulated engines prove the paper's protocols over guarded commands;
+// this subsystem re-earns them over real atomics. The design generalizes
+// sense reversal to a monotone 64-bit EPISODE counter (`epoch_`): episode e
+// is in flight while epoch_ == e, committing it stores e+1, and the classic
+// sense bit is just the parity of the epoch. A thread arrives for episode e
+// by publishing `arrived_epoch = e+1` in its cache-line-padded slot.
+//
+// The recovery logic is superposed the way the paper superposes MB on the
+// fault-intolerant barrier: the structured wave (central counter-free scan,
+// combining tree, topology cascade) is only a CONTENTION OPTIMIZATION, and
+// the scan-based commit (`try_commit`) — "every slot that is alive and was
+// a member by episode e has arrived" — is always the ground truth. Every
+// spin loop periodically polls: it bumps its own heartbeat, feeds a
+// runtime::ProgressTracker with every peer's progress counters, declares a
+// required-but-silent peer dead after the timeout (CAS Alive -> Dead,
+// trace kRankKill), and retries the scan commit itself. Hence a commit is
+// never lost to a dead committer, and a dead participant stalls the
+// barrier for at most the detection timeout.
+//
+// Membership is per-slot: {Alive, Dead, Retired} plus `join_epoch`, the
+// first episode the slot is required for. A replacement thread rejoin()s a
+// Dead slot by pre-publishing an arrival for the in-flight episode BEFORE
+// flipping the status to Alive — so any commit scan that observes it Alive
+// also observes it arrived, and the rejoiner is released together with the
+// survivors and participates normally from the next episode on. Rejoining
+// is therefore bounded: the replacement holds a live ticket at most two
+// episodes after the flip.
+//
+// A sticky `degraded_` flag routes every thread to the scan path while any
+// slot is Dead or Retired (structured waves would wait on the dead slot's
+// signals); the thread that commits an episode observing every slot Alive
+// clears it, restoring the fast wave. Mixed modes — some threads waving,
+// some scanning, a stale degraded read — are always SAFE, merely slower,
+// because arrivals are published before either path runs and every wait
+// loop also watches the global epoch word.
+//
+// Memory-ordering argument (DESIGN.md §11 walks the full chain): arrival
+// stores are release, the commit scan's loads are acquire, the epoch CAS
+// is acq_rel, and waiter loads of epoch/release words are acquire — so
+// everything sequenced before any arrive of episode e happens-before
+// everything sequenced after any release from e, which is exactly the
+// barrier contract. Heartbeats are relaxed (they order nothing).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "hwbar/fault_injector.hpp"
+#include "runtime/failure_detector.hpp"
+#include "trace/sink.hpp"
+
+namespace ftbar::hwbar {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// std::thread::hardware_concurrency() with a sane floor (it may report 0).
+[[nodiscard]] int hardware_threads() noexcept;
+
+enum class SlotState : std::uint8_t { kAlive = 0, kDead = 1, kRetired = 2 };
+
+enum class ArriveStatus : std::uint8_t {
+  kReleased = 0,  ///< normal release: every required participant arrived
+  kDied = 1,      ///< this thread was killed at an armed kill point
+  kEvicted = 2,   ///< this slot was declared dead; the caller must stand
+                  ///< down (and may rejoin() once it sees the declaration)
+};
+
+struct Ticket {
+  std::uint64_t episode = 0;  ///< episodes committed when the ticket was cut
+  int phase = 0;              ///< episode mod num_phases: the phase to run next
+  ArriveStatus status = ArriveStatus::kReleased;
+  bool recovered = false;  ///< cut by rejoin(): phases up to `episode` were
+                           ///< forfeited by the crash, re-execute if needed
+};
+
+struct Options {
+  int num_phases = 64;  ///< cyclic phase count for tickets and trace events
+  /// Silence longer than this declares a required participant dead. Must
+  /// exceed the longest inter-arrival gap (phase work) of the application.
+  std::chrono::milliseconds suspect_after{250};
+  /// Cadence of the poll tick (heartbeat + detector + scan commit).
+  std::chrono::microseconds poll_every{200};
+  int spin_before_yield = 64;  ///< spins per yield in every wait loop
+  trace::Sink* sink = nullptr;          ///< optional; null = no tracing
+  FaultInjector* injector = nullptr;    ///< optional; null = no kill points
+};
+
+struct Stats {
+  std::uint64_t deaths = 0;        ///< slots declared dead by the detector
+  std::uint64_t rejoins = 0;       ///< successful rejoin() calls
+  std::uint64_t retires = 0;       ///< voluntary retire() calls
+  std::uint64_t evictions = 0;     ///< live threads told to stand down
+  std::uint64_t wave_commits = 0;  ///< episodes committed by the fast wave
+  std::uint64_t scan_commits = 0;  ///< episodes committed by the scan path
+};
+
+class HwBarrier {
+ public:
+  virtual ~HwBarrier() = default;
+  HwBarrier(const HwBarrier&) = delete;
+  HwBarrier& operator=(const HwBarrier&) = delete;
+
+  /// Arrives for the in-flight episode and waits for its release (or for a
+  /// kill/eviction). Each slot has exactly one owning thread at a time.
+  Ticket arrive_and_wait(int tid);
+
+  /// Re-activates a Dead slot with a replacement thread: pre-arrives for
+  /// the in-flight episode, flips the slot Alive, and blocks until that
+  /// episode is released so the caller re-enters phase-aligned. Returns a
+  /// kEvicted ticket (without touching anything) if the slot is not Dead —
+  /// callers should wait for slot_state(tid) == kDead first.
+  Ticket rejoin(int tid);
+
+  /// Permanently withdraws the slot so the remaining participants can keep
+  /// committing episodes without it (clean shutdown of one thread).
+  void retire(int tid);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] int num_phases() const noexcept { return opt_.num_phases; }
+  /// Episodes committed so far (the monotone generalization of the sense).
+  [[nodiscard]] std::uint64_t episode() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// The classic sense-reversal bit: parity of the episode counter.
+  [[nodiscard]] bool sense() const noexcept { return (episode() & 1U) != 0U; }
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] SlotState slot_state(int tid) const noexcept {
+    return static_cast<SlotState>(
+        slots_[static_cast<std::size_t>(tid)].status.load(
+            std::memory_order_acquire));
+  }
+  [[nodiscard]] Stats stats() const noexcept;
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+  [[nodiscard]] virtual const char* kind_name() const noexcept = 0;
+  /// Kill points this implementation consults, for sweep-style tests.
+  [[nodiscard]] virtual std::vector<KillPoint> kill_points() const = 0;
+
+ protected:
+  HwBarrier(int num_threads, const Options& opt);
+
+  struct alignas(kCacheLine) Slot {
+    // Owner-published line: arrival, liveness, membership.
+    std::atomic<std::uint64_t> arrived_epoch{0};  ///< e+1 == arrived for e
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> subtree_epoch{0};  ///< tree combine signal
+    std::atomic<std::uint64_t> join_epoch{0};  ///< first episode required for
+    std::atomic<std::uint8_t> status{
+        static_cast<std::uint8_t>(SlotState::kAlive)};
+    // Owner-only trace bookkeeping (never read by other threads).
+    std::uint64_t last_started_episode = 0;
+    bool started_emitted = false;
+    // Parent-written release word on its own line (tree wakeup cascade).
+    alignas(kCacheLine) std::atomic<std::uint64_t> release_epoch{0};
+  };
+
+  enum class WaveResult : std::uint8_t {
+    kReleased,  ///< the wave observed the episode committed
+    kFellBack,  ///< bail out to the scan path (degraded or stalled)
+    kDied,      ///< killed at a kill point inside the wave
+    kEvicted,   ///< own slot declared dead during the wave
+  };
+
+  /// The structured fast path for episode e, run after the arrival is
+  /// published. Implementations must keep every internal wait loop on
+  /// spin_until() so the ground-truth scan and the failure detector stay
+  /// live underneath the wave.
+  virtual WaveResult wave(int tid, std::uint64_t e) = 0;
+
+  enum class SpinExit : std::uint8_t { kPred, kGlobal, kDegraded, kEvicted };
+
+  /// Waits until `pred()` holds, the global epoch passes e, the barrier
+  /// degrades (only when exit_on_degraded), or the caller's slot is
+  /// declared dead. Runs the poll tick at Options::poll_every cadence.
+  template <class Pred>
+  SpinExit spin_until(int tid, std::uint64_t e, bool exit_on_degraded,
+                      Pred&& pred) {
+    int spins = 0;
+    for (;;) {
+      if (pred()) return SpinExit::kPred;
+      if (epoch_.load(std::memory_order_acquire) > e) return SpinExit::kGlobal;
+      if (exit_on_degraded && degraded_.load(std::memory_order_acquire)) {
+        return SpinExit::kDegraded;
+      }
+      if (++spins >= opt_.spin_before_yield) {
+        spins = 0;
+        if (poll_due(tid)) {
+          if (!poll(tid, e)) return SpinExit::kEvicted;
+          if (epoch_.load(std::memory_order_acquire) > e) {
+            return SpinExit::kGlobal;
+          }
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Ground truth: commits episode e iff every Alive slot with
+  /// join_epoch <= e has published its arrival (Dead/Retired slots are
+  /// excluded; an episode no live slot is required for never commits).
+  /// The winner clears degraded_ when it observed every slot Alive.
+  bool try_commit(int tid, std::uint64_t e, bool via_wave);
+
+  /// Scan-path wait: commit if possible, then spin on the epoch word.
+  ArriveStatus wait_scan(int tid, std::uint64_t e);
+
+  /// One detector tick; returns false when the caller's own slot is no
+  /// longer Alive (the caller must stand down).
+  bool poll(int tid, std::uint64_t e);
+
+  /// Consults the injector; true means the caller dies here.
+  [[nodiscard]] bool maybe_die(int tid, std::uint64_t e,
+                               KillPoint point) noexcept {
+    return opt_.injector != nullptr &&
+           opt_.injector->should_die(tid, e, point);
+  }
+
+  void declare_dead(int victim, std::uint64_t e);
+  void emit(trace::Kind kind, int proc, long long a = 0, long long b = 0,
+            long long c = 0) noexcept;
+  [[nodiscard]] int phase_of(std::uint64_t e) const noexcept {
+    return static_cast<int>(e % static_cast<std::uint64_t>(opt_.num_phases));
+  }
+  [[nodiscard]] Slot& slot(int tid) noexcept {
+    return slots_[static_cast<std::size_t>(tid)];
+  }
+
+  Options opt_;
+  int size_;
+  std::vector<Slot> slots_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> epoch_{0};
+  alignas(kCacheLine) std::atomic<bool> degraded_{false};
+
+ private:
+  [[nodiscard]] bool poll_due(int tid) noexcept;
+  Ticket cut_died_ticket(std::uint64_t e) noexcept;
+
+  struct Observer {
+    explicit Observer(int num_threads, int self,
+                      runtime::SuspectTracker::Clock::duration timeout)
+        : tracker(num_threads, self, timeout) {}
+    runtime::ProgressTracker tracker;
+    runtime::SuspectTracker::Clock::time_point next_poll{};
+  };
+  std::vector<std::unique_ptr<Observer>> observers_;
+
+  std::atomic<std::uint64_t> deaths_{0};
+  std::atomic<std::uint64_t> rejoins_{0};
+  std::atomic<std::uint64_t> retires_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> wave_commits_{0};
+  std::atomic<std::uint64_t> scan_commits_{0};
+};
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,14 @@
+#include "hwbar/central.hpp"
+
+namespace ftbar::hwbar {
+
+HwBarrier::WaveResult CentralHwBarrier::wave(int tid, std::uint64_t e) {
+  try_commit(tid, e, /*via_wave=*/true);
+  if (maybe_die(tid, e, KillPoint::kAfterCommit)) return WaveResult::kDied;
+  const SpinExit ex =
+      spin_until(tid, e, /*exit_on_degraded=*/false, [] { return false; });
+  return ex == SpinExit::kEvicted ? WaveResult::kEvicted
+                                  : WaveResult::kReleased;
+}
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,34 @@
+// Sense-reversing central barrier, recovery-superposed.
+//
+// The textbook central barrier keeps a shared count and a sense flag; this
+// one IS the recovery machinery's scan path run as the fast path: each
+// arrival publishes its per-slot flag (no shared counter to corrupt when
+// membership changes) and attempts the ground-truth commit; everyone then
+// spins on the single epoch word, whose parity is the classic sense bit.
+// O(n) loads per arrival on one line-per-slot — the expected central-
+// barrier contention profile — but death, rejoin and retire need no extra
+// code at all: the fast path and the degraded path are the same path.
+#pragma once
+
+#include "hwbar/barrier.hpp"
+
+namespace ftbar::hwbar {
+
+class CentralHwBarrier final : public HwBarrier {
+ public:
+  CentralHwBarrier(int num_threads, const Options& opt)
+      : HwBarrier(num_threads, opt) {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "central";
+  }
+  [[nodiscard]] std::vector<KillPoint> kill_points() const override {
+    return {KillPoint::kArriveEntry, KillPoint::kAfterPublish,
+            KillPoint::kAfterCommit, KillPoint::kBeforeDepart};
+  }
+
+ protected:
+  WaveResult wave(int tid, std::uint64_t e) override;
+};
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,59 @@
+#include "hwbar/fault_injector.hpp"
+
+#include <cstring>
+
+namespace ftbar::hwbar {
+
+const char* kill_point_name(KillPoint point) noexcept {
+  switch (point) {
+    case KillPoint::kArriveEntry: return "arrive_entry";
+    case KillPoint::kAfterPublish: return "after_publish";
+    case KillPoint::kAfterCombine: return "after_combine";
+    case KillPoint::kAfterCommit: return "after_commit";
+    case KillPoint::kBeforeWake: return "before_wake";
+    case KillPoint::kBeforeDepart: return "before_depart";
+  }
+  return "unknown";
+}
+
+bool parse_kill_point(const char* text, KillPoint* out) noexcept {
+  if (text == nullptr || out == nullptr) return false;
+  for (const KillPoint point : all_kill_points()) {
+    if (std::strcmp(text, kill_point_name(point)) == 0) {
+      *out = point;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::array<KillPoint, kNumKillPoints> all_kill_points() noexcept {
+  return {KillPoint::kArriveEntry,  KillPoint::kAfterPublish,
+          KillPoint::kAfterCombine, KillPoint::kAfterCommit,
+          KillPoint::kBeforeWake,   KillPoint::kBeforeDepart};
+}
+
+void FaultInjector::arm(int tid, std::uint64_t episode, KillPoint point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.push_back(Kill{tid, episode, point});
+  armed_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool FaultInjector::should_die(int tid, std::uint64_t episode,
+                               KillPoint point) noexcept {
+  consulted_[static_cast<std::size_t>(point)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (armed_count_.load(std::memory_order_acquire) == 0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->tid == tid && it->episode == episode && it->point == point) {
+      armed_.erase(it);
+      armed_count_.fetch_sub(1, std::memory_order_release);
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ftbar::hwbar

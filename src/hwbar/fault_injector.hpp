@@ -1,0 +1,101 @@
+// Cooperative kill-point injection for the shared-memory barriers.
+//
+// A real thread cannot be killed asynchronously without taking the whole
+// process down, so hwbar models fail-stop the way the paper's simulated
+// engines model detectable faults: the barrier consults the injector at a
+// small set of named KILL POINTS inside its protocol, and a thread armed to
+// die there simply stops participating — it returns from arrive_and_wait()
+// with ArriveStatus::kDied, leaves every shared word exactly as the
+// protocol had published it so far, and never touches the barrier again
+// (until a replacement rejoin()s the slot). Survivors learn of the death
+// only through the failure detector's timeout, exactly like a silent crash.
+//
+// The kill points are chosen so that every distinct "shape" of partially
+// published protocol state is reachable:
+//
+//   kArriveEntry  — died during phase work: nothing of this episode
+//                   published (the hardest case: survivors must time out).
+//   kAfterPublish — arrival flag visible, but the thread will neither
+//                   combine nor wait: the episode can commit without it,
+//                   the NEXT one cannot.
+//   kAfterCombine — (tree) its subtree signal is up; the parent proceeds.
+//   kAfterCommit  — died immediately after advancing the global epoch.
+//   kBeforeWake   — (tree) released, but its children were never cascaded
+//                   to — they must fall back to the global epoch word.
+//   kBeforeDepart — released and done, but the next phase never starts.
+//
+// The injector is also the experiment's measurement point: it counts how
+// often each kill point was consulted (proof the protocol actually passes
+// through it) and how many kills it delivered.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ftbar::hwbar {
+
+enum class KillPoint : std::uint8_t {
+  kArriveEntry = 0,
+  kAfterPublish,
+  kAfterCombine,
+  kAfterCommit,
+  kBeforeWake,
+  kBeforeDepart,
+};
+
+inline constexpr int kNumKillPoints = 6;
+
+/// Stable lowercase identifier ("arrive_entry", ...), for CLI flags and logs.
+[[nodiscard]] const char* kill_point_name(KillPoint point) noexcept;
+
+/// Parses a kill_point_name() string; returns false on unknown names.
+[[nodiscard]] bool parse_kill_point(const char* text, KillPoint* out) noexcept;
+
+/// All kill points, in consultation order, for sweep-style tests.
+[[nodiscard]] std::array<KillPoint, kNumKillPoints> all_kill_points() noexcept;
+
+class FaultInjector {
+ public:
+  struct Kill {
+    int tid = -1;
+    std::uint64_t episode = 0;
+    KillPoint point = KillPoint::kArriveEntry;
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms one kill: thread `tid` dies when it reaches `point` in episode
+  /// `episode`. May be called while the barrier is running.
+  void arm(int tid, std::uint64_t episode, KillPoint point);
+
+  /// Consulted by the barrier. Returns true exactly once per armed kill
+  /// (the kill is consumed); always counts the consultation.
+  [[nodiscard]] bool should_die(int tid, std::uint64_t episode,
+                                KillPoint point) noexcept;
+
+  /// How many times the barrier consulted this kill point.
+  [[nodiscard]] std::uint64_t consulted(KillPoint point) const noexcept {
+    return consulted_[static_cast<std::size_t>(point)].load(
+        std::memory_order_relaxed);
+  }
+  /// Kills delivered so far.
+  [[nodiscard]] std::uint64_t kills() const noexcept {
+    return kills_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // armed_count_ keeps the no-faults fast path to one relaxed load; the
+  // mutex is only taken while kills are actually pending.
+  std::atomic<int> armed_count_{0};
+  std::atomic<std::uint64_t> kills_{0};
+  std::array<std::atomic<std::uint64_t>, kNumKillPoints> consulted_{};
+  std::mutex mutex_;
+  std::vector<Kill> armed_;
+};
+
+}  // namespace ftbar::hwbar

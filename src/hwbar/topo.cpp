@@ -1,0 +1,43 @@
+#include "hwbar/topo.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ftbar::hwbar {
+
+std::unique_ptr<TopoHwBarrier> TopoHwBarrier::ring(int num_threads,
+                                                   const Options& opt) {
+  return std::make_unique<TopoHwBarrier>(topology::Topology::ring(num_threads),
+                                         opt);
+}
+
+std::unique_ptr<TopoHwBarrier> TopoHwBarrier::two_ring(int num_threads,
+                                                       const Options& opt) {
+  return std::make_unique<TopoHwBarrier>(
+      topology::Topology::two_ring(num_threads), opt);
+}
+
+std::unique_ptr<TopoHwBarrier> TopoHwBarrier::kary(int num_threads, int arity,
+                                                   const Options& opt) {
+  return std::make_unique<TopoHwBarrier>(
+      topology::Topology::kary_tree(num_threads, arity), opt);
+}
+
+std::unique_ptr<TopoHwBarrier> TopoHwBarrier::package_tree(
+    int num_threads, int threads_per_package, const Options& opt) {
+  if (threads_per_package <= 0) {
+    threads_per_package = std::max(2, hardware_threads());
+  }
+  // Thread i belongs to package i / threads_per_package; the package's
+  // first thread is its leader. Local threads combine into their leader,
+  // leaders combine into thread 0 (leader of package 0).
+  std::vector<int> parent(static_cast<std::size_t>(num_threads), -1);
+  for (int tid = 1; tid < num_threads; ++tid) {
+    const int leader = (tid / threads_per_package) * threads_per_package;
+    parent[static_cast<std::size_t>(tid)] = tid == leader ? 0 : leader;
+  }
+  return std::make_unique<TopoHwBarrier>(
+      topology::Topology::from_parents(std::move(parent)), opt);
+}
+
+}  // namespace ftbar::hwbar

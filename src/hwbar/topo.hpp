@@ -1,0 +1,43 @@
+// Topology-aware combining layouts for TreeHwBarrier.
+//
+// The wave machinery of tree.cpp works over any rooted topology::Topology,
+// so the "topology-aware" barrier is a set of layout factories mirroring
+// the paper's Figure 2 organizations plus a package-aware two-level tree
+// (one leader per package combining its local threads, leaders combining
+// into the root — the Galois FastBarrier wakeup-cascade shape, seeded here
+// from hardware_concurrency() in lieu of a real NUMA map).
+#pragma once
+
+#include <memory>
+
+#include "hwbar/tree.hpp"
+
+namespace ftbar::hwbar {
+
+class TopoHwBarrier final : public TreeHwBarrier {
+ public:
+  TopoHwBarrier(topology::Topology topo, const Options& opt)
+      : TreeHwBarrier(std::move(topo), opt) {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "topo";
+  }
+
+  /// Figure 2(a): a single combining chain (deepest tree, fewest lines).
+  static std::unique_ptr<TopoHwBarrier> ring(int num_threads,
+                                             const Options& opt);
+  /// Figure 2(b): two chains meeting at thread 0.
+  static std::unique_ptr<TopoHwBarrier> two_ring(int num_threads,
+                                                 const Options& opt);
+  /// Figure 2(c): complete-as-possible k-ary combining tree.
+  static std::unique_ptr<TopoHwBarrier> kary(int num_threads, int arity,
+                                             const Options& opt);
+  /// Package-aware two-level tree: threads_per_package-sized groups, each
+  /// combining into its leader, leaders combining into thread 0. Pass 0 to
+  /// derive the group size from hardware_threads().
+  static std::unique_ptr<TopoHwBarrier> package_tree(int num_threads,
+                                                     int threads_per_package,
+                                                     const Options& opt);
+};
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,60 @@
+#include "hwbar/tree.hpp"
+
+namespace ftbar::hwbar {
+
+HwBarrier::WaveResult TreeHwBarrier::wave(int tid, std::uint64_t e) {
+  Slot& me = slot(tid);
+
+  // Combine: gather the subtree waves of every child.
+  for (const int child : topo_.children(tid)) {
+    Slot& ch = slot(child);
+    const SpinExit ex = spin_until(tid, e, /*exit_on_degraded=*/true, [&] {
+      return ch.subtree_epoch.load(std::memory_order_acquire) > e;
+    });
+    if (ex == SpinExit::kGlobal) {
+      // A poll's scan commit beat the wave while we were still combining.
+      // The root's after-commit kill point means "right after this thread
+      // learned episode e committed", whichever path committed it —
+      // without this, an armed root kill would silently never fire on a
+      // slow (e.g. sanitized) run where the scan path wins the race.
+      if (tid == topo_.root() &&
+          maybe_die(tid, e, KillPoint::kAfterCommit)) {
+        return WaveResult::kDied;
+      }
+      return WaveResult::kReleased;
+    }
+    if (ex == SpinExit::kDegraded) return WaveResult::kFellBack;
+    if (ex == SpinExit::kEvicted) return WaveResult::kEvicted;
+  }
+  me.subtree_epoch.store(e + 1, std::memory_order_release);
+  if (maybe_die(tid, e, KillPoint::kAfterCombine)) return WaveResult::kDied;
+
+  if (tid == topo_.root()) {
+    // The root's subtree is everyone: in a clean episode the ground-truth
+    // scan succeeds immediately. If it does not (a participant is off the
+    // wave — mid-rejoin, mid-degrade), the poll underneath the wait below
+    // keeps retrying it.
+    try_commit(tid, e, /*via_wave=*/true);
+    if (maybe_die(tid, e, KillPoint::kAfterCommit)) return WaveResult::kDied;
+    const SpinExit ex = spin_until(tid, e, /*exit_on_degraded=*/true,
+                                   [] { return false; });
+    if (ex == SpinExit::kDegraded) return WaveResult::kFellBack;
+    if (ex == SpinExit::kEvicted) return WaveResult::kEvicted;
+  } else {
+    // Wait for the wakeup cascade on our own line (or the global epoch,
+    // whichever is observed first — a scan commit releases us too).
+    const SpinExit ex = spin_until(tid, e, /*exit_on_degraded=*/true, [&] {
+      return me.release_epoch.load(std::memory_order_acquire) > e;
+    });
+    if (ex == SpinExit::kDegraded) return WaveResult::kFellBack;
+    if (ex == SpinExit::kEvicted) return WaveResult::kEvicted;
+  }
+
+  if (maybe_die(tid, e, KillPoint::kBeforeWake)) return WaveResult::kDied;
+  for (const int child : topo_.children(tid)) {
+    slot(child).release_epoch.store(e + 1, std::memory_order_release);
+  }
+  return WaveResult::kReleased;
+}
+
+}  // namespace ftbar::hwbar

@@ -1,0 +1,62 @@
+// Combining-tree barrier over an arbitrary topology::Topology, with the
+// recovery logic superposed.
+//
+// Fast path (MCS-style, per-slot cache-line-padded signal words):
+//   combine  — wait for each child's `subtree_epoch` to pass the episode,
+//              then publish your own: a wave of per-edge release/acquire
+//              handoffs that carries every descendant's arrival to the
+//              root with O(fan-in) remote lines per node.
+//   commit   — the root runs the ground-truth scan commit (its subtree is
+//              everyone, so in a clean episode the scan succeeds at first
+//              try) and advances the epoch.
+//   wake     — releases cascade root -> leaves through per-slot
+//              `release_epoch` words (each thread spins on its OWN line,
+//              written by its parent), the NUMA-friendly wakeup pattern.
+//
+// Superposition: every one of those waits runs on spin_until(), so the
+// failure detector and the scan commit keep running underneath. A death
+// anywhere flips `degraded_`, every waiter bails out of the wave to the
+// scan path, and the episode commits without the dead slot after at most
+// the detection timeout. Threads in the wave and threads in the scan mix
+// safely: arrivals were published before either path started, and every
+// wave wait also watches the global epoch word — a scan commit releases
+// wave waiters too, stale signal words merely lag (all comparisons are
+// monotone `> e`).
+#pragma once
+
+#include "hwbar/barrier.hpp"
+#include "topology/topology.hpp"
+
+namespace ftbar::hwbar {
+
+class TreeHwBarrier : public HwBarrier {
+ public:
+  /// Complete-as-possible `arity`-ary combining tree in BFS order.
+  TreeHwBarrier(int num_threads, const Options& opt, int arity = 2)
+      : TreeHwBarrier(topology::Topology::kary_tree(num_threads, arity), opt) {}
+
+  /// Any rooted topology (root must be thread 0, per topology::Topology).
+  TreeHwBarrier(topology::Topology topo, const Options& opt)
+      : HwBarrier(topo.size(), opt), topo_(std::move(topo)) {}
+
+  [[nodiscard]] const char* kind_name() const noexcept override {
+    return "tree";
+  }
+  [[nodiscard]] std::vector<KillPoint> kill_points() const override {
+    return {KillPoint::kArriveEntry,  KillPoint::kAfterPublish,
+            KillPoint::kAfterCombine, KillPoint::kAfterCommit,
+            KillPoint::kBeforeWake,   KillPoint::kBeforeDepart};
+  }
+
+  [[nodiscard]] const topology::Topology& topo() const noexcept {
+    return topo_;
+  }
+
+ protected:
+  WaveResult wave(int tid, std::uint64_t e) override;
+
+ private:
+  topology::Topology topo_;
+};
+
+}  // namespace ftbar::hwbar

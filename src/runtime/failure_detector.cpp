@@ -1,5 +1,7 @@
 #include "runtime/failure_detector.hpp"
 
+#include <algorithm>
+
 namespace ftbar::runtime {
 
 SuspectTracker::SuspectTracker(int num_ranks, int self, Clock::duration timeout)
@@ -29,6 +31,28 @@ std::vector<int> SuspectTracker::suspected(Clock::time_point now) const {
     if (is_suspected(r, now)) out.push_back(r);
   }
   return out;
+}
+
+void ProgressTracker::observe(int rank, std::uint64_t counter,
+                              Clock::time_point now) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= last_counter_.size()) return;
+  if (seen_[r] == 0) {
+    seen_[r] = 1;
+    last_counter_[r] = counter;
+    return;
+  }
+  if (counter != last_counter_[r]) {
+    last_counter_[r] = counter;
+    tracker_.record(rank, now);
+  }
+}
+
+void ProgressTracker::forgive_all(Clock::time_point now) {
+  std::fill(seen_.begin(), seen_.end(), 0);
+  for (std::size_t r = 0; r < last_counter_.size(); ++r) {
+    tracker_.record(static_cast<int>(r), now);
+  }
 }
 
 HeartbeatDetector::HeartbeatDetector(std::shared_ptr<Network> net, int rank,

@@ -51,6 +51,49 @@ class SuspectTracker {
   std::vector<Clock::time_point> last_seen_;
 };
 
+/// Shared-memory flavor of the detector: peers publish monotone progress
+/// counters (heartbeats, arrival counts) instead of sending messages, and
+/// each observer runs its own tracker over them. observe() feeds the
+/// current counter value; a change is a sign of life, an unchanged counter
+/// for longer than the timeout makes the peer suspected. This is the
+/// timeout path hwbar's barriers use to declare a participant dead.
+class ProgressTracker {
+ public:
+  using Clock = SuspectTracker::Clock;
+
+  ProgressTracker(int num_ranks, int self, Clock::duration timeout)
+      : tracker_(num_ranks, self, timeout),
+        last_counter_(static_cast<std::size_t>(num_ranks), 0),
+        seen_(static_cast<std::size_t>(num_ranks), 0) {}
+
+  /// Feeds the current value of `rank`'s progress counter at `now`.
+  /// The first observation only baselines the counter (construction
+  /// already granted the benefit of the doubt); later observations record
+  /// a sign of life iff the counter moved.
+  void observe(int rank, std::uint64_t counter, Clock::time_point now);
+
+  /// Ranks (other than self) whose counter has not moved for longer than
+  /// the timeout.
+  [[nodiscard]] std::vector<int> suspected(Clock::time_point now) const {
+    return tracker_.suspected(now);
+  }
+  [[nodiscard]] bool is_suspected(int rank, Clock::time_point now) const {
+    return tracker_.is_suspected(rank, now);
+  }
+
+  /// Grants `rank` a fresh timeout window (e.g. it visibly rejoined).
+  void forgive(int rank, Clock::time_point now) { tracker_.record(rank, now); }
+
+  /// Re-baselines everyone: used by a replacement thread whose knowledge
+  /// of peer progress predates its own restart.
+  void forgive_all(Clock::time_point now);
+
+ private:
+  SuspectTracker tracker_;
+  std::vector<std::uint64_t> last_counter_;
+  std::vector<char> seen_;
+};
+
 /// Wire protocol over the in-process network.
 class HeartbeatDetector {
  public:

@@ -28,8 +28,14 @@
 //   kMsgDup            proc=src, a=dst, b=tag, c=link_seq
 //   kMsgReorder        proc=src, a=dst, b=tag, c=link_seq (held back)
 //   kRankStart         proc=rank, a=generation
-//   kRankKill          proc=rank, a=generation
-//   kRankRestart       proc=rank, a=generation about to launch
+//   kRankKill          proc=rank, a=generation (process-host), or
+//                      a=episode, b=1 if a voluntary hwbar retire (hwbar
+//                      emits it when a barrier slot leaves the membership)
+//   kRankRestart       proc=rank, a=generation about to launch, or the
+//                      episode an hwbar slot rejoined in
+//   kBarrierRepair     proc=committing thread, a=phase, b=episode (hwbar
+//                      scan-path commit taken while the barrier was
+//                      degraded by a death/retire)
 //   kEventDispatch     a=queue seq, time=simulated time
 //   kInstanceBegin     a=instance ordinal within the phase, time=sim time
 //   kInstanceAbort     a=segment index the fault landed in, time=sim time
@@ -63,6 +69,7 @@ enum class Kind : std::uint8_t {
   kRankStart,
   kRankKill,
   kRankRestart,
+  kBarrierRepair,
   kEventDispatch,
   kInstanceBegin,
   kInstanceAbort,

@@ -146,6 +146,7 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
       case Kind::kRankStart:
       case Kind::kRankKill:
       case Kind::kRankRestart:
+      case Kind::kBarrierRepair:
       case Kind::kEventDispatch:
       case Kind::kInstanceBegin:
       case Kind::kInstanceAbort:

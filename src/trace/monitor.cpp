@@ -73,6 +73,25 @@ SpecCheckResult check_trace(const std::vector<TraceEvent>& events,
         }
         spec.on_abort(e.proc);
         break;
+      case Kind::kRankKill:
+        // A participant left the membership (failure-detector declaration
+        // or voluntary retire): the spec stops requiring it.
+        ++result.phase_events;
+        if (e.proc < 0 || e.proc >= num_procs) {
+          bad("rank kill with out-of-range process " + std::to_string(e.proc));
+          break;
+        }
+        spec.on_leave(e.proc);
+        break;
+      case Kind::kRankRestart:
+        ++result.phase_events;
+        if (e.proc < 0 || e.proc >= num_procs) {
+          bad("rank restart with out-of-range process " +
+              std::to_string(e.proc));
+          break;
+        }
+        spec.on_join(e.proc);
+        break;
       case Kind::kFaultUndetectable:
         // The fault harness emits one per victim BEFORE notifying the
         // monitor, so the fault itself opens (or extends) the burst.

@@ -5,9 +5,14 @@
 // check_trace() consumes the phase-level events a traced run emits
 // (kPhaseStart/kPhaseComplete/kPhaseAbort from the barrier program,
 // kFaultUndetectable from the fault harness, kSpecDesync/kSpecResync from
-// the monitor driving the run) and re-derives the verdicts from the trace
-// alone — so a trace file is a complete, independently checkable witness
-// of a run, and a tampered or truncated trace is caught as a violation.
+// the monitor driving the run, kRankKill/kRankRestart from a failure
+// detector or process host changing the membership) and re-derives the
+// verdicts from the trace alone — so a trace file is a complete,
+// independently checkable witness of a run, and a tampered or truncated
+// trace is caught as a violation. Membership events make the checker work
+// on real hwbar executions: a killed slot stops being required for an
+// instance to close, and a rejoined one is re-admitted at its first
+// aligned phase start (core::SpecMonitor::on_leave/on_join).
 //
 // Bound m: a recovery burst opens at the first undetectable fault (or at
 // kSpecDesync) and closes at kSpecResync. Within a burst, m is the number

@@ -52,6 +52,7 @@ const char* kind_name(Kind kind) noexcept {
     case Kind::kRankStart: return "rank_start";
     case Kind::kRankKill: return "rank_kill";
     case Kind::kRankRestart: return "rank_restart";
+    case Kind::kBarrierRepair: return "barrier_repair";
     case Kind::kEventDispatch: return "event_dispatch";
     case Kind::kInstanceBegin: return "instance_begin";
     case Kind::kInstanceAbort: return "instance_abort";

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hwbar/central.hpp"
+#include "hwbar/topo.hpp"
+#include "hwbar/tree.hpp"
+#include "trace/monitor.hpp"
+#include "trace/recorder.hpp"
+
+namespace ftbar::hwbar {
+namespace {
+
+// Correctness tests stay meaningful when oversubscribed (every wait loop
+// yields), so only counts beyond max(hardware_concurrency, 8) are skipped —
+// the 1/2/8 sweep always runs, even on a single-core box.
+bool oversubscribed_beyond_floor(int n) {
+  return n > std::max(hardware_threads(), 8);
+}
+
+Options quiet_options() {
+  Options opt;
+  // Fault-free runs must never suspect anyone, even under a sanitizer's
+  // scheduling delays on a loaded single core.
+  opt.suspect_after = std::chrono::milliseconds(10'000);
+  return opt;
+}
+
+std::vector<std::unique_ptr<HwBarrier>> all_variants(int n,
+                                                     const Options& opt) {
+  std::vector<std::unique_ptr<HwBarrier>> out;
+  out.push_back(std::make_unique<CentralHwBarrier>(n, opt));
+  out.push_back(std::make_unique<TreeHwBarrier>(n, opt, 2));
+  out.push_back(TopoHwBarrier::ring(n, opt));
+  if (n >= 3) out.push_back(TopoHwBarrier::two_ring(n, opt));
+  out.push_back(TopoHwBarrier::package_tree(n, /*threads_per_package=*/3, opt));
+  return out;
+}
+
+/// After the barrier of round r every thread must observe every other
+/// thread's counter at >= r, and its ticket must name episode r exactly.
+void check_fault_free(HwBarrier& bar, int n, int rounds) {
+  std::vector<std::atomic<int>> progress(static_cast<std::size_t>(n));
+  for (auto& p : progress) p.store(0);
+  std::atomic<int> violations{0};
+  std::atomic<int> bad_tickets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int r = 1; r <= rounds; ++r) {
+        progress[static_cast<std::size_t>(tid)].store(
+            r, std::memory_order_release);
+        const Ticket t = bar.arrive_and_wait(tid);
+        if (t.status != ArriveStatus::kReleased ||
+            t.episode != static_cast<std::uint64_t>(r) ||
+            t.phase != static_cast<int>(r % bar.num_phases())) {
+          ++bad_tickets;
+        }
+        for (int k = 0; k < n; ++k) {
+          if (progress[static_cast<std::size_t>(k)].load(
+                  std::memory_order_acquire) < r) {
+            ++violations;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(bad_tickets.load(), 0);
+  // Episode-count and sense invariants: exactly one commit per round, the
+  // sense bit is the episode parity, and nothing degraded or died.
+  EXPECT_EQ(bar.episode(), static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(bar.sense(), (rounds & 1) != 0);
+  EXPECT_FALSE(bar.degraded());
+  const Stats s = bar.stats();
+  EXPECT_EQ(s.deaths, 0U);
+  EXPECT_EQ(s.rejoins, 0U);
+  EXPECT_EQ(s.evictions, 0U);
+  EXPECT_EQ(s.wave_commits + s.scan_commits,
+            static_cast<std::uint64_t>(rounds));
+}
+
+class HwBarrierSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HwBarrierSweep, AllVariantsSynchronize) {
+  const int n = GetParam();
+  if (oversubscribed_beyond_floor(n)) {
+    GTEST_SKIP() << "skipping " << n << " threads on "
+                 << hardware_threads() << " hardware threads";
+  }
+  for (auto& bar : all_variants(n, quiet_options())) {
+    SCOPED_TRACE(std::string(bar->kind_name()) + " n=" + std::to_string(n));
+    check_fault_free(*bar, n, 50);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, HwBarrierSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(HwBarrier, SingleThreadNeverBlocksAndSenseAlternates) {
+  CentralHwBarrier bar(1, quiet_options());
+  for (int r = 1; r <= 100; ++r) {
+    const Ticket t = bar.arrive_and_wait(0);
+    EXPECT_EQ(t.status, ArriveStatus::kReleased);
+    EXPECT_EQ(bar.sense(), (r & 1) != 0);
+  }
+  EXPECT_EQ(bar.episode(), 100U);
+}
+
+TEST(HwBarrier, PhaseWrapsAtNumPhases) {
+  Options opt = quiet_options();
+  opt.num_phases = 4;
+  TreeHwBarrier bar(2, opt);
+  check_fault_free(bar, 2, 10);  // 10 rounds over a 4-phase cycle
+}
+
+TEST(HwBarrier, RejoinOnAliveSlotIsRefused) {
+  CentralHwBarrier bar(2, quiet_options());
+  const Ticket t = bar.rejoin(0);
+  EXPECT_EQ(t.status, ArriveStatus::kEvicted);
+  EXPECT_EQ(bar.episode(), 0U);
+  EXPECT_EQ(bar.slot_state(0), SlotState::kAlive);
+}
+
+TEST(HwBarrier, RetireLetsSurvivorsContinue) {
+  Options opt = quiet_options();
+  CentralHwBarrier bar(3, opt);
+  std::vector<std::thread> threads;
+  // Threads retire one by one after a different number of rounds; the
+  // remaining members must keep committing episodes without the retirees.
+  for (int tid = 0; tid < 3; ++tid) {
+    threads.emplace_back([&, tid] {
+      const int rounds = 4 + 4 * tid;  // 4, 8, 12
+      for (int r = 0; r < rounds; ++r) {
+        const Ticket t = bar.arrive_and_wait(tid);
+        ASSERT_EQ(t.status, ArriveStatus::kReleased);
+      }
+      bar.retire(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bar.stats().retires, 3U);
+  // Thread 2 ran 12 rounds; the first 4 had everyone, the rest progressively
+  // fewer members, but every one of its arrivals was released.
+  EXPECT_GE(bar.episode(), 12U);
+}
+
+TEST(HwBarrier, KillPointsAreConsultedOnTheFastPath) {
+  FaultInjector inj;  // armed with nothing: pure consultation counting
+  Options opt = quiet_options();
+  opt.injector = &inj;
+  const int n = 4;
+  const int rounds = 20;
+  TreeHwBarrier bar(n, opt);
+  check_fault_free(bar, n, rounds);
+  const auto consulted = static_cast<std::uint64_t>(n) * rounds;
+  // Entry, publish and depart are on every released thread's path
+  // unconditionally; the wave kill points depend on how often the scan
+  // path won the race, so only their reachability matters here (the
+  // recovery test arms each one individually).
+  EXPECT_EQ(inj.consulted(KillPoint::kArriveEntry), consulted);
+  EXPECT_EQ(inj.consulted(KillPoint::kAfterPublish), consulted);
+  EXPECT_EQ(inj.consulted(KillPoint::kBeforeDepart), consulted);
+  EXPECT_EQ(inj.kills(), 0U);
+}
+
+TEST(FaultInjector, ArmedKillFiresExactlyOnce) {
+  FaultInjector inj;
+  inj.arm(2, 7, KillPoint::kAfterPublish);
+  EXPECT_FALSE(inj.should_die(2, 6, KillPoint::kAfterPublish));
+  EXPECT_FALSE(inj.should_die(1, 7, KillPoint::kAfterPublish));
+  EXPECT_FALSE(inj.should_die(2, 7, KillPoint::kArriveEntry));
+  EXPECT_TRUE(inj.should_die(2, 7, KillPoint::kAfterPublish));
+  EXPECT_FALSE(inj.should_die(2, 7, KillPoint::kAfterPublish));  // consumed
+  EXPECT_EQ(inj.kills(), 1U);
+  EXPECT_EQ(inj.consulted(KillPoint::kAfterPublish), 4U);
+}
+
+TEST(FaultInjector, KillPointNamesRoundTrip) {
+  for (const KillPoint point : all_kill_points()) {
+    KillPoint parsed{};
+    ASSERT_TRUE(parse_kill_point(kill_point_name(point), &parsed))
+        << kill_point_name(point);
+    EXPECT_EQ(parsed, point);
+  }
+  KillPoint parsed{};
+  EXPECT_FALSE(parse_kill_point("not_a_kill_point", &parsed));
+  EXPECT_FALSE(parse_kill_point(nullptr, &parsed));
+}
+
+TEST(HwBarrier, TracedFaultFreeRunPassesSpecCheck) {
+  trace::TraceRecorder recorder(std::size_t{1} << 16);
+  Options opt = quiet_options();
+  opt.sink = &recorder;
+  opt.num_phases = 4;  // exercise the cyclic wrap in the monitor
+  const int n = 2;
+  const int rounds = 10;
+  TreeHwBarrier bar(n, opt);
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int r = 0; r < rounds; ++r) {
+        ASSERT_EQ(bar.arrive_and_wait(tid).status, ArriveStatus::kReleased);
+      }
+      bar.retire(tid);  // closes the trace stream cleanly
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.dropped(), 0U);
+  const auto check =
+      trace::check_trace(recorder.snapshot(), n, opt.num_phases);
+  EXPECT_TRUE(check.ok) << (check.violations.empty()
+                                ? "no violations"
+                                : check.violations.front());
+  EXPECT_EQ(check.successful_phases, static_cast<std::size_t>(rounds));
+  EXPECT_EQ(check.failed_instances, 0U);
+}
+
+}  // namespace
+}  // namespace ftbar::hwbar

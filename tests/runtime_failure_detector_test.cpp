@@ -57,6 +57,52 @@ TEST(SuspectTracker, OutOfRangeRanksIgnored) {
   EXPECT_FALSE(tracker.is_suspected(7, Clock::now() + 1s));
 }
 
+TEST(ProgressTracker, FirstObservationOnlyBaselines) {
+  ProgressTracker tracker(2, 0, 100ms);
+  const auto t0 = Clock::now();
+  // The first observation of a counter must not count as progress: a rank
+  // that was already dead at construction would otherwise get a fresh
+  // benefit-of-the-doubt from every new observer.
+  tracker.observe(1, 7, t0 + 90ms);
+  EXPECT_TRUE(tracker.is_suspected(1, t0 + 120ms))
+      << "baseline observation must not extend the construction grace";
+}
+
+TEST(ProgressTracker, StaleCounterIsSuspectedChangeRefreshes) {
+  ProgressTracker tracker(2, 0, 100ms);
+  const auto t0 = Clock::now();
+  tracker.observe(1, 7, t0);  // baseline
+  tracker.observe(1, 8, t0 + 10ms);
+  EXPECT_FALSE(tracker.is_suspected(1, t0 + 100ms));
+  // Counter frozen at 8: repeated observations are not signs of life.
+  tracker.observe(1, 8, t0 + 50ms);
+  tracker.observe(1, 8, t0 + 100ms);
+  EXPECT_TRUE(tracker.is_suspected(1, t0 + 150ms));
+  // Any change — even a decrease after a restart — refreshes.
+  tracker.observe(1, 3, t0 + 160ms);
+  EXPECT_FALSE(tracker.is_suspected(1, t0 + 200ms));
+}
+
+TEST(ProgressTracker, ForgiveAllRebaselines) {
+  ProgressTracker tracker(3, 0, 100ms);
+  const auto t0 = Clock::now();
+  tracker.observe(1, 1, t0);
+  tracker.observe(2, 1, t0);
+  ASSERT_TRUE(tracker.is_suspected(1, t0 + 200ms));
+  tracker.forgive_all(t0 + 200ms);
+  EXPECT_FALSE(tracker.is_suspected(1, t0 + 250ms));
+  EXPECT_FALSE(tracker.is_suspected(2, t0 + 250ms));
+  // After the amnesty the old counters are forgotten: seeing the same
+  // value again is a baseline, not progress.
+  tracker.observe(1, 1, t0 + 290ms);
+  EXPECT_TRUE(tracker.is_suspected(1, t0 + 310ms));
+}
+
+TEST(ProgressTracker, SelfIsNeverSuspected) {
+  ProgressTracker tracker(2, 0, 1ms);
+  EXPECT_FALSE(tracker.is_suspected(0, Clock::now() + 10s));
+}
+
 TEST(HeartbeatDetector, DetectsSilentRankAndRecovery) {
   auto net = std::make_shared<Network>(3, 11);
   HeartbeatDetector d0(net, 0, /*beat_every=*/5ms, /*timeout=*/60ms);

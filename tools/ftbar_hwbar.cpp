@@ -1,0 +1,319 @@
+// ftbar_hwbar — command-line driver for the native shared-memory
+// fault-tolerant barriers (src/hwbar/).
+//
+// Spawns real std::thread workers through one of the hwbar variants, runs
+// a fixed number of episodes, and exits nonzero on any protocol trouble —
+// usable both as a demo of the kill/rejoin recovery path and as a CI
+// probe (the hwbar-smoke ctest label runs it fault-free, killed, and
+// killed+rejoined).
+//
+//   --barrier central|tree|ring|tworing|package (central)
+//   --threads N (4)          worker threads / barrier slots
+//   --episodes E (50)        episodes each worker runs before retiring
+//   --arity K (2)            tree arity
+//   --package-size P (4)     threads per package (package barrier)
+//   --num-phases n (16)      phase ring modulus for trace/spec purposes
+//   --work-us U (200)        simulated per-phase work per episode
+//   --suspect-ms M (300)     failure-detector declaration timeout
+//   --kill TID,EP,POINT      arm hwbar::FaultInjector: thread TID dies at
+//                            kill point POINT of episode EP (point names:
+//                            arrive_entry, after_publish, after_combine,
+//                            after_commit, before_wake, before_depart)
+//   --rejoin                 after the declaration, a replacement thread
+//                            rejoins the dead slot and finishes the run
+//   --trace FILE             record the run and re-check it offline with
+//                            trace::check_trace (exit 3 on violation)
+//   --trace-format jsonl|chrome (jsonl)
+//   --csv                    machine-readable one-line summary
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hwbar/central.hpp"
+#include "hwbar/fault_injector.hpp"
+#include "hwbar/topo.hpp"
+#include "hwbar/tree.hpp"
+#include "trace/export.hpp"
+#include "trace/monitor.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace ftbar;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string barrier = "central";
+  int threads = 4;
+  std::uint64_t episodes = 50;
+  int arity = 2;
+  int package_size = 4;
+  int num_phases = 16;
+  int work_us = 200;
+  int suspect_ms = 300;
+  bool have_kill = false;
+  int kill_tid = 0;
+  std::uint64_t kill_episode = 0;
+  hwbar::KillPoint kill_point = hwbar::KillPoint::kArriveEntry;
+  bool rejoin = false;
+  std::string trace;
+  std::string trace_format = "jsonl";
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--barrier central|tree|ring|tworing|package] "
+               "[--threads N] [--episodes E] [--kill TID,EP,POINT] "
+               "[--rejoin] [--trace FILE] ...\n"
+               "see the header of tools/ftbar_hwbar.cpp for the option "
+               "list\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--barrier") {
+      args.barrier = value();
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(value());
+    } else if (flag == "--episodes") {
+      args.episodes = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (flag == "--arity") {
+      args.arity = std::atoi(value());
+    } else if (flag == "--package-size") {
+      args.package_size = std::atoi(value());
+    } else if (flag == "--num-phases") {
+      args.num_phases = std::atoi(value());
+    } else if (flag == "--work-us") {
+      args.work_us = std::atoi(value());
+    } else if (flag == "--suspect-ms") {
+      args.suspect_ms = std::atoi(value());
+    } else if (flag == "--kill") {
+      // TID,EPISODE,POINT_NAME
+      std::string spec = value();
+      const auto c1 = spec.find(',');
+      const auto c2 = spec.find(',', c1 == std::string::npos ? c1 : c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) usage(argv[0]);
+      args.kill_tid = std::atoi(spec.substr(0, c1).c_str());
+      args.kill_episode = static_cast<std::uint64_t>(
+          std::atoll(spec.substr(c1 + 1, c2 - c1 - 1).c_str()));
+      if (!hwbar::parse_kill_point(spec.substr(c2 + 1).c_str(),
+                                   &args.kill_point)) {
+        std::fprintf(stderr, "unknown kill point '%s'\n",
+                     spec.substr(c2 + 1).c_str());
+        std::exit(2);
+      }
+      args.have_kill = true;
+    } else if (flag == "--rejoin") {
+      args.rejoin = true;
+    } else if (flag == "--trace") {
+      args.trace = value();
+    } else if (flag == "--trace-format") {
+      args.trace_format = value();
+    } else if (flag == "--csv") {
+      args.csv = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (args.threads < 1 || args.episodes < 1 || args.num_phases < 1) {
+    usage(argv[0]);
+  }
+  if (args.have_kill &&
+      (args.kill_tid < 0 || args.kill_tid >= args.threads ||
+       args.kill_episode + 2 >= args.episodes)) {
+    std::fprintf(stderr,
+                 "--kill needs 0 <= TID < threads and EP + 2 < episodes\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+std::unique_ptr<hwbar::HwBarrier> make_barrier(const Args& args,
+                                               const hwbar::Options& opt) {
+  if (args.barrier == "central") {
+    return std::make_unique<hwbar::CentralHwBarrier>(args.threads, opt);
+  }
+  if (args.barrier == "tree") {
+    return std::make_unique<hwbar::TreeHwBarrier>(args.threads, opt,
+                                                  args.arity);
+  }
+  if (args.barrier == "ring") {
+    return hwbar::TopoHwBarrier::ring(args.threads, opt);
+  }
+  if (args.barrier == "tworing") {
+    return hwbar::TopoHwBarrier::two_ring(args.threads, opt);
+  }
+  if (args.barrier == "package") {
+    return hwbar::TopoHwBarrier::package_tree(args.threads, args.package_size,
+                                              opt);
+  }
+  std::fprintf(stderr, "unknown barrier kind '%s'\n", args.barrier.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  hwbar::FaultInjector injector;
+  if (args.have_kill) {
+    injector.arm(args.kill_tid, args.kill_episode, args.kill_point);
+  }
+  trace::TraceRecorder recorder(std::size_t{1} << 20);
+
+  hwbar::Options opt;
+  opt.num_phases = args.num_phases;
+  opt.suspect_after = std::chrono::milliseconds(args.suspect_ms);
+  opt.injector = args.have_kill ? &injector : nullptr;
+  opt.sink = args.trace.empty() ? nullptr : &recorder;
+
+  auto bar = make_barrier(args, opt);
+  const auto work = std::chrono::microseconds(args.work_us);
+  std::atomic<int> troubles{0};
+
+  auto worker = [&](int tid) {
+    for (;;) {
+      if (work.count() > 0) std::this_thread::sleep_for(work);
+      const hwbar::Ticket t = bar->arrive_and_wait(tid);
+      if (t.status == hwbar::ArriveStatus::kDied) return;
+      if (t.status != hwbar::ArriveStatus::kReleased) {
+        ++troubles;
+        return;
+      }
+      if (t.episode >= args.episodes) {
+        bar->retire(tid);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(args.threads));
+  for (int tid = 0; tid < args.threads; ++tid) {
+    threads.emplace_back(worker, tid);
+  }
+
+  std::thread replacement;
+  bool rejoin_ok = !args.rejoin;
+  if (args.have_kill && args.rejoin) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(20 * args.suspect_ms + 5000);
+    while (bar->stats().deaths == 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (bar->stats().deaths == 1 &&
+        bar->slot_state(args.kill_tid) == hwbar::SlotState::kDead) {
+      threads[static_cast<std::size_t>(args.kill_tid)].join();
+      replacement = std::thread([&] {
+        const hwbar::Ticket t = bar->rejoin(args.kill_tid);
+        if (t.status != hwbar::ArriveStatus::kReleased || !t.recovered) {
+          ++troubles;
+          return;
+        }
+        worker(args.kill_tid);
+      });
+      rejoin_ok = true;
+    }
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (replacement.joinable()) replacement.join();
+
+  const hwbar::Stats stats = bar->stats();
+  if (args.csv) {
+    std::printf(
+        "barrier,threads,episodes,deaths,rejoins,retires,evictions,"
+        "wave_commits,scan_commits\n%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu\n",
+        bar->kind_name(), args.threads,
+        static_cast<unsigned long long>(bar->episode()),
+        static_cast<unsigned long long>(stats.deaths),
+        static_cast<unsigned long long>(stats.rejoins),
+        static_cast<unsigned long long>(stats.retires),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.wave_commits),
+        static_cast<unsigned long long>(stats.scan_commits));
+  } else {
+    std::printf(
+        "%s barrier, %d threads: %llu episodes committed "
+        "(%llu wave, %llu scan), deaths=%llu rejoins=%llu retires=%llu\n",
+        bar->kind_name(), args.threads,
+        static_cast<unsigned long long>(bar->episode()),
+        static_cast<unsigned long long>(stats.wave_commits),
+        static_cast<unsigned long long>(stats.scan_commits),
+        static_cast<unsigned long long>(stats.deaths),
+        static_cast<unsigned long long>(stats.rejoins),
+        static_cast<unsigned long long>(stats.retires));
+  }
+
+  int rc = 0;
+  if (troubles.load() != 0) {
+    std::fprintf(stderr, "FAIL: %d worker(s) saw unexpected tickets\n",
+                 troubles.load());
+    rc = 1;
+  }
+  if (bar->episode() < args.episodes) {
+    std::fprintf(stderr, "FAIL: only %llu of %llu episodes committed\n",
+                 static_cast<unsigned long long>(bar->episode()),
+                 static_cast<unsigned long long>(args.episodes));
+    rc = 1;
+  }
+  if (args.have_kill && injector.kills() != 1) {
+    std::fprintf(stderr, "FAIL: armed kill never fired\n");
+    rc = 1;
+  }
+  if (args.have_kill && stats.deaths != 1) {
+    std::fprintf(stderr, "FAIL: victim was never declared dead\n");
+    rc = 1;
+  }
+  if (!rejoin_ok || (args.rejoin && stats.rejoins != 1)) {
+    std::fprintf(stderr, "FAIL: rejoin did not complete\n");
+    rc = 1;
+  }
+
+  if (!args.trace.empty()) {
+    if (recorder.dropped() != 0) {
+      std::fprintf(stderr, "FAIL: trace recorder dropped %llu events\n",
+                   static_cast<unsigned long long>(recorder.dropped()));
+      return 4;
+    }
+    const auto events = recorder.snapshot();
+    if (!trace::write_trace_file(args.trace, args.trace_format, events)) {
+      return 4;
+    }
+    // jsonl traces are complete witnesses: re-derive the verdict offline.
+    const auto check =
+        trace::check_trace(events, args.threads, args.num_phases);
+    if (!check.ok) {
+      std::fprintf(stderr, "FAIL: trace check found %zu violation(s):\n",
+                   check.violations.size());
+      for (const auto& v : check.violations) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      return 3;
+    }
+    std::fprintf(stderr,
+                 "trace: %zu events -> %s (%s), spec check ok "
+                 "(%zu successful phases)\n",
+                 events.size(), args.trace.c_str(), args.trace_format.c_str(),
+                 check.successful_phases);
+  }
+  return rc;
+}
