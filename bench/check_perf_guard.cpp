@@ -17,6 +17,10 @@
 // most orbits are only partially reachable and the quotient barely shrinks
 // (see DESIGN.md §9). It still must agree on verdicts, which the smoke
 // tests in tools/CMakeLists.txt pin.
+//
+// This guard owns the symmetry reduction; check_scale_guard.cpp is the
+// companion tripwire for parallel scaling (ws@N must beat ws@1 on the
+// RB N=8 ph=8 workload on any multi-core machine).
 #include <chrono>
 #include <cstdio>
 #include <vector>

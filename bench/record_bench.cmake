@@ -15,9 +15,14 @@
 #  * BUILD_TYPE must be Release or RelWithDebInfo, unless the caller sets
 #    FTBAR_ALLOW_DEBUG_BENCH=1 in the environment (for local smoke runs
 #    whose output is not meant to be committed);
-#  * the repo's git revision and the build type are injected into the JSON's
-#    context block via --benchmark_context, so a record always says where it
-#    came from.
+#  * the repo's git revision, the build type, and the recording machine's
+#    logical core count are injected into the JSON's context block via
+#    --benchmark_context, so a record always says where it came from (the
+#    core count is stamped as `num_cpus_at_record` to avoid shadowing
+#    google-benchmark's native `num_cpus` context field);
+#  * callers may pass -DEXTRA_CONTEXT="key=value|key=value" for additional
+#    per-target provenance ('|'-separated, because a ';' CMake list would
+#    not survive the custom-target COMMAND line).
 
 if(NOT BUILD_TYPE MATCHES "^(Release|RelWithDebInfo)$")
   if(NOT "$ENV{FTBAR_ALLOW_DEBUG_BENCH}" STREQUAL "1")
@@ -43,12 +48,27 @@ if(NOT git_dirty STREQUAL "")
   set(git_sha "${git_sha}-dirty")
 endif()
 
+# The machine the record is taken on, independent of what the benchmark
+# binary itself reports (scaling rows are only meaningful relative to this).
+cmake_host_system_information(RESULT num_cpus_at_record
+                              QUERY NUMBER_OF_LOGICAL_CORES)
+
+set(extra_context_args "")
+if(DEFINED EXTRA_CONTEXT AND NOT EXTRA_CONTEXT STREQUAL "")
+  string(REPLACE "|" ";" extra_kvs "${EXTRA_CONTEXT}")
+  foreach(kv IN LISTS extra_kvs)
+    list(APPEND extra_context_args "--benchmark_context=${kv}")
+  endforeach()
+endif()
+
 execute_process(COMMAND ${BENCH}
                         --benchmark_format=json
                         --benchmark_out=${OUT}
                         --benchmark_out_format=json
                         --benchmark_context=build_type=${BUILD_TYPE}
                         --benchmark_context=git_sha=${git_sha}
+                        --benchmark_context=num_cpus_at_record=${num_cpus_at_record}
+                        ${extra_context_args}
                 RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "${BENCH} exited ${bench_rc}; ${OUT} not recorded")

@@ -5,14 +5,29 @@
 // workhorse (the seed stays on as a differential oracle in the tests):
 //
 //  * states are interned compactly in a sharded concurrent StateStore
-//    keyed by FNV state digests — no per-state std::vector<P> copies, no
-//    per-state heap allocation — fronted by a lock-free duplicate-hit fast
-//    path (the common case past the first few levels);
+//    keyed by FNV state digests — state bytes live in per-worker bump
+//    arenas, no per-state heap allocation — fronted by a lock-free
+//    duplicate-hit fast path (the common case past the first few levels);
+//  * THE HOT PATH IS BATCHED END TO END. Workers do not intern successors
+//    one at a time: each worker STAGES a chunk's worth of enumerated
+//    successors (bytes, fired lists, parent edges) in flat per-worker
+//    buffers and flushes them through StateStore::intern_batch, which
+//    groups by shard and takes each shard's lock once per group. Scheduler
+//    handoff is batched the same way: the work-stealing unit is a
+//    StateChunk of up to --chunk packed (id, depth) entries, so the
+//    per-item Chase-Lev fence/CAS cost — which made 8 threads SLOWER than
+//    1 on the paper's programs, whose per-state expansion work is tiny —
+//    is amortized over the chunk (worklist.hpp);
 //  * two schedulers: a level-synchronized parallel BFS (workers claim
-//    frontier batches from an atomic cursor and join at a level barrier),
-//    and a WORK-STEALING scheduler (per-worker Chase-Lev deques, owner
-//    takes FIFO from its own top, termination via a global pending
-//    counter) under which fast workers never idle at level boundaries.
+//    chunk-sized frontier slices from an atomic cursor and join at a level
+//    barrier), and a WORK-STEALING scheduler (per-worker Chase-Lev deques
+//    trading in chunks, owner takes FIFO from its own top). Termination
+//    detection COUNTS STATES, not chunks: pending_ holds the number of
+//    states queued in published chunks plus states expanded whose
+//    successors are still staged — a worker acknowledges an expansion only
+//    at the flush that routes its successors onward, and every flush adds
+//    its fresh states to pending_ before subtracting its acknowledgements,
+//    so pending_ can never dip to zero while work is still in flight.
 //    Work-stealing keeps depths exact anyway: every state's depth is
 //    CAS-min'ed and a state rediscovered shallower is re-expanded, so the
 //    reported diameter equals the BFS diameter on clean exhaustive runs;
@@ -20,7 +35,10 @@
 //    re-evaluated only where the expanded state differs from the previous
 //    one (declared read-set index shared with the simulation engine), and
 //    successor digests resume from slot-boundary FNV checkpoints instead of
-//    re-hashing whole states;
+//    re-hashing whole states. Each worker reuses ONE generator and ONE
+//    canonicalization scratch across a whole drained chunk, and chunk
+//    entries are near-siblings under FIFO draining, so the diffs stay
+//    small;
 //  * optional SYMMETRY REDUCTION (check/canon.hpp): states are
 //    canonicalized under the program's declared cyclic automorphism group
 //    before interning, shrinking the stored space by up to the group order;
@@ -36,13 +54,19 @@
 //
 // Determinism: on a clean exhaustive run the visited-state set — and hence
 // states_visited, levels and sorted_digests() — is independent of thread
-// count, scheduler and scheduling (the reachable set is unique; depths are
-// CAS-min-corrected). When a violation is found with threads > 1, WHICH
-// violation is reported may vary run to run; use threads = 1 where a
-// deterministic counterexample matters (the CLI and tests do). The
-// transition graph handed to the convergence queries is complete only for
-// clean exhaustive runs; the queries abort on truncated results rather
-// than answer from a partial graph.
+// count, scheduler, scheduling AND chunk size (the reachable set is unique;
+// depths are CAS-min-corrected). At threads = 1 the work-stealing scheduler
+// expands states in exactly global BFS order at ANY chunk size: a single
+// worker publishes chunks in discovery order and drains its own deque FIFO,
+// and flushes process staged successors in discovery order — so the FIRST
+// fresh violating state, and hence the counterexample, is identical across
+// chunk sizes and equal to the BFS one. When a violation is found with
+// threads > 1, WHICH violation is reported may vary run to run (and a few
+// states staged alongside the violating one may land in the store), so use
+// threads = 1 where a deterministic counterexample matters (the CLI and
+// tests do). The transition graph handed to the convergence queries is
+// complete only for clean exhaustive runs; the queries abort on truncated
+// results rather than answer from a partial graph.
 #pragma once
 
 #include <algorithm>
@@ -82,9 +106,14 @@ struct CheckCounters {
   std::uint64_t interned = 0;     ///< fresh states (== states_visited)
   std::uint64_t dup_fast = 0;     ///< duplicates resolved lock-free
   std::uint64_t dup_slow = 0;     ///< duplicates resolved under a shard mutex
-  std::uint64_t steals = 0;       ///< successful steals from another deque
+  std::uint64_t steals = 0;       ///< successful chunk steals from another deque
   std::uint64_t reexpansions = 0;  ///< depth-improvement re-expansions (ws)
   std::uint64_t guard_evals = 0;  ///< guard closures invoked
+  std::uint64_t chunks = 0;       ///< chunks drained (work-stealing only)
+  std::uint64_t chunk_states = 0;  ///< states delivered via drained chunks
+  std::uint64_t flushes = 0;       ///< intern_batch calls
+  std::uint64_t bulk_groups = 0;   ///< shard locks taken across all flushes
+  std::uint64_t bulk_grouped = 0;  ///< staged items that reached a locked group
   double seconds = 0;             ///< wall time of the exploration
 
   [[nodiscard]] double dedup_hit_rate() const noexcept {
@@ -95,6 +124,21 @@ struct CheckCounters {
   }
   [[nodiscard]] double states_per_sec() const noexcept {
     return seconds > 0 ? static_cast<double>(expanded) / seconds : 0.0;
+  }
+  /// Mean states per drained chunk — chunk occupancy. Low occupancy at a
+  /// large --chunk means the frontier is too thin to fill chunks (handoff
+  /// overhead is back to per-state).
+  [[nodiscard]] double avg_chunk_fill() const noexcept {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(chunk_states) /
+                             static_cast<double>(chunks);
+  }
+  /// Mean staged items per shard lock acquisition — how well the bulk path
+  /// amortizes the per-shard mutex (1.0 would be the unbatched cost).
+  [[nodiscard]] double avg_group_size() const noexcept {
+    return bulk_groups == 0 ? 0.0
+                            : static_cast<double>(bulk_grouped) /
+                                  static_cast<double>(bulk_groups);
   }
 };
 
@@ -108,6 +152,7 @@ struct CheckStats {
   std::atomic<std::uint64_t> dup_fast{0};
   std::atomic<std::uint64_t> dup_slow{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> chunks{0};    ///< chunks drained so far (ws)
   std::atomic<std::uint64_t> frontier{0};  ///< queued, not yet expanded
 };
 
@@ -130,6 +175,12 @@ struct CheckOptions {
   bool incremental = true;
   /// Lock-free duplicate fast path in the store. Off = PR 3 baseline.
   bool dedup_fast_path = true;
+  /// States per scheduler handoff unit (work-stealing chunk / BFS cursor
+  /// slice), clamped to [1, StateChunk::kCapacity]. 1 reproduces per-state
+  /// handoff (the PR 4 granularity, kept selectable for benchmarks); the
+  /// visited set, depths and single-threaded counterexamples are identical
+  /// at every setting.
+  std::size_t chunk = 64;
   CheckStats* live_stats = nullptr;  ///< optional --stats sink
 };
 
@@ -168,8 +219,10 @@ class Checker {
   /// invariant under the declared group — the bundles' are by construction.
   CheckResult<P> run(const std::vector<State>& roots, const Invariant& invariant) {
     const auto t0 = std::chrono::steady_clock::now();
-    store_.emplace(procs_, options_.max_states, options_.threads > 1,
-                   options_.dedup_fast_path);
+    const std::size_t nthreads = options_.threads == 0 ? 1 : options_.threads;
+    chunk_ = std::clamp<std::size_t>(options_.chunk, 1, StateChunk::kCapacity);
+    store_.emplace(procs_, options_.max_states, nthreads > 1,
+                   options_.dedup_fast_path, nthreads);
     edges_.clear();
     stop_.store(false, std::memory_order_relaxed);
     truncated_.store(false, std::memory_order_relaxed);
@@ -180,9 +233,10 @@ class Checker {
       read_index_ = sim::build_read_index(actions_, procs_);
     }
 
-    const std::size_t nthreads = options_.threads == 0 ? 1 : options_.threads;
     std::vector<Worker> workers(nthreads);
-    for (auto& w : workers) {
+    for (std::size_t i = 0; i < nthreads; ++i) {
+      Worker& w = workers[i];
+      w.index = i;
       w.gen = std::make_unique<SuccessorGen<P>>(
           actions_, procs_, options_.incremental ? &read_index_ : nullptr,
           options_.incremental);
@@ -238,6 +292,11 @@ class Checker {
       result.counters.steals += w.counters.steals;
       result.counters.reexpansions += w.counters.reexpansions;
       result.counters.guard_evals += w.counters.guard_evals;
+      result.counters.chunks += w.counters.chunks;
+      result.counters.chunk_states += w.counters.chunk_states;
+      result.counters.flushes += w.counters.flushes;
+      result.counters.bulk_groups += w.counters.bulk_groups;
+      result.counters.bulk_grouped += w.counters.bulk_grouped;
     }
     result.counters.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -349,12 +408,32 @@ class Checker {
 
  private:
   struct Worker {
+    std::size_t index = 0;                   ///< arena / deque slot
     std::vector<Id> next;                    ///< BFS: next-level frontier
     std::vector<std::pair<Id, Id>> edges;
     std::unique_ptr<SuccessorGen<P>> gen;
     std::unique_ptr<Canonicalizer<P>> canon;
     std::vector<P> canon_buf;
     State current;
+    State eval_buf;  ///< invariant-evaluation scratch at flush time
+
+    // Staged successors awaiting a bulk flush: three flat parallel buffers
+    // (items / state bytes / fired indices), the layout intern_batch takes.
+    std::vector<typename StateStore<P>::BulkItem> staged;
+    std::vector<P> staged_states;
+    std::vector<std::uint32_t> staged_fired;
+    std::vector<typename StateStore<P>::InternResult> results;
+    typename StateStore<P>::BulkScratch scratch;
+    /// Expanded states whose pending_ decrement is deferred to the next
+    /// flush (their successors are still in the staging buffers).
+    std::uint64_t unacked = 0;
+
+    // Work-stealing only: the worker's deque, chunk recycler, and the open
+    // chunk accumulating fresh discoveries until it reaches chunk_ entries.
+    WorkDeque* deque = nullptr;
+    ChunkPool pool;
+    StateChunk* open = nullptr;
+
     CheckCounters counters;       ///< cumulative locals
     CheckCounters flushed;        ///< portion already pushed to live_stats
     std::uint32_t since_flush = 0;
@@ -364,6 +443,12 @@ class Checker {
 
   [[nodiscard]] static std::uint64_t pack(Id id, std::uint32_t depth) noexcept {
     return (static_cast<std::uint64_t>(id) << 32) | depth;
+  }
+  [[nodiscard]] static std::uint64_t pack_chunk(StateChunk* c) noexcept {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(c));
+  }
+  [[nodiscard]] static StateChunk* unpack_chunk(std::uint64_t e) noexcept {
+    return reinterpret_cast<StateChunk*>(static_cast<std::uintptr_t>(e));
   }
 
   void run_bfs(std::vector<Id>& frontier, const Invariant& invariant,
@@ -430,18 +515,22 @@ class Checker {
     }
   }
 
+  /// BFS level body: claim chunk-sized frontier slices until the level is
+  /// exhausted, then flush the staged tail so every intern of this level is
+  /// in the store before the level barrier.
   void expand_level(const std::vector<Id>& frontier, std::uint32_t depth,
                     const Invariant& invariant, Worker& w) {
-    constexpr std::size_t kBatch = 16;
     for (;;) {
-      const std::size_t begin = cursor_.fetch_add(kBatch, std::memory_order_relaxed);
-      if (begin >= frontier.size()) return;
-      const std::size_t end = std::min(begin + kBatch, frontier.size());
+      const std::size_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= frontier.size()) break;
+      const std::size_t end = std::min(begin + chunk_, frontier.size());
       for (std::size_t fi = begin; fi < end; ++fi) {
-        if (stop_.load(std::memory_order_relaxed)) return;
-        expand_state(frontier[fi], depth, invariant, w, /*own=*/nullptr);
+        if (stop_.load(std::memory_order_relaxed)) break;
+        expand_one(frontier[fi], depth, invariant, w);
       }
+      if (stop_.load(std::memory_order_relaxed)) break;
     }
+    flush_batch(invariant, w);
   }
 
   void run_work_stealing(std::vector<Id>& frontier, const Invariant& invariant,
@@ -451,13 +540,19 @@ class Checker {
     deques.reserve(nthreads);
     for (std::size_t i = 0; i < nthreads; ++i) {
       deques.push_back(std::make_unique<WorkDeque>());
+      workers[i].deque = deques[i].get();
+      workers[i].open = workers[i].pool.get();
     }
-    // Seed round-robin so workers start on disjoint regions.
+    // Seed round-robin into chunks so workers start on disjoint regions;
+    // pending_ counts STATES (chunks are just envelopes). The main thread
+    // may touch the workers' pools/deques here: nothing runs yet, and
+    // thread creation below orders these writes before the workers' reads.
     pending_.store(static_cast<std::int64_t>(frontier.size()),
                    std::memory_order_relaxed);
     for (std::size_t i = 0; i < frontier.size(); ++i) {
-      deques[i % nthreads]->push(pack(frontier[i], 0));
+      chunk_append(workers[i % nthreads], pack(frontier[i], 0));
     }
+    for (auto& w : workers) publish_open(w);
     frontier.clear();
     auto worker_loop = [&](std::size_t wi) {
       Worker& w = workers[wi];
@@ -476,14 +571,32 @@ class Checker {
         }
         if (got) {
           idle_spins = 0;
-          const Id id = static_cast<Id>(e >> 32);
-          const auto depth = static_cast<std::uint32_t>(e & 0xffffffffu);
-          expand_state(id, depth, invariant, w, deques[wi].get());
-          pending_.fetch_sub(1, std::memory_order_release);
+          StateChunk* c = unpack_chunk(e);
+          const std::uint32_t n = c->drain_count();
+          ++w.counters.chunks;
+          w.counters.chunk_states += n;
+          for (std::uint32_t k = 0; k < n; ++k) {
+            if (stop_.load(std::memory_order_relaxed)) return;
+            const std::uint64_t item = c->items[k];
+            expand_one(static_cast<Id>(item >> 32),
+                       static_cast<std::uint32_t>(item & 0xffffffffu),
+                       invariant, w);
+          }
+          w.pool.put(c);  // recycle locally; the victim's pool keeps it alive
           continue;
         }
-        // All deques looked empty. pending > 0 means an item is in flight
-        // (being expanded, or pushed between our probes) — keep polling.
+        // All deques looked empty. Push out anything this worker is still
+        // holding — staged successors and the partial open chunk — then
+        // retry: the flush may have refilled our own deque.
+        if (!w.staged.empty() || w.unacked > 0 ||
+            (w.open != nullptr && w.open->fill > 0)) {
+          flush_batch(invariant, w);
+          publish_open(w);
+          continue;
+        }
+        // pending > 0 means a state is in flight somewhere (queued in a
+        // published chunk, or expanded with successors still staged on
+        // another worker) — keep polling.
         if (pending_.load(std::memory_order_acquire) == 0) return;
         if (++idle_spins > 64) std::this_thread::yield();
       }
@@ -516,12 +629,30 @@ class Checker {
     }
   }
 
-  /// Enumerates the successors of `id` (recorded at `depth`), interning
-  /// each — canonicalized when symmetry reduction is on — and routing fresh
-  /// states to the scheduler (`own` deque in work-stealing mode, the
-  /// worker's next-level buffer otherwise).
-  void expand_state(Id id, std::uint32_t depth, const Invariant& invariant,
-                    Worker& w, WorkDeque* own) {
+  /// Appends a packed (id, depth) entry to the worker's open chunk,
+  /// publishing and replacing the chunk when it reaches chunk_ entries.
+  void chunk_append(Worker& w, std::uint64_t e) {
+    w.open->items[w.open->fill++] = e;
+    if (w.open->fill >= chunk_) publish_open(w);
+  }
+
+  /// Publishes the open chunk (if non-empty) to the worker's own deque and
+  /// starts a fresh one. Chunks are published in discovery order, which is
+  /// what makes single-threaded work-stealing expand in exact BFS order.
+  void publish_open(Worker& w) {
+    if (w.open == nullptr || w.open->fill == 0) return;
+    w.open->publish();
+    w.deque->push(pack_chunk(w.open));
+    w.open = w.pool.get();
+  }
+
+  /// Enumerates the successors of `id` (recorded at `depth`) and STAGES
+  /// each — canonicalized when symmetry reduction is on — into the worker's
+  /// flat batch buffers. Interning, invariant evaluation and scheduler
+  /// routing all happen at the next flush_batch; the expansion itself is
+  /// acknowledged to the termination counter there too (w.unacked).
+  void expand_one(Id id, std::uint32_t depth, const Invariant& invariant,
+                  Worker& w) {
     const auto span = store_->state(id);
     w.current.assign(span.begin(), span.end());
     ++w.counters.expanded;
@@ -543,42 +674,98 @@ class Checker {
             data = w.canon_buf.data();
             digest = store_->digest(data);
           }
-          const auto res =
-              store_->intern(data, digest, id, fired, depth + 1, exp);
-          if (options_.record_edges) w.edges.emplace_back(id, res.id);
-          if (res.inserted) {
-            ++w.counters.interned;
-            if (!invariant(use_symmetry_ ? w.canon_buf : next)) {
-              std::scoped_lock lock(violation_mu_);
-              if (violation_id_ == StateStore<P>::kNoId) violation_id_ = res.id;
-              stop_.store(true, std::memory_order_relaxed);
-              return;
-            }
-            if (own != nullptr) {
-              pending_.fetch_add(1, std::memory_order_relaxed);
-              own->push(pack(res.id, depth + 1));
-            } else {
-              w.next.push_back(res.id);
-            }
-          } else {
-            if (res.fast_hit) {
-              ++w.counters.dup_fast;
-            } else {
-              ++w.counters.dup_slow;
-            }
-            // Out-of-order discovery may have recorded too deep a depth;
-            // fix it and re-expand so successors inherit the correction.
-            // Impossible under level order (own == nullptr skips the CAS).
-            if (own != nullptr &&
-                store_->try_improve_depth(res.id, depth + 1)) {
-              ++w.counters.reexpansions;
-              pending_.fetch_add(1, std::memory_order_relaxed);
-              own->push(pack(res.id, depth + 1));
-            }
+          auto& item = w.staged.emplace_back();
+          item.digest = digest;
+          item.state_index = static_cast<std::uint32_t>(w.staged.size() - 1);
+          item.parent = id;
+          item.fired_ofs = static_cast<std::uint32_t>(w.staged_fired.size());
+          item.fired_len = static_cast<std::uint32_t>(fired.size());
+          item.depth = depth + 1;
+          item.exponent = exp;
+          w.staged_states.insert(w.staged_states.end(), data, data + procs_);
+          w.staged_fired.insert(w.staged_fired.end(), fired.begin(), fired.end());
+          // Flush early when the batch hits the store's bulk cap, or when
+          // the OPTIMISTIC size (interned + staged) reaches the state
+          // budget — the latter keeps the truncation check above exact to
+          // within duplicates, so a space that exhausts inside the budget
+          // is never falsely truncated and an overshoot is bounded.
+          if (w.staged.size() >= StateStore<P>::kMaxBatch ||
+              store_->size() + w.staged.size() >= options_.max_states) {
+            flush_batch(invariant, w);
           }
         });
+    ++w.unacked;
     if (options_.live_stats != nullptr && ++w.since_flush >= kFlushEvery) {
       flush_stats(w);
+    }
+  }
+
+  /// Pushes the staged batch through StateStore::intern_batch, then walks
+  /// the results IN DISCOVERY ORDER: fresh states get their invariant
+  /// check and are routed onward (open chunk in work-stealing mode, the
+  /// next-level buffer in BFS mode); duplicates feed the dedup counters
+  /// and the depth-correction CAS. Finally acknowledges the expansions
+  /// whose successor sets this flush completed — adds before subtracts, so
+  /// the termination counter never transiently hits zero.
+  void flush_batch(const Invariant& invariant, Worker& w) {
+    if (!w.staged.empty()) {
+      w.results.resize(w.staged.size());
+      const auto bs = store_->intern_batch(
+          std::span<const typename StateStore<P>::BulkItem>(w.staged),
+          w.staged_states.data(), w.staged_fired.data(),
+          store_->arena(w.index), w.scratch, w.results.data());
+      ++w.counters.flushes;
+      w.counters.bulk_groups += bs.groups;
+      w.counters.bulk_grouped += bs.grouped_items;
+      for (std::size_t i = 0; i < w.staged.size(); ++i) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        const auto& item = w.staged[i];
+        const auto& res = w.results[i];
+        if (options_.record_edges) w.edges.emplace_back(item.parent, res.id);
+        if (res.inserted) {
+          ++w.counters.interned;
+          const P* bytes = w.staged_states.data() +
+                           static_cast<std::size_t>(item.state_index) * procs_;
+          w.eval_buf.assign(bytes, bytes + procs_);
+          if (!invariant(w.eval_buf)) {
+            std::scoped_lock lock(violation_mu_);
+            if (violation_id_ == StateStore<P>::kNoId) violation_id_ = res.id;
+            stop_.store(true, std::memory_order_relaxed);
+            break;
+          }
+          if (w.deque != nullptr) {
+            pending_.fetch_add(1, std::memory_order_relaxed);
+            chunk_append(w, pack(res.id, item.depth));
+          } else {
+            w.next.push_back(res.id);
+          }
+        } else {
+          if (res.fast_hit) {
+            ++w.counters.dup_fast;
+          } else {
+            ++w.counters.dup_slow;
+          }
+          // Out-of-order discovery may have recorded too deep a depth;
+          // fix it and re-expand so successors inherit the correction.
+          // Impossible under level order (BFS mode skips the CAS).
+          if (w.deque != nullptr &&
+              store_->try_improve_depth(res.id, item.depth)) {
+            ++w.counters.reexpansions;
+            pending_.fetch_add(1, std::memory_order_relaxed);
+            chunk_append(w, pack(res.id, item.depth));
+          }
+        }
+      }
+      w.staged.clear();
+      w.staged_states.clear();
+      w.staged_fired.clear();
+    }
+    if (w.deque != nullptr && w.unacked > 0) {
+      // Release pairs with the idle path's acquire load: a worker that
+      // observes pending == 0 also observes every push made above.
+      pending_.fetch_sub(static_cast<std::int64_t>(w.unacked),
+                         std::memory_order_release);
+      w.unacked = 0;
     }
   }
 
@@ -596,6 +783,8 @@ class Checker {
     s->dup_slow.fetch_add(w.counters.dup_slow - w.flushed.dup_slow,
                           std::memory_order_relaxed);
     s->steals.fetch_add(w.counters.steals - w.flushed.steals,
+                        std::memory_order_relaxed);
+    s->chunks.fetch_add(w.counters.chunks - w.flushed.chunks,
                         std::memory_order_relaxed);
     w.flushed = w.counters;
     s->states.store(store_->size(), std::memory_order_relaxed);
@@ -667,6 +856,7 @@ class Checker {
   CheckOptions options_;
   Symmetry<P> symmetry_;
   bool use_symmetry_ = false;
+  std::size_t chunk_ = 64;  ///< clamped options_.chunk, set per run()
   sim::ReadIndex read_index_;
   std::optional<StateStore<P>> store_;
   std::vector<std::pair<Id, Id>> edges_;

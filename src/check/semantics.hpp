@@ -30,10 +30,14 @@
 //  * SUCCESSOR DIGESTS. FNV-1a is a byte-serial fold, so the generator
 //    checkpoints the hash at every slot boundary of the CURRENT state and
 //    digests a successor by resuming from the first modified slot —
-//    O(changed suffix) instead of O(state). The callback receives the
-//    digest (bit-identical to trace::state_digest) along with the
-//    successor, so the store never re-hashes what enumeration already
-//    hashed.
+//    O(changed suffix) instead of O(state). The checkpoints themselves are
+//    incremental too: the enabled-set diff already finds the first slot
+//    where the expanded state differs from the previous one, and the
+//    shared-prefix checkpoints are reused, so back-to-back sibling
+//    expansions (the common case when the checker drains a chunk) re-fold
+//    only the changed tail. The callback receives the digest
+//    (bit-identical to trace::state_digest) along with the successor, so
+//    the store never re-hashes what enumeration already hashed.
 //
 // Fired-action lists are reported in ascending process order (interleaving:
 // a single index), exactly the order StepEngine emits kActionFired events —
@@ -74,6 +78,9 @@ class SuccessorGen {
         enabled_flag_(actions.size(), 0),
         eval_epoch_(actions.size(), 0),
         checkpoints_(procs + 1, 0) {
+    // checkpoint_digests resumes from checkpoints_[stale_from_]; slot 0 is
+    // the hash of the empty prefix and is never recomputed once seeded.
+    checkpoints_[0] = trace::kFnv1aOffsetBasis;
     if (incremental_) {
       if (index != nullptr) {
         idx_ = index;
@@ -110,12 +117,16 @@ class SuccessorGen {
   /// against the previously expanded state slot-by-slot and re-evaluates
   /// only dependent guards (plus the full-scan fallback list); otherwise —
   /// or on the first call / a size change — every guard is evaluated.
+  /// Records in stale_from_ the first slot where `current` differs from the
+  /// previous expanded state, which doubles as the first checkpoint that
+  /// needs recomputing (prefix hashes over equal prefixes are equal).
   void refresh_enabled(const State& current) {
     if (!incremental_ || !last_valid_ || last_.size() != current.size()) {
       for (std::size_t i = 0; i < actions_.size(); ++i) {
         enabled_flag_[i] = actions_[i].enabled(current) ? 1 : 0;
       }
       guard_evals_ += actions_.size();
+      stale_from_ = 0;
       if (incremental_) {
         last_ = current;
         last_valid_ = true;
@@ -123,6 +134,7 @@ class SuccessorGen {
       return;
     }
     ++epoch_;
+    stale_from_ = procs_;
     for (const std::size_t i : idx_->fullscan_actions) {
       eval_epoch_[i] = epoch_;
       enabled_flag_[i] = actions_[i].enabled(current) ? 1 : 0;
@@ -130,6 +142,7 @@ class SuccessorGen {
     }
     for (std::size_t p = 0; p < procs_; ++p) {
       if (std::memcmp(&last_[p], &current[p], sizeof(P)) == 0) continue;
+      if (stale_from_ == procs_) stale_from_ = p;
       last_[p] = current[p];
       for (const std::size_t i : idx_->deps_by_proc[p]) {
         if (eval_epoch_[i] == epoch_) continue;  // already re-evaluated
@@ -143,9 +156,13 @@ class SuccessorGen {
   /// FNV-1a states at every slot boundary of `current`: checkpoints_[p] is
   /// the hash of slots [0, p). A successor equal to `current` below slot p
   /// digests as fnv1a_resume(checkpoints_[p], successor bytes from p on).
+  /// Resumes from stale_from_: under near-BFS expansion order consecutive
+  /// expanded states are usually siblings differing in a suffix, so the
+  /// shared-prefix checkpoints from the previous expansion are still valid
+  /// and only the changed tail is re-folded.
   void checkpoint_digests(const State& current) {
-    std::uint64_t h = trace::kFnv1aOffsetBasis;
-    for (std::size_t p = 0; p < procs_; ++p) {
+    std::uint64_t h = checkpoints_[stale_from_];
+    for (std::size_t p = stale_from_; p < procs_; ++p) {
       checkpoints_[p] = h;
       h = trace::fnv1a_resume(h, &current[p], sizeof(P));
     }
@@ -238,7 +255,10 @@ class SuccessorGen {
   bool last_valid_ = false;
 
   // Digest checkpoints of the current state (slot-boundary FNV states).
+  // checkpoints_[p] for p <= stale_from_ are still valid from the previous
+  // expansion (equal state prefixes hash equally); the rest are stale.
   std::vector<std::uint64_t> checkpoints_;
+  std::size_t stale_from_ = 0;  ///< first slot differing from the previous state
 
   std::vector<std::size_t> firing_procs_;
   std::vector<std::size_t> odometer_;

@@ -7,8 +7,10 @@
 //
 //  * states are raw byte blobs — P must be trivially copyable with unique
 //    object representations (the same contract the trace/replay digests
-//    rely on) — appended into per-shard block arenas, so interning a state
-//    allocates nothing in steady state;
+//    rely on) — bump-allocated from per-worker arena slabs (StateArena),
+//    so interning a state allocates nothing in steady state and workers
+//    never contend on the blob storage; each shard records one pointer per
+//    state into the owning worker's arena;
 //  * the dedup index is sharded 64 ways on the low bits of the FNV-1a
 //    state digest (trace::fnv1a_bytes, the digest record/replay
 //    introduced), one mutex per shard — each shard padded to its own cache
@@ -21,21 +23,33 @@
 //    are advisory (a hash collision may overwrite one); the mutex-guarded
 //    shard index stays authoritative, so a fast-path miss is never wrong,
 //    just slower;
+//  * the HOT PATH IS BATCHED (intern_batch): the checker stages a chunk's
+//    worth of successors and hands them over in one call, which probes the
+//    fast path with software prefetch running ahead, groups the survivors
+//    by shard with a stable counting sort, prefetches each group's
+//    open-addressing index slots, and takes every shard's lock exactly
+//    ONCE per group — the per-state lock/CAS traffic that made parallel
+//    exploration slower than sequential is amortized over the group. The
+//    single-state intern() remains for root seeding and tests and is NOT
+//    safe to call concurrently with itself (it shares the root arena);
+//    concurrent interning goes through intern_batch with per-worker arenas;
 //  * every interned state carries its discovering edge (parent id + fired
 //    action indices), its symmetry-group exponent (canonical = g^exp(raw),
 //    used to lift quotient-space counterexamples back to concrete runs —
 //    see canon.hpp), and an atomically CAS-min'able depth, which the
 //    work-stealing scheduler uses to keep BFS depths exact out of order.
 //
-// Concurrency contract. intern() may be called from any number of threads.
-// state(), depth() and try_improve_depth() may be called concurrently with
-// intern() ONLY for ids published to the caller (returned from intern(),
-// read from a fast-path slot, or handed across the checker's scheduler):
-// the block-pointer spines are reserved to their maximum size up front so
-// a concurrent append never reallocates them, and blob bytes/depths are
-// written before the id escapes the shard mutex or is release-stored into
-// a fast-path slot. Metadata accessors (parent / fired / digest_of /
-// exponent / max_depth) are valid only after all intern() calls joined.
+// Concurrency contract. intern_batch() may be called from any number of
+// threads, each with its own arena and scratch. state(), depth() and
+// try_improve_depth() may be called concurrently with interning ONLY for
+// ids published to the caller (returned from intern_batch(), read from a
+// fast-path slot, or handed across the checker's scheduler): the
+// pointer/depth block spines are reserved to their maximum size up front so
+// a concurrent append never reallocates them, and blob bytes, the blob
+// pointer and the depth are written before the id escapes the shard mutex
+// or is release-stored into a fast-path slot. Metadata accessors (parent /
+// fired / digest_of / exponent / max_depth) are valid only after all
+// interning calls joined.
 #pragma once
 
 #include <algorithm>
@@ -54,6 +68,43 @@
 
 namespace ftbar::check {
 
+/// Best-effort read prefetch; a no-op on toolchains without the builtin.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+/// Bump allocator for interned state blobs: slabs of `slab_states` states,
+/// each `procs` P records wide. Single-owner (one arena per worker); the
+/// store keeps the arenas alive as long as itself, since shard pointer
+/// tables point into them. Slabs are never freed or reused, so a pointer
+/// handed out stays valid for the arena's lifetime.
+template <class P>
+class StateArena {
+ public:
+  explicit StateArena(std::size_t procs, std::size_t slab_states = 4096)
+      : procs_(procs), slab_states_(slab_states), used_(slab_states) {}
+
+  /// Space for one state (procs_ records), uninitialized.
+  [[nodiscard]] P* alloc() {
+    if (used_ == slab_states_) {
+      slabs_.push_back(
+          std::make_unique_for_overwrite<P[]>(slab_states_ * procs_));
+      used_ = 0;
+    }
+    return slabs_.back().get() + (used_++) * procs_;
+  }
+
+ private:
+  std::size_t procs_;
+  std::size_t slab_states_;
+  std::size_t used_;
+  std::vector<std::unique_ptr<P[]>> slabs_;
+};
+
 template <class P>
 class StateStore {
   static_assert(std::is_trivially_copyable_v<P>,
@@ -67,19 +118,30 @@ class StateStore {
   static constexpr std::size_t kShardBits = 6;
   static constexpr std::size_t kShards = std::size_t{1} << kShardBits;
   static constexpr std::size_t kBlockStates = 1024;
+  /// Largest batch intern_batch accepts; the spine slack below is sized so
+  /// that every worker overshooting max_states by one full batch into one
+  /// shard still fits the reserved pointer spines.
+  static constexpr std::size_t kMaxBatch = 4096;
 
+  /// `workers` sizes the per-worker arena set (arena(w) for w < workers).
   /// `concurrent` = false elides the shard mutexes: valid only when every
-  /// intern() comes from one thread (the checker passes threads > 1).
+  /// interning call comes from one thread (the checker passes threads > 1).
   /// `fast_path` = false disables the lock-free duplicate table (the PR 3
   /// baseline, kept selectable for benchmarking).
   StateStore(std::size_t procs, std::size_t max_states, bool concurrent = true,
-             bool fast_path = true)
+             bool fast_path = true, std::size_t workers = 1)
       : procs_(procs), state_bytes_(procs * sizeof(P)), concurrent_(concurrent) {
+    if (workers == 0) workers = 1;
+    arenas_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) arenas_.emplace_back(procs);
     // Reserve every shard's block spine for the worst case (all states in
-    // one shard) so a concurrent reader never observes a reallocation.
-    const std::size_t spine = max_states / kBlockStates + 2;
+    // one shard, plus every worker overshooting the budget by one batch
+    // between size checks) so a concurrent reader never observes a
+    // reallocation of the spine it is indexing.
+    const std::size_t spine =
+        (max_states + workers * kMaxBatch) / kBlockStates + 2;
     for (auto& shard : shards_) {
-      shard.blocks.reserve(spine);
+      shard.ptr_blocks.reserve(spine);
       shard.depth_blocks.reserve(spine);
       shard.index_keys.resize(kInitialIndexSlots);
       shard.index_vals.assign(kInitialIndexSlots, 0);
@@ -112,93 +174,149 @@ class StateStore {
     bool fast_hit = false;  ///< duplicate resolved without touching a shard
   };
 
+  /// One staged successor in an intern_batch call. The state bytes live at
+  /// `states + state_index * procs` of the caller's staging buffer and the
+  /// fired list at `fired + fired_ofs`, so the batch is three parallel
+  /// flat buffers instead of a vector of vectors.
+  struct BulkItem {
+    std::uint64_t digest = 0;
+    std::uint32_t state_index = 0;
+    Id parent = kNoId;
+    std::uint32_t fired_ofs = 0;
+    std::uint32_t fired_len = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t exponent = 0;
+  };
+
+  /// Shard-group telemetry of one intern_batch call (accumulated by the
+  /// checker into its --stats counters): `groups` shard locks taken,
+  /// `grouped_items` items that reached the locked slow path (the rest were
+  /// resolved by the lock-free fast table).
+  struct BulkStats {
+    std::uint64_t groups = 0;
+    std::uint64_t grouped_items = 0;
+  };
+
+  /// Reusable per-caller scratch for intern_batch's shard grouping.
+  struct BulkScratch {
+    std::vector<std::uint32_t> pending;  ///< item indices not fast-resolved
+    std::vector<std::uint32_t> grouped;  ///< same, stably sorted by shard
+  };
+
   /// Digest of a whole-system state, as the replay layer computes it.
   [[nodiscard]] std::uint64_t digest(const P* s) const noexcept {
     return trace::fnv1a_bytes(s, state_bytes_);
   }
 
+  /// Per-worker blob arena (w < the `workers` the store was built with).
+  [[nodiscard]] StateArena<P>& arena(std::size_t w) { return arenas_[w]; }
+
   /// Interns `s` (byte-compared against digest collisions). On first
   /// insertion the discovering edge (parent, fired action indices), the
   /// symmetry exponent and the discovery depth are recorded; later
   /// discoveries of the same state keep the first edge (depth may still
-  /// improve via try_improve_depth).
+  /// improve via try_improve_depth). Blob bytes go to arena 0 — this entry
+  /// point is for root seeding and tests and must not be called from two
+  /// threads at once; concurrent interning uses intern_batch.
   InternResult intern(const P* s, std::uint64_t digest, Id parent,
                       std::span<const std::uint32_t> fired,
                       std::uint32_t depth = 0, std::uint32_t exponent = 0) {
     std::uint32_t* fast_slot = nullptr;
-    if (fast_ != nullptr) {
-      fast_slot = &fast_[fast_index(digest)];
-      const std::uint32_t cached =
-          std::atomic_ref<std::uint32_t>(*fast_slot).load(
-              std::memory_order_acquire);
-      if (cached != 0) {
-        const Id cand = cached - 1;
-        const Shard& shard = shards_[cand & (kShards - 1)];
-        if (std::memcmp(slot(shard, cand >> kShardBits), s, state_bytes_) == 0) {
-          return {cand, false, true};
-        }
-      }
-    }
+    InternResult out;
+    if (probe_fast(s, digest, fast_slot, out)) return out;
     Shard& shard = shards_[shard_of(digest)];
     std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
     if (concurrent_) lock.lock();
-    // Open-addressing digest index (linear probing, power-of-two, grown at
-    // ~70% load): the hot intern path must not pay a node allocation and a
-    // bucket-chain walk per fresh state the way an unordered_map does.
-    std::size_t probe = index_slot(shard, digest);
-    while (shard.index_vals[probe] != 0) {
-      if (shard.index_keys[probe] == digest) break;
-      probe = (probe + 1) & shard.index_mask;
-    }
-    const bool fresh = shard.index_vals[probe] == 0;
-    for (std::uint32_t local =
-             fresh ? kNoLocal : shard.index_vals[probe] - 1;
-         local != kNoLocal; local = shard.collision_next[local]) {
-      if (std::memcmp(slot(shard, local), s, state_bytes_) == 0) {
-        const Id found = make_id(shard_of(digest), local);
-        if (fast_slot != nullptr) {
-          std::atomic_ref<std::uint32_t>(*fast_slot).store(
-              found + 1, std::memory_order_release);
+    return intern_locked(shard, s, digest, parent, fired.data(),
+                         static_cast<std::uint32_t>(fired.size()), depth,
+                         exponent, arenas_[0], fast_slot);
+  }
+
+  /// Bulk interning: resolves `items` against the store in one call —
+  /// lock-free fast-table probes with prefetch running `kPrefetchAhead`
+  /// items ahead, then one locked pass per shard GROUP (stable counting
+  /// sort by shard, index slots prefetched before the probes), fresh blobs
+  /// bump-allocated from `arena`. results[i] corresponds to items[i]; the
+  /// first occurrence of a duplicated state within the batch is the one
+  /// that inserts (stable grouping preserves in-batch discovery order per
+  /// shard), so batched exploration keeps the unbatched discovery-edge
+  /// semantics. items.size() must be <= kMaxBatch.
+  BulkStats intern_batch(std::span<const BulkItem> items, const P* states,
+                         const std::uint32_t* fired, StateArena<P>& arena,
+                         BulkScratch& scratch, InternResult* results) {
+    const std::size_t n = items.size();
+    if (n > kMaxBatch) std::abort();  // caller bug: spine slack would be void
+    BulkStats stats;
+    static constexpr std::size_t kPrefetchAhead = 8;
+
+    scratch.pending.clear();
+    if (fast_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          prefetch_read(&fast_[fast_index(items[i + kPrefetchAhead].digest)]);
         }
-        return {found, false, false};
+        std::uint32_t* slot_ptr = nullptr;
+        if (!probe_fast(states + items[i].state_index * procs_,
+                        items[i].digest, slot_ptr, results[i])) {
+          scratch.pending.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    } else {
+      scratch.pending.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        scratch.pending[i] = static_cast<std::uint32_t>(i);
       }
     }
-    const auto local = static_cast<std::uint32_t>(shard.count);
-    if (local % kBlockStates == 0) {
-      // for_overwrite: zero-filling a 48KB block would cost more than the
-      // ~20 states a shard typically holds on small instances. Every slot
-      // and depth is fully written before its id is published.
-      shard.blocks.push_back(
-          std::make_unique_for_overwrite<P[]>(kBlockStates * procs_));
-      shard.depth_blocks.push_back(
-          std::make_unique_for_overwrite<std::atomic<std::uint32_t>[]>(
-              kBlockStates));
+
+    // Stable counting sort of the unresolved items by destination shard:
+    // one pass to count, one to scatter. Stability keeps in-batch
+    // discovery order within each shard group.
+    std::uint32_t counts[kShards] = {};
+    for (const auto idx : scratch.pending) {
+      ++counts[shard_of(items[idx].digest)];
     }
-    std::memcpy(slot(shard, local), s, state_bytes_);
-    depth_slot(shard, local).store(depth, std::memory_order_relaxed);
-    shard.digests.push_back(digest);
-    shard.parents.push_back(parent);
-    shard.exponents.push_back(exponent);
-    shard.fired_offsets.push_back(static_cast<std::uint32_t>(shard.fired_arena.size()));
-    shard.fired_arena.push_back(static_cast<std::uint32_t>(fired.size()));
-    shard.fired_arena.insert(shard.fired_arena.end(), fired.begin(), fired.end());
-    shard.collision_next.push_back(fresh ? kNoLocal
-                                         : shard.index_vals[probe] - 1);
-    shard.index_keys[probe] = digest;
-    shard.index_vals[probe] = local + 1;
-    if (fresh && ++shard.index_used * 10 >= shard.index_mask * 7) {
-      grow_index(shard);
+    std::uint32_t starts[kShards + 1];
+    starts[0] = 0;
+    for (std::size_t s = 0; s < kShards; ++s) starts[s + 1] = starts[s] + counts[s];
+    scratch.grouped.resize(scratch.pending.size());
+    {
+      std::uint32_t cursor[kShards];
+      std::copy(starts, starts + kShards, cursor);
+      for (const auto idx : scratch.pending) {
+        scratch.grouped[cursor[shard_of(items[idx].digest)]++] = idx;
+      }
     }
-    ++shard.count;
-    total_.fetch_add(1, std::memory_order_relaxed);
-    const Id id = make_id(shard_of(digest), local);
-    if (fast_slot != nullptr) {
-      // Publish AFTER the blob bytes and depth: the release pairs with the
-      // fast path's acquire, so a fast-path reader sees complete bytes.
-      std::atomic_ref<std::uint32_t>(*fast_slot).store(
-          id + 1, std::memory_order_release);
+
+    std::size_t fresh = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (counts[s] == 0) continue;
+      ++stats.groups;
+      stats.grouped_items += counts[s];
+      Shard& shard = shards_[s];
+      std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+      if (concurrent_) lock.lock();
+      // Prefetch the group's home index slots under the lock (the index
+      // array may be swapped by a concurrent grow, so touching it outside
+      // the lock would race); the probe loop below then finds them warm.
+      for (std::uint32_t g = starts[s]; g < starts[s + 1]; ++g) {
+        const auto& it = items[scratch.grouped[g]];
+        prefetch_read(&shard.index_vals[index_slot(shard, it.digest)]);
+        prefetch_read(&shard.index_keys[index_slot(shard, it.digest)]);
+      }
+      for (std::uint32_t g = starts[s]; g < starts[s + 1]; ++g) {
+        const std::uint32_t idx = scratch.grouped[g];
+        const auto& it = items[idx];
+        std::uint32_t* fast_slot =
+            fast_ != nullptr ? &fast_[fast_index(it.digest)] : nullptr;
+        results[idx] = intern_locked(
+            shard, states + it.state_index * procs_, it.digest, it.parent,
+            fired + it.fired_ofs, it.fired_len, it.depth, it.exponent, arena,
+            fast_slot, /*bump_total=*/false);
+        if (results[idx].inserted) ++fresh;
+      }
     }
-    return {id, true, false};
+    if (fresh > 0) total_.fetch_add(fresh, std::memory_order_relaxed);
+    return stats;
   }
 
   [[nodiscard]] std::span<const P> state(Id id) const {
@@ -306,7 +424,9 @@ class StateStore {
     std::size_t index_mask = 0;
     std::size_t index_used = 0;
     std::vector<std::uint32_t> collision_next;  ///< older state, same digest
-    std::vector<std::unique_ptr<P[]>> blocks;
+    /// Per-state blob pointers into the worker arenas, in kBlockStates
+    /// blocks so the spine (reserved up front) never moves under a reader.
+    std::vector<std::unique_ptr<const P*[]>> ptr_blocks;
     std::vector<std::unique_ptr<std::atomic<std::uint32_t>[]>> depth_blocks;
     std::vector<std::uint64_t> digests;
     std::vector<Id> parents;
@@ -323,14 +443,104 @@ class StateStore {
                                             std::uint32_t local) noexcept {
     return (local << kShardBits) | static_cast<Id>(shard);
   }
-  [[nodiscard]] P* slot(const Shard& shard, std::uint32_t local) const {
-    return shard.blocks[local / kBlockStates].get() +
-           (local % kBlockStates) * procs_;
+  [[nodiscard]] const P* slot(const Shard& shard, std::uint32_t local) const {
+    return shard.ptr_blocks[local / kBlockStates][local % kBlockStates];
   }
   [[nodiscard]] static std::atomic<std::uint32_t>& depth_slot(
       const Shard& shard, std::uint32_t local) {
     return shard.depth_blocks[local / kBlockStates][local % kBlockStates];
   }
+
+  /// Lock-free duplicate probe. On a byte-equal hit fills `out` and returns
+  /// true; otherwise leaves `fast_slot` pointing at the slot to publish to.
+  bool probe_fast(const P* s, std::uint64_t digest, std::uint32_t*& fast_slot,
+                  InternResult& out) const {
+    if (fast_ == nullptr) return false;
+    fast_slot = &fast_[fast_index(digest)];
+    const std::uint32_t cached =
+        std::atomic_ref<std::uint32_t>(*fast_slot).load(
+            std::memory_order_acquire);
+    if (cached == 0) return false;
+    const Id cand = cached - 1;
+    const Shard& shard = shards_[cand & (kShards - 1)];
+    if (std::memcmp(slot(shard, cand >> kShardBits), s, state_bytes_) != 0) {
+      return false;
+    }
+    out = {cand, false, true};
+    return true;
+  }
+
+  /// Probe-or-insert under the (already held, in concurrent mode) shard
+  /// lock. Blob bytes for fresh states are bump-allocated from `arena` and
+  /// copied before the digest -> id mapping becomes visible, so a reader
+  /// that finds the id (via the index after the lock is released, or the
+  /// fast slot's release store) always sees complete bytes.
+  InternResult intern_locked(Shard& shard, const P* s, std::uint64_t digest,
+                             Id parent, const std::uint32_t* fired,
+                             std::uint32_t fired_len, std::uint32_t depth,
+                             std::uint32_t exponent, StateArena<P>& arena,
+                             std::uint32_t* fast_slot, bool bump_total = true) {
+    // Open-addressing digest index (linear probing, power-of-two, grown at
+    // ~70% load): the hot intern path must not pay a node allocation and a
+    // bucket-chain walk per fresh state the way an unordered_map does.
+    std::size_t probe = index_slot(shard, digest);
+    while (shard.index_vals[probe] != 0) {
+      if (shard.index_keys[probe] == digest) break;
+      probe = (probe + 1) & shard.index_mask;
+    }
+    const bool fresh = shard.index_vals[probe] == 0;
+    for (std::uint32_t local = fresh ? kNoLocal : shard.index_vals[probe] - 1;
+         local != kNoLocal; local = shard.collision_next[local]) {
+      if (std::memcmp(slot(shard, local), s, state_bytes_) == 0) {
+        const Id found = make_id(shard_of(digest), local);
+        if (fast_slot != nullptr) {
+          std::atomic_ref<std::uint32_t>(*fast_slot).store(
+              found + 1, std::memory_order_release);
+        }
+        return {found, false, false};
+      }
+    }
+    const auto local = static_cast<std::uint32_t>(shard.count);
+    if (local % kBlockStates == 0) {
+      // for_overwrite: zero-filling the blocks would cost more than the
+      // ~20 states a shard typically holds on small instances. Every
+      // pointer and depth is fully written before its id is published.
+      shard.ptr_blocks.push_back(
+          std::make_unique_for_overwrite<const P*[]>(kBlockStates));
+      shard.depth_blocks.push_back(
+          std::make_unique_for_overwrite<std::atomic<std::uint32_t>[]>(
+              kBlockStates));
+    }
+    P* blob = arena.alloc();
+    std::memcpy(blob, s, state_bytes_);
+    shard.ptr_blocks[local / kBlockStates][local % kBlockStates] = blob;
+    depth_slot(shard, local).store(depth, std::memory_order_relaxed);
+    shard.digests.push_back(digest);
+    shard.parents.push_back(parent);
+    shard.exponents.push_back(exponent);
+    shard.fired_offsets.push_back(static_cast<std::uint32_t>(shard.fired_arena.size()));
+    shard.fired_arena.push_back(fired_len);
+    shard.fired_arena.insert(shard.fired_arena.end(), fired, fired + fired_len);
+    shard.collision_next.push_back(fresh ? kNoLocal
+                                         : shard.index_vals[probe] - 1);
+    shard.index_keys[probe] = digest;
+    shard.index_vals[probe] = local + 1;
+    if (fresh && ++shard.index_used * 10 >= shard.index_mask * 7) {
+      grow_index(shard);
+    }
+    ++shard.count;
+    if (bump_total) total_.fetch_add(1, std::memory_order_relaxed);
+    const Id id = make_id(shard_of(digest), local);
+    if (fast_slot != nullptr) {
+      // Publish AFTER the blob bytes, pointer and depth: the release pairs
+      // with the fast path's acquire, so a fast-path reader sees complete
+      // bytes.
+      std::atomic_ref<std::uint32_t>(*fast_slot).store(
+          id + 1, std::memory_order_release);
+    }
+    return {id, true, false};
+  }
+
   /// Home slot in the shard's open-addressing index. The shard id consumed
   /// the digest's low bits; the multiply redistributes the rest.
   [[nodiscard]] static std::size_t index_slot(const Shard& shard,
@@ -371,6 +581,7 @@ class StateStore {
   };
   std::unique_ptr<std::uint32_t[], FreeDeleter> fast_;  ///< id+1 slots; 0 empty
   std::atomic<std::size_t> total_{0};
+  std::vector<StateArena<P>> arenas_;
   Shard shards_[kShards];
 };
 

@@ -1,15 +1,26 @@
-// Chase-Lev work-stealing deque, the scheduler substrate replacing the
-// checker's level-synchronized BFS.
+// Chase-Lev work-stealing deque plus the state-chunk types it trades in —
+// the scheduler substrate replacing the checker's level-synchronized BFS.
 //
-// One deque per worker. The owner push()es newly discovered states at the
-// bottom; any thread (including the owner) may steal() from the top. The
-// checker's owner TAKES from the top of its own deque too — making each
-// deque FIFO in practice — so a single-threaded work-stealing run expands
-// states in exactly global BFS order, and multi-threaded runs stay near
-// breadth-first (which keeps the incremental successor generator's
-// diff-against-previous-state small and the depth-correction re-expansions
-// rare). pop() (LIFO bottom end) is provided for completeness and tested,
-// but the checker does not use it.
+// One deque per worker. Since PR 7 the unit of scheduling is a CHUNK of
+// 1–256 packed (state id, depth) entries, not a single state: per-state
+// deque traffic (one release fence + one seq_cst CAS per handoff) was
+// larger than the per-state expansion work itself on the paper's
+// programs, which is why 8 threads explored RB *slower* than 1. A worker
+// accumulates discoveries into a private open chunk and publishes it to
+// its deque only when full (or when it runs dry), so the synchronization
+// cost is amortized over the chunk.
+//
+// The owner push()es newly published chunks at the bottom; any thread
+// (including the owner) may steal() from the top. The checker's owner
+// TAKES from the top of its own deque too — making each deque FIFO in
+// practice — and drains a chunk front to back, so a single-threaded
+// work-stealing run expands states in exactly global BFS order at ANY
+// chunk size (chunks are published in discovery order and drained in
+// order), and multi-threaded runs stay near breadth-first (which keeps
+// the incremental successor generator's diff-against-previous-state small
+// and the depth-correction re-expansions rare). pop() (LIFO bottom end)
+// is provided for completeness and tested, but the checker does not use
+// it.
 //
 // Memory model follows Lê/Pop/Cohen/Nardelli, "Correct and Efficient
 // Work-Stealing for Weak Memory Models" (PPoPP'13): bottom is owner-local
@@ -20,9 +31,9 @@
 // any earlier would need hazard pointers for no measurable gain (growth is
 // rare and geometric).
 //
-// Elements are uint64 payloads (the checker packs a state id and its BFS
-// depth); empty-vs-success is reported via the bool return, so any payload
-// value is valid.
+// Elements are uint64 payloads (the checker passes StateChunk pointers;
+// any payload value is valid — empty-vs-success is reported via the bool
+// return).
 #pragma once
 
 #include <atomic>
@@ -31,6 +42,57 @@
 #include <vector>
 
 namespace ftbar::check {
+
+/// A batch of packed (state id << 32 | depth) entries — the work-stealing
+/// scheduler's unit of handoff. `fill` is owner-private while the chunk
+/// accumulates; `count` is the published size, release-stored by the
+/// publisher and acquire-loaded by whichever worker drains the chunk, so
+/// the entries (written before the release) are visible to the drainer
+/// without relying on the deque's fence pairing for the pointed-to bytes.
+struct StateChunk {
+  static constexpr std::uint32_t kCapacity = 256;
+
+  std::uint32_t fill = 0;                ///< owner-only accumulation cursor
+  std::atomic<std::uint32_t> count{0};   ///< published entry count
+  std::uint64_t items[kCapacity];
+
+  void publish() noexcept { count.store(fill, std::memory_order_release); }
+  [[nodiscard]] std::uint32_t drain_count() const noexcept {
+    return count.load(std::memory_order_acquire);
+  }
+  void reset() noexcept {
+    fill = 0;
+    count.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Per-worker chunk recycler. Chunks migrate freely between workers (a
+/// thief drains chunks the victim allocated), so ownership of the MEMORY
+/// stays with the allocating pool (`owned_`) while the free list belongs
+/// to whichever pool the drained chunk was returned to — no cross-thread
+/// synchronization on either, because get()/put() are only ever called by
+/// the pool's worker. All chunks live until the pools are destroyed (after
+/// the workers joined), so a stale deque slot never points at freed memory.
+class ChunkPool {
+ public:
+  [[nodiscard]] StateChunk* get() {
+    if (!free_.empty()) {
+      StateChunk* c = free_.back();
+      free_.pop_back();
+      return c;
+    }
+    owned_.push_back(std::make_unique<StateChunk>());
+    return owned_.back().get();
+  }
+  void put(StateChunk* c) {
+    c->reset();
+    free_.push_back(c);
+  }
+
+ private:
+  std::vector<std::unique_ptr<StateChunk>> owned_;
+  std::vector<StateChunk*> free_;
+};
 
 class WorkDeque {
  public:

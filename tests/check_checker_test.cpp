@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -82,6 +83,75 @@ TEST(StateStore, InternsDedupsAndKeepsDiscoveryMetadata) {
   EXPECT_EQ(digests.size(), 2u);
   EXPECT_TRUE(std::is_sorted(digests.begin(), digests.end()));
   EXPECT_EQ(store.all_ids().size(), 2u);
+}
+
+TEST(StateStore, InternBatchMatchesSingleInternSemantics) {
+  using Store = StateStore<Bit>;
+  Store store(/*procs=*/2, /*max_states=*/100, /*concurrent=*/true,
+              /*fast_path=*/true, /*workers=*/1);
+  const BitState root{Bit{0}, Bit{0}};
+  const auto r0 =
+      store.intern(root.data(), store.digest(root.data()), Store::kNoId, {});
+  ASSERT_TRUE(r0.inserted);
+
+  // Stage a batch the way the checker lays it out: three parallel arrays
+  // (items / flat state bytes / flat fired lists).
+  std::vector<Bit> states;
+  const std::vector<std::uint32_t> fired{0, 1, 7, 7, 2};
+  std::vector<Store::BulkItem> items;
+  const auto stage = [&](const BitState& s, std::uint32_t ofs,
+                         std::uint32_t len) {
+    Store::BulkItem it;
+    it.digest = store.digest(s.data());
+    it.state_index = static_cast<std::uint32_t>(items.size());
+    it.parent = r0.id;
+    it.fired_ofs = ofs;
+    it.fired_len = len;
+    it.depth = 1;
+    states.insert(states.end(), s.begin(), s.end());
+    items.push_back(it);
+  };
+  stage(BitState{Bit{1}, Bit{0}}, 0, 1);  // fresh
+  stage(BitState{Bit{0}, Bit{1}}, 1, 1);  // fresh
+  stage(BitState{Bit{1}, Bit{0}}, 2, 2);  // in-batch duplicate of item 0
+  stage(root, 4, 1);                      // duplicate of the pre-interned root
+
+  std::vector<Store::InternResult> results(items.size());
+  Store::BulkScratch scratch;
+  const auto stats = store.intern_batch(items, states.data(), fired.data(),
+                                        store.arena(0), scratch, results.data());
+
+  EXPECT_TRUE(results[0].inserted);
+  EXPECT_TRUE(results[1].inserted);
+  EXPECT_FALSE(results[2].inserted);
+  EXPECT_EQ(results[2].id, results[0].id);  // in-batch dup resolves to item 0
+  EXPECT_FALSE(results[3].inserted);
+  EXPECT_EQ(results[3].id, r0.id);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_GE(stats.groups, 1u);
+  EXPECT_GE(stats.grouped_items, 2u);  // at least the two fresh insertions
+
+  // First-discovery metadata of a fresh state matches its staged edge, and
+  // the interned bytes round-trip out of the arena blob.
+  EXPECT_EQ(store.parent(results[0].id), r0.id);
+  ASSERT_EQ(store.fired(results[0].id).size(), 1u);
+  EXPECT_EQ(store.fired(results[0].id)[0], 0u);
+  EXPECT_EQ(store.depth(results[0].id), 1u);
+  ASSERT_EQ(store.fired(results[2].id).size(), 1u);  // first edge kept on dup
+  const auto span = store.state(results[1].id);
+  const BitState b01{Bit{0}, Bit{1}};
+  EXPECT_TRUE(std::equal(span.begin(), span.end(), b01.begin(), b01.end()));
+  EXPECT_EQ(store.digest_of(results[1].id), store.digest(b01.data()));
+
+  // Re-submitting the same batch is pure duplicates: size and ids stable.
+  std::vector<Store::InternResult> again(items.size());
+  store.intern_batch(items, states.data(), fired.data(), store.arena(0),
+                     scratch, again.data());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_FALSE(again[i].inserted) << "item " << i;
+    EXPECT_EQ(again[i].id, results[i].id) << "item " << i;
+  }
+  EXPECT_EQ(store.size(), 3u);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,6 +375,96 @@ TEST(WorkStealing, FindsTheViolationWheneverBfsDoesAndItReplays) {
         trace::replay_schedule(counterexample_schedule(small), b.actions);
     EXPECT_TRUE(report.ok) << report.message;
     EXPECT_EQ(report.steps_replayed, small.length());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batching determinism
+// ---------------------------------------------------------------------------
+
+// The chunk size is scheduler plumbing: at ANY granularity, under either
+// schedule, any thread count, either semantics, symmetry on or off, the
+// clean-run result (state count, diameter, sorted digests) must be
+// bit-identical to the default-option baseline. chunk = 1 is the PR 4
+// per-state handoff; 3 exercises partial-chunk publication on every
+// frontier; 256 is the chunk capacity.
+template <class P>
+void expect_batching_invariance(const ProgramBundle<P>& b, const char* name) {
+  const auto always = [](const std::vector<P>&) { return true; };
+  for (const auto semantics :
+       {sim::Semantics::kInterleaving, sim::Semantics::kMaxParallel}) {
+    for (const bool symmetry : {false, true}) {
+      CheckOptions base;
+      base.semantics = semantics;
+      base.symmetry = symmetry;
+      Checker<P> ref(b.actions, b.procs, base, b.symmetry);
+      const auto ref_res = ref.run(b.perturbed_roots, always);
+      ASSERT_TRUE(ref_res.ok()) << name;
+      const auto ref_digests = ref.sorted_digests();
+      for (const std::size_t chunk : {1u, 3u, 64u, 256u}) {
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+          for (const auto sched : {Schedule::kBfs, Schedule::kWorkStealing}) {
+            CheckOptions opt = base;
+            opt.chunk = chunk;
+            opt.threads = threads;
+            opt.schedule = sched;
+            Checker<P> ck(b.actions, b.procs, opt, b.symmetry);
+            const auto res = ck.run(b.perturbed_roots, always);
+            const auto tag = [&] {
+              return std::string(name) +
+                     (semantics == sim::Semantics::kMaxParallel ? " maxpar"
+                                                                : " interleaving") +
+                     (symmetry ? " sym" : "") +
+                     (sched == Schedule::kWorkStealing ? " ws" : " bfs") +
+                     " chunk=" + std::to_string(chunk) +
+                     " threads=" + std::to_string(threads);
+            }();
+            ASSERT_TRUE(res.ok()) << tag;
+            EXPECT_EQ(res.states_visited, ref_res.states_visited) << tag;
+            EXPECT_EQ(res.levels, ref_res.levels) << tag;
+            EXPECT_EQ(ck.sorted_digests(), ref_digests) << tag;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Batching, ChunkSizeNeverChangesTheResultOnAnyBundle) {
+  expect_batching_invariance(make_cb_bundle(3), "cb");
+  expect_batching_invariance(make_rb_bundle(3), "rb");
+  expect_batching_invariance(make_rbp_bundle(3), "rbp");
+  expect_batching_invariance(make_mb_bundle(3), "mb");
+}
+
+TEST(Batching, CounterexampleIdenticalAcrossChunkSizesAtOneThread) {
+  // At one thread both schedules expand in a deterministic global order
+  // regardless of batch granularity, so not just the verdict but the exact
+  // counterexample (path, schedule, violating action) must be chunk-size
+  // independent. (At threads > 1 which violation is found may race; only
+  // the single-thread order is pinned.)
+  const auto b = make_rb_bundle(3);
+  const auto no_success = [](const RbState& s) {
+    return s.front().cp != core::Cp::kSuccess;
+  };
+  for (const auto sched : {Schedule::kBfs, Schedule::kWorkStealing}) {
+    std::optional<Counterexample<RbProc>> baseline;
+    for (const std::size_t chunk : {1u, 3u, 64u, 256u}) {
+      CheckOptions opt;
+      opt.schedule = sched;
+      opt.chunk = chunk;
+      Checker<RbProc> ck(b.actions, b.procs, opt);
+      const auto res = ck.run(b.start_roots, no_success);
+      ASSERT_TRUE(res.violation.has_value()) << "chunk=" << chunk;
+      if (!baseline) {
+        baseline = *res.violation;
+        continue;
+      }
+      EXPECT_EQ(res.violation->path, baseline->path) << "chunk=" << chunk;
+      EXPECT_EQ(res.violation->fired, baseline->fired) << "chunk=" << chunk;
+      EXPECT_EQ(res.violation->violated_by, baseline->violated_by)
+          << "chunk=" << chunk;
+    }
   }
 }
 

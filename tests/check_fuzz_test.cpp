@@ -5,6 +5,10 @@
 // SAME verdict, and on clean exhaustive runs the same visited-state set:
 // bit-identical state counts and identical sorted digest fingerprints, plus
 // agreement on both convergence queries over the recorded graphs.
+//
+// Each stream also draws a scheduler configuration — BFS or work-stealing,
+// chunk size from {1, 3, 64, 256} — so the batching plumbing is fuzzed
+// against the seed under every handoff granularity, not just the default.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -48,6 +52,10 @@ void differential_run(const ProgramBundle<P>& b, std::uint64_t stream) {
 
   CheckOptions copt;
   copt.record_edges = !hunt;
+  copt.schedule =
+      rng.uniform(2) == 0 ? Schedule::kBfs : Schedule::kWorkStealing;
+  constexpr std::size_t kChunks[] = {1, 3, 64, 256};
+  copt.chunk = kChunks[rng.uniform(4)];
   Checker<P> checker(b.actions, b.procs, copt);
   const auto cres = checker.run(roots, invariant);
 

@@ -34,8 +34,14 @@
 //                            differential state-count comparison only holds
 //                            in the unreduced space.
 //   --stats                  periodic exploration progress on stderr and a
-//                            final counters line after each run
+//                            final counters line after each run (including
+//                            chunk occupancy, steals and bulk-insert group
+//                            sizes — the batching health signals)
 //   --threads T (1)          checker worker threads / swarm pool size
+//   --chunk C (64)           states per scheduler handoff unit (1-256);
+//                            1 restores per-state handoff. The visited set
+//                            and single-threaded counterexamples are
+//                            identical at every setting
 //   --max-states M (2000000)
 //   --walks W (256) --depth D (256) --seed S (1)      swarm budget
 //   --seq-modulus L (0)      mb only; 0 = default 2N (L=2N+2 in paper terms)
@@ -85,6 +91,7 @@ struct Args {
   bool symmetry = false;
   bool stats = false;
   std::size_t threads = 1;
+  std::size_t chunk = 64;
   std::size_t max_states = 2'000'000;
   std::size_t walks = 256;
   std::size_t depth = 256;
@@ -102,7 +109,7 @@ void usage(const char* argv0) {
                "  [--semantics interleaving|maxpar|both] "
                "[--fault-class none|undetectable]\n"
                "  [--mode exhaust|swarm] [--schedule bfs|ws] [--symmetry]\n"
-               "  [--stats] [--threads T] [--max-states M]\n"
+               "  [--stats] [--threads T] [--chunk C] [--max-states M]\n"
                "  [--walks W] [--depth D] [--seed S] [--seq-modulus L]\n"
                "  [--oracle] [--weaken] [--cx-out FILE] [--csv]\n",
                argv0);
@@ -137,6 +144,8 @@ Args parse(int argc, char** argv) {
       args.stats = true;
     } else if (flag == "--threads") {
       args.threads = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--chunk") {
+      args.chunk = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--max-states") {
       args.max_states = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--walks") {
@@ -261,6 +270,7 @@ int run_exhaust(const Args& args, const check::ProgramBundle<P>& bundle,
   copt.schedule = args.schedule == "ws" ? check::Schedule::kWorkStealing
                                         : check::Schedule::kBfs;
   copt.symmetry = args.symmetry;
+  copt.chunk = args.chunk;
   // Convergence queries need the transition graph; plain invariant checking
   // (fault-free closure, weakened-invariant hunts) does not.
   copt.record_edges = fc == check::FaultClass::kUndetectable && !args.weaken;
@@ -337,7 +347,9 @@ int run_exhaust(const Args& args, const check::ProgramBundle<P>& bundle,
     std::fprintf(args.csv ? stderr : stdout,
                  "  counters: expanded=%llu transitions=%llu interned=%llu "
                  "dup_fast=%llu dup_slow=%llu steals=%llu reexpansions=%llu "
-                 "guard_evals=%llu dedup_hit=%.1f%% rate=%.0f states/s\n",
+                 "guard_evals=%llu dedup_hit=%.1f%% rate=%.0f states/s\n"
+                 "  batching: chunks=%llu occupancy=%.1f/%zu flushes=%llu "
+                 "shard_groups=%llu avg_group=%.1f\n",
                  static_cast<unsigned long long>(c.expanded),
                  static_cast<unsigned long long>(c.transitions),
                  static_cast<unsigned long long>(c.interned),
@@ -346,7 +358,11 @@ int run_exhaust(const Args& args, const check::ProgramBundle<P>& bundle,
                  static_cast<unsigned long long>(c.steals),
                  static_cast<unsigned long long>(c.reexpansions),
                  static_cast<unsigned long long>(c.guard_evals),
-                 100.0 * c.dedup_hit_rate(), c.states_per_sec());
+                 100.0 * c.dedup_hit_rate(), c.states_per_sec(),
+                 static_cast<unsigned long long>(c.chunks), c.avg_chunk_fill(),
+                 args.chunk, static_cast<unsigned long long>(c.flushes),
+                 static_cast<unsigned long long>(c.bulk_groups),
+                 c.avg_group_size());
   }
 
   if (semantics == sim::Semantics::kInterleaving) {
